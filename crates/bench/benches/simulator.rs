@@ -1,0 +1,39 @@
+//! End-to-end simulator throughput: simulated instructions per second for
+//! the paper's key configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ucsim_pipeline::{SimConfig, Simulator};
+use ucsim_trace::{Program, WorkloadProfile};
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let profile = WorkloadProfile::by_name("bm-ds").expect("profile");
+    let program = Program::generate(&profile);
+    let insts = 100_000u64;
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts));
+    for (label, oc) in [
+        ("baseline_2k", UopCacheConfig::baseline_2k()),
+        ("clasp_2k", UopCacheConfig::baseline_2k().with_clasp()),
+        (
+            "fpwac_2k",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+        ),
+        ("baseline_64k", UopCacheConfig::baseline_with_capacity(65536)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::table1()
+                    .with_uop_cache(oc.clone())
+                    .with_insts(5_000, insts);
+                let r = Simulator::new(cfg).run(&profile, &program);
+                black_box(r.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

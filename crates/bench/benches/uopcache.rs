@@ -1,0 +1,96 @@
+//! Microbenchmarks of the uop cache model: fill and lookup throughput per
+//! organization, and SMC invalidation probes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucsim_model::{Addr, DynInst, InstClass, PwId};
+use ucsim_uopcache::{
+    AccumulationBuffer, CompactionPolicy, UopCache, UopCacheConfig, UopCacheEntry,
+};
+
+/// Builds a realistic entry stream from a long synthetic code run.
+fn entry_stream(n: usize, cfg: &UopCacheConfig) -> Vec<UopCacheEntry> {
+    let mut acc = AccumulationBuffer::new(cfg.clone());
+    let mut out = Vec::new();
+    let mut pc = 0x10_0000u64;
+    let mut i = 0u64;
+    while out.len() < n {
+        let len = 3 + (i % 5) as u8;
+        let uops = 1 + (i % 3) as u8;
+        let taken = i % 7 == 6;
+        let inst = DynInst::simple(Addr::new(pc), len, InstClass::IntAlu).with_uops(uops);
+        out.extend(acc.push(&inst, PwId(i / 5), taken));
+        pc = if taken { pc + 0x140 } else { pc + len as u64 };
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oc_fill");
+    for (label, cfg) in [
+        ("baseline", UopCacheConfig::baseline_2k()),
+        (
+            "fpwac2",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+        ),
+        (
+            "fpwac3",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 3),
+        ),
+    ] {
+        let entries = entry_stream(4096, &cfg);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut oc = UopCache::new(cfg.clone());
+                for e in &entries {
+                    black_box(oc.fill(*e));
+                }
+                oc.resident_entries()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let cfg = UopCacheConfig::baseline_2k();
+    let entries = entry_stream(2048, &cfg);
+    let mut oc = UopCache::new(cfg);
+    for e in &entries {
+        oc.fill(*e);
+    }
+    let probes: Vec<Addr> = entries.iter().map(|e| e.start).collect();
+    c.bench_function("oc_lookup_hit_mix", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for a in &probes {
+                if oc.lookup(black_box(*a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_invalidate(c: &mut Criterion) {
+    let cfg = UopCacheConfig::baseline_2k().with_clasp();
+    let entries = entry_stream(2048, &cfg);
+    c.bench_function("oc_smc_invalidate", |b| {
+        b.iter(|| {
+            let mut oc = UopCache::new(cfg.clone());
+            for e in &entries {
+                oc.fill(*e);
+            }
+            let mut removed = 0;
+            for i in 0..64u64 {
+                removed += oc.invalidate_icache_line(Addr::new(0x10_0000 + i * 64).line());
+            }
+            removed
+        })
+    });
+}
+
+criterion_group!(benches, bench_fill, bench_lookup, bench_invalidate);
+criterion_main!(benches);

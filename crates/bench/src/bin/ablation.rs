@@ -1,0 +1,117 @@
+//! Design-choice ablations beyond the paper's evaluation (the extensions
+//! DESIGN.md calls out):
+//!
+//! * uop cache replacement policy (true LRU vs tree-PLRU vs SRRIP),
+//! * CLASP span limit (2 vs 3 I-cache lines),
+//! * front-end energy breakdown (decoder vs whole front end),
+//! * entry build rule: span sequential PWs (the paper's baseline) vs
+//!   terminate at PW boundaries — the lever behind the compaction rate.
+
+use ucsim_bench::{run_one, ExperimentTable, RunOpts};
+use ucsim_mem::ReplacementPolicy;
+use ucsim_pipeline::SimConfig;
+use ucsim_trace::WorkloadProfile;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let workloads: Vec<WorkloadProfile> = WorkloadProfile::table2()
+        .into_iter()
+        .filter(|p| opts.selects(p.name))
+        .collect();
+
+    // --- Ablation 1: OC replacement policy at the 2K baseline.
+    let mut repl = ExperimentTable::new(
+        "ablation_replacement",
+        "OC fetch ratio by replacement policy (2K baseline)",
+        &["LRU", "TreePLRU", "SRRIP"],
+    );
+    for p in &workloads {
+        let row: Vec<f64> = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Srrip,
+        ]
+        .iter()
+        .map(|&pol| {
+            let oc = UopCacheConfig::baseline_2k().with_replacement(pol);
+            run_one(p, &SimConfig::table1().with_uop_cache(oc), &opts).oc_fetch_ratio
+        })
+        .collect();
+        repl.row(p.name, &row);
+    }
+    repl.emit();
+
+    // --- Ablation 2: CLASP span limit.
+    let mut span = ExperimentTable::new(
+        "ablation_clasp_span",
+        "OC fetch ratio by CLASP max span (2K)",
+        &["span2", "span3"],
+    );
+    for p in &workloads {
+        let row: Vec<f64> = [2u32, 3]
+            .iter()
+            .map(|&lines| {
+                let mut oc = UopCacheConfig::baseline_2k().with_clasp();
+                oc.clasp_max_lines = lines;
+                run_one(p, &SimConfig::table1().with_uop_cache(oc), &opts).oc_fetch_ratio
+            })
+            .collect();
+        span.row(p.name, &row);
+    }
+    span.emit();
+
+    // --- Ablation 3: front-end energy breakdown, baseline vs F-PWAC.
+    let mut energy = ExperimentTable::new(
+        "ablation_energy",
+        "Decoder vs whole-front-end power (2K)",
+        &["dec_base", "dec_fpwac", "fe_base", "fe_fpwac"],
+    );
+    for p in &workloads {
+        let base = run_one(p, &SimConfig::table1(), &opts);
+        let fp = run_one(
+            p,
+            &SimConfig::table1().with_uop_cache(
+                UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+            ),
+            &opts,
+        );
+        energy.row(
+            p.name,
+            &[
+                base.decoder_power,
+                fp.decoder_power,
+                base.front_end_power,
+                fp.front_end_power,
+            ],
+        );
+    }
+    energy.emit();
+
+    // --- Ablation 4: entry build rule (span PWs vs terminate at PW end)
+    // under F-PWAC. Smaller entries compact far more often, at the cost of
+    // per-entry dispatch bandwidth.
+    let mut rule = ExperimentTable::new(
+        "ablation_build_rule",
+        "Entry build rule under F-PWAC (2K): span PWs vs cut at PW end",
+        &["comp_span", "comp_cut", "upc_span", "upc_cut", "pwac_share_cut"],
+    );
+    for p in &workloads {
+        let span_cfg = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2);
+        let cut_cfg = span_cfg.clone().with_pw_end_termination();
+        let a = run_one(p, &SimConfig::table1().with_uop_cache(span_cfg), &opts);
+        let b = run_one(p, &SimConfig::table1().with_uop_cache(cut_cfg), &opts);
+        let (_, pwac, fp) = b.compaction_dist;
+        rule.row(
+            p.name,
+            &[
+                a.compacted_fill_frac,
+                b.compacted_fill_frac,
+                a.upc,
+                b.upc,
+                pwac + fp,
+            ],
+        );
+    }
+    rule.emit();
+}

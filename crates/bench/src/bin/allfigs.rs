@@ -1,0 +1,25 @@
+//! Regenerates every table and figure in one run, writing TSVs to
+//! `target/experiments/`.
+use ucsim_bench::{figures, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let t0 = std::time::Instant::now();
+    figures::table1();
+    figures::table2(&opts);
+    figures::fig03(&opts);
+    figures::fig04(&opts);
+    figures::fig05(&opts);
+    figures::fig06(&opts);
+    figures::fig09(&opts);
+    figures::fig12(&opts);
+    figures::fig15(&opts);
+    figures::fig16(&opts);
+    figures::fig17(&opts);
+    figures::fig18(&opts);
+    figures::fig19(&opts);
+    figures::fig20(&opts);
+    figures::fig21(&opts);
+    figures::fig22(&opts);
+    eprintln!("all experiments regenerated in {:?}", t0.elapsed());
+}

@@ -1,0 +1,53 @@
+//! Calibration sweep: all Table II workloads at the 2K baseline.
+//!
+//! Prints measured vs target branch MPKI, the OC fetch ratio at 2K and
+//! 64K (the capacity-sensitivity span), entry-size distribution and
+//! taken-branch termination rate — the knobs-vs-goals dashboard used to
+//! tune the synthetic workload profiles. A development diagnostic, not a
+//! paper figure.
+
+use ucsim_bench::{run_one, RunOpts};
+use ucsim_pipeline::SimConfig;
+use ucsim_trace::WorkloadProfile;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!(
+        "{:<14} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} | sizes[%]",
+        "workload", "mpki", "tgt", "ocr2K", "ocr64K", "gain%", "tbterm", "comp"
+    );
+    for p in WorkloadProfile::table2() {
+        if !opts.selects(p.name) {
+            continue;
+        }
+        let r2 = run_one(&p, &SimConfig::table1(), &opts);
+        let r64 = run_one(
+            &p,
+            &SimConfig::table1().with_uop_cache(UopCacheConfig::baseline_with_capacity(65536)),
+            &opts,
+        );
+        let rc = run_one(
+            &p,
+            &SimConfig::table1().with_uop_cache(
+                UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+            ),
+            &opts,
+        );
+        println!(
+            "{:<14} {:>6.2} {:>6.2} | {:>6.3} {:>6.3} {:>6.1} | {:>6.3} {:>6.3} | {:?}",
+            p.name,
+            r2.mpki,
+            p.target_mpki,
+            r2.oc_fetch_ratio,
+            r64.oc_fetch_ratio,
+            (r64.oc_fetch_ratio / r2.oc_fetch_ratio - 1.0) * 100.0,
+            r2.taken_term_frac,
+            rc.compacted_fill_frac,
+            r2.entry_size_dist
+                .iter()
+                .map(|f| (f * 100.0).round() as i64)
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Capacity × optimization cross sweep (extension): how do CLASP and
+//! F-PWAC gains evolve as the uop cache grows? Generalizes the paper's
+//! Figure 22 (which checked only the 4K point) to the whole sweep.
+
+use ucsim_bench::{geomean, run_matrix, ExperimentTable, LabeledConfig, RunOpts};
+use ucsim_pipeline::SimConfig;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let capacities = [2048usize, 4096, 8192, 16384];
+    let mut configs = Vec::new();
+    for &cap in &capacities {
+        let base = UopCacheConfig::baseline_with_capacity(cap);
+        configs.push(LabeledConfig::new(
+            &format!("base_{}K", cap / 1024),
+            SimConfig::table1().with_uop_cache(base.clone()),
+        ));
+        configs.push(LabeledConfig::new(
+            &format!("clasp_{}K", cap / 1024),
+            SimConfig::table1().with_uop_cache(base.clone().with_clasp()),
+        ));
+        configs.push(LabeledConfig::new(
+            &format!("fpwac_{}K", cap / 1024),
+            SimConfig::table1()
+                .with_uop_cache(base.with_compaction(CompactionPolicy::Fpwac, 2)),
+        ));
+    }
+
+    let results = run_matrix(&configs, &opts);
+    let cols: Vec<String> = capacities
+        .iter()
+        .flat_map(|&c| {
+            let k = c / 1024;
+            [format!("clasp_{k}K_%"), format!("fpwac_{k}K_%")]
+        })
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = ExperimentTable::new(
+        "crosssweep",
+        "% UPC improvement of CLASP / F-PWAC over same-capacity baseline",
+        &col_refs,
+    );
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+    for (profile, reports) in &results {
+        let mut row = Vec::new();
+        for (ci, _) in capacities.iter().enumerate() {
+            let base = reports[ci * 3].upc;
+            let clasp = reports[ci * 3 + 1].upc;
+            let fpwac = reports[ci * 3 + 2].upc;
+            row.push((clasp / base - 1.0) * 100.0);
+            row.push((fpwac / base - 1.0) * 100.0);
+            ratios[ci * 2].push(clasp / base);
+            ratios[ci * 2 + 1].push(fpwac / base);
+        }
+        t.row(profile.name, &row);
+    }
+    let g: Vec<f64> = ratios.iter().map(|v| (geomean(v) - 1.0) * 100.0).collect();
+    t.row("G.Mean", &g);
+    t.emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 04.
+fn main() {
+    let opts = ucsim_bench::RunOpts::from_args();
+    ucsim_bench::figures::fig04(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 18.
+fn main() {
+    let opts = ucsim_bench::RunOpts::from_args();
+    ucsim_bench::figures::fig18(&opts);
+}

@@ -1,0 +1,78 @@
+//! Shape probe: quick sanity scan of one workload across key
+//! configurations (capacity sweep ends + optimization ladder). Not a
+//! paper figure; a development diagnostic.
+
+use ucsim_bench::{run_one, RunOpts};
+use ucsim_pipeline::SimConfig;
+use ucsim_trace::WorkloadProfile;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let name = opts
+        .workload_filter
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "bm-cc".to_owned());
+    let profile = WorkloadProfile::by_name(&name).expect("unknown workload");
+    println!("probe: {} (target MPKI {})", profile.name, profile.target_mpki);
+
+    let configs = [
+        ("base-2K", UopCacheConfig::baseline_2k()),
+        ("base-8K", UopCacheConfig::baseline_with_capacity(8192)),
+        ("base-64K", UopCacheConfig::baseline_with_capacity(65536)),
+        ("clasp-2K", UopCacheConfig::baseline_2k().with_clasp()),
+        (
+            "rac-2K",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Rac, 2),
+        ),
+        (
+            "pwac-2K",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Pwac, 2),
+        ),
+        (
+            "fpwac-2K",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+        ),
+    ];
+    for (label, oc) in configs {
+        let t0 = std::time::Instant::now();
+        let r = run_one(&profile, &SimConfig::table1().with_uop_cache(oc), &opts);
+        println!(
+            "{label:<10} {} fills={} span={:.3} comp={:.3} tb_term={:.3} dir={} tgt={} dr={} [{:?}]",
+            r.summary(),
+            r.oc_fills,
+            r.spanning_frac,
+            r.compacted_fill_frac,
+            r.taken_term_frac,
+            r.direction_mispredicts,
+            r.target_mispredicts,
+            r.decode_redirects,
+            t0.elapsed()
+        );
+        println!(
+            "           mean_eB={:.1} res_uops={} lines={} entries={} sizes={:?}",
+            r.mean_entry_bytes,
+            r.resident_uops_end,
+            r.valid_lines_end,
+            r.resident_entries_end,
+            r.entry_size_dist.iter().map(|f| (f * 100.0).round()).collect::<Vec<_>>()
+        );
+        println!(
+            "           coverage: total={}B unique={}B dup_ratio={:.2}",
+            r.coverage_total_bytes,
+            r.coverage_unique_bytes,
+            r.coverage_total_bytes as f64 / r.coverage_unique_bytes.max(1) as f64,
+        );
+        println!(
+            "           interior_misses={} / misses={}",
+            r.interior_misses,
+            r.oc_lookup_misses,
+        );
+        println!(
+            "           terms(bound,taken,maxu,maxi,maxmc,cap,flush)={:?} mean_uops={:.2}",
+            r.term_fracs.iter().map(|f| (f * 100.0).round() as i64).collect::<Vec<_>>(),
+            r.mean_entry_uops
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Seed-sensitivity study (experimental hygiene beyond the paper): rerun
+//! selected workloads under several synthesis seeds and report the spread
+//! of the headline metric (F-PWAC % UPC improvement over baseline at 2K).
+//!
+//! ```text
+//! cargo run --release -p ucsim-bench --bin seeds -- --quick --workloads bm-lla
+//! ```
+
+use ucsim_bench::{run_one, ExperimentTable, RunOpts};
+use ucsim_pipeline::SimConfig;
+use ucsim_trace::WorkloadProfile;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+const SEED_OFFSETS: [u64; 5] = [0, 1000, 2000, 3000, 4000];
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let mut t = ExperimentTable::new(
+        "seeds",
+        "F-PWAC % UPC improvement across synthesis seeds",
+        &["mean", "min", "max", "spread"],
+    );
+    for base_profile in WorkloadProfile::table2() {
+        if !opts.selects(base_profile.name) {
+            continue;
+        }
+        let mut gains = Vec::new();
+        for off in SEED_OFFSETS {
+            let mut p = base_profile.clone();
+            p.seed = base_profile.seed + off;
+            let base = run_one(&p, &SimConfig::table1(), &opts);
+            let opt = run_one(
+                &p,
+                &SimConfig::table1().with_uop_cache(
+                    UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+                ),
+                &opts,
+            );
+            gains.push((opt.upc / base.upc - 1.0) * 100.0);
+        }
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        let min = gains.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        t.row(base_profile.name, &[mean, min, max, max - min]);
+    }
+    t.emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (simulated configuration).
+fn main() {
+    ucsim_bench::figures::table1();
+}

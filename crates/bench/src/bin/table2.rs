@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (workloads, target vs measured MPKI).
+fn main() {
+    let opts = ucsim_bench::RunOpts::from_args();
+    ucsim_bench::figures::table2(&opts);
+}

@@ -1,0 +1,32 @@
+//! Records a synthetic workload to the binary trace format, so downstream
+//! tools (or the `ucsim --trace` CLI) can replay it — mirroring the
+//! paper's own trace-driven methodology.
+//!
+//! ```text
+//! cargo run --release -p ucsim-bench --bin tracegen -- --workloads bm-ds --insts 500000
+//! ```
+
+use std::fs::File;
+
+use ucsim_bench::RunOpts;
+use ucsim_trace::{Program, Trace, WorkloadProfile};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    std::fs::create_dir_all("target/traces").expect("create target/traces");
+    for p in WorkloadProfile::table2() {
+        if !opts.selects(p.name) {
+            continue;
+        }
+        let program = Program::generate(&p);
+        let n = (opts.warmup + opts.insts) as usize;
+        let trace = Trace::record(program.walk(&p).take(n));
+        let path = format!(
+            "target/traces/{}.uct",
+            p.name.replace(['(', ')'], "_")
+        );
+        let f = File::create(&path).expect("create trace file");
+        trace.save(f).expect("write trace");
+        println!("{path}: {} insts", trace.len());
+    }
+}

@@ -1,0 +1,73 @@
+//! Standard configuration sets used across figures.
+
+use ucsim_pipeline::SimConfig;
+use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+use crate::LabeledConfig;
+
+/// The paper's capacity sweep: OC_2K … OC_64K baselines (Figures 3–4).
+pub fn capacity_sweep() -> Vec<LabeledConfig> {
+    [2048usize, 4096, 8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&uops| {
+            LabeledConfig::new(
+                &format!("OC_{}K", uops / 1024),
+                SimConfig::table1()
+                    .with_uop_cache(UopCacheConfig::baseline_with_capacity(uops)),
+            )
+        })
+        .collect()
+}
+
+/// The optimization ladder at a given capacity: baseline, CLASP, RAC,
+/// PWAC, F-PWAC (Figures 15–17 use 2K and ≤2 entries/line; Figure 20 uses
+/// 3; Figure 22 uses a 4K capacity).
+pub fn optimization_ladder(capacity_uops: usize, max_entries: u32) -> Vec<LabeledConfig> {
+    let base = UopCacheConfig::baseline_with_capacity(capacity_uops);
+    vec![
+        LabeledConfig::new("baseline", SimConfig::table1().with_uop_cache(base.clone())),
+        LabeledConfig::new(
+            "CLASP",
+            SimConfig::table1().with_uop_cache(base.clone().with_clasp()),
+        ),
+        LabeledConfig::new(
+            "RAC",
+            SimConfig::table1()
+                .with_uop_cache(base.clone().with_compaction(CompactionPolicy::Rac, max_entries)),
+        ),
+        LabeledConfig::new(
+            "PWAC",
+            SimConfig::table1()
+                .with_uop_cache(base.clone().with_compaction(CompactionPolicy::Pwac, max_entries)),
+        ),
+        LabeledConfig::new(
+            "F-PWAC",
+            SimConfig::table1()
+                .with_uop_cache(base.with_compaction(CompactionPolicy::Fpwac, max_entries)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_six_sizes() {
+        let s = capacity_sweep();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0].label, "OC_2K");
+        assert_eq!(s[5].label, "OC_64K");
+        assert_eq!(s[5].config.uop_cache.capacity_uops(), 65536);
+    }
+
+    #[test]
+    fn ladder_has_five_schemes() {
+        let l = optimization_ladder(2048, 2);
+        let labels: Vec<_> = l.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["baseline", "CLASP", "RAC", "PWAC", "F-PWAC"]);
+        assert!(!l[0].config.uop_cache.clasp);
+        assert!(l[1].config.uop_cache.clasp);
+        assert_eq!(l[4].config.uop_cache.compaction, CompactionPolicy::Fpwac);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ucsim-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper, plus
+//! criterion microbenchmarks of the core structures.
+//!
+//! Figure binaries share this small library: workload × configuration
+//! matrix running (parallel across workloads), the paper's normalization
+//! conventions, and table output to the console and
+//! `target/experiments/*.tsv`.
+//!
+//! Run any figure with, e.g.:
+//! ```text
+//! cargo run --release -p ucsim-bench --bin fig03            # full length
+//! cargo run --release -p ucsim-bench --bin fig03 -- --quick # CI length
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod configs;
+pub mod figures;
+mod opts;
+mod runner;
+mod svg;
+mod table;
+
+pub use configs::{capacity_sweep, optimization_ladder};
+pub use opts::RunOpts;
+pub use runner::{run_matrix, run_one, LabeledConfig};
+pub use svg::{render_grouped_bars, ChartOptions};
+pub use table::{geomean, normalize, percent_improvement, ExperimentTable};

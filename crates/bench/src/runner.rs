@@ -1,0 +1,120 @@
+//! Workload × configuration matrix execution.
+
+use std::sync::Mutex;
+
+use ucsim_pipeline::{SimConfig, SimReport, Simulator};
+use ucsim_trace::{Program, WorkloadProfile};
+
+use crate::RunOpts;
+
+/// A named simulator configuration (one bar/line of a figure).
+#[derive(Debug, Clone)]
+pub struct LabeledConfig {
+    /// Legend label ("baseline", "CLASP", "OC_8K", ...).
+    pub label: String,
+    /// The configuration.
+    pub config: SimConfig,
+}
+
+impl LabeledConfig {
+    /// Creates a labeled configuration.
+    pub fn new(label: &str, config: SimConfig) -> Self {
+        LabeledConfig {
+            label: label.to_owned(),
+            config,
+        }
+    }
+}
+
+/// Runs one workload under one configuration.
+pub fn run_one(profile: &WorkloadProfile, cfg: &SimConfig, opts: &RunOpts) -> SimReport {
+    let program = Program::generate(profile);
+    let cfg = cfg.clone().with_insts(opts.warmup, opts.insts);
+    Simulator::new(cfg).run(profile, &program)
+}
+
+/// Runs every selected Table II workload under every configuration,
+/// parallel across workloads. Returns, per workload (in Table II order),
+/// the reports in configuration order.
+pub fn run_matrix(
+    configs: &[LabeledConfig],
+    opts: &RunOpts,
+) -> Vec<(WorkloadProfile, Vec<SimReport>)> {
+    let profiles: Vec<WorkloadProfile> = WorkloadProfile::table2()
+        .into_iter()
+        .filter(|p| opts.selects(p.name))
+        .collect();
+    let results: Mutex<Vec<(usize, Vec<SimReport>)>> = Mutex::new(Vec::new());
+    let next: Mutex<usize> = Mutex::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..opts.threads.max(1).min(profiles.len().max(1)) {
+            s.spawn(|| loop {
+                let idx = {
+                    let mut n = next.lock().expect("queue lock");
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                if idx >= profiles.len() {
+                    break;
+                }
+                let profile = &profiles[idx];
+                let program = Program::generate(profile);
+                let reports: Vec<SimReport> = configs
+                    .iter()
+                    .map(|lc| {
+                        let cfg = lc.config.clone().with_insts(opts.warmup, opts.insts);
+                        Simulator::new(cfg).run(profile, &program)
+                    })
+                    .collect();
+                eprintln!("  done {:<14} ({} configs)", profile.name, configs.len());
+                results.lock().expect("results lock").push((idx, reports));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("results");
+    collected.sort_by_key(|(i, _)| *i);
+    collected
+        .into_iter()
+        .map(|(i, reports)| (profiles[i].clone(), reports))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_produces_report() {
+        let profile = WorkloadProfile::quick_test();
+        let opts = RunOpts {
+            warmup: 5_000,
+            insts: 30_000,
+            ..Default::default()
+        };
+        let r = run_one(&profile, &SimConfig::table1(), &opts);
+        assert!(r.upc > 0.0);
+        assert_eq!(r.workload, "quick-test");
+    }
+
+    #[test]
+    fn matrix_respects_filter_and_order() {
+        let opts = RunOpts {
+            warmup: 2_000,
+            insts: 10_000,
+            workload_filter: vec!["redis".into(), "bm-lla".into()],
+            threads: 2,
+        };
+        let configs = vec![
+            LabeledConfig::new("a", SimConfig::table1()),
+            LabeledConfig::new("b", SimConfig::table1()),
+        ];
+        let out = run_matrix(&configs, &opts);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.name, "redis"); // Table II order preserved
+        assert_eq!(out[1].0.name, "bm-lla");
+        assert_eq!(out[0].1.len(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Dependency-free SVG rendering of experiment tables.
+//!
+//! Every figure binary writes, next to its TSV, a grouped-bar SVG that
+//! mirrors the paper's plot layout: workloads on the x-axis, one bar per
+//! configuration, a legend, and a y-axis with ticks. Pure string
+//! assembly — no graphics dependencies.
+
+use crate::ExperimentTable;
+
+/// Colour cycle for series (colour-blind-safe palette).
+const COLORS: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+/// Geometry of a rendered chart.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Draw a horizontal reference line at this y-value (e.g. 1.0 for
+    /// normalized charts).
+    pub reference_line: Option<f64>,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 1040,
+            height: 420,
+            reference_line: None,
+        }
+    }
+}
+
+/// Escapes the five XML-special characters.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+/// Picks a "nice" tick step so the y-axis shows 4–8 ticks.
+fn nice_step(range: f64) -> f64 {
+    assert!(range > 0.0);
+    let raw = range / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// Renders a grouped-bar chart of the table: one group per row
+/// (workload), one bar per column (configuration/series).
+///
+/// # Example
+///
+/// ```
+/// use ucsim_bench::{render_grouped_bars, ChartOptions, ExperimentTable};
+/// let mut t = ExperimentTable::new("figX", "demo", &["a", "b"]);
+/// t.row("w1", &[1.0, 2.0]);
+/// let svg = render_grouped_bars(&t, &ChartOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("w1"));
+/// ```
+pub fn render_grouped_bars(table: &ExperimentTable, opts: &ChartOptions) -> String {
+    let rows = table.rows();
+    let series = table.columns();
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 86.0); // margins
+    let plot_w = (w - ml - mr).max(1.0);
+    let plot_h = (h - mt - mb).max(1.0);
+
+    // Value range: always include 0; pad the top.
+    let mut vmax = f64::MIN;
+    let mut vmin: f64 = 0.0;
+    for (_, vals) in rows {
+        for &v in vals {
+            vmax = vmax.max(v);
+            vmin = vmin.min(v);
+        }
+    }
+    if let Some(r) = opts.reference_line {
+        vmax = vmax.max(r);
+        vmin = vmin.min(r);
+    }
+    if !vmax.is_finite() || vmax <= vmin {
+        vmax = vmin + 1.0;
+    }
+    let span = vmax - vmin;
+    vmax += span * 0.08;
+    let y_of = |v: f64| mt + plot_h - (v - vmin) / (vmax - vmin) * plot_h;
+
+    let mut s = String::with_capacity(16 * 1024);
+    s.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="Helvetica,Arial,sans-serif" font-size="11">"#,
+        opts.width, opts.height
+    ));
+    s.push_str(&format!(
+        r#"<rect width="{}" height="{}" fill="white"/>"#,
+        opts.width, opts.height
+    ));
+    // Title.
+    s.push_str(&format!(
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        esc(table.title())
+    ));
+
+    // Y grid + ticks.
+    let step = nice_step(vmax - vmin);
+    let mut tick = (vmin / step).floor() * step;
+    while tick <= vmax {
+        if tick >= vmin {
+            let y = y_of(tick);
+            s.push_str(&format!(
+                r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#dddddd"/>"##,
+                ml + plot_w
+            ));
+            s.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ml - 6.0,
+                y + 4.0,
+                format_tick(tick)
+            ));
+        }
+        tick += step;
+    }
+    // Axes.
+    s.push_str(&format!(
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{:.1}" stroke="black"/>"#,
+        mt + plot_h
+    ));
+    s.push_str(&format!(
+        r#"<line x1="{ml}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+        y_of(vmin.max(0.0)),
+        ml + plot_w,
+        y_of(vmin.max(0.0))
+    ));
+
+    // Bars.
+    let n_groups = rows.len().max(1) as f64;
+    let group_w = plot_w / n_groups;
+    let bar_w = (group_w * 0.8 / series.len().max(1) as f64).max(1.0);
+    for (gi, (label, vals)) in rows.iter().enumerate() {
+        let gx = ml + gi as f64 * group_w + group_w * 0.1;
+        for (si, &v) in vals.iter().enumerate() {
+            let x = gx + si as f64 * bar_w;
+            let y0 = y_of(v.max(0.0));
+            let y1 = y_of(0.0f64.max(vmin));
+            let (top, height) = if v >= 0.0 {
+                (y0, (y1 - y0).max(0.5))
+            } else {
+                (y1, (y_of(v) - y1).max(0.5))
+            };
+            s.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{top:.1}" width="{bar_w:.1}" height="{height:.1}" fill="{}"><title>{}: {} = {v:.4}</title></rect>"#,
+                COLORS[si % COLORS.len()],
+                esc(label),
+                esc(&series[si]),
+            ));
+        }
+        // Rotated x label.
+        let lx = gx + group_w * 0.4;
+        let ly = mt + plot_h + 12.0;
+        s.push_str(&format!(
+            r#"<text x="{lx:.1}" y="{ly:.1}" text-anchor="end" transform="rotate(-40 {lx:.1} {ly:.1})">{}</text>"#,
+            esc(label)
+        ));
+    }
+
+    // Reference line.
+    if let Some(r) = opts.reference_line {
+        let y = y_of(r);
+        s.push_str(&format!(
+            r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#888888" stroke-dasharray="5,4"/>"##,
+            ml + plot_w
+        ));
+    }
+
+    // Legend.
+    let mut lx = ml;
+    let ly = h - 12.0;
+    for (si, name) in series.iter().enumerate() {
+        s.push_str(&format!(
+            r#"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" fill="{}"/>"#,
+            ly - 9.0,
+            COLORS[si % COLORS.len()]
+        ));
+        s.push_str(&format!(
+            r#"<text x="{:.1}" y="{ly:.1}">{}</text>"#,
+            lx + 14.0,
+            esc(name)
+        ));
+        lx += 14.0 + 7.0 * name.len() as f64 + 18.0;
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentTable {
+        let mut t = ExperimentTable::new("figX", "A & B <test>", &["base", "opt"]);
+        t.row("w1", &[1.0, 1.2]);
+        t.row("w2", &[0.8, 1.5]);
+        t
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_grouped_bars(&sample(), &ChartOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2); // bg + 4 bars + 2 legend
+        assert!(svg.contains("w1"));
+        assert!(svg.contains("opt"));
+    }
+
+    #[test]
+    fn escapes_xml_specials() {
+        let svg = render_grouped_bars(&sample(), &ChartOptions::default());
+        assert!(svg.contains("A &amp; B &lt;test&gt;"));
+        assert!(!svg.contains("<test>"));
+    }
+
+    #[test]
+    fn reference_line_drawn() {
+        let svg = render_grouped_bars(
+            &sample(),
+            &ChartOptions {
+                reference_line: Some(1.0),
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let mut t = ExperimentTable::new("figY", "neg", &["a"]);
+        t.row("w", &[-2.0]);
+        let svg = render_grouped_bars(&t, &ChartOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("-2.0000"));
+    }
+
+    #[test]
+    fn nice_steps_are_nice() {
+        for range in [0.3, 1.0, 7.0, 42.0, 900.0] {
+            let s = nice_step(range);
+            let ticks = (range / s).ceil() as u32;
+            assert!((2..=9).contains(&ticks), "range {range}: step {s}");
+        }
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = ExperimentTable::new("figZ", "empty", &["a"]);
+        let svg = render_grouped_bars(&t, &ChartOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+}

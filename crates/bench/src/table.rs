@@ -1,0 +1,200 @@
+//! Table formatting, normalization and TSV output.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Normalizes `value` to `base` (the paper's "normalized to baseline"
+/// convention). Returns 1.0 when the base is zero.
+pub fn normalize(value: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        1.0
+    } else {
+        value / base
+    }
+}
+
+/// Percent improvement of `value` over `base` (positive = better).
+pub fn percent_improvement(value: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (value / base - 1.0) * 100.0
+    }
+}
+
+/// Geometric mean of positive values (the paper's G. Mean columns).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A figure/table under construction: header row + labeled data rows,
+/// printed to the console and saved as TSV.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentTable {
+    /// Starts a table for experiment `id` (e.g. "fig03").
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        ExperimentTable {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row '{label}' has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.to_owned(), values.to_vec()));
+    }
+
+    /// The rows accumulated so far (label, values).
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// The experiment id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Renders the table for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("{:<16}", "workload"));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>14}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<16}"));
+            for v in values {
+                out.push_str(&format!("{v:>14.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `target/experiments/<id>.tsv`.
+    /// Returns the TSV path.
+    pub fn emit(&self) -> PathBuf {
+        println!("{}", self.render());
+        let dir = PathBuf::from("target/experiments");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.tsv", self.id));
+        let mut tsv = String::new();
+        tsv.push_str(&format!("# {}: {}\n", self.id, self.title));
+        tsv.push_str("workload");
+        for c in &self.columns {
+            tsv.push('\t');
+            tsv.push_str(c);
+        }
+        tsv.push('\n');
+        for (label, values) in &self.rows {
+            tsv.push_str(label);
+            for v in values {
+                tsv.push_str(&format!("\t{v:.6}"));
+            }
+            tsv.push('\n');
+        }
+        if let Err(e) = fs::write(&path, tsv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        // A paper-style grouped-bar chart beside the TSV; charts whose id
+        // suggests normalization get a reference line at 1.0.
+        let opts = crate::ChartOptions {
+            reference_line: self
+                .title
+                .to_ascii_lowercase()
+                .contains("normalized")
+                .then_some(1.0),
+            ..Default::default()
+        };
+        let svg_path = dir.join(format!("{}.svg", self.id));
+        if let Err(e) = fs::write(&svg_path, crate::render_grouped_bars(self, &opts)) {
+            eprintln!("warning: could not write {}: {e}", svg_path.display());
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_conventions() {
+        assert_eq!(normalize(2.0, 4.0), 0.5);
+        assert_eq!(normalize(5.0, 0.0), 1.0);
+        assert!((percent_improvement(1.05, 1.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_matches_hand_calc() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let mut t = ExperimentTable::new("figX", "test", &["a", "b"]);
+        t.row("w1", &[1.0, 2.0]);
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("w1"));
+        assert!(s.contains("2.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn table_rejects_bad_row() {
+        let mut t = ExperimentTable::new("figX", "test", &["a", "b"]);
+        t.row("w1", &[1.0]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Two-level branch target buffer with two branches per entry (Table I).
+//!
+//! Entries are keyed by 32-byte fetch block; each entry tracks up to two
+//! branches inside the block (offset, kind, last target). A miss in the
+//! first level that hits in the second promotes the entry and costs the
+//! front end a small bubble; a miss in both levels means a taken branch is
+//! discovered only at decode, a larger bubble.
+
+use ucsim_model::Addr;
+
+/// Static classification of a branch for the BTB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Conditional direct.
+    Conditional,
+    /// Unconditional direct jump.
+    Direct,
+    /// Indirect jump.
+    Indirect,
+    /// Call (pushes RAS).
+    Call,
+    /// Return (pops RAS).
+    Ret,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BtbBranch {
+    pc: Addr,
+    kind: BranchKind,
+    target: Addr,
+}
+
+#[derive(Debug, Clone)]
+struct BtbEntry {
+    /// 32-byte block number this entry covers.
+    block: u64,
+    /// Up to two branches, kept in program order.
+    branches: Vec<BtbBranch>,
+    lru: u64,
+}
+
+/// Counters for one BTB level pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BtbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Hits in L1.
+    pub l1_hits: u64,
+    /// Hits in L2 (L1 miss).
+    pub l2_hits: u64,
+    /// Complete misses.
+    pub misses: u64,
+    /// Target mispredictions reported by callers (indirects).
+    pub target_mispredicts: u64,
+}
+
+/// Result of a BTB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtbOutcome {
+    /// Found in the first level: no bubble.
+    L1Hit,
+    /// Found in the second level: small promotion bubble.
+    L2Hit,
+    /// Unknown branch: discovered at decode.
+    Miss,
+}
+
+const BLOCK_SHIFT: u32 = 5; // 32-byte blocks
+const BRANCHES_PER_ENTRY: usize = 2;
+
+/// The two-level BTB.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_bpu::{Btb, BranchKind};
+/// use ucsim_model::Addr;
+///
+/// let mut btb = Btb::new(9, 4, 12, 8);
+/// let pc = Addr::new(0x1004);
+/// assert!(btb.predict_target(pc).is_none());
+/// btb.update(pc, BranchKind::Direct, Addr::new(0x2000));
+/// assert_eq!(btb.predict_target(pc), Some(Addr::new(0x2000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    l1: Vec<Vec<BtbEntry>>,
+    l2: Vec<Vec<BtbEntry>>,
+    l1_sets: usize,
+    l2_sets: usize,
+    l1_ways: usize,
+    l2_ways: usize,
+    clock: u64,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^l1_set_bits × l1_ways` L1 entries and
+    /// `2^l2_set_bits × l2_ways` L2 entries.
+    pub fn new(l1_set_bits: u32, l1_ways: usize, l2_set_bits: u32, l2_ways: usize) -> Self {
+        assert!(l1_ways > 0 && l2_ways > 0, "BTB needs at least one way");
+        let l1_sets = 1usize << l1_set_bits;
+        let l2_sets = 1usize << l2_set_bits;
+        Btb {
+            l1: vec![Vec::new(); l1_sets],
+            l2: vec![Vec::new(); l2_sets],
+            l1_sets,
+            l2_sets,
+            l1_ways,
+            l2_ways,
+            clock: 0,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// Default geometry: 2K-entry L1 (512 sets × 4), 16K-entry L2.
+    pub fn with_default_geometry() -> Self {
+        Btb::new(9, 4, 12, 4)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = BtbStats::default();
+    }
+
+    fn block_of(pc: Addr) -> u64 {
+        pc.get() >> BLOCK_SHIFT
+    }
+
+    /// Looks up the branch at `pc`, promoting L2 hits into L1.
+    /// Returns the level outcome and the stored target, if any.
+    pub fn lookup(&mut self, pc: Addr) -> (BtbOutcome, Option<Addr>) {
+        self.stats.lookups += 1;
+        self.clock += 1;
+        let block = Self::block_of(pc);
+        let clock = self.clock;
+
+        let l1_set = (block as usize) & (self.l1_sets - 1);
+        if let Some(e) = self.l1[l1_set].iter_mut().find(|e| e.block == block) {
+            e.lru = clock;
+            if let Some(b) = e.branches.iter().find(|b| b.pc == pc) {
+                self.stats.l1_hits += 1;
+                return (BtbOutcome::L1Hit, Some(b.target));
+            }
+        }
+
+        let l2_set = (block as usize) & (self.l2_sets - 1);
+        let found = self.l2[l2_set]
+            .iter_mut()
+            .find(|e| e.block == block)
+            .and_then(|e| {
+                e.lru = clock;
+                e.branches.iter().find(|b| b.pc == pc).copied()
+            });
+        if let Some(b) = found {
+            self.stats.l2_hits += 1;
+            // Promote the whole block entry into L1.
+            self.insert_level1(b);
+            return (BtbOutcome::L2Hit, Some(b.target));
+        }
+
+        self.stats.misses += 1;
+        (BtbOutcome::Miss, None)
+    }
+
+    /// Predicted target without updating stats or recency (peek).
+    pub fn predict_target(&self, pc: Addr) -> Option<Addr> {
+        let block = Self::block_of(pc);
+        let l1_set = (block as usize) & (self.l1_sets - 1);
+        if let Some(e) = self.l1[l1_set].iter().find(|e| e.block == block) {
+            if let Some(b) = e.branches.iter().find(|b| b.pc == pc) {
+                return Some(b.target);
+            }
+        }
+        let l2_set = (block as usize) & (self.l2_sets - 1);
+        self.l2[l2_set]
+            .iter()
+            .find(|e| e.block == block)
+            .and_then(|e| e.branches.iter().find(|b| b.pc == pc))
+            .map(|b| b.target)
+    }
+
+    /// Installs/updates the branch at `pc` with its latest `target` in both
+    /// levels (write-through training on every executed branch).
+    pub fn update(&mut self, pc: Addr, kind: BranchKind, target: Addr) {
+        self.clock += 1;
+        let b = BtbBranch { pc, kind, target };
+        self.insert_level1(b);
+        self.insert_level2(b);
+    }
+
+    /// Records an indirect-target misprediction (bookkeeping for MPKI).
+    pub fn note_target_mispredict(&mut self) {
+        self.stats.target_mispredicts += 1;
+    }
+
+    fn insert_level1(&mut self, b: BtbBranch) {
+        let block = Self::block_of(b.pc);
+        let set = (block as usize) & (self.l1_sets - 1);
+        let ways = self.l1_ways;
+        let clock = self.clock;
+        Self::insert_into(&mut self.l1[set], b, block, ways, clock);
+    }
+
+    fn insert_level2(&mut self, b: BtbBranch) {
+        let block = Self::block_of(b.pc);
+        let set = (block as usize) & (self.l2_sets - 1);
+        let ways = self.l2_ways;
+        let clock = self.clock;
+        Self::insert_into(&mut self.l2[set], b, block, ways, clock);
+    }
+
+    fn insert_into(set: &mut Vec<BtbEntry>, b: BtbBranch, block: u64, ways: usize, clock: u64) {
+        if let Some(e) = set.iter_mut().find(|e| e.block == block) {
+            e.lru = clock;
+            if let Some(slot) = e.branches.iter_mut().find(|x| x.pc == b.pc) {
+                slot.target = b.target;
+                slot.kind = b.kind;
+            } else if e.branches.len() < BRANCHES_PER_ENTRY {
+                e.branches.push(b);
+                e.branches.sort_by_key(|x| x.pc);
+            } else {
+                // Two branches per entry (Table I): displace the later one.
+                e.branches[BRANCHES_PER_ENTRY - 1] = b;
+                e.branches.sort_by_key(|x| x.pc);
+            }
+            return;
+        }
+        let entry = BtbEntry {
+            block,
+            branches: vec![b],
+            lru: clock,
+        };
+        if set.len() < ways {
+            set.push(entry);
+        } else {
+            // Evict LRU entry.
+            let (victim, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("non-empty set");
+            set[victim] = entry;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_train_then_l1_hit() {
+        let mut btb = Btb::new(4, 2, 6, 2);
+        let pc = Addr::new(0x100);
+        assert_eq!(btb.lookup(pc).0, BtbOutcome::Miss);
+        btb.update(pc, BranchKind::Direct, Addr::new(0x800));
+        let (o, t) = btb.lookup(pc);
+        assert_eq!(o, BtbOutcome::L1Hit);
+        assert_eq!(t, Some(Addr::new(0x800)));
+    }
+
+    #[test]
+    fn l2_backstop_and_promotion() {
+        let mut btb = Btb::new(2, 1, 8, 4); // tiny L1: 4 sets x 1 way
+        let pc = Addr::new(0x100);
+        btb.update(pc, BranchKind::Direct, Addr::new(0x800));
+        // Evict from L1 by training conflicting blocks (same L1 set).
+        for i in 1..=4u64 {
+            btb.update(Addr::new(0x100 + i * 4 * 32), BranchKind::Direct, Addr::new(0x900));
+        }
+        let (o, t) = btb.lookup(pc);
+        assert_eq!(o, BtbOutcome::L2Hit);
+        assert_eq!(t, Some(Addr::new(0x800)));
+        // Promoted: next lookup hits L1.
+        assert_eq!(btb.lookup(pc).0, BtbOutcome::L1Hit);
+    }
+
+    #[test]
+    fn two_branches_share_a_block() {
+        let mut btb = Btb::new(4, 2, 6, 2);
+        let a = Addr::new(0x200); // block 0x10
+        let b = Addr::new(0x210); // same 32B block
+        btb.update(a, BranchKind::Conditional, Addr::new(0x300));
+        btb.update(b, BranchKind::Direct, Addr::new(0x400));
+        assert_eq!(btb.predict_target(a), Some(Addr::new(0x300)));
+        assert_eq!(btb.predict_target(b), Some(Addr::new(0x400)));
+    }
+
+    #[test]
+    fn third_branch_displaces_second() {
+        let mut btb = Btb::new(4, 2, 6, 2);
+        let a = Addr::new(0x200);
+        let b = Addr::new(0x208);
+        let c = Addr::new(0x210);
+        btb.update(a, BranchKind::Conditional, Addr::new(0x300));
+        btb.update(b, BranchKind::Conditional, Addr::new(0x400));
+        btb.update(c, BranchKind::Conditional, Addr::new(0x500));
+        assert_eq!(btb.predict_target(a), Some(Addr::new(0x300)));
+        assert_eq!(btb.predict_target(c), Some(Addr::new(0x500)));
+        assert_eq!(btb.predict_target(b), None, "displaced by third branch");
+    }
+
+    #[test]
+    fn target_update_for_indirect() {
+        let mut btb = Btb::new(4, 2, 6, 2);
+        let pc = Addr::new(0x340);
+        btb.update(pc, BranchKind::Indirect, Addr::new(0x1000));
+        btb.update(pc, BranchKind::Indirect, Addr::new(0x2000));
+        assert_eq!(btb.predict_target(pc), Some(Addr::new(0x2000)));
+    }
+
+    #[test]
+    fn stats_track_levels() {
+        let mut btb = Btb::new(4, 2, 6, 2);
+        let pc = Addr::new(0x100);
+        btb.lookup(pc); // miss
+        btb.update(pc, BranchKind::Direct, Addr::new(0x800));
+        btb.lookup(pc); // l1 hit
+        let s = btb.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+    }
+}

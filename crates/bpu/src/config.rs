@@ -1,0 +1,50 @@
+//! Front-end branch-prediction configuration.
+
+use crate::TageConfig;
+
+/// Configuration for the whole branch-prediction unit.
+#[derive(Debug, Clone)]
+pub struct BpuConfig {
+    /// TAGE geometry.
+    pub tage: TageConfig,
+    /// Maximum predicted not-taken branches per PW (paper Section II-A:
+    /// "a predefined number of predicted not-taken branches").
+    pub max_not_taken_per_pw: u32,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// L1 BTB set bits / ways.
+    pub btb_l1_set_bits: u32,
+    /// L1 BTB associativity.
+    pub btb_l1_ways: usize,
+    /// L2 BTB set bits.
+    pub btb_l2_set_bits: u32,
+    /// L2 BTB associativity.
+    pub btb_l2_ways: usize,
+}
+
+impl Default for BpuConfig {
+    fn default() -> Self {
+        BpuConfig {
+            tage: TageConfig::default(),
+            max_not_taken_per_pw: 3,
+            ras_depth: 32,
+            btb_l1_set_bits: 9,
+            btb_l1_ways: 4,
+            btb_l2_set_bits: 12,
+            btb_l2_ways: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BpuConfig::default();
+        assert!(c.max_not_taken_per_pw >= 1);
+        assert!(c.ras_depth >= 8);
+        assert!(!c.tage.history_lengths.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ucsim-bpu
+//!
+//! Branch prediction and decoupled fetch substrate: a TAGE conditional
+//! predictor (Table I cites Seznec's TAGE), a two-level BTB with two
+//! branches per entry, a return-address stack, and the **prediction window
+//! (PW) generator** that turns the architecturally-correct instruction
+//! stream into the PW stream a decoupled front end fetches from
+//! (paper Section II-A).
+//!
+//! PW termination rules implemented exactly as described: a PW ends at the
+//! 64-byte I-cache line end, at a predicted-taken branch, or after a
+//! maximum number of predicted not-taken branches. Mispredicted branches
+//! (direction, target, or BTB-miss redirects) also terminate the PW and
+//! are flagged so the pipeline can charge resolution latency.
+//!
+//! # Example
+//!
+//! ```
+//! use ucsim_bpu::{BpuConfig, PwGenerator};
+//! use ucsim_model::{Addr, DynInst, InstClass};
+//!
+//! let insts = vec![
+//!     DynInst::simple(Addr::new(0x1000), 4, InstClass::IntAlu),
+//!     DynInst::simple(Addr::new(0x1004), 4, InstClass::IntAlu),
+//! ];
+//! let mut gen = PwGenerator::new(BpuConfig::default(), insts.into_iter());
+//! let batch = gen.advance().expect("one window");
+//! assert_eq!(batch.pw.start, Addr::new(0x1000));
+//! assert_eq!(batch.insts.len(), 2);
+//! ```
+//!
+//! [`PwBatchRef`]es borrow the generator's internal storage; copy out what
+//! must outlive the next `advance` call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod config;
+mod pwgen;
+mod ras;
+mod tage;
+
+pub use btb::{Btb, BtbStats, BranchKind};
+pub use config::BpuConfig;
+pub use pwgen::{BpuStats, Mispredict, PwBatchRef, PwGenerator};
+pub use ras::ReturnAddressStack;
+pub use tage::{Tage, TageConfig, TageStats};

@@ -1,0 +1,99 @@
+//! Return address stack.
+
+use ucsim_model::Addr;
+
+/// A fixed-depth return-address stack with wrap-around overwrite (the
+/// standard hardware behaviour: deep recursion silently overwrites the
+/// oldest entries, causing return mispredictions on the way back up).
+///
+/// # Example
+///
+/// ```
+/// use ucsim_bpu::ReturnAddressStack;
+/// use ucsim_model::Addr;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(Addr::new(0x100));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x100)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    buf: Vec<Addr>,
+    top: usize,
+    live: usize,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS needs capacity");
+        ReturnAddressStack {
+            buf: vec![Addr::new(0); capacity],
+            top: 0,
+            live: 0,
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (call). Overwrites the oldest entry when
+    /// full.
+    pub fn push(&mut self, ret: Addr) {
+        self.buf[self.top] = ret;
+        self.top = (self.top + 1) % self.capacity;
+        self.live = (self.live + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (ret). `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.live == 0 {
+            return None;
+        }
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.live -= 1;
+        Some(self.buf[self.top])
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(Addr::new(1));
+        ras.push(Addr::new(2));
+        assert_eq!(ras.pop(), Some(Addr::new(2)));
+        assert_eq!(ras.pop(), Some(Addr::new(1)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Addr::new(1));
+        ras.push(Addr::new(2));
+        ras.push(Addr::new(3)); // overwrites 1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(Addr::new(3)));
+        assert_eq!(ras.pop(), Some(Addr::new(2)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn rejects_zero_capacity() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The accumulation buffer: builds uop cache entries from the decode
+//! stream (paper Section II-B2).
+//!
+//! Decoded uops accumulate until one of the entry termination conditions
+//! fires: (a) I-cache line boundary (relaxed by CLASP to
+//! `clasp_max_lines` sequential lines), (b) predicted-taken branch,
+//! (c) max uops, (d) max imm/disp fields, (e) max micro-coded
+//! instructions, (f) physical line byte budget. Front-end redirects flush
+//! the buffer.
+
+use ucsim_model::{Addr, DynInst, EntryTermination, PwId, IMM_DISP_BYTES, UOP_BYTES};
+
+use crate::{UopCacheConfig, UopCacheEntry};
+
+#[derive(Debug, Clone)]
+struct OpenEntry {
+    start: Addr,
+    end: Addr,
+    first_pw: PwId,
+    last_pw: PwId,
+    uops: u32,
+    imm_disp: u32,
+    ucoded: u32,
+    insts: u32,
+    pc_lines: u32,
+}
+
+/// Accumulates decoded instructions into uop cache entries.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::{Addr, DynInst, InstClass, PwId, EntryTermination};
+/// use ucsim_uopcache::{AccumulationBuffer, UopCacheConfig};
+///
+/// let mut acc = AccumulationBuffer::new(UopCacheConfig::baseline_2k());
+/// // Nine 1-uop instructions: the 9th exceeds the 8-uop entry limit and
+/// // closes the first entry.
+/// let mut out = Vec::new();
+/// for i in 0..9u64 {
+///     let inst = DynInst::simple(Addr::new(0x1000 + i * 4), 4, InstClass::IntAlu);
+///     out.extend(acc.push(&inst, PwId(0), false));
+/// }
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].uops, 8);
+/// assert_eq!(out[0].term, EntryTermination::MaxUops);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccumulationBuffer {
+    cfg: UopCacheConfig,
+    open: Option<OpenEntry>,
+    uncacheable_insts: u64,
+}
+
+impl AccumulationBuffer {
+    /// Creates an empty buffer for the given cache geometry.
+    pub fn new(cfg: UopCacheConfig) -> Self {
+        cfg.validate();
+        AccumulationBuffer {
+            cfg,
+            open: None,
+            uncacheable_insts: 0,
+        }
+    }
+
+    /// Instructions that could never fit an entry by themselves (modeled
+    /// as decoder-only / MS-ROM-sequenced; they bypass the uop cache).
+    pub fn uncacheable_insts(&self) -> u64 {
+        self.uncacheable_insts
+    }
+
+    /// True if an entry is currently being accumulated.
+    pub fn has_open_entry(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Address the open entry expects next (diagnostics/tests).
+    pub fn open_end(&self) -> Option<Addr> {
+        self.open.as_ref().map(|o| o.end)
+    }
+
+    /// Pushes one decoded instruction.
+    ///
+    /// `pw_id` is the prediction window the instruction was fetched under;
+    /// `predicted_taken` marks the instruction as a predicted-taken branch
+    /// (which terminates the entry). Returns zero, one, or (for an
+    /// oversized follower) one completed entry; completed entries should
+    /// be filled into the [`crate::UopCache`].
+    pub fn push(
+        &mut self,
+        inst: &DynInst,
+        pw_id: PwId,
+        predicted_taken: bool,
+    ) -> Vec<UopCacheEntry> {
+        let mut out = Vec::new();
+        let u = (inst.uops as u32).max(1);
+        let d = inst.imm_disp as u32;
+        let mc = u32::from(inst.microcoded);
+
+        // Control discontinuity safety net: the pipeline flushes on
+        // redirects, but a non-sequential push must never extend an entry.
+        if let Some(open) = &self.open {
+            if inst.pc != open.end {
+                out.extend(self.close(EntryTermination::Flush));
+            }
+        }
+
+        // Build-rule ablation: close the open entry when a new prediction
+        // window begins (the paper's baseline spans sequential PWs).
+        if self.cfg.terminate_at_pw_end {
+            if let Some(open) = &self.open {
+                if open.last_pw != pw_id {
+                    out.extend(self.close(EntryTermination::PwBoundary));
+                }
+            }
+        }
+
+        // Would the instruction violate a constraint of the open entry?
+        if let Some(open) = &self.open {
+            if let Some(reason) = self.violation(open, inst.pc, u, d, mc) {
+                out.extend(self.close(reason));
+            }
+        }
+
+        if self.open.is_none() {
+            // Open a fresh entry; reject instructions that cannot fit even
+            // an empty line (huge MS-ROM flows stay decoder-resident).
+            if u > self.cfg.max_uops_per_entry
+                || u * UOP_BYTES + d * IMM_DISP_BYTES > self.cfg.entry_byte_budget()
+            {
+                self.uncacheable_insts += 1;
+                return out;
+            }
+            self.open = Some(OpenEntry {
+                start: inst.pc,
+                end: inst.pc,
+                first_pw: pw_id,
+                last_pw: pw_id,
+                uops: 0,
+                imm_disp: 0,
+                ucoded: 0,
+                insts: 0,
+                pc_lines: 1,
+            });
+        }
+
+        let open = self.open.as_mut().expect("opened above");
+        open.end = inst.end();
+        open.uops += u;
+        open.imm_disp += d;
+        open.ucoded += mc;
+        open.insts += 1;
+        open.last_pw = pw_id;
+        open.pc_lines = open
+            .pc_lines
+            .max((inst.pc.line().number() - open.start.line().number() + 1) as u32);
+
+        if predicted_taken {
+            out.extend(self.close(EntryTermination::TakenBranch));
+        }
+        out
+    }
+
+    /// Checks whether adding (`pc`, `u` uops, `d` imm fields, `mc`
+    /// micro-coded) to `open` violates a termination condition, returning
+    /// the condition. Boundary is checked first, matching the paper's
+    /// emphasis on I-cache-boundary termination as the primary fragmenter.
+    fn violation(
+        &self,
+        open: &OpenEntry,
+        pc: Addr,
+        u: u32,
+        d: u32,
+        mc: u32,
+    ) -> Option<EntryTermination> {
+        let lines_after = pc.line().number() - open.start.line().number() + 1;
+        let line_limit = if self.cfg.clasp {
+            self.cfg.clasp_max_lines as u64
+        } else {
+            1
+        };
+        if lines_after > line_limit {
+            return Some(EntryTermination::IcacheBoundary);
+        }
+        if open.uops + u > self.cfg.max_uops_per_entry {
+            return Some(EntryTermination::MaxUops);
+        }
+        if open.imm_disp + d > self.cfg.max_imm_disp_per_entry {
+            return Some(EntryTermination::MaxImmDisp);
+        }
+        if open.ucoded + mc > self.cfg.max_ucoded_per_entry {
+            return Some(EntryTermination::MaxMicrocoded);
+        }
+        if (open.uops + u) * UOP_BYTES + (open.imm_disp + d) * IMM_DISP_BYTES
+            > self.cfg.entry_byte_budget()
+        {
+            return Some(EntryTermination::LineCapacity);
+        }
+        None
+    }
+
+    /// Flushes the open entry (front-end redirect / path switch).
+    pub fn flush(&mut self) -> Option<UopCacheEntry> {
+        self.close(EntryTermination::Flush)
+    }
+
+    fn close(&mut self, reason: EntryTermination) -> Option<UopCacheEntry> {
+        let open = self.open.take()?;
+        debug_assert!(open.insts > 0, "closing an empty entry");
+        Some(UopCacheEntry {
+            start: open.start,
+            end: open.end,
+            pw_id: open.last_pw,
+            first_pw: open.first_pw,
+            uops: open.uops,
+            imm_disp: open.imm_disp,
+            ucoded_insts: open.ucoded,
+            insts: open.insts,
+            term: reason,
+            ends_in_taken_branch: reason == EntryTermination::TakenBranch,
+            pc_lines: open.pc_lines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucsim_model::{BranchExec, InstClass};
+
+    fn acc() -> AccumulationBuffer {
+        AccumulationBuffer::new(UopCacheConfig::baseline_2k())
+    }
+
+    fn clasp_acc() -> AccumulationBuffer {
+        AccumulationBuffer::new(UopCacheConfig::baseline_2k().with_clasp())
+    }
+
+    fn alu(pc: u64, len: u8) -> DynInst {
+        DynInst::simple(Addr::new(pc), len, InstClass::IntAlu)
+    }
+
+    fn push_run(acc: &mut AccumulationBuffer, start: u64, n: u64, len: u8) -> Vec<UopCacheEntry> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.extend(acc.push(&alu(start + i * len as u64, len), PwId(0), false));
+        }
+        out
+    }
+
+    #[test]
+    fn icache_boundary_terminates_baseline() {
+        let mut a = acc();
+        // 4-byte insts from 0x1030: 4 fit in line 0x40, the 5th starts in
+        // the next line — boundary termination (only 4 uops, under limits).
+        let out = push_run(&mut a, 0x1030, 5, 4);
+        assert_eq!(out.len(), 1);
+        let e = &out[0];
+        assert_eq!(e.term, EntryTermination::IcacheBoundary);
+        assert_eq!(e.uops, 4);
+        assert_eq!(e.start, Addr::new(0x1030));
+        assert_eq!(e.end, Addr::new(0x1040));
+        assert!(!e.spans_boundary());
+        // The 5th inst is accumulating in a fresh entry.
+        assert!(a.has_open_entry());
+        assert_eq!(a.open_end(), Some(Addr::new(0x1044)));
+    }
+
+    #[test]
+    fn clasp_relaxes_boundary() {
+        let mut a = clasp_acc();
+        // Same run: with CLASP the entry crosses into the second line and
+        // terminates at MaxUops (8) instead.
+        let out = push_run(&mut a, 0x1030, 9, 4);
+        assert_eq!(out.len(), 1);
+        let e = &out[0];
+        assert_eq!(e.term, EntryTermination::MaxUops);
+        assert_eq!(e.uops, 8);
+        assert!(e.spans_boundary());
+        assert_eq!(e.lines_spanned(), 2);
+    }
+
+    #[test]
+    fn clasp_still_limited_to_two_lines() {
+        let mut a = clasp_acc();
+        // 15-byte insts march across lines quickly; entry must stop when a
+        // third line would hold an instruction start (7th inst lands in
+        // line 0x42). Instructions are attributed to the line their first
+        // byte is in; the final instruction's bytes may spill one line
+        // further (handled by the invalidation probe depth).
+        let out = push_run(&mut a, 0x1030, 7, 15);
+        assert!(!out.is_empty());
+        assert_eq!(out[0].uops, 6, "insts starting in lines 0x40-0x41 only");
+        assert!(out[0].lines_spanned() <= 3, "{:?}", out[0]);
+        assert_eq!(out[0].term, EntryTermination::IcacheBoundary);
+    }
+
+    #[test]
+    fn taken_branch_terminates() {
+        let mut a = acc();
+        a.push(&alu(0x1000, 4), PwId(3), false);
+        let br = DynInst::branch(
+            Addr::new(0x1004),
+            2,
+            InstClass::CondBranch,
+            BranchExec {
+                taken: true,
+                target: Addr::new(0x2000),
+            },
+        );
+        let out = a.push(&br, PwId(3), true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::TakenBranch);
+        assert!(out[0].ends_in_taken_branch);
+        assert_eq!(out[0].insts, 2);
+        assert_eq!(out[0].pw_id, PwId(3));
+        assert!(!a.has_open_entry());
+    }
+
+    #[test]
+    fn max_imm_disp_terminates() {
+        let mut a = acc();
+        for i in 0..4u64 {
+            let inst = alu(0x1000 + i * 4, 4).with_imm_disp(1);
+            assert!(a.push(&inst, PwId(0), false).is_empty());
+        }
+        let fifth = alu(0x1010, 4).with_imm_disp(1);
+        let out = a.push(&fifth, PwId(0), false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::MaxImmDisp);
+        assert_eq!(out[0].imm_disp, 4);
+    }
+
+    #[test]
+    fn max_microcoded_terminates() {
+        let mut a = acc();
+        for i in 0..4u64 {
+            let inst = alu(0x1000 + i * 2, 2).with_microcoded(true);
+            assert!(a.push(&inst, PwId(0), false).is_empty());
+        }
+        let fifth = alu(0x1008, 2).with_microcoded(true);
+        let out = a.push(&fifth, PwId(0), false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::MaxMicrocoded);
+        assert_eq!(out[0].ucoded_insts, 4);
+    }
+
+    #[test]
+    fn line_capacity_terminates() {
+        let mut a = acc();
+        // 2 insts × 3 uops + 2 imm = 42+8 = 50 bytes; third (3 uops 2 imm,
+        // 21+8B) would need 79 > 62.
+        for i in 0..2u64 {
+            let inst = alu(0x1000 + i * 4, 4).with_uops(3).with_imm_disp(2);
+            assert!(a.push(&inst, PwId(0), false).is_empty());
+        }
+        let third = alu(0x1008, 4).with_uops(2).with_imm_disp(1);
+        let out = a.push(&third, PwId(0), false);
+        assert_eq!(out.len(), 1);
+        // 6+2 uops fits, but 4+1 imm fields exceed the limit of 4.
+        assert_eq!(out[0].term, EntryTermination::MaxImmDisp);
+
+        // Pure byte capacity: uops only, no imm. 7 insts à 1 uop + one
+        // 2-uop = 9 uops > 8 triggers MaxUops first, so byte capacity can
+        // only trip via imm bytes with few uops: 6 uops (42B) + 4 imm
+        // (16B) = 58; adding 1 uop (7B) = 65 > 62 with imm already at 4.
+        let mut b = acc();
+        b.push(&alu(0x2000, 4).with_uops(3).with_imm_disp(2), PwId(0), false);
+        assert!(b
+            .push(&alu(0x2004, 4).with_uops(2).with_imm_disp(2), PwId(0), false)
+            .is_empty());
+        // Now 5 uops (35B) + 4 imm (16B) = 51B.
+        let filler = alu(0x2008, 4).with_uops(1).with_imm_disp(0);
+        let out = b.push(&filler, PwId(0), false);
+        assert!(out.is_empty(), "6 uops + 4 imm = 58B fits");
+        // 6 uops + 4 imm = 58B resident; one more uop ⇒ 65 > 62.
+        let overflow = alu(0x200c, 4).with_uops(1).with_imm_disp(0);
+        let out = b.push(&overflow, PwId(0), false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::LineCapacity);
+    }
+
+    #[test]
+    fn flush_closes_open_entry() {
+        let mut a = acc();
+        a.push(&alu(0x1000, 4), PwId(0), false);
+        let e = a.flush().expect("open entry");
+        assert_eq!(e.term, EntryTermination::Flush);
+        assert!(a.flush().is_none());
+    }
+
+    #[test]
+    fn discontinuity_closes_with_flush() {
+        let mut a = acc();
+        a.push(&alu(0x1000, 4), PwId(0), false);
+        let out = a.push(&alu(0x2000, 4), PwId(1), false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::Flush);
+        assert!(a.has_open_entry());
+    }
+
+    #[test]
+    fn oversized_instruction_is_uncacheable() {
+        let mut a = acc();
+        // 8 uops with 2 imm fields: 56 + 8 = 64 > 62 budget.
+        let big = alu(0x1000, 15).with_uops(8).with_imm_disp(2);
+        let out = a.push(&big, PwId(0), false);
+        assert!(out.is_empty());
+        assert!(!a.has_open_entry());
+        assert_eq!(a.uncacheable_insts(), 1);
+        // Following instruction starts a normal entry.
+        let out = a.push(&alu(0x100f, 4), PwId(0), false);
+        assert!(out.is_empty());
+        assert!(a.has_open_entry());
+    }
+
+    #[test]
+    fn entries_span_sequential_pws() {
+        let mut a = acc();
+        a.push(&alu(0x1000, 4), PwId(5), false);
+        a.push(&alu(0x1004, 4), PwId(6), false);
+        let e = a.flush().unwrap();
+        assert_eq!(e.first_pw, PwId(5));
+        assert_eq!(e.pw_id, PwId(6));
+    }
+
+    #[test]
+    fn entry_bytes_match_contents() {
+        let mut a = acc();
+        a.push(&alu(0x1000, 4).with_uops(2).with_imm_disp(1), PwId(0), false);
+        a.push(&alu(0x1004, 4).with_uops(1), PwId(0), false);
+        let e = a.flush().unwrap();
+        assert_eq!(e.uops, 3);
+        assert_eq!(e.imm_disp, 1);
+        assert_eq!(e.bytes(), 3 * 7 + 4);
+        assert_eq!(e.insts, 2);
+    }
+}
+
+#[cfg(test)]
+mod pw_end_tests {
+    use super::*;
+    use ucsim_model::InstClass;
+
+    fn alu(pc: u64, len: u8) -> DynInst {
+        DynInst::simple(Addr::new(pc), len, InstClass::IntAlu)
+    }
+
+    /// With the ablation on, a PW change closes the open entry even when
+    /// control flow is sequential.
+    #[test]
+    fn pw_boundary_terminates_when_enabled() {
+        let cfg = UopCacheConfig::baseline_2k().with_pw_end_termination();
+        let mut acc = AccumulationBuffer::new(cfg);
+        assert!(acc.push(&alu(0x1000, 4), PwId(0), false).is_empty());
+        assert!(acc.push(&alu(0x1004, 4), PwId(0), false).is_empty());
+        let out = acc.push(&alu(0x1008, 4), PwId(1), false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, EntryTermination::PwBoundary);
+        assert_eq!(out[0].insts, 2);
+        assert_eq!(out[0].pw_id, PwId(0));
+        // The third instruction opened a fresh entry under PW 1.
+        let e = acc.flush().unwrap();
+        assert_eq!(e.first_pw, PwId(1));
+    }
+
+    /// The paper's baseline spans sequential PWs: same input, no cut.
+    #[test]
+    fn baseline_spans_pws() {
+        let mut acc = AccumulationBuffer::new(UopCacheConfig::baseline_2k());
+        acc.push(&alu(0x1000, 4), PwId(0), false);
+        acc.push(&alu(0x1004, 4), PwId(0), false);
+        assert!(acc.push(&alu(0x1008, 4), PwId(1), false).is_empty());
+        let e = acc.flush().unwrap();
+        assert_eq!(e.insts, 3);
+        assert_eq!(e.first_pw, PwId(0));
+        assert_eq!(e.pw_id, PwId(1));
+    }
+}

@@ -1,0 +1,247 @@
+//! Uop cache geometry and policy configuration.
+
+use serde::{Deserialize, Serialize};
+use ucsim_mem::ReplacementPolicy;
+
+/// Which compaction allocation policy the cache uses (paper Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompactionPolicy {
+    /// No compaction: one entry per line (baseline / CLASP-only).
+    None,
+    /// Replacement-Aware Compaction: compact into the most recently used
+    /// line with room.
+    Rac,
+    /// Prediction-Window-Aware Compaction: prefer a line already holding
+    /// an entry of the same PW; fall back to RAC.
+    Pwac,
+    /// Forced PWAC: when the same-PW entry is stuck in a line with foreign
+    /// entries and no room, evict the foreigners to the LRU line and unite
+    /// the PW's entries; falls back to PWAC → RAC.
+    Fpwac,
+}
+
+impl CompactionPolicy {
+    /// True if any compaction is enabled.
+    pub const fn enabled(self) -> bool {
+        !matches!(self, CompactionPolicy::None)
+    }
+}
+
+/// How a fill was placed (recorded per compacted entry; Figure 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementKind {
+    /// Allocated a fresh (or victimized) line of its own.
+    NewLine,
+    /// Compacted by RAC.
+    Rac,
+    /// Compacted by PWAC.
+    Pwac,
+    /// Compacted by the forced F-PWAC move.
+    Fpwac,
+}
+
+/// Full uop cache configuration.
+///
+/// The paper's baseline (Table I): 32 sets × 8 ways, 64-byte lines,
+/// 56-bit uops, max 8 uops / 4 imm-disp fields / 4 micro-coded insts per
+/// entry ⇒ a 2K-uop capacity. The capacity sweeps scale `sets`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UopCacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Physical line size in bytes.
+    pub line_bytes: u32,
+    /// Per-line error-protection field ("ctr", paper Figure 11).
+    pub ctr_bytes: u32,
+    /// Maximum uops per entry.
+    pub max_uops_per_entry: u32,
+    /// Maximum immediate/displacement fields per entry.
+    pub max_imm_disp_per_entry: u32,
+    /// Maximum micro-coded instructions per entry.
+    pub max_ucoded_per_entry: u32,
+    /// Maximum entries compacted into one line (1 = no compaction).
+    pub max_entries_per_line: u32,
+    /// CLASP: allow entries to span sequential I-cache lines.
+    pub clasp: bool,
+    /// Maximum I-cache lines a CLASP entry may span.
+    pub clasp_max_lines: u32,
+    /// Compaction allocation policy.
+    pub compaction: CompactionPolicy,
+    /// Per-line replacement policy (Table I: true LRU; others for
+    /// ablation studies).
+    pub replacement: ReplacementPolicy,
+    /// Build-rule ablation: terminate entries at prediction-window
+    /// boundaries instead of letting them span sequential PWs. The
+    /// paper's baseline spans PWs (Section II-B2); terminating yields
+    /// smaller entries, which raises the compaction rate at the cost of
+    /// lower per-entry dispatch bandwidth.
+    pub terminate_at_pw_end: bool,
+}
+
+impl UopCacheConfig {
+    /// The paper's 2K-uop baseline.
+    pub fn baseline_2k() -> Self {
+        UopCacheConfig {
+            sets: 32,
+            ways: 8,
+            line_bytes: 64,
+            ctr_bytes: 2,
+            max_uops_per_entry: 8,
+            max_imm_disp_per_entry: 4,
+            max_ucoded_per_entry: 4,
+            max_entries_per_line: 1,
+            clasp: false,
+            clasp_max_lines: 2,
+            compaction: CompactionPolicy::None,
+            replacement: ReplacementPolicy::Lru,
+            terminate_at_pw_end: false,
+        }
+    }
+
+    /// A baseline scaled to hold `uops` uops (2K/4K/.../64K in the paper's
+    /// Figures 3–4); capacity scales by set count at fixed associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is not a positive multiple of `ways *
+    /// max_uops_per_entry` rounding to a power-of-two set count.
+    pub fn baseline_with_capacity(uops: usize) -> Self {
+        let base = Self::baseline_2k();
+        let per_set = base.ways * base.max_uops_per_entry as usize;
+        assert!(uops >= per_set, "capacity below one set");
+        let sets = uops / per_set;
+        assert!(sets.is_power_of_two(), "capacity must give power-of-two sets");
+        UopCacheConfig { sets, ..base }
+    }
+
+    /// Builder-style: terminate entries at PW boundaries (ablation).
+    pub fn with_pw_end_termination(mut self) -> Self {
+        self.terminate_at_pw_end = true;
+        self
+    }
+
+    /// Builder-style: set the per-line replacement policy (ablation).
+    pub fn with_replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Builder-style: enable CLASP.
+    pub fn with_clasp(mut self) -> Self {
+        self.clasp = true;
+        self
+    }
+
+    /// Builder-style: enable compaction with the given policy and per-line
+    /// entry bound (paper default 2, sensitivity study 3). Compaction in
+    /// the paper's evaluation always runs on top of CLASP; this helper
+    /// enables both.
+    pub fn with_compaction(mut self, policy: CompactionPolicy, max_entries: u32) -> Self {
+        assert!(max_entries >= 2, "compaction needs >= 2 entries per line");
+        self.compaction = policy;
+        self.max_entries_per_line = max_entries;
+        self.clasp = true;
+        self
+    }
+
+    /// Nominal capacity in uops.
+    pub fn capacity_uops(&self) -> usize {
+        self.sets * self.ways * self.max_uops_per_entry as usize
+    }
+
+    /// Byte budget available to entries in one line.
+    pub fn entry_byte_budget(&self) -> u32 {
+        self.line_bytes - self.ctr_bytes
+    }
+
+    /// Checks invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways > 0);
+        assert!(self.ctr_bytes < self.line_bytes);
+        assert!(self.max_uops_per_entry > 0);
+        assert!(self.max_entries_per_line >= 1);
+        assert!(self.clasp_max_lines >= 2);
+        if self.compaction.enabled() {
+            assert!(
+                self.max_entries_per_line >= 2,
+                "compaction requires >= 2 entries per line"
+            );
+        }
+        // An entry of max uops and no imm fields must fit a line.
+        assert!(
+            self.max_uops_per_entry * ucsim_model::UOP_BYTES <= self.entry_byte_budget(),
+            "max-uop entry cannot fit the line budget"
+        );
+    }
+}
+
+impl Default for UopCacheConfig {
+    fn default() -> Self {
+        Self::baseline_2k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_2k_uops() {
+        let c = UopCacheConfig::baseline_2k();
+        c.validate();
+        assert_eq!(c.capacity_uops(), 2048);
+        assert_eq!(c.entry_byte_budget(), 62);
+    }
+
+    #[test]
+    fn capacity_sweep_scales_sets() {
+        for (uops, sets) in [
+            (2048, 32),
+            (4096, 64),
+            (8192, 128),
+            (16384, 256),
+            (32768, 512),
+            (65536, 1024),
+        ] {
+            let c = UopCacheConfig::baseline_with_capacity(uops);
+            c.validate();
+            assert_eq!(c.sets, sets);
+            assert_eq!(c.capacity_uops(), uops);
+        }
+    }
+
+    #[test]
+    fn compaction_implies_clasp() {
+        let c = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2);
+        c.validate();
+        assert!(c.clasp);
+        assert_eq!(c.max_entries_per_line, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 entries")]
+    fn compaction_rejects_single_entry() {
+        let _ = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Rac, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_odd_capacity() {
+        let _ = UopCacheConfig::baseline_with_capacity(3000);
+    }
+
+    #[test]
+    fn policy_enabled_predicate() {
+        assert!(!CompactionPolicy::None.enabled());
+        assert!(CompactionPolicy::Rac.enabled());
+        assert!(CompactionPolicy::Pwac.enabled());
+        assert!(CompactionPolicy::Fpwac.enabled());
+    }
+}

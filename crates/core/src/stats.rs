@@ -1,0 +1,350 @@
+//! Uop cache utilization statistics — the raw material of the paper's
+//! Figures 5, 6, 9, 12, 18 and 19.
+
+use std::collections::HashMap;
+
+use ucsim_model::{EntryTermination, Histogram};
+
+use crate::{PlacementKind, UopCacheEntry};
+
+/// Counters and distributions maintained by [`crate::UopCache`].
+#[derive(Debug, Clone)]
+pub struct UopCacheStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Misses where a resident entry *covers* the address but does not
+    /// start there (chain-misalignment diagnostic).
+    pub interior_misses: u64,
+    /// Uops served by hits.
+    pub uops_served: u64,
+    /// Entries filled (excluding duplicates).
+    pub fills: u64,
+    /// Fills suppressed because the entry was already resident.
+    pub duplicate_fills: u64,
+    /// Entries displaced by fills.
+    pub evicted_entries: u64,
+    /// Entries removed by SMC invalidation probes.
+    pub invalidated_entries: u64,
+    /// F-PWAC forced moves performed.
+    pub forced_moves: u64,
+    /// Filled-entry size distribution in bytes: [1–19], [20–39], [40–64]
+    /// (Figure 5 buckets).
+    pub entry_bytes: Histogram,
+    /// Filled-entry uop-count distribution.
+    pub entry_uops: Histogram,
+    /// Termination-reason counts, indexed by [`EntryTermination::index`].
+    pub term_counts: [u64; 8],
+    /// Filled entries spanning an I-cache line boundary (Figure 9).
+    pub spanning_entries: u64,
+    /// Fills placed by each mechanism (Figure 19; `NewLine` = own line).
+    pub placement_counts: PlacementCounts,
+    /// Per-PW entry counts awaiting histogram flush.
+    pw_open: HashMap<u64, u32>,
+    /// Distribution of entries per PW: index = count (1,2,3; last bucket
+    /// = ≥4) (Figure 12).
+    pw_entry_dist: [u64; 4],
+}
+
+/// Placement counters (Figure 19 distribution + Figure 18 numerator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementCounts {
+    /// Fills that allocated their own line.
+    pub new_line: u64,
+    /// Fills compacted by RAC.
+    pub rac: u64,
+    /// Fills compacted by PWAC.
+    pub pwac: u64,
+    /// Fills compacted by the forced F-PWAC move.
+    pub fpwac: u64,
+}
+
+impl PlacementCounts {
+    /// Total compacted fills (everything except own-line allocations).
+    pub fn compacted(&self) -> u64 {
+        self.rac + self.pwac + self.fpwac
+    }
+}
+
+impl Default for UopCacheStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UopCacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        UopCacheStats {
+            lookups: 0,
+            hits: 0,
+            interior_misses: 0,
+            uops_served: 0,
+            fills: 0,
+            duplicate_fills: 0,
+            evicted_entries: 0,
+            invalidated_entries: 0,
+            forced_moves: 0,
+            entry_bytes: Histogram::new(&[19, 39, 64]),
+            entry_uops: Histogram::new(&[1, 2, 3, 4, 5, 6, 7, 8]),
+            term_counts: [0; 8],
+            spanning_entries: 0,
+            placement_counts: PlacementCounts::default(),
+            pw_open: HashMap::new(),
+            pw_entry_dist: [0; 4],
+        }
+    }
+
+    /// Resets all counters (warmup boundary).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    pub(crate) fn note_lookup(&mut self, hit: bool, uops: u64) {
+        self.lookups += 1;
+        if hit {
+            self.hits += 1;
+            self.uops_served += uops;
+        }
+    }
+
+    pub(crate) fn note_interior_miss(&mut self) {
+        self.interior_misses += 1;
+    }
+
+    pub(crate) fn note_duplicate_fill(&mut self) {
+        self.duplicate_fills += 1;
+    }
+
+    pub(crate) fn note_forced_move(&mut self) {
+        self.forced_moves += 1;
+    }
+
+    pub(crate) fn note_invalidation(&mut self, removed: u64) {
+        self.invalidated_entries += removed;
+    }
+
+    pub(crate) fn note_fill(
+        &mut self,
+        entry: &UopCacheEntry,
+        placement: PlacementKind,
+        evicted: usize,
+    ) {
+        self.fills += 1;
+        self.evicted_entries += evicted as u64;
+        self.entry_bytes.record(entry.bytes() as u64);
+        self.entry_uops.record(entry.uops as u64);
+        self.term_counts[entry.term.index()] += 1;
+        if entry.spans_boundary() {
+            self.spanning_entries += 1;
+        }
+        match placement {
+            PlacementKind::NewLine => self.placement_counts.new_line += 1,
+            PlacementKind::Rac => self.placement_counts.rac += 1,
+            PlacementKind::Pwac => self.placement_counts.pwac += 1,
+            PlacementKind::Fpwac => self.placement_counts.fpwac += 1,
+        }
+        // Figure 12: attribute this entry to every PW it covers (PW ids
+        // are sequential across an entry).
+        for pw in entry.first_pw.0..=entry.pw_id.0 {
+            *self.pw_open.entry(pw).or_insert(0) += 1;
+        }
+    }
+
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of filled entries terminated by a predicted-taken branch
+    /// (Figure 6).
+    pub fn taken_branch_term_frac(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.term_counts[EntryTermination::TakenBranch.index()] as f64
+                / self.fills as f64
+        }
+    }
+
+    /// Fraction of filled entries terminated by each reason.
+    pub fn term_frac(&self, reason: EntryTermination) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.term_counts[reason.index()] as f64 / self.fills as f64
+        }
+    }
+
+    /// Entry-size fractions in the Figure 5 buckets
+    /// `([1-19], [20-39], [40-64], >64)`.
+    pub fn entry_size_fractions(&self) -> Vec<f64> {
+        self.entry_bytes.fractions()
+    }
+
+    /// Fraction of filled entries spanning an I-cache line boundary
+    /// (Figure 9; nonzero only with CLASP).
+    pub fn spanning_frac(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.spanning_entries as f64 / self.fills as f64
+        }
+    }
+
+    /// Fraction of fills that were compacted into an existing line
+    /// (Figure 18's "entries compacted without evicting" metric).
+    pub fn compacted_fill_frac(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.placement_counts.compacted() as f64 / self.fills as f64
+        }
+    }
+
+    /// Distribution of compacted fills across RAC/PWAC/F-PWAC
+    /// (Figure 19). Returns `(rac, pwac, fpwac)` fractions of all
+    /// compacted fills.
+    pub fn compaction_technique_dist(&self) -> (f64, f64, f64) {
+        let total = self.placement_counts.compacted();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.placement_counts.rac as f64 / t,
+            self.placement_counts.pwac as f64 / t,
+            self.placement_counts.fpwac as f64 / t,
+        )
+    }
+
+    /// Finalizes and returns the entries-per-PW distribution (Figure 12):
+    /// fractions of PWs that produced 1, 2, 3, ≥4 entries. Call once at
+    /// the end of a run.
+    pub fn entries_per_pw_dist(&mut self) -> [f64; 4] {
+        for (_, count) in self.pw_open.drain() {
+            let idx = (count.max(1) as usize - 1).min(3);
+            self.pw_entry_dist[idx] += 1;
+        }
+        let total: u64 = self.pw_entry_dist.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.pw_entry_dist[0] as f64 / t,
+            self.pw_entry_dist[1] as f64 / t,
+            self.pw_entry_dist[2] as f64 / t,
+            self.pw_entry_dist[3] as f64 / t,
+        ]
+    }
+
+    /// Mean bytes of filled entries.
+    pub fn mean_entry_bytes(&self) -> f64 {
+        self.entry_bytes.mean()
+    }
+
+    /// Mean uops per filled entry.
+    pub fn mean_entry_uops(&self) -> f64 {
+        self.entry_uops.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucsim_model::{Addr, PwId};
+
+    fn entry(uops: u32, imm: u32, term: EntryTermination, pw: (u64, u64)) -> UopCacheEntry {
+        UopCacheEntry {
+            start: Addr::new(0x1000),
+            end: Addr::new(0x1000 + uops as u64 * 4),
+            pw_id: PwId(pw.1),
+            first_pw: PwId(pw.0),
+            uops,
+            imm_disp: imm,
+            ucoded_insts: 0,
+            insts: uops,
+            term,
+            pc_lines: 1,
+            ends_in_taken_branch: term == EntryTermination::TakenBranch,
+        }
+    }
+
+    #[test]
+    fn size_buckets_match_figure5() {
+        let mut s = UopCacheStats::new();
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0); // 14 B
+        s.note_fill(&entry(4, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::NewLine, 0); // 28 B
+        s.note_fill(&entry(8, 1, EntryTermination::MaxUops, (2, 2)), PlacementKind::NewLine, 0); // 60 B
+        let f = s.entry_size_fractions();
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((f[1] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((f[2] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taken_branch_fraction() {
+        let mut s = UopCacheStats::new();
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::IcacheBoundary, (1, 1)), PlacementKind::NewLine, 0);
+        assert!((s.taken_branch_term_frac() - 0.5).abs() < 1e-9);
+        assert!((s.term_frac(EntryTermination::IcacheBoundary) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pw_distribution_counts_multi_entry_pws() {
+        let mut s = UopCacheStats::new();
+        // PW 0 produces two entries; PW 1 produces one; an entry spanning
+        // PWs 2-3 counts once for each.
+        s.note_fill(&entry(2, 0, EntryTermination::MaxUops, (0, 0)), PlacementKind::NewLine, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::NewLine, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (2, 3)), PlacementKind::NewLine, 0);
+        let d = s.entries_per_pw_dist();
+        // PWs: 0→2 entries, 1→1, 2→1, 3→1 ⇒ 3/4 singles, 1/4 doubles.
+        assert!((d[0] - 0.75).abs() < 1e-9, "{d:?}");
+        assert!((d[1] - 0.25).abs() < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn compaction_distribution() {
+        let mut s = UopCacheStats::new();
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::Rac, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (2, 2)), PlacementKind::Pwac, 0);
+        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (3, 3)), PlacementKind::Pwac, 0);
+        assert!((s.compacted_fill_frac() - 0.75).abs() < 1e-9);
+        let (rac, pwac, fpwac) = s.compaction_technique_dist();
+        assert!((rac - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pwac - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fpwac, 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_harmless() {
+        let mut s = UopCacheStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.taken_branch_term_frac(), 0.0);
+        assert_eq!(s.compacted_fill_frac(), 0.0);
+        assert_eq!(s.entries_per_pw_dist(), [0.0; 4]);
+        assert_eq!(s.compaction_technique_dist(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn spanning_counted() {
+        let mut s = UopCacheStats::new();
+        let mut e = entry(8, 0, EntryTermination::MaxUops, (0, 0));
+        e.start = Addr::new(0x1030);
+        e.end = Addr::new(0x1050);
+        e.pc_lines = 2; // a CLASP merge across lines 0x40 and 0x41
+        s.note_fill(&e, PlacementKind::NewLine, 0);
+        assert_eq!(s.spanning_entries, 1);
+        assert!((s.spanning_frac() - 1.0).abs() < 1e-9);
+    }
+}

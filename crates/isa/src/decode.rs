@@ -1,0 +1,284 @@
+//! Instruction → uop expansion ("decode" semantics).
+//!
+//! The decoder *timing* lives in `ucsim-pipeline`; this module defines the
+//! expansion itself: which [`UopKind`]s an instruction turns into, with
+//! imm/disp fields attached to the first uop, matching how hardware stores
+//! them alongside uops in a uop cache entry (paper Figure 11).
+
+use ucsim_model::{DynInst, InstClass, Uop, UopKind};
+
+/// Upper bound on uops per instruction (micro-coded sequences are capped
+/// here; longer MS-ROM flows exist in hardware but are irrelevant to uop
+/// cache behaviour since micro-coded entries are limited per entry anyway).
+pub const MAX_UOPS_PER_INST: u8 = 8;
+
+/// Returns the uop kind sequence for an instruction class with `n` uops.
+///
+/// Expansion templates:
+/// * loads/stores expand to their memory uop plus ALU helper uops,
+/// * branches expand to a branch uop (+ ALU for indirect targets),
+/// * micro-coded sequences interleave ALU/load/store like real MS-ROM code.
+pub fn uop_kinds_for(class: InstClass, n: u8) -> Vec<UopKind> {
+    let n = n.clamp(1, MAX_UOPS_PER_INST) as usize;
+    let primary: UopKind = match class {
+        InstClass::IntAlu => UopKind::IntAlu,
+        InstClass::IntMul => UopKind::IntMul,
+        InstClass::IntDiv => UopKind::IntDiv,
+        InstClass::Load => UopKind::Load,
+        InstClass::Store => UopKind::Store,
+        InstClass::CondBranch
+        | InstClass::JumpDirect
+        | InstClass::JumpIndirect
+        | InstClass::Call
+        | InstClass::Ret => UopKind::Branch,
+        InstClass::Fp => UopKind::FpAdd,
+        InstClass::Simd => UopKind::Simd,
+        InstClass::Nop => UopKind::Nop,
+    };
+    let mut kinds = Vec::with_capacity(n);
+    match class {
+        // Call = store return addr + branch; Ret = load + branch.
+        InstClass::Call if n >= 2 => {
+            kinds.push(UopKind::Store);
+            kinds.push(UopKind::Branch);
+        }
+        InstClass::Ret if n >= 2 => {
+            kinds.push(UopKind::Load);
+            kinds.push(UopKind::Branch);
+        }
+        _ => {
+            kinds.push(primary);
+        }
+    }
+    // Fill the remainder with realistic helper uops.
+    let helpers = [UopKind::IntAlu, UopKind::Load, UopKind::IntAlu, UopKind::Store];
+    let mut h = 0;
+    while kinds.len() < n {
+        kinds.push(helpers[h % helpers.len()]);
+        h += 1;
+    }
+    // Keep the branch uop last so resolution happens at the end of the
+    // instruction's uop sequence (matches hardware retirement semantics).
+    if class.is_branch() {
+        if let Some(pos) = kinds.iter().position(|k| k.is_branch()) {
+            let last = kinds.len() - 1;
+            kinds.swap(pos, last);
+        }
+    }
+    kinds
+}
+
+/// Non-allocating variant of [`uop_kinds_for`]: writes the kinds into
+/// `out` and returns the count. The simulator's hot path uses this.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_isa::{uop_kinds_into, MAX_UOPS_PER_INST};
+/// use ucsim_model::{InstClass, UopKind};
+/// let mut buf = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
+/// let n = uop_kinds_into(InstClass::Ret, 2, &mut buf);
+/// assert_eq!(&buf[..n], &[UopKind::Load, UopKind::Branch]);
+/// ```
+pub fn uop_kinds_into(
+    class: InstClass,
+    n: u8,
+    out: &mut [UopKind; MAX_UOPS_PER_INST as usize],
+) -> usize {
+    let n = n.clamp(1, MAX_UOPS_PER_INST) as usize;
+    let primary: UopKind = match class {
+        InstClass::IntAlu => UopKind::IntAlu,
+        InstClass::IntMul => UopKind::IntMul,
+        InstClass::IntDiv => UopKind::IntDiv,
+        InstClass::Load => UopKind::Load,
+        InstClass::Store => UopKind::Store,
+        InstClass::CondBranch
+        | InstClass::JumpDirect
+        | InstClass::JumpIndirect
+        | InstClass::Call
+        | InstClass::Ret => UopKind::Branch,
+        InstClass::Fp => UopKind::FpAdd,
+        InstClass::Simd => UopKind::Simd,
+        InstClass::Nop => UopKind::Nop,
+    };
+    let mut len = match class {
+        InstClass::Call if n >= 2 => {
+            out[0] = UopKind::Store;
+            out[1] = UopKind::Branch;
+            2
+        }
+        InstClass::Ret if n >= 2 => {
+            out[0] = UopKind::Load;
+            out[1] = UopKind::Branch;
+            2
+        }
+        _ => {
+            out[0] = primary;
+            1
+        }
+    };
+    const HELPERS: [UopKind; 4] =
+        [UopKind::IntAlu, UopKind::Load, UopKind::IntAlu, UopKind::Store];
+    let mut h = 0;
+    while len < n {
+        out[len] = HELPERS[h % HELPERS.len()];
+        h += 1;
+        len += 1;
+    }
+    if class.is_branch() {
+        if let Some(pos) = out[..len].iter().position(|k| k.is_branch()) {
+            out.swap(pos, len - 1);
+        }
+    }
+    len
+}
+
+/// Expands a dynamic instruction into its uop sequence.
+///
+/// `seq` is the dynamic sequence number of the instruction (stamped into
+/// every uop for deterministic back-end modeling).
+///
+/// # Example
+///
+/// ```
+/// use ucsim_isa::expand_uops;
+/// use ucsim_model::{Addr, DynInst, InstClass};
+///
+/// let inst = DynInst::simple(Addr::new(0x10), 4, InstClass::Load).with_imm_disp(1);
+/// let uops = expand_uops(&inst, 42);
+/// assert_eq!(uops.len(), 1);
+/// assert!(uops[0].has_imm_disp);
+/// assert_eq!(uops[0].seq, 42);
+/// ```
+pub fn expand_uops(inst: &DynInst, seq: u64) -> Vec<Uop> {
+    let kinds = uop_kinds_for(inst.class, inst.uops);
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(slot, kind)| {
+            // First uop(s) carry the instruction's imm/disp fields.
+            let has_imm = (slot as u8) < inst.imm_disp;
+            Uop::new(inst.pc, seq, kind)
+                .with_slot(slot as u8)
+                .with_microcoded(inst.microcoded)
+                .with_imm_disp(has_imm)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucsim_model::{Addr, BranchExec};
+
+    #[test]
+    fn single_uop_classes() {
+        assert_eq!(uop_kinds_for(InstClass::IntAlu, 1), vec![UopKind::IntAlu]);
+        assert_eq!(uop_kinds_for(InstClass::Load, 1), vec![UopKind::Load]);
+        assert_eq!(uop_kinds_for(InstClass::Nop, 1), vec![UopKind::Nop]);
+    }
+
+    #[test]
+    fn call_ret_expansions() {
+        assert_eq!(
+            uop_kinds_for(InstClass::Call, 2),
+            vec![UopKind::Store, UopKind::Branch]
+        );
+        assert_eq!(
+            uop_kinds_for(InstClass::Ret, 2),
+            vec![UopKind::Load, UopKind::Branch]
+        );
+    }
+
+    #[test]
+    fn branch_uop_is_last() {
+        for n in 1..=MAX_UOPS_PER_INST {
+            let kinds = uop_kinds_for(InstClass::CondBranch, n);
+            assert!(kinds.last().unwrap().is_branch(), "n={n}: {kinds:?}");
+            assert_eq!(kinds.iter().filter(|k| k.is_branch()).count(), 1);
+        }
+    }
+
+    #[test]
+    fn expansion_count_clamped() {
+        assert_eq!(uop_kinds_for(InstClass::IntAlu, 0).len(), 1);
+        assert_eq!(
+            uop_kinds_for(InstClass::IntAlu, 200).len(),
+            MAX_UOPS_PER_INST as usize
+        );
+    }
+
+    #[test]
+    fn imm_disp_lands_on_leading_uops() {
+        let inst = DynInst::simple(Addr::new(0), 5, InstClass::IntAlu)
+            .with_uops(3)
+            .with_imm_disp(2);
+        let uops = expand_uops(&inst, 7);
+        assert_eq!(uops.len(), 3);
+        assert!(uops[0].has_imm_disp);
+        assert!(uops[1].has_imm_disp);
+        assert!(!uops[2].has_imm_disp);
+    }
+
+    #[test]
+    fn microcoded_flag_propagates() {
+        let inst = DynInst::simple(Addr::new(0), 3, InstClass::IntDiv)
+            .with_uops(6)
+            .with_microcoded(true);
+        let uops = expand_uops(&inst, 1);
+        assert!(uops.iter().all(|u| u.microcoded));
+        assert_eq!(uops.len(), 6);
+    }
+
+    #[test]
+    fn slots_are_sequential() {
+        let inst = DynInst::branch(
+            Addr::new(0x20),
+            2,
+            InstClass::CondBranch,
+            BranchExec {
+                taken: false,
+                target: Addr::new(0x80),
+            },
+        )
+        .with_uops(2);
+        let uops = expand_uops(&inst, 3);
+        assert_eq!(uops[0].slot, 0);
+        assert_eq!(uops[1].slot, 1);
+        assert!(uops[1].kind.is_branch());
+    }
+}
+
+#[cfg(test)]
+mod into_tests {
+    use super::*;
+
+    /// The non-allocating expansion must agree with the allocating one for
+    /// every class and count.
+    #[test]
+    fn uop_kinds_into_matches_uop_kinds_for() {
+        let classes = [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::IntDiv,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::CondBranch,
+            InstClass::JumpDirect,
+            InstClass::JumpIndirect,
+            InstClass::Call,
+            InstClass::Ret,
+            InstClass::Fp,
+            InstClass::Simd,
+            InstClass::Nop,
+        ];
+        for class in classes {
+            for n in 0..=10u8 {
+                let expected = uop_kinds_for(class, n);
+                let mut buf = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
+                let len = uop_kinds_into(class, n, &mut buf);
+                assert_eq!(&buf[..len], expected.as_slice(), "{class} n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! x86-like instruction length model.
+//!
+//! Measured x86-64 code has a mean instruction length around 3.7–4.2 bytes
+//! with a long tail to 15 (REX/VEX/EVEX prefixes, SIB, disp32, imm32).
+//! The uop cache study is sensitive to this distribution because it
+//! determines how many instructions fit in a 64-byte I-cache line and thus
+//! where the line-boundary termination bites.
+
+use ucsim_model::{InstClass, SplitMix64};
+
+/// Cumulative length distribution for "plain" integer code, calibrated to
+/// published x86-64 length histograms: P(len ≤ k).
+const BASE_CDF: [(u8, f64); 11] = [
+    (1, 0.03),
+    (2, 0.11),
+    (3, 0.32),
+    (4, 0.54),
+    (5, 0.70),
+    (6, 0.81),
+    (7, 0.89),
+    (8, 0.94),
+    (10, 0.98),
+    (12, 0.994),
+    (15, 1.0),
+];
+
+/// Typical (modal) length for an instruction class, used when a
+/// deterministic layout is needed (tests, hand-built blocks).
+pub const fn typical_len(class: InstClass) -> u8 {
+    match class {
+        InstClass::IntAlu => 3,
+        InstClass::IntMul => 4,
+        InstClass::IntDiv => 3,
+        InstClass::Load => 4,
+        InstClass::Store => 4,
+        InstClass::CondBranch => 2,
+        InstClass::JumpDirect => 2,
+        InstClass::JumpIndirect => 3,
+        InstClass::Call => 5,
+        InstClass::Ret => 1,
+        InstClass::Fp => 5,
+        InstClass::Simd => 6,
+        InstClass::Nop => 1,
+    }
+}
+
+/// Samples a byte length for an instruction of the given class.
+///
+/// Branches, SIMD and FP shift the base distribution to match their typical
+/// encodings (short Jcc rel8/rel32; long VEX/EVEX vector ops).
+///
+/// # Example
+///
+/// ```
+/// use ucsim_isa::sample_len;
+/// use ucsim_model::{InstClass, SplitMix64};
+/// let mut rng = SplitMix64::new(7);
+/// let l = sample_len(InstClass::Simd, &mut rng);
+/// assert!((1..=15).contains(&l));
+/// ```
+pub fn sample_len(class: InstClass, rng: &mut SplitMix64) -> u8 {
+    let u = rng.unit_f64();
+    let base = BASE_CDF
+        .iter()
+        .find(|&&(_, c)| u <= c)
+        .map(|&(l, _)| l)
+        .unwrap_or(15);
+    let adjusted: i16 = match class {
+        // Jcc rel8 = 2B, rel32 = 6B; calls are 5B; ret 1B.
+        InstClass::CondBranch => {
+            if rng.chance(0.75) {
+                2
+            } else {
+                6
+            }
+        }
+        InstClass::JumpDirect => {
+            if rng.chance(0.6) {
+                2
+            } else {
+                5
+            }
+        }
+        InstClass::JumpIndirect => 3,
+        InstClass::Call => 5,
+        InstClass::Ret => 1,
+        // Vector encodings carry VEX/EVEX prefixes.
+        InstClass::Simd => (base as i16 + 2).min(11),
+        InstClass::Fp => (base as i16 + 1).min(10),
+        // Memory ops frequently carry ModRM+SIB+disp.
+        InstClass::Load | InstClass::Store => (base as i16 + 1).min(9),
+        InstClass::Nop => 1,
+        _ => base as i16,
+    };
+    adjusted.clamp(1, 15) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_terminates_at_one() {
+        let mut prev = 0.0;
+        for &(_, c) in &BASE_CDF {
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(BASE_CDF.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn all_lengths_legal() {
+        let mut rng = SplitMix64::new(42);
+        for class in [
+            InstClass::IntAlu,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::CondBranch,
+            InstClass::Call,
+            InstClass::Ret,
+            InstClass::Fp,
+            InstClass::Simd,
+            InstClass::JumpDirect,
+            InstClass::JumpIndirect,
+            InstClass::Nop,
+        ] {
+            for _ in 0..500 {
+                let l = sample_len(class, &mut rng);
+                assert!((1..=15).contains(&l), "{class}: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_length_is_x86_like() {
+        let mut rng = SplitMix64::new(11);
+        let n = 50_000;
+        let sum: u64 = (0..n)
+            .map(|_| sample_len(InstClass::IntAlu, &mut rng) as u64)
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (3.0..5.0).contains(&mean),
+            "mean x86 length should be ~3.5-4.5, got {mean}"
+        );
+    }
+
+    #[test]
+    fn branches_are_short() {
+        let mut rng = SplitMix64::new(11);
+        let n = 10_000;
+        let sum: u64 = (0..n)
+            .map(|_| sample_len(InstClass::CondBranch, &mut rng) as u64)
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean < 4.0, "Jcc mean should be short, got {mean}");
+    }
+
+    #[test]
+    fn typical_lengths_legal() {
+        for class in [
+            InstClass::IntAlu,
+            InstClass::Ret,
+            InstClass::Simd,
+            InstClass::Call,
+        ] {
+            assert!((1..=15).contains(&typical_len(class)));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Static instruction descriptors.
+
+use ucsim_model::{Addr, BranchExec, DynInst, InstClass};
+
+/// A position-independent static instruction: everything about an x86-like
+/// instruction except *where* it lives and *what its branch did*.
+///
+/// The workload generator lays these out into basic blocks; the dynamic
+/// walker stamps each execution with a PC and branch outcome to produce a
+/// [`DynInst`].
+///
+/// # Example
+///
+/// ```
+/// use ucsim_isa::StaticInst;
+/// use ucsim_model::{Addr, InstClass};
+///
+/// let s = StaticInst::new(InstClass::Load, 4).with_imm_disp(1);
+/// let d = s.instantiate(Addr::new(0x1000), None, Some(Addr::new(0x8000)));
+/// assert_eq!(d.pc, Addr::new(0x1000));
+/// assert_eq!(d.imm_disp, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticInst {
+    /// Architectural class.
+    pub class: InstClass,
+    /// Byte length (1–15).
+    pub len: u8,
+    /// Uop expansion count (≥1).
+    pub uops: u8,
+    /// Number of 32-bit immediate/displacement fields (0–2).
+    pub imm_disp: u8,
+    /// True if decoded by the microcode sequencer.
+    pub microcoded: bool,
+}
+
+impl StaticInst {
+    /// Creates a single-uop instruction of the given class and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not in `1..=15`.
+    pub fn new(class: InstClass, len: u8) -> Self {
+        assert!((1..=15).contains(&len), "x86 length must be 1..=15, got {len}");
+        StaticInst {
+            class,
+            len,
+            uops: 1,
+            imm_disp: 0,
+            microcoded: false,
+        }
+    }
+
+    /// Builder-style: set the uop expansion count.
+    pub const fn with_uops(mut self, uops: u8) -> Self {
+        self.uops = uops;
+        self
+    }
+
+    /// Builder-style: set the immediate/displacement field count.
+    pub const fn with_imm_disp(mut self, n: u8) -> Self {
+        self.imm_disp = n;
+        self
+    }
+
+    /// Builder-style: mark micro-coded.
+    pub const fn with_microcoded(mut self, m: bool) -> Self {
+        self.microcoded = m;
+        self
+    }
+
+    /// Stamps this static instruction into a dynamic instance at `pc`.
+    ///
+    /// `branch` must be `Some` iff the class is a branch; `mem` should be
+    /// `Some` for loads/stores.
+    pub fn instantiate(
+        self,
+        pc: Addr,
+        branch: Option<BranchExec>,
+        mem: Option<Addr>,
+    ) -> DynInst {
+        debug_assert_eq!(self.class.is_branch(), branch.is_some());
+        DynInst {
+            pc,
+            len: self.len,
+            uops: self.uops,
+            imm_disp: self.imm_disp,
+            microcoded: self.microcoded,
+            class: self.class,
+            branch,
+            mem_addr: mem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "1..=15")]
+    fn rejects_zero_length() {
+        let _ = StaticInst::new(InstClass::Nop, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=15")]
+    fn rejects_oversized() {
+        let _ = StaticInst::new(InstClass::Nop, 16);
+    }
+
+    #[test]
+    fn instantiate_branch() {
+        let s = StaticInst::new(InstClass::CondBranch, 2);
+        let d = s.instantiate(
+            Addr::new(0x10),
+            Some(BranchExec {
+                taken: true,
+                target: Addr::new(0x40),
+            }),
+            None,
+        );
+        assert!(d.is_taken_branch());
+        assert_eq!(d.next_pc(), Addr::new(0x40));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = StaticInst::new(InstClass::IntDiv, 3)
+            .with_uops(6)
+            .with_microcoded(true)
+            .with_imm_disp(1);
+        assert_eq!(s.uops, 6);
+        assert!(s.microcoded);
+        assert_eq!(s.imm_disp, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Statistical synthesis of static instructions.
+
+use ucsim_model::{InstClass, SplitMix64};
+
+use crate::{lengths, InstMix, StaticInst};
+
+/// Synthesizes statistically realistic non-branch instructions from an
+/// [`InstMix`].
+///
+/// The CFG generator in `ucsim-trace` uses one synthesizer per workload to
+/// fill basic-block bodies and separately emits the terminating branch.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_isa::{InstMix, InstSynthesizer};
+/// use ucsim_model::SplitMix64;
+///
+/// let synth = InstSynthesizer::new(InstMix::analytics());
+/// let mut rng = SplitMix64::new(9);
+/// let block: Vec<_> = (0..6).map(|_| synth.sample(&mut rng)).collect();
+/// assert!(block.iter().all(|i| !i.class.is_branch()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstSynthesizer {
+    mix: InstMix,
+}
+
+impl InstSynthesizer {
+    /// Creates a synthesizer over the given mix.
+    pub fn new(mix: InstMix) -> Self {
+        InstSynthesizer { mix }
+    }
+
+    /// The underlying mix.
+    pub fn mix(&self) -> &InstMix {
+        &self.mix
+    }
+
+    /// Samples one non-branch static instruction.
+    pub fn sample(&self, rng: &mut SplitMix64) -> StaticInst {
+        let class = self.mix.sample_class(rng);
+        let len = lengths::sample_len(class, rng);
+        let mut inst = StaticInst::new(class, len);
+
+        // Micro-coded instructions expand to 4–8 uops.
+        if rng.chance(self.mix.microcode_prob) {
+            let uops = 4 + rng.below(5) as u8; // 4..=8
+            inst = inst.with_uops(uops).with_microcoded(true);
+        } else if matches!(class, InstClass::IntDiv) {
+            // Divides are multi-uop even when not micro-coded.
+            inst = inst.with_uops(3);
+        } else if rng.chance(self.mix.two_uop_prob) {
+            // Load-op / op-store fusion-breaking cases: 2 uops.
+            inst = inst.with_uops(2);
+        }
+
+        // Immediate/displacement fields.
+        if rng.chance(self.mix.imm_disp_prob) {
+            let n = if rng.chance(self.mix.second_imm_prob) { 2 } else { 1 };
+            inst = inst.with_imm_disp(n);
+        }
+        inst
+    }
+
+    /// Samples a branch instruction of the given class (CFG terminators).
+    pub fn sample_branch(&self, class: InstClass, rng: &mut SplitMix64) -> StaticInst {
+        assert!(class.is_branch(), "sample_branch needs a branch class");
+        let len = lengths::sample_len(class, rng);
+        let mut inst = StaticInst::new(class, len);
+        match class {
+            InstClass::Call | InstClass::Ret => {
+                inst = inst.with_uops(2);
+            }
+            InstClass::CondBranch
+                // Jcc rel32 carries a displacement field.
+                if len > 4 => {
+                    inst = inst.with_imm_disp(1);
+                }
+            InstClass::JumpDirect if len >= 5 => {
+                inst = inst.with_imm_disp(1);
+            }
+            _ => {}
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_are_branch_free_and_legal() {
+        let synth = InstSynthesizer::new(InstMix::integer_heavy());
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..5000 {
+            let i = synth.sample(&mut rng);
+            assert!(!i.class.is_branch());
+            assert!((1..=15).contains(&i.len));
+            assert!(i.uops >= 1 && i.uops <= 8);
+            assert!(i.imm_disp <= 2);
+        }
+    }
+
+    #[test]
+    fn microcoded_rate_tracks_mix() {
+        let mut mix = InstMix::integer_heavy();
+        mix.microcode_prob = 0.2;
+        let synth = InstSynthesizer::new(mix);
+        let mut rng = SplitMix64::new(2);
+        let n = 20_000;
+        let mc = (0..n).filter(|_| synth.sample(&mut rng).microcoded).count();
+        let frac = mc as f64 / n as f64;
+        assert!((0.17..0.23).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn microcoded_uops_in_range() {
+        let mut mix = InstMix::integer_heavy();
+        mix.microcode_prob = 1.0;
+        let synth = InstSynthesizer::new(mix);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let i = synth.sample(&mut rng);
+            assert!(i.microcoded);
+            assert!((4..=8).contains(&i.uops), "{}", i.uops);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a branch class")]
+    fn sample_branch_rejects_nonbranch() {
+        let synth = InstSynthesizer::new(InstMix::integer_heavy());
+        let mut rng = SplitMix64::new(3);
+        let _ = synth.sample_branch(InstClass::Load, &mut rng);
+    }
+
+    #[test]
+    fn call_ret_two_uops() {
+        let synth = InstSynthesizer::new(InstMix::server());
+        let mut rng = SplitMix64::new(4);
+        let c = synth.sample_branch(InstClass::Call, &mut rng);
+        let r = synth.sample_branch(InstClass::Ret, &mut rng);
+        assert_eq!(c.uops, 2);
+        assert_eq!(r.uops, 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let synth = InstSynthesizer::new(InstMix::server());
+        let mut a = SplitMix64::new(50);
+        let mut b = SplitMix64::new(50);
+        for _ in 0..100 {
+            assert_eq!(synth.sample(&mut a), synth.sample(&mut b));
+        }
+    }
+}

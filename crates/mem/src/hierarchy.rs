@@ -1,0 +1,283 @@
+//! The three-level cache hierarchy + DRAM of the paper's Table I.
+//!
+//! * L1-I: 32 KB, 8-way, LRU (accessed by the front end).
+//! * L1-D: 32 KB, 4-way, LRU.
+//! * L2: 512 KB private unified, 8-way, LRU.
+//! * L3: 2 MB shared, 16-way, RRIP.
+//! * Off-chip DRAM: fixed-latency model of a 2400 MHz channel.
+//!
+//! The hierarchy returns *latencies*; the pipeline turns them into stalls.
+
+use serde::{Deserialize, Serialize};
+use ucsim_model::LineAddr;
+
+use crate::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
+
+/// Which side of the core an access comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (enters at L1-I).
+    Fetch,
+    /// Data load/store (enters at L1-D).
+    Data,
+}
+
+/// Latency parameters (cycles at the 3 GHz core clock of Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 (I or D) hit latency.
+    pub l1_latency: u32,
+    /// L2 hit latency.
+    pub l2_latency: u32,
+    /// L3 hit latency.
+    pub l3_latency: u32,
+    /// DRAM access latency (2400 MHz DDR4 ≈ 50–60 ns ⇒ ~160 core cycles).
+    pub dram_latency: u32,
+    /// L1-I geometry.
+    pub l1i: CacheConfig,
+    /// L1-D geometry.
+    pub l1d: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// L3 geometry.
+    pub l3: CacheConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1_latency: 3,
+            l2_latency: 12,
+            l3_latency: 38,
+            dram_latency: 160,
+            // 32 KB / 64 B / 8 ways = 64 sets.
+            l1i: CacheConfig::new("L1I", 64, 8, ReplacementPolicy::Lru),
+            // 32 KB / 64 B / 4 ways = 128 sets.
+            l1d: CacheConfig::new("L1D", 128, 4, ReplacementPolicy::Lru),
+            // 512 KB / 64 B / 8 ways = 1024 sets.
+            l2: CacheConfig::new("L2", 1024, 8, ReplacementPolicy::Lru),
+            // 2 MB / 64 B / 16 ways = 2048 sets.
+            l3: CacheConfig::new("L3", 2048, 16, ReplacementPolicy::Srrip),
+        }
+    }
+}
+
+/// Aggregated per-level statistics snapshot.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1-I counters.
+    pub l1i: CacheStats,
+    /// L1-D counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L3 counters.
+    pub l3: CacheStats,
+    /// Number of DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+/// The assembled hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_mem::{AccessKind, MemoryHierarchy};
+/// use ucsim_model::Addr;
+///
+/// let mut mem = MemoryHierarchy::new(Default::default());
+/// let line = Addr::new(0x9000).line();
+/// let cold = mem.access(AccessKind::Fetch, line);
+/// let warm = mem.access(AccessKind::Fetch, line);
+/// assert!(cold > warm); // first access missed all the way to DRAM
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    dram_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(cfg.l1i.clone()),
+            l1d: Cache::new(cfg.l1d.clone()),
+            l2: Cache::new(cfg.l2.clone()),
+            l3: Cache::new(cfg.l3.clone()),
+            cfg,
+            dram_accesses: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Performs a demand access and returns its total latency in cycles,
+    /// filling all levels on the way back (non-inclusive, fill-on-miss).
+    pub fn access(&mut self, kind: AccessKind, line: LineAddr) -> u32 {
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Data => &mut self.l1d,
+        };
+        if l1.access(line) {
+            return self.cfg.l1_latency;
+        }
+        if self.l2.access(line) {
+            self.l1_for(kind).fill(line);
+            return self.cfg.l2_latency;
+        }
+        if self.l3.access(line) {
+            self.l2.fill(line);
+            self.l1_for(kind).fill(line);
+            return self.cfg.l3_latency;
+        }
+        self.dram_accesses += 1;
+        self.l3.fill(line);
+        self.l2.fill(line);
+        self.l1_for(kind).fill(line);
+        self.cfg.dram_latency
+    }
+
+    fn l1_for(&mut self, kind: AccessKind) -> &mut Cache {
+        match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Data => &mut self.l1d,
+        }
+    }
+
+    /// Non-updating L1-I presence check (used by the prefetcher).
+    pub fn l1i_probe(&self, line: LineAddr) -> bool {
+        self.l1i.probe(line)
+    }
+
+    /// Prefetches `line` into the L1-I (and L2 if absent), charging no
+    /// demand latency. Returns `true` if a fill actually happened.
+    pub fn prefetch_inst(&mut self, line: LineAddr) -> bool {
+        if self.l1i.probe(line) {
+            return false;
+        }
+        if !self.l2.probe(line) {
+            self.l2.prefetch_fill(line);
+        }
+        self.l1i.prefetch_fill(line);
+        true
+    }
+
+    /// Invalidates an instruction line everywhere (self-modifying-code
+    /// probe support; the uop cache's own probe lives in `ucsim-uopcache`).
+    pub fn invalidate_inst(&mut self, line: LineAddr) {
+        self.l1i.invalidate(line);
+        self.l2.invalidate(line);
+        self.l3.invalidate(line);
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            l3: *self.l3.stats(),
+            dram_accesses: self.dram_accesses,
+        }
+    }
+
+    /// Resets all counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+        self.dram_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn latency_ladder() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let cfg = mem.config().clone();
+        // Cold: DRAM.
+        assert_eq!(mem.access(AccessKind::Fetch, line(1)), cfg.dram_latency);
+        // Warm L1.
+        assert_eq!(mem.access(AccessKind::Fetch, line(1)), cfg.l1_latency);
+    }
+
+    #[test]
+    fn l2_backstop_after_l1_eviction() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mem.access(AccessKind::Fetch, line(1));
+        // Blow the (64-set, 8-way) L1I set 1 with 9 conflicting lines.
+        for i in 1..=9 {
+            mem.access(AccessKind::Fetch, line(1 + i * 64));
+        }
+        let lat = mem.access(AccessKind::Fetch, line(1));
+        assert_eq!(lat, mem.config().l2_latency);
+    }
+
+    #[test]
+    fn fetch_and_data_do_not_share_l1() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mem.access(AccessKind::Fetch, line(5));
+        // Data access to the same line misses L1D but hits L2.
+        assert_eq!(mem.access(AccessKind::Data, line(5)), mem.config().l2_latency);
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        assert!(mem.prefetch_inst(line(9)));
+        assert!(!mem.prefetch_inst(line(9)));
+        assert_eq!(mem.access(AccessKind::Fetch, line(9)), mem.config().l1_latency);
+    }
+
+    #[test]
+    fn invalidation_forces_refetch() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mem.access(AccessKind::Fetch, line(2));
+        mem.invalidate_inst(line(2));
+        assert_eq!(
+            mem.access(AccessKind::Fetch, line(2)),
+            mem.config().dram_latency
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mem.access(AccessKind::Fetch, line(3));
+        mem.access(AccessKind::Fetch, line(3));
+        let s = mem.stats();
+        assert_eq!(s.l1i.accesses, 2);
+        assert_eq!(s.l1i.hits, 1);
+        assert_eq!(s.dram_accesses, 1);
+    }
+
+    #[test]
+    fn table1_geometries() {
+        let cfg = HierarchyConfig::default();
+        assert_eq!(cfg.l1i.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l1d.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes(), 512 * 1024);
+        assert_eq!(cfg.l3.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.l1i.ways, 8);
+        assert_eq!(cfg.l1d.ways, 4);
+        assert_eq!(cfg.l2.ways, 8);
+        assert_eq!(cfg.l3.ways, 16);
+        assert_eq!(cfg.l3.policy, ReplacementPolicy::Srrip);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ucsim-mem
+//!
+//! Memory-hierarchy substrate for the uop cache study: generic
+//! set-associative caches with pluggable replacement (true LRU, tree-PLRU,
+//! SRRIP), the three-level cache hierarchy of the paper's Table I, a DRAM
+//! latency model and a branch-prediction-directed instruction prefetcher.
+//!
+//! The uop cache itself is *not* here — it has enough bespoke behaviour
+//! (byte-accounted entries, compaction, PW tags) to deserve its own crate
+//! (`ucsim-uopcache`). This crate serves the I-cache / D-side hierarchy.
+//!
+//! # Example
+//!
+//! ```
+//! use ucsim_mem::{Cache, CacheConfig, ReplacementPolicy};
+//! use ucsim_model::Addr;
+//!
+//! // 32 KB, 8-way, 64 B lines: the paper's L1-I.
+//! let mut l1i = Cache::new(CacheConfig::new("L1I", 64, 8, ReplacementPolicy::Lru));
+//! let line = Addr::new(0x4000).line();
+//! assert!(!l1i.access(line));     // cold miss
+//! l1i.fill(line);
+//! assert!(l1i.access(line));      // hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod prefetch;
+mod replacement;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessKind, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use prefetch::{FetchDirectedPrefetcher, PrefetcherStats};
+pub use replacement::{ReplacementPolicy, ReplacementState};

@@ -1,0 +1,123 @@
+//! Branch-prediction-directed instruction prefetching.
+//!
+//! Table I: "L1-I: branch prediction directed prefetcher". In a decoupled
+//! front end the branch predictor runs ahead of fetch, so the stream of
+//! predicted PW start addresses is a natural prefetch feed (fetch-directed
+//! instruction prefetching, Reinman et al.). The prefetcher watches PW
+//! addresses as they are pushed into the PW queue and prefetches their
+//! I-cache lines (plus `depth` sequential next lines) before the fetch
+//! stage consumes them.
+
+use serde::{Deserialize, Serialize};
+use ucsim_model::LineAddr;
+
+use crate::MemoryHierarchy;
+
+/// Counters for the prefetcher.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PrefetcherStats {
+    /// PW addresses observed.
+    pub observed: u64,
+    /// Prefetches issued (missing in L1-I at observation time).
+    pub issued: u64,
+    /// Observations skipped because the line was already resident.
+    pub already_resident: u64,
+}
+
+/// Fetch-directed prefetcher state.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_mem::{FetchDirectedPrefetcher, MemoryHierarchy};
+/// use ucsim_model::Addr;
+///
+/// let mut mem = MemoryHierarchy::new(Default::default());
+/// let mut pf = FetchDirectedPrefetcher::new(1);
+/// pf.observe_pw(Addr::new(0x2000).line(), &mut mem);
+/// assert!(mem.l1i_probe(Addr::new(0x2000).line()));
+/// assert!(mem.l1i_probe(Addr::new(0x2040).line())); // next-line depth 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct FetchDirectedPrefetcher {
+    depth: u32,
+    stats: PrefetcherStats,
+}
+
+impl FetchDirectedPrefetcher {
+    /// Creates a prefetcher that also fetches `depth` sequential lines past
+    /// each observed PW line (0 = only the PW line itself).
+    pub fn new(depth: u32) -> Self {
+        FetchDirectedPrefetcher {
+            depth,
+            stats: PrefetcherStats::default(),
+        }
+    }
+
+    /// Observes a predicted PW start line and prefetches it (and its
+    /// sequential successors) into the L1-I.
+    pub fn observe_pw(&mut self, line: LineAddr, mem: &mut MemoryHierarchy) {
+        self.stats.observed += 1;
+        let mut l = line;
+        for i in 0..=self.depth {
+            if mem.prefetch_inst(l) {
+                self.stats.issued += 1;
+            } else if i == 0 {
+                self.stats.already_resident += 1;
+            }
+            l = l.next();
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+
+    /// Resets counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PrefetcherStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+    use ucsim_model::Addr;
+
+    #[test]
+    fn prefetch_turns_miss_into_hit() {
+        let mut mem = MemoryHierarchy::new(Default::default());
+        let mut pf = FetchDirectedPrefetcher::new(0);
+        let line = Addr::new(0x8000).line();
+        pf.observe_pw(line, &mut mem);
+        assert_eq!(mem.access(AccessKind::Fetch, line), mem.config().l1_latency);
+        assert_eq!(pf.stats().issued, 1);
+    }
+
+    #[test]
+    fn depth_covers_sequential_lines() {
+        let mut mem = MemoryHierarchy::new(Default::default());
+        let mut pf = FetchDirectedPrefetcher::new(2);
+        let line = Addr::new(0x8000).line();
+        pf.observe_pw(line, &mut mem);
+        assert!(mem.l1i_probe(line));
+        assert!(mem.l1i_probe(line.next()));
+        assert!(mem.l1i_probe(line.next().next()));
+        assert!(!mem.l1i_probe(line.next().next().next()));
+    }
+
+    #[test]
+    fn resident_lines_not_reissued() {
+        let mut mem = MemoryHierarchy::new(Default::default());
+        let mut pf = FetchDirectedPrefetcher::new(0);
+        let line = Addr::new(0x8000).line();
+        pf.observe_pw(line, &mut mem);
+        pf.observe_pw(line, &mut mem);
+        let s = pf.stats();
+        assert_eq!(s.observed, 2);
+        assert_eq!(s.issued, 1);
+        assert_eq!(s.already_resident, 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Replacement policies for set-associative structures.
+//!
+//! Table I of the paper prescribes true LRU for the L1/L2 and uop cache and
+//! RRIP for the L3. Tree-PLRU is included for ablation studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (per-way timestamps).
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (one bit per internal node).
+    TreePlru,
+    /// Static RRIP (2-bit re-reference interval prediction, hit-promotion).
+    Srrip,
+}
+
+
+/// Per-set replacement state for any [`ReplacementPolicy`].
+///
+/// The same state machine drives the I/D caches and (via `ucsim-uopcache`)
+/// the uop cache's per-line replacement, so the paper's "replacement state
+/// per line, independent of the number of compacted uop cache entries"
+/// (Section V-B) reuses this type directly.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_mem::{ReplacementPolicy, ReplacementState};
+/// let mut r = ReplacementState::new(ReplacementPolicy::Lru, 4);
+/// r.on_fill(0); r.on_fill(1); r.on_fill(2); r.on_fill(3);
+/// r.on_hit(0); // 0 is now MRU
+/// assert_eq!(r.victim(&[true, true, true, true]), 1);
+/// assert_eq!(r.mru(&[true; 4]), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplacementState {
+    policy: ReplacementPolicy,
+    ways: usize,
+    /// LRU: logical timestamps. SRRIP: RRPV values. TreePLRU: unused.
+    meta: Vec<u64>,
+    /// TreePLRU internal node bits (ways-1 nodes for power-of-two ways).
+    tree: Vec<bool>,
+    clock: u64,
+}
+
+impl ReplacementState {
+    /// Creates state for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`, or if `TreePlru` is requested with a
+    /// non-power-of-two way count.
+    pub fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        if policy == ReplacementPolicy::TreePlru {
+            assert!(ways.is_power_of_two(), "tree-PLRU needs power-of-two ways");
+        }
+        let init = match policy {
+            ReplacementPolicy::Srrip => 3, // distant re-reference
+            _ => 0,
+        };
+        ReplacementState {
+            policy,
+            ways,
+            meta: vec![init; ways],
+            tree: vec![false; ways.saturating_sub(1)],
+            clock: 0,
+        }
+    }
+
+    /// Number of ways this state covers.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Notes a hit on `way`.
+    pub fn on_hit(&mut self, way: usize) {
+        self.touch(way, true);
+    }
+
+    /// Notes a fill into `way`.
+    pub fn on_fill(&mut self, way: usize) {
+        self.touch(way, false);
+    }
+
+    fn touch(&mut self, way: usize, hit: bool) {
+        assert!(way < self.ways, "way {way} out of range {}", self.ways);
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.clock += 1;
+                self.meta[way] = self.clock;
+            }
+            ReplacementPolicy::TreePlru => {
+                // Flip internal nodes to point away from `way`.
+                let mut idx = 0usize;
+                let mut lo = 0usize;
+                let mut hi = self.ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = way >= mid;
+                    self.tree[idx] = !right; // point away
+                    idx = 2 * idx + if right { 2 } else { 1 };
+                    if right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            ReplacementPolicy::Srrip => {
+                // Hit promotion to RRPV 0; fills insert at RRPV 2.
+                self.meta[way] = if hit { 0 } else { 2 };
+            }
+        }
+    }
+
+    /// Chooses a victim way. Invalid ways (per `valid`) win immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid.len() != ways`.
+    pub fn victim(&mut self, valid: &[bool]) -> usize {
+        assert_eq!(valid.len(), self.ways, "valid mask length mismatch");
+        if let Some(w) = valid.iter().position(|v| !v) {
+            return w;
+        }
+        match self.policy {
+            ReplacementPolicy::Lru => self
+                .meta
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(w, _)| w)
+                .expect("ways > 0"),
+            ReplacementPolicy::TreePlru => {
+                let mut idx = 0usize;
+                let mut lo = 0usize;
+                let mut hi = self.ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = self.tree.get(idx).copied().unwrap_or(false);
+                    idx = 2 * idx + if right { 2 } else { 1 };
+                    if right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            ReplacementPolicy::Srrip => {
+                // Age until something reaches RRPV 3.
+                loop {
+                    if let Some((w, _)) =
+                        self.meta.iter().enumerate().find(|&(_, &v)| v >= 3)
+                    {
+                        return w;
+                    }
+                    for v in &mut self.meta {
+                        *v += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the most-recently-used valid way (LRU policy only gives an
+    /// exact answer; PLRU/SRRIP return a best-effort MRU).
+    ///
+    /// RAC compaction (paper Section V-B1) targets the MRU line.
+    pub fn mru(&self, valid: &[bool]) -> Option<usize> {
+        assert_eq!(valid.len(), self.ways, "valid mask length mismatch");
+        match self.policy {
+            ReplacementPolicy::Lru => self
+                .meta
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| valid[w])
+                .max_by_key(|&(_, &t)| t)
+                .map(|(w, _)| w),
+            ReplacementPolicy::Srrip => self
+                .meta
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| valid[w])
+                .min_by_key(|&(_, &v)| v)
+                .map(|(w, _)| w),
+            ReplacementPolicy::TreePlru => {
+                // Walk *with* the tree bits: they point at the PLRU victim,
+                // so the opposite path approximates the MRU.
+                let mut lo = 0usize;
+                let mut hi = self.ways;
+                let mut idx = 0usize;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = !self.tree.get(idx).copied().unwrap_or(false);
+                    idx = 2 * idx + if right { 2 } else { 1 };
+                    if right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                valid[lo].then_some(lo)
+            }
+        }
+    }
+
+    /// Ranks valid ways from most- to least-recently used (LRU exact;
+    /// other policies approximate). Used by RAC to try compaction targets
+    /// in recency order.
+    pub fn recency_order(&self, valid: &[bool]) -> Vec<usize> {
+        assert_eq!(valid.len(), self.ways, "valid mask length mismatch");
+        let mut ways: Vec<usize> = (0..self.ways).filter(|&w| valid[w]).collect();
+        match self.policy {
+            ReplacementPolicy::Lru => ways.sort_by_key(|&w| std::cmp::Reverse(self.meta[w])),
+            ReplacementPolicy::Srrip => ways.sort_by_key(|&w| self.meta[w]),
+            ReplacementPolicy::TreePlru => {} // arbitrary order
+        }
+        ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_victim_is_oldest() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            r.on_fill(w);
+        }
+        r.on_hit(0);
+        r.on_hit(2);
+        assert_eq!(r.victim(&[true; 4]), 1);
+    }
+
+    #[test]
+    fn invalid_way_preferred() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        r.on_fill(0);
+        assert_eq!(r.victim(&[true, false, true, true]), 1);
+    }
+
+    #[test]
+    fn lru_full_cycle() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Lru, 2);
+        r.on_fill(0);
+        r.on_fill(1);
+        assert_eq!(r.victim(&[true, true]), 0);
+        r.on_hit(0);
+        assert_eq!(r.victim(&[true, true]), 1);
+    }
+
+    #[test]
+    fn plru_never_victimizes_just_touched() {
+        let mut r = ReplacementState::new(ReplacementPolicy::TreePlru, 8);
+        for w in 0..8 {
+            r.on_fill(w);
+        }
+        for w in 0..8 {
+            r.on_hit(w);
+            assert_ne!(r.victim(&[true; 8]), w, "victim == just-touched way {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_pow2() {
+        let _ = ReplacementState::new(ReplacementPolicy::TreePlru, 6);
+    }
+
+    #[test]
+    fn srrip_promotes_on_hit() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Srrip, 2);
+        r.on_fill(0);
+        r.on_fill(1);
+        r.on_hit(0);
+        // way 1 (RRPV 2) should age out before way 0 (RRPV 0).
+        assert_eq!(r.victim(&[true, true]), 1);
+    }
+
+    #[test]
+    fn mru_tracks_hits() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            r.on_fill(w);
+        }
+        r.on_hit(2);
+        assert_eq!(r.mru(&[true; 4]), Some(2));
+        // Only-valid filtering works.
+        assert_eq!(r.mru(&[true, false, false, false]), Some(0));
+    }
+
+    #[test]
+    fn recency_order_lru_exact() {
+        let mut r = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            r.on_fill(w);
+        }
+        r.on_hit(1);
+        r.on_hit(3);
+        assert_eq!(r.recency_order(&[true; 4]), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn mru_empty_set() {
+        let r = ReplacementState::new(ReplacementPolicy::Lru, 2);
+        assert_eq!(r.mru(&[false, false]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn rejects_zero_ways() {
+        let _ = ReplacementState::new(ReplacementPolicy::Lru, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Small statistics containers used by every stats module.
+
+use std::fmt;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by their (inclusive) upper bounds; samples above the
+/// last bound land in an implicit overflow bucket.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::Histogram;
+/// let mut h = Histogram::new(&[19, 39, 64]);
+/// h.record(5);
+/// h.record(25);
+/// h.record(64);
+/// h.record(1000); // overflow
+/// assert_eq!(h.counts(), &[1, 1, 1, 1]);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly-increasing inclusive
+    /// upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+    }
+
+    /// Per-bucket counts (last element is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The configured inclusive upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket fractions of the total (all zeros when empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Approximate inverse CDF: the smallest bucket upper bound at which
+    /// the cumulative fraction reaches `q` (`0.0..=1.0`). Returns `None`
+    /// when empty; the overflow bucket reports the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last().expect("non-empty")));
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lo = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            write!(f, "[{lo}-{b}]={} ", self.counts[i])?;
+            lo = b + 1;
+        }
+        write!(f, "[>{}]={}", self.bounds.last().unwrap(), self.counts.last().unwrap())
+    }
+}
+
+/// Streaming mean/min/max accumulator.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::RunningStat;
+/// let mut s = RunningStat::new();
+/// s.push(2.0);
+/// s.push(4.0);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_inclusive() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(10); // first bucket (inclusive)
+        h.record(11); // second
+        h.record(20); // second
+        h.record(21); // overflow
+        assert_eq!(h.counts(), &[1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_bad_bounds() {
+        let _ = Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn rejects_empty_bounds() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(&[1, 2, 3]);
+        for v in 0..100 {
+            h.record(v % 5);
+        }
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let h = Histogram::new(&[1]);
+        assert_eq!(h.fractions(), vec![0.0, 0.0]);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(&[10]);
+        let mut b = Histogram::new(&[10]);
+        a.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.mean(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[10]);
+        let b = Histogram::new(&[11]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in [1, 2, 3, 15, 25, 25, 25, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_bound(0.0), Some(10));
+        assert_eq!(h.quantile_bound(0.5), Some(20));
+        assert_eq!(h.quantile_bound(0.8), Some(30));
+        assert_eq!(h.quantile_bound(1.0), Some(30)); // overflow reports last
+        assert_eq!(Histogram::new(&[1]).quantile_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_bad_q() {
+        let mut h = Histogram::new(&[1]);
+        h.record(0);
+        let _ = h.quantile_bound(1.5);
+    }
+
+    #[test]
+    fn running_stat_minmax() {
+        let mut s = RunningStat::new();
+        assert!(s.min().is_none());
+        s.push(3.0);
+        s.push(-1.0);
+        s.push(7.0);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.0));
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_display() {
+        let mut h = Histogram::new(&[19, 39, 64]);
+        h.record(70);
+        let s = h.to_string();
+        assert!(s.contains("[>64]=1"), "{s}");
+    }
+}

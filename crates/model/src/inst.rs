@@ -1,0 +1,301 @@
+//! Dynamic x86-like instructions as they appear in a trace.
+//!
+//! The simulator is trace-driven: a workload is a deterministic stream of
+//! [`DynInst`] records, one per retired x86 instruction, carrying exactly
+//! the attributes the front-end model needs — byte length, uop count,
+//! immediate/displacement count, micro-coded flag, branch behaviour and
+//! (for memory ops) a data address.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Addr;
+
+/// Architectural class of an x86-like instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstClass {
+    /// Integer ALU (add/sub/logic/shift/lea/mov reg-reg).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (direct target).
+    CondBranch,
+    /// Unconditional direct jump.
+    JumpDirect,
+    /// Indirect jump (register / memory target).
+    JumpIndirect,
+    /// Direct call.
+    Call,
+    /// Return.
+    Ret,
+    /// Floating point arithmetic.
+    Fp,
+    /// SIMD / vector (AVX-128/256/512).
+    Simd,
+    /// No-op / prefetch / fence.
+    Nop,
+}
+
+impl InstClass {
+    /// True for any control-transfer instruction.
+    pub const fn is_branch(self) -> bool {
+        matches!(
+            self,
+            InstClass::CondBranch
+                | InstClass::JumpDirect
+                | InstClass::JumpIndirect
+                | InstClass::Call
+                | InstClass::Ret
+        )
+    }
+
+    /// True only for conditional branches.
+    pub const fn is_cond_branch(self) -> bool {
+        matches!(self, InstClass::CondBranch)
+    }
+
+    /// True for control transfers that are always taken when executed
+    /// (everything except a conditional branch).
+    pub const fn is_always_taken(self) -> bool {
+        self.is_branch() && !self.is_cond_branch()
+    }
+
+    /// True for loads and stores.
+    pub const fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstClass::IntAlu => "alu",
+            InstClass::IntMul => "mul",
+            InstClass::IntDiv => "div",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::CondBranch => "jcc",
+            InstClass::JumpDirect => "jmp",
+            InstClass::JumpIndirect => "jmp*",
+            InstClass::Call => "call",
+            InstClass::Ret => "ret",
+            InstClass::Fp => "fp",
+            InstClass::Simd => "simd",
+            InstClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Executed-branch information attached to branch instructions in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchExec {
+    /// Actual (architecturally correct) direction.
+    pub taken: bool,
+    /// Actual target when taken (fall-through address otherwise).
+    pub target: Addr,
+}
+
+/// One dynamic instruction of a trace.
+///
+/// `DynInst` is `Copy`-sized-small on purpose: trace generators produce
+/// millions of these per run and the pipeline consumes them streaming.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::{Addr, BranchExec, DynInst, InstClass};
+///
+/// let br = DynInst::branch(Addr::new(0x100), 2, InstClass::CondBranch,
+///                          BranchExec { taken: true, target: Addr::new(0x80) });
+/// assert!(br.class.is_branch());
+/// assert_eq!(br.next_pc(), Addr::new(0x80));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Instruction physical address.
+    pub pc: Addr,
+    /// Instruction byte length (1–15 for x86).
+    pub len: u8,
+    /// Number of uops this instruction decodes into (≥1).
+    pub uops: u8,
+    /// Number of 32-bit immediate/displacement fields carried (0–2).
+    pub imm_disp: u8,
+    /// True if decoded via the microcode sequencer.
+    pub microcoded: bool,
+    /// Architectural class.
+    pub class: InstClass,
+    /// Branch execution info (class.is_branch() ⇔ Some).
+    pub branch: Option<BranchExec>,
+    /// Data address for loads/stores.
+    pub mem_addr: Option<Addr>,
+}
+
+impl DynInst {
+    /// Creates a non-branch, non-memory instruction.
+    pub const fn simple(pc: Addr, len: u8, class: InstClass) -> Self {
+        DynInst {
+            pc,
+            len,
+            uops: 1,
+            imm_disp: 0,
+            microcoded: false,
+            class,
+            branch: None,
+            mem_addr: None,
+        }
+    }
+
+    /// Creates a branch instruction with its executed outcome.
+    pub const fn branch(pc: Addr, len: u8, class: InstClass, exec: BranchExec) -> Self {
+        DynInst {
+            pc,
+            len,
+            uops: 1,
+            imm_disp: 0,
+            microcoded: false,
+            class,
+            branch: Some(exec),
+            mem_addr: None,
+        }
+    }
+
+    /// Creates a memory instruction touching `mem_addr`.
+    pub const fn mem(pc: Addr, len: u8, class: InstClass, mem_addr: Addr) -> Self {
+        DynInst {
+            pc,
+            len,
+            uops: 1,
+            imm_disp: 0,
+            microcoded: false,
+            class,
+            branch: None,
+            mem_addr: Some(mem_addr),
+        }
+    }
+
+    /// Builder-style: set uop count.
+    pub const fn with_uops(mut self, uops: u8) -> Self {
+        self.uops = uops;
+        self
+    }
+
+    /// Builder-style: set immediate/displacement field count.
+    pub const fn with_imm_disp(mut self, n: u8) -> Self {
+        self.imm_disp = n;
+        self
+    }
+
+    /// Builder-style: mark micro-coded.
+    pub const fn with_microcoded(mut self, m: bool) -> Self {
+        self.microcoded = m;
+        self
+    }
+
+    /// Address of the byte just past this instruction (fall-through PC).
+    pub const fn end(self) -> Addr {
+        Addr::new(self.pc.get() + self.len as u64)
+    }
+
+    /// Architecturally correct next PC (branch target if taken, else
+    /// fall-through).
+    pub fn next_pc(self) -> Addr {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.end(),
+        }
+    }
+
+    /// True if this instruction is an actually-taken branch.
+    pub fn is_taken_branch(self) -> bool {
+        matches!(self.branch, Some(b) if b.taken)
+    }
+
+    /// True if the instruction's bytes cross a 64-byte line boundary.
+    pub fn crosses_line(self) -> bool {
+        !self.pc.same_line(self.end().offset(u64::MAX)) // last byte = end-1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstClass::CondBranch.is_branch());
+        assert!(InstClass::Ret.is_branch());
+        assert!(!InstClass::Load.is_branch());
+        assert!(InstClass::CondBranch.is_cond_branch());
+        assert!(!InstClass::JumpDirect.is_cond_branch());
+        assert!(InstClass::Call.is_always_taken());
+        assert!(!InstClass::CondBranch.is_always_taken());
+        assert!(InstClass::Store.is_mem());
+        assert!(!InstClass::Nop.is_mem());
+    }
+
+    #[test]
+    fn fallthrough_next_pc() {
+        let i = DynInst::simple(Addr::new(0x100), 3, InstClass::IntAlu);
+        assert_eq!(i.next_pc(), Addr::new(0x103));
+        assert!(!i.is_taken_branch());
+    }
+
+    #[test]
+    fn taken_branch_next_pc() {
+        let i = DynInst::branch(
+            Addr::new(0x100),
+            2,
+            InstClass::CondBranch,
+            BranchExec {
+                taken: true,
+                target: Addr::new(0x40),
+            },
+        );
+        assert_eq!(i.next_pc(), Addr::new(0x40));
+        assert!(i.is_taken_branch());
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let i = DynInst::branch(
+            Addr::new(0x100),
+            2,
+            InstClass::CondBranch,
+            BranchExec {
+                taken: false,
+                target: Addr::new(0x40),
+            },
+        );
+        assert_eq!(i.next_pc(), Addr::new(0x102));
+        assert!(!i.is_taken_branch());
+    }
+
+    #[test]
+    fn line_crossing() {
+        // 4-byte inst starting at offset 62 spills into the next line.
+        let i = DynInst::simple(Addr::new(0x103e), 4, InstClass::IntAlu);
+        assert!(i.crosses_line());
+        // 2-byte inst ending exactly at the boundary does not cross.
+        let j = DynInst::simple(Addr::new(0x103e), 2, InstClass::IntAlu);
+        assert!(!j.crosses_line());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let i = DynInst::simple(Addr::new(0), 1, InstClass::Nop)
+            .with_uops(5)
+            .with_imm_disp(2)
+            .with_microcoded(true);
+        assert_eq!(i.uops, 5);
+        assert_eq!(i.imm_disp, 2);
+        assert!(i.microcoded);
+    }
+}

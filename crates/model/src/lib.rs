@@ -1,0 +1,51 @@
+//! # ucsim-model
+//!
+//! Shared vocabulary types for the `ucsim` x86 front-end simulator, a
+//! from-scratch reproduction of *"Improving the Utilization of
+//! Micro-operation Caches in x86 Processors"* (MICRO 2020).
+//!
+//! This crate sits at the bottom of the workspace dependency graph and
+//! defines the types every other crate speaks:
+//!
+//! * [`Addr`] — physical byte addresses and I-cache line arithmetic.
+//! * [`Uop`] / [`UopKind`] — fixed-length (56-bit) micro-operations.
+//! * [`DynInst`] / [`InstClass`] — dynamic x86-like instructions as they
+//!   appear in a trace.
+//! * [`PredictionWindow`] — the decoupled front-end fetch unit produced by
+//!   the branch predictor (paper Section II-A).
+//! * [`EntryTermination`] / [`PwTermination`] — the termination rules that
+//!   govern uop cache entry and PW construction (paper Section II-B2).
+//! * [`SplitMix64`] — a tiny deterministic RNG used for reproducible
+//!   workload synthesis and stable per-uop hashes.
+//! * [`Histogram`] / [`RunningStat`] — bookkeeping used by every stats
+//!   module in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use ucsim_model::{Addr, ICACHE_LINE_BYTES};
+//!
+//! let a = Addr::new(0x40_0123);
+//! assert_eq!(a.line_offset(), 0x23);
+//! assert_eq!(a.line().base().get(), 0x40_0100);
+//! assert_eq!(ICACHE_LINE_BYTES, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod hist;
+mod inst;
+mod pw;
+mod rng;
+mod term;
+mod uop;
+
+pub use addr::{Addr, LineAddr, ICACHE_LINE_BYTES, ICACHE_LINE_SHIFT};
+pub use hist::{Histogram, RunningStat};
+pub use inst::{BranchExec, DynInst, InstClass};
+pub use pw::{PredictionWindow, PwId, PwTermination};
+pub use rng::{mix64, SplitMix64};
+pub use term::EntryTermination;
+pub use uop::{Uop, UopKind, IMM_DISP_BYTES, UOP_BYTES};

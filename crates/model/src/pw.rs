@@ -1,0 +1,162 @@
+//! Prediction windows — the fetch unit of a decoupled front end.
+//!
+//! The branch predictor runs ahead of fetch and emits *prediction windows*
+//! (PWs): ranges of consecutive x86 instructions predicted to execute
+//! (paper Section II-A). A PW starts anywhere in an I-cache line and
+//! terminates at (a) the end of the I-cache line, (b) a predicted-taken
+//! branch, or (c) a maximum number of predicted not-taken branches.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Addr;
+
+/// Identifier for a prediction window, unique within a run.
+///
+/// PWAC / F-PWAC compaction (paper Section V-B2/V-B3) tags every uop cache
+/// entry with the PW that created it; this is that tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct PwId(pub u64);
+
+impl fmt::Display for PwId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PW#{}", self.0)
+    }
+}
+
+/// Why a prediction window was terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PwTermination {
+    /// Reached the end of the 64-byte I-cache line.
+    IcacheLineEnd,
+    /// Ended at a predicted-taken branch.
+    TakenBranch,
+    /// Hit the maximum number of predicted not-taken branches.
+    MaxNotTakenBranches,
+    /// Front-end redirect (misprediction recovery / trace end).
+    Redirect,
+}
+
+impl fmt::Display for PwTermination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PwTermination::IcacheLineEnd => "icache-line-end",
+            PwTermination::TakenBranch => "taken-branch",
+            PwTermination::MaxNotTakenBranches => "max-not-taken",
+            PwTermination::Redirect => "redirect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A prediction window: `[start, end)` over instruction bytes, plus the
+/// dynamic-instruction span it covers in the trace.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::{Addr, PredictionWindow, PwId, PwTermination};
+/// let pw = PredictionWindow {
+///     id: PwId(3),
+///     start: Addr::new(0x1010),
+///     end: Addr::new(0x1040),
+///     first_seq: 100,
+///     inst_count: 9,
+///     termination: PwTermination::IcacheLineEnd,
+///     ends_in_taken_branch: false,
+/// };
+/// assert_eq!(pw.byte_len(), 0x30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredictionWindow {
+    /// Unique id (monotonic per run).
+    pub id: PwId,
+    /// Address of the first instruction byte in the window.
+    pub start: Addr,
+    /// One past the last instruction byte in the window.
+    pub end: Addr,
+    /// Dynamic sequence number of the first instruction in the window.
+    pub first_seq: u64,
+    /// Number of dynamic instructions covered.
+    pub inst_count: u32,
+    /// Why the window ended.
+    pub termination: PwTermination,
+    /// True if the final instruction is a predicted-taken branch.
+    pub ends_in_taken_branch: bool,
+}
+
+impl PredictionWindow {
+    /// Window length in instruction bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.end.distance_from(self.start)
+    }
+
+    /// Dynamic sequence number one past the last instruction in the window.
+    pub fn end_seq(&self) -> u64 {
+        self.first_seq + self.inst_count as u64
+    }
+
+    /// True if the window stays within a single I-cache line.
+    ///
+    /// By construction PWs never span lines (they terminate at the line
+    /// boundary); this is asserted by the PW generator's tests.
+    pub fn within_one_line(&self) -> bool {
+        self.byte_len() == 0 || self.start.same_line(self.end.offset(u64::MAX))
+    }
+}
+
+impl fmt::Display for PredictionWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}..{}) {} insts, {}",
+            self.id, self.start, self.end, self.inst_count, self.termination
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pw(start: u64, end: u64) -> PredictionWindow {
+        PredictionWindow {
+            id: PwId(0),
+            start: Addr::new(start),
+            end: Addr::new(end),
+            first_seq: 0,
+            inst_count: 4,
+            termination: PwTermination::IcacheLineEnd,
+            ends_in_taken_branch: false,
+        }
+    }
+
+    #[test]
+    fn byte_len() {
+        assert_eq!(pw(0x1010, 0x1040).byte_len(), 0x30);
+    }
+
+    #[test]
+    fn within_one_line() {
+        assert!(pw(0x1010, 0x1040).within_one_line());
+        assert!(pw(0x1000, 0x1040).within_one_line());
+        assert!(!pw(0x1010, 0x1041).within_one_line());
+    }
+
+    #[test]
+    fn end_seq() {
+        let mut p = pw(0, 8);
+        p.first_seq = 10;
+        p.inst_count = 3;
+        assert_eq!(p.end_seq(), 13);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = pw(0x10, 0x20);
+        let s = p.to_string();
+        assert!(s.contains("PW#0"));
+        assert!(s.contains("icache-line-end"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Uop cache entry termination reasons (paper Section II-B2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a uop cache entry stopped accumulating instructions.
+///
+/// The paper's baseline terminates an entry on: (a) the I-cache line
+/// boundary, (b) a predicted-taken branch, (c) the per-entry uop limit,
+/// (d) the per-entry immediate/displacement limit, (e) the per-entry
+/// micro-coded-instruction limit. A sixth cause — the 64-byte physical
+/// line filling up — arises from the byte accounting, and a seventh when a
+/// front-end redirect flushes the accumulation buffer mid-build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryTermination {
+    /// Crossed the 64-byte I-cache line boundary (relaxed by CLASP).
+    IcacheBoundary,
+    /// Ended at a predicted-taken branch.
+    TakenBranch,
+    /// Reached the maximum number of uops per entry.
+    MaxUops,
+    /// Reached the maximum number of immediate/displacement fields.
+    MaxImmDisp,
+    /// Reached the maximum number of micro-coded instructions.
+    MaxMicrocoded,
+    /// The 56-bit-uop + 32-bit-imm byte budget of the line filled up.
+    LineCapacity,
+    /// Front-end redirect (misprediction) flushed the accumulation buffer.
+    Flush,
+    /// Prediction-window boundary (only under the `terminate_at_pw_end`
+    /// build-rule ablation; the paper's baseline lets entries span
+    /// sequential PWs).
+    PwBoundary,
+}
+
+impl EntryTermination {
+    /// All variants, for exhaustive statistics tables.
+    pub const ALL: [EntryTermination; 8] = [
+        EntryTermination::IcacheBoundary,
+        EntryTermination::TakenBranch,
+        EntryTermination::MaxUops,
+        EntryTermination::MaxImmDisp,
+        EntryTermination::MaxMicrocoded,
+        EntryTermination::LineCapacity,
+        EntryTermination::Flush,
+        EntryTermination::PwBoundary,
+    ];
+
+    /// Stable index into [`Self::ALL`], for compact counters.
+    pub const fn index(self) -> usize {
+        match self {
+            EntryTermination::IcacheBoundary => 0,
+            EntryTermination::TakenBranch => 1,
+            EntryTermination::MaxUops => 2,
+            EntryTermination::MaxImmDisp => 3,
+            EntryTermination::MaxMicrocoded => 4,
+            EntryTermination::LineCapacity => 5,
+            EntryTermination::Flush => 6,
+            EntryTermination::PwBoundary => 7,
+        }
+    }
+}
+
+impl fmt::Display for EntryTermination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntryTermination::IcacheBoundary => "icache-boundary",
+            EntryTermination::TakenBranch => "taken-branch",
+            EntryTermination::MaxUops => "max-uops",
+            EntryTermination::MaxImmDisp => "max-imm-disp",
+            EntryTermination::MaxMicrocoded => "max-microcoded",
+            EntryTermination::LineCapacity => "line-capacity",
+            EntryTermination::Flush => "flush",
+            EntryTermination::PwBoundary => "pw-boundary",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_bijective() {
+        for (i, t) in EntryTermination::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_kebab() {
+        assert_eq!(EntryTermination::IcacheBoundary.to_string(), "icache-boundary");
+        assert_eq!(EntryTermination::MaxImmDisp.to_string(), "max-imm-disp");
+    }
+}

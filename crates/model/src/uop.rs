@@ -1,0 +1,224 @@
+//! Fixed-length micro-operations.
+//!
+//! The paper assumes each uop occupies 56 bits (Table I) and each
+//! immediate/displacement operand 32 bits. An x86 instruction decodes into
+//! one or more uops; micro-coded instructions expand into longer sequences
+//! fed by the microcode sequencer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Addr;
+
+/// Storage footprint of one uop in the uop cache: 56 bits = 7 bytes.
+pub const UOP_BYTES: u32 = 7;
+
+/// Storage footprint of one immediate/displacement field: 32 bits = 4 bytes.
+pub const IMM_DISP_BYTES: u32 = 4;
+
+/// Functional class of a micro-operation, used by the back-end timing model
+/// to pick execution latency and by statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation (add, sub, logic, shifts, lea).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (long latency, unpipelined).
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store (address + data considered a single uop here).
+    Store,
+    /// Conditional or unconditional branch / call / return.
+    Branch,
+    /// Floating-point add/sub/convert.
+    FpAdd,
+    /// Floating-point multiply / FMA.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// SIMD integer / vector op (AVX-128/256/512 lanes).
+    Simd,
+    /// No-op (padding, fences modeled as nops).
+    Nop,
+}
+
+impl UopKind {
+    /// Back-end execution latency in cycles for this class.
+    ///
+    /// These are typical modern-x86 latencies; the figures of merit in the
+    /// reproduction are all relative, so only rough realism matters.
+    pub const fn latency(self) -> u32 {
+        match self {
+            UopKind::IntAlu | UopKind::Nop => 1,
+            UopKind::IntMul => 3,
+            UopKind::IntDiv => 18,
+            UopKind::Load => 4,
+            UopKind::Store => 1,
+            UopKind::Branch => 1,
+            UopKind::FpAdd => 3,
+            UopKind::FpMul => 4,
+            UopKind::FpDiv => 13,
+            UopKind::Simd => 2,
+        }
+    }
+
+    /// True for memory-reading uops.
+    pub const fn is_load(self) -> bool {
+        matches!(self, UopKind::Load)
+    }
+
+    /// True for branch uops.
+    pub const fn is_branch(self) -> bool {
+        matches!(self, UopKind::Branch)
+    }
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::IntAlu => "alu",
+            UopKind::IntMul => "mul",
+            UopKind::IntDiv => "div",
+            UopKind::Load => "load",
+            UopKind::Store => "store",
+            UopKind::Branch => "branch",
+            UopKind::FpAdd => "fadd",
+            UopKind::FpMul => "fmul",
+            UopKind::FpDiv => "fdiv",
+            UopKind::Simd => "simd",
+            UopKind::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single decoded micro-operation.
+///
+/// Uops are produced by the x86 decoder (or read from the uop cache / loop
+/// cache) and dispatched to the back-end. The simulator does not model
+/// register dataflow bit-for-bit; a uop carries enough identity (`pc`,
+/// `seq`, `kind`) for timing, replay determinism and statistics.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::{Addr, Uop, UopKind};
+/// let u = Uop::new(Addr::new(0x1000), 7, UopKind::Load);
+/// assert!(u.kind.is_load());
+/// assert_eq!(u.pc, Addr::new(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uop {
+    /// Address of the parent x86 instruction.
+    pub pc: Addr,
+    /// Global dynamic sequence number of the parent instruction.
+    pub seq: u64,
+    /// Functional class.
+    pub kind: UopKind,
+    /// Index of this uop within its parent instruction (0-based).
+    pub slot: u8,
+    /// True if the parent instruction is micro-coded (MS-ROM sequence).
+    pub microcoded: bool,
+    /// True if this uop carries an immediate/displacement field that must be
+    /// stored alongside it in a uop cache entry.
+    pub has_imm_disp: bool,
+}
+
+impl Uop {
+    /// Creates a uop for instruction `pc`, dynamic sequence number `seq`.
+    pub const fn new(pc: Addr, seq: u64, kind: UopKind) -> Self {
+        Uop {
+            pc,
+            seq,
+            kind,
+            slot: 0,
+            microcoded: false,
+            has_imm_disp: false,
+        }
+    }
+
+    /// Builder-style: mark which uop slot of the parent instruction this is.
+    pub const fn with_slot(mut self, slot: u8) -> Self {
+        self.slot = slot;
+        self
+    }
+
+    /// Builder-style: mark the parent as micro-coded.
+    pub const fn with_microcoded(mut self, m: bool) -> Self {
+        self.microcoded = m;
+        self
+    }
+
+    /// Builder-style: attach an immediate/displacement field.
+    pub const fn with_imm_disp(mut self, i: bool) -> Self {
+        self.has_imm_disp = i;
+        self
+    }
+
+    /// Stable 64-bit hash of this uop's identity, used for deterministic
+    /// back-end dependency modeling that does not drift across
+    /// configurations (A/B comparisons stay aligned).
+    pub fn identity_hash(&self) -> u64 {
+        crate::mix64(self.pc.get() ^ self.seq.rotate_left(17) ^ (self.slot as u64) << 56)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(UOP_BYTES, 7); // 56 bits
+        assert_eq!(IMM_DISP_BYTES, 4); // 32 bits
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        assert!(UopKind::IntDiv.latency() > UopKind::IntMul.latency());
+        assert!(UopKind::IntMul.latency() > UopKind::IntAlu.latency());
+        assert!(UopKind::FpDiv.latency() > UopKind::FpMul.latency());
+        for k in [
+            UopKind::IntAlu,
+            UopKind::IntMul,
+            UopKind::IntDiv,
+            UopKind::Load,
+            UopKind::Store,
+            UopKind::Branch,
+            UopKind::FpAdd,
+            UopKind::FpMul,
+            UopKind::FpDiv,
+            UopKind::Simd,
+            UopKind::Nop,
+        ] {
+            assert!(k.latency() >= 1, "{k} must take at least a cycle");
+        }
+    }
+
+    #[test]
+    fn builder_chain() {
+        let u = Uop::new(Addr::new(4), 9, UopKind::Store)
+            .with_slot(2)
+            .with_microcoded(true)
+            .with_imm_disp(true);
+        assert_eq!(u.slot, 2);
+        assert!(u.microcoded);
+        assert!(u.has_imm_disp);
+    }
+
+    #[test]
+    fn identity_hash_distinguishes_slots() {
+        let a = Uop::new(Addr::new(4), 9, UopKind::IntAlu).with_slot(0);
+        let b = Uop::new(Addr::new(4), 9, UopKind::IntAlu).with_slot(1);
+        assert_ne!(a.identity_hash(), b.identity_hash());
+    }
+
+    #[test]
+    fn identity_hash_is_stable() {
+        let a = Uop::new(Addr::new(0x1234), 77, UopKind::Load);
+        assert_eq!(a.identity_hash(), a.identity_hash());
+    }
+}

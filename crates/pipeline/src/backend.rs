@@ -1,0 +1,432 @@
+//! Simplified out-of-order back end.
+//!
+//! The front end is the paper's subject; the back end only needs to turn
+//! uop delivery times into realistic commit times. We model it as a set
+//! of monotonic scalar recurrences per uop — queue back-pressure,
+//! dispatch-width slots, ROB occupancy, synthetic dependences, execution
+//! latency, and in-order retire-width-limited retirement — which costs a
+//! few arithmetic operations per uop instead of a full scheduler, while
+//! preserving the structural bottlenecks (Table I widths).
+
+use ucsim_model::{mix64, UopKind};
+
+/// Back-end geometry.
+#[derive(Debug, Clone)]
+pub struct BackendConfig {
+    /// Dispatch width (uops/cycle queue → ROB).
+    pub dispatch_width: u32,
+    /// Retire width (uops/cycle).
+    pub retire_width: u32,
+    /// ROB entries.
+    pub rob_size: usize,
+    /// Uop queue entries (delivery back-pressure).
+    pub uop_queue_size: usize,
+    /// Probability a uop depends on a recent uop.
+    pub dep_prob: f64,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            dispatch_width: 6,
+            retire_width: 8,
+            rob_size: 256,
+            uop_queue_size: 120,
+            dep_prob: 0.35,
+        }
+    }
+}
+
+/// Dependence window: a uop may depend on one of this many predecessors.
+const DEP_WINDOW: usize = 16;
+
+/// Timing outcome for one admitted uop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitOutcome {
+    /// Cycle the uop actually entered the uop queue (≥ delivery under
+    /// back-pressure).
+    pub entered: u64,
+    /// Cycle the uop dispatched into the ROB.
+    pub dispatched: u64,
+    /// Cycle the uop finished executing (branch resolution time).
+    pub completed: u64,
+    /// Cycle the uop retired.
+    pub retired: u64,
+}
+
+/// The back-end state machine.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_pipeline::{Backend, BackendConfig};
+/// use ucsim_model::UopKind;
+///
+/// let mut be = Backend::new(BackendConfig::default());
+/// let first = be.admit(0, UopKind::IntAlu, 1, 0);
+/// let second = be.admit(0, UopKind::IntAlu, 2, 0);
+/// assert!(second.retired >= first.retired); // in-order retirement
+/// ```
+#[derive(Debug)]
+pub struct Backend {
+    cfg: BackendConfig,
+    seq: u64,
+    dispatch_ring: Vec<u64>,
+    retire_ring: Vec<u64>,
+    complete_ring: [u64; DEP_WINDOW],
+    disp_cycle: u64,
+    disp_used: u32,
+    ret_cycle: u64,
+    ret_used: u32,
+    last_retire: u64,
+    busy_dispatch_cycles: u64,
+    dispatched: u64,
+}
+
+impl Backend {
+    /// Creates an idle back end.
+    pub fn new(cfg: BackendConfig) -> Self {
+        assert!(cfg.dispatch_width > 0 && cfg.retire_width > 0);
+        assert!(cfg.rob_size > 0 && cfg.uop_queue_size > 0);
+        Backend {
+            dispatch_ring: vec![0; cfg.uop_queue_size],
+            retire_ring: vec![0; cfg.rob_size],
+            complete_ring: [0; DEP_WINDOW],
+            cfg,
+            seq: 0,
+            disp_cycle: 0,
+            disp_used: 0,
+            ret_cycle: 0,
+            ret_used: 0,
+            last_retire: 0,
+            busy_dispatch_cycles: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Admits one uop delivered to the uop queue at cycle `delivery`.
+    ///
+    /// `identity` seeds the synthetic dependence draw (stable across
+    /// configurations); `mem_latency` overrides the execution latency for
+    /// loads (data-cache access time), 0 means "use the class latency".
+    pub fn admit(
+        &mut self,
+        delivery: u64,
+        kind: UopKind,
+        identity: u64,
+        mem_latency: u32,
+    ) -> AdmitOutcome {
+        let seq = self.seq;
+        self.seq += 1;
+
+        // Uop queue back-pressure: entry waits for the slot freed by the
+        // uop that left the queue uop_queue_size ago.
+        let q = self.cfg.uop_queue_size;
+        let queue_free = if seq >= q as u64 {
+            self.dispatch_ring[(seq as usize - q) % q]
+        } else {
+            0
+        };
+        let entered = delivery.max(queue_free);
+
+        // ROB occupancy: dispatch waits for the retirement of the uop
+        // rob_size back.
+        let r = self.cfg.rob_size;
+        let rob_free = if seq >= r as u64 {
+            self.retire_ring[(seq as usize - r) % r]
+        } else {
+            0
+        };
+
+        // Dispatch slot (in-order, dispatch_width per cycle).
+        let ready = (entered + 1).max(rob_free);
+        let dtime = self.take_dispatch_slot(ready);
+        self.dispatch_ring[seq as usize % q] = dtime;
+        self.dispatched += 1;
+
+        // Execution: synthetic dataflow + class latency.
+        let mut estart = dtime + 1;
+        let h = mix64(identity);
+        let dep_draw = (h >> 32) as f64 / u32::MAX as f64;
+        if dep_draw < self.cfg.dep_prob {
+            let back = 1 + (h as usize % (DEP_WINDOW - 1));
+            if seq >= back as u64 {
+                let dep_done = self.complete_ring[(seq as usize - back) % DEP_WINDOW];
+                estart = estart.max(dep_done);
+            }
+        }
+        let lat = if mem_latency > 0 {
+            mem_latency
+        } else {
+            kind.latency()
+        };
+        let completed = estart + lat as u64;
+        self.complete_ring[seq as usize % DEP_WINDOW] = completed;
+
+        // In-order retirement, retire_width per cycle.
+        let rready = completed.max(self.last_retire);
+        let retired = self.take_retire_slot(rready);
+        self.retire_ring[seq as usize % r] = retired;
+        self.last_retire = retired;
+
+        AdmitOutcome {
+            entered,
+            dispatched: dtime,
+            completed,
+            retired,
+        }
+    }
+
+    fn take_dispatch_slot(&mut self, ready: u64) -> u64 {
+        if ready > self.disp_cycle {
+            self.disp_cycle = ready;
+            self.disp_used = 1;
+            self.busy_dispatch_cycles += 1;
+            ready
+        } else if self.disp_used < self.cfg.dispatch_width {
+            self.disp_used += 1;
+            self.disp_cycle
+        } else {
+            self.disp_cycle += 1;
+            self.disp_used = 1;
+            self.busy_dispatch_cycles += 1;
+            self.disp_cycle
+        }
+    }
+
+    fn take_retire_slot(&mut self, ready: u64) -> u64 {
+        if ready > self.ret_cycle {
+            self.ret_cycle = ready;
+            self.ret_used = 1;
+            ready
+        } else if self.ret_used < self.cfg.retire_width {
+            self.ret_used += 1;
+            self.ret_cycle
+        } else {
+            self.ret_cycle += 1;
+            self.ret_used = 1;
+            self.ret_cycle
+        }
+    }
+
+    /// Retire time of the most recently admitted uop.
+    pub fn last_retire_time(&self) -> u64 {
+        self.last_retire
+    }
+
+    /// Total uops admitted.
+    pub fn uops_admitted(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Cycles in which at least one uop dispatched.
+    pub fn busy_dispatch_cycles(&self) -> u64 {
+        self.busy_dispatch_cycles
+    }
+
+    /// Snapshot used by the simulator's warmup boundary: returns
+    /// `(uops, busy_dispatch_cycles)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.dispatched, self.busy_dispatch_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flood(be: &mut Backend, n: u64) -> AdmitOutcome {
+        let mut last = AdmitOutcome {
+            entered: 0,
+            dispatched: 0,
+            completed: 0,
+            retired: 0,
+        };
+        for i in 0..n {
+            last = be.admit(0, UopKind::IntAlu, i, 0);
+        }
+        last
+    }
+
+    #[test]
+    fn throughput_bounded_by_dispatch_width() {
+        let mut be = Backend::new(BackendConfig {
+            dep_prob: 0.0,
+            ..Default::default()
+        });
+        let n = 60_000;
+        let last = flood(&mut be, n);
+        let upc = n as f64 / last.retired as f64;
+        assert!(
+            upc <= 6.05,
+            "UPC {upc} cannot exceed dispatch width 6"
+        );
+        assert!(upc > 5.0, "independent uops should near dispatch width, got {upc}");
+    }
+
+    #[test]
+    fn dependences_reduce_throughput() {
+        // 1-cycle ALU chains never bind at width 6; multiply chains
+        // (latency 3) through the dependence window do.
+        let mul_flood = |dep_prob: f64, n: u64| {
+            let mut be = Backend::new(BackendConfig {
+                dep_prob,
+                ..Default::default()
+            });
+            let mut last = be.admit(0, UopKind::IntMul, 0, 0);
+            for i in 1..n {
+                last = be.admit(0, UopKind::IntMul, i, 0);
+            }
+            last
+        };
+        let n = 20_000;
+        let free = mul_flood(0.0, n);
+        let dep = mul_flood(1.0, n);
+        assert!(
+            dep.retired > free.retired,
+            "dependences must slow commit: {} vs {}",
+            dep.retired,
+            free.retired
+        );
+    }
+
+    #[test]
+    fn delivery_gaps_propagate() {
+        let mut be = Backend::new(BackendConfig::default());
+        // A uop delivered at cycle 1000 into an idle machine retires
+        // shortly after 1000, not at cycle ~2.
+        let out = be.admit(1000, UopKind::IntAlu, 0, 0);
+        assert!(out.retired >= 1002);
+        assert_eq!(out.entered, 1000);
+    }
+
+    #[test]
+    fn queue_backpressure_delays_entry() {
+        let cfg = BackendConfig {
+            uop_queue_size: 4,
+            dispatch_width: 1,
+            dep_prob: 0.0,
+            ..Default::default()
+        };
+        let mut be = Backend::new(cfg);
+        // Deliver 8 uops at cycle 0 into a 4-entry queue with 1-wide
+        // dispatch: later uops cannot enter at 0.
+        let mut entered = Vec::new();
+        for i in 0..8 {
+            entered.push(be.admit(0, UopKind::IntAlu, i, 0).entered);
+        }
+        assert_eq!(entered[0], 0);
+        assert!(entered[7] > 0, "queue of 4 must back-pressure the 8th uop");
+    }
+
+    #[test]
+    fn long_latency_blocks_retirement_order() {
+        let mut be = Backend::new(BackendConfig {
+            dep_prob: 0.0,
+            ..Default::default()
+        });
+        let slow = be.admit(0, UopKind::IntDiv, 0, 0);
+        let fast = be.admit(0, UopKind::IntAlu, 1, 0);
+        assert!(fast.completed < slow.completed, "OoO completion");
+        assert!(fast.retired >= slow.retired, "in-order retirement");
+    }
+
+    #[test]
+    fn mem_latency_override() {
+        let mut be = Backend::new(BackendConfig {
+            dep_prob: 0.0,
+            ..Default::default()
+        });
+        let hit = be.admit(0, UopKind::Load, 0, 4);
+        let mut be2 = Backend::new(BackendConfig {
+            dep_prob: 0.0,
+            ..Default::default()
+        });
+        let miss = be2.admit(0, UopKind::Load, 0, 160);
+        assert!(miss.completed > hit.completed + 100);
+    }
+
+    #[test]
+    fn rob_limits_inflight() {
+        let cfg = BackendConfig {
+            rob_size: 8,
+            dep_prob: 0.0,
+            ..Default::default()
+        };
+        let mut be = Backend::new(cfg);
+        // First uop is a long-latency divide; the 9th uop's dispatch must
+        // wait for its retirement (ROB of 8).
+        let slow = be.admit(0, UopKind::IntDiv, 0, 0);
+        let mut last = slow;
+        for i in 1..9 {
+            last = be.admit(0, UopKind::IntAlu, i, 0);
+        }
+        assert!(
+            last.retired >= slow.retired,
+            "9th uop ({}) must not retire before the divide ({})",
+            last.retired,
+            slow.retired
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Core timing invariants hold for arbitrary delivery schedules:
+        /// entry ≥ delivery, dispatch > entry, completion > dispatch,
+        /// retirement is monotonic and ≥ completion.
+        #[test]
+        fn timing_invariants(
+            gaps in prop::collection::vec(0u64..20, 1..400),
+            dep_prob in 0.0f64..1.0,
+        ) {
+            let mut be = Backend::new(BackendConfig { dep_prob, ..Default::default() });
+            let mut t = 0u64;
+            let mut last_retire = 0u64;
+            for (i, g) in gaps.iter().enumerate() {
+                t += g;
+                let kind = match i % 4 {
+                    0 => UopKind::IntAlu,
+                    1 => UopKind::Load,
+                    2 => UopKind::IntMul,
+                    _ => UopKind::Branch,
+                };
+                let out = be.admit(t, kind, i as u64, 0);
+                prop_assert!(out.entered >= t);
+                prop_assert!(out.dispatched > out.entered);
+                prop_assert!(out.completed > out.dispatched);
+                prop_assert!(out.retired >= out.completed);
+                prop_assert!(out.retired >= last_retire, "in-order retirement");
+                last_retire = out.retired;
+            }
+            prop_assert_eq!(be.uops_admitted(), gaps.len() as u64);
+        }
+
+        /// Dispatch never exceeds its width in any cycle.
+        #[test]
+        fn dispatch_width_is_respected(
+            n in 50usize..400,
+            width in 1u32..8,
+        ) {
+            let mut be = Backend::new(BackendConfig {
+                dispatch_width: width,
+                dep_prob: 0.0,
+                ..Default::default()
+            });
+            let mut per_cycle = std::collections::HashMap::new();
+            for i in 0..n {
+                let out = be.admit(0, UopKind::IntAlu, i as u64, 0);
+                *per_cycle.entry(out.dispatched).or_insert(0u32) += 1;
+            }
+            for (&cycle, &count) in &per_cycle {
+                prop_assert!(count <= width, "cycle {cycle} dispatched {count} > {width}");
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Whole-simulator configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use ucsim_bpu::BpuConfig;
+use ucsim_mem::HierarchyConfig;
+use ucsim_uopcache::UopCacheConfig;
+
+use crate::PowerConfig;
+
+/// Core pipeline widths and latencies (Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Uops dispatched to the back-end per cycle (Table I: 6).
+    pub dispatch_width: u32,
+    /// Uops retired per cycle (Table I: 8).
+    pub retire_width: u32,
+    /// Reorder-buffer entries (Table I: 256).
+    pub rob_size: usize,
+    /// Uop queue entries (Table I: 120).
+    pub uop_queue_size: usize,
+    /// Issue width of the simplified back-end (issue queue: 160 entries;
+    /// we model width, not occupancy).
+    pub issue_width: u32,
+    /// x86 decoder throughput in instructions/cycle (Table I: 4).
+    pub decode_width: u32,
+    /// x86 decoder pipeline latency in cycles (Table I: 3).
+    pub decode_latency: u32,
+    /// Uop cache read bandwidth in uops/cycle (Table I: 8). One entry is
+    /// dispatched per cycle; entries never exceed 8 uops.
+    pub oc_dispatch_bw: u32,
+    /// I-cache fetch bandwidth in bytes/cycle (Table I: 32).
+    pub fetch_bytes_per_cycle: u32,
+    /// Front-end refill bubble after a resolved misprediction redirect.
+    pub redirect_penalty: u32,
+    /// Bubble when a taken branch is discovered at decode (BTB miss).
+    pub decode_redirect_penalty: u32,
+    /// Bubble when a BTB entry is promoted from the second level.
+    pub btb_promote_penalty: u32,
+    /// Bubble when fetch switches between the OC and IC paths.
+    pub path_switch_penalty: u32,
+    /// Loop cache capacity in uops (0 disables the loop cache, matching
+    /// the paper's OC-centric accounting).
+    pub loop_cache_uops: u32,
+    /// Probability a uop depends on a recent uop (synthetic dataflow).
+    pub dep_prob: f64,
+    /// Uop cache fill-port occupancy per entry write, in cycles (paper
+    /// Section V-B: fill time is critical because the accumulation buffer
+    /// backs up into the decoder).
+    pub fill_port_cost: u32,
+    /// Extra fill-port cycles for an F-PWAC forced move (one additional
+    /// read + write of the previously compacted entry).
+    pub forced_move_cost: u32,
+    /// Fill backlog (entries) the accumulation buffer absorbs before the
+    /// decoder stalls.
+    pub acc_backlog: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            dispatch_width: 6,
+            retire_width: 8,
+            rob_size: 256,
+            uop_queue_size: 120,
+            issue_width: 8,
+            decode_width: 4,
+            decode_latency: 3,
+            oc_dispatch_bw: 8,
+            fetch_bytes_per_cycle: 32,
+            redirect_penalty: 5,
+            decode_redirect_penalty: 2,
+            btb_promote_penalty: 1,
+            path_switch_penalty: 1,
+            loop_cache_uops: 0,
+            dep_prob: 0.35,
+            fill_port_cost: 1,
+            forced_move_cost: 2,
+            acc_backlog: 8,
+        }
+    }
+}
+
+/// Complete simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Uop cache geometry and policies.
+    pub uop_cache: UopCacheConfig,
+    /// Branch prediction unit.
+    pub bpu: BpuConfig,
+    /// Memory hierarchy.
+    pub mem: HierarchyConfig,
+    /// Core widths/latencies.
+    pub core: CoreConfig,
+    /// Power model parameters.
+    pub power: PowerConfig,
+    /// Instructions to run before statistics are reset.
+    pub warmup_insts: u64,
+    /// Instructions measured after warmup.
+    pub measure_insts: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table I configuration with the 2K-uop baseline cache.
+    pub fn table1() -> Self {
+        SimConfig {
+            uop_cache: UopCacheConfig::baseline_2k(),
+            bpu: BpuConfig::default(),
+            mem: HierarchyConfig::default(),
+            core: CoreConfig::default(),
+            power: PowerConfig::default(),
+            warmup_insts: 200_000,
+            measure_insts: 2_000_000,
+        }
+    }
+
+    /// Builder-style: swap the uop cache configuration.
+    pub fn with_uop_cache(mut self, oc: UopCacheConfig) -> Self {
+        self.uop_cache = oc;
+        self
+    }
+
+    /// Builder-style: set run length.
+    pub fn with_insts(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_insts = warmup;
+        self.measure_insts = measure;
+        self
+    }
+
+    /// Shrinks run length for unit tests and examples.
+    pub fn quick(self) -> Self {
+        self.with_insts(20_000, 120_000)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = SimConfig::table1();
+        assert_eq!(c.core.dispatch_width, 6);
+        assert_eq!(c.core.retire_width, 8);
+        assert_eq!(c.core.rob_size, 256);
+        assert_eq!(c.core.uop_queue_size, 120);
+        assert_eq!(c.core.decode_width, 4);
+        assert_eq!(c.core.decode_latency, 3);
+        assert_eq!(c.core.oc_dispatch_bw, 8);
+        assert_eq!(c.uop_cache.sets, 32);
+        assert_eq!(c.uop_cache.ways, 8);
+        assert_eq!(c.uop_cache.capacity_uops(), 2048);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::table1()
+            .with_uop_cache(UopCacheConfig::baseline_with_capacity(8192))
+            .with_insts(10, 20);
+        assert_eq!(c.uop_cache.capacity_uops(), 8192);
+        assert_eq!(c.warmup_insts, 10);
+        assert_eq!(c.measure_insts, 20);
+    }
+}

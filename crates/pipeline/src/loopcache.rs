@@ -1,0 +1,200 @@
+//! Loop cache (loop buffer) substrate — the third uop source in the
+//! paper's Figure 1.
+//!
+//! A small structure that captures tight loops: when the same prediction
+//! window (a backward-taken-branch body) repeats consecutively and its
+//! uops fit the buffer, subsequent iterations are served from the loop
+//! cache, bypassing both the decoder *and* the uop cache. The paper keeps
+//! its accounting OC-centric, so the default configuration disables the
+//! loop cache (capacity 0); a sensitivity example enables it.
+
+use ucsim_model::Addr;
+
+/// Counters for the loop cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopCacheStats {
+    /// Uops served from the loop cache.
+    pub uops_served: u64,
+    /// Times a loop was captured.
+    pub captures: u64,
+    /// Times an active loop was exited.
+    pub exits: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LoopBody {
+    start: Addr,
+    end: Addr,
+    uops: u32,
+}
+
+/// Loop capture state machine.
+///
+/// Detection: a candidate body is a PW that ends in a taken branch whose
+/// target equals the PW start (a one-window loop). Seeing the same body
+/// twice in a row with a uop count within capacity arms the loop cache;
+/// it serves every following iteration until the pattern breaks.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_pipeline::LoopCache;
+/// use ucsim_model::Addr;
+///
+/// let mut lc = LoopCache::new(32);
+/// let (s, e) = (Addr::new(0x100), Addr::new(0x120));
+/// assert!(!lc.observe_window(s, e, 8, Some(s))); // first sighting
+/// assert!(!lc.observe_window(s, e, 8, Some(s))); // learning
+/// assert!(lc.observe_window(s, e, 8, Some(s)));  // armed: served
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopCache {
+    capacity_uops: u32,
+    candidate: Option<LoopBody>,
+    active: Option<LoopBody>,
+    stats: LoopCacheStats,
+}
+
+impl LoopCache {
+    /// Creates a loop cache holding up to `capacity_uops` uops
+    /// (0 disables it).
+    pub fn new(capacity_uops: u32) -> Self {
+        LoopCache {
+            capacity_uops,
+            candidate: None,
+            active: None,
+            stats: LoopCacheStats::default(),
+        }
+    }
+
+    /// True if the loop cache is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity_uops > 0
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LoopCacheStats {
+        self.stats
+    }
+
+    /// Resets counters (not capture state).
+    pub fn reset_stats(&mut self) {
+        self.stats = LoopCacheStats::default();
+    }
+
+    /// Observes one fetched window `[start, end)` with `uops` uops whose
+    /// terminating branch (if any) targets `taken_target`. Returns `true`
+    /// if this window was served from the loop cache (decoder and uop
+    /// cache bypassed).
+    pub fn observe_window(
+        &mut self,
+        start: Addr,
+        end: Addr,
+        uops: u32,
+        taken_target: Option<Addr>,
+    ) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let body = LoopBody { start, end, uops };
+        let is_self_loop = taken_target == Some(start) && uops <= self.capacity_uops;
+
+        if let Some(active) = self.active {
+            if active == body && is_self_loop {
+                self.stats.uops_served += uops as u64;
+                return true;
+            }
+            // Pattern broke.
+            self.active = None;
+            self.candidate = None;
+            self.stats.exits += 1;
+            // Fall through to (maybe) start learning this new window.
+        }
+
+        if is_self_loop {
+            if self.candidate == Some(body) {
+                self.active = Some(body);
+                self.candidate = None;
+                self.stats.captures += 1;
+            } else {
+                self.candidate = Some(body);
+            }
+        } else {
+            self.candidate = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> (Addr, Addr, u32, Option<Addr>) {
+        (Addr::new(0x100), Addr::new(0x120), 8, Some(Addr::new(0x100)))
+    }
+
+    #[test]
+    fn disabled_never_serves() {
+        let mut lc = LoopCache::new(0);
+        let (s, e, u, t) = body();
+        for _ in 0..10 {
+            assert!(!lc.observe_window(s, e, u, t));
+        }
+        assert_eq!(lc.stats().uops_served, 0);
+    }
+
+    #[test]
+    fn captures_after_two_sightings() {
+        let mut lc = LoopCache::new(32);
+        let (s, e, u, t) = body();
+        assert!(!lc.observe_window(s, e, u, t));
+        assert!(!lc.observe_window(s, e, u, t));
+        for _ in 0..5 {
+            assert!(lc.observe_window(s, e, u, t));
+        }
+        let st = lc.stats();
+        assert_eq!(st.captures, 1);
+        assert_eq!(st.uops_served, 5 * 8);
+    }
+
+    #[test]
+    fn oversized_loop_rejected() {
+        let mut lc = LoopCache::new(4);
+        let (s, e, _, t) = body();
+        for _ in 0..5 {
+            assert!(!lc.observe_window(s, e, 8, t));
+        }
+        assert_eq!(lc.stats().captures, 0);
+    }
+
+    #[test]
+    fn exit_on_different_window() {
+        let mut lc = LoopCache::new(32);
+        let (s, e, u, t) = body();
+        lc.observe_window(s, e, u, t);
+        lc.observe_window(s, e, u, t);
+        assert!(lc.observe_window(s, e, u, t));
+        // Different window breaks the loop.
+        assert!(!lc.observe_window(Addr::new(0x200), Addr::new(0x210), 4, None));
+        assert_eq!(lc.stats().exits, 1);
+        // Needs re-learning afterwards.
+        assert!(!lc.observe_window(s, e, u, t));
+        assert!(!lc.observe_window(s, e, u, t));
+        assert!(lc.observe_window(s, e, u, t));
+    }
+
+    #[test]
+    fn non_loop_windows_never_capture() {
+        let mut lc = LoopCache::new(32);
+        for _ in 0..10 {
+            assert!(!lc.observe_window(
+                Addr::new(0x300),
+                Addr::new(0x320),
+                6,
+                Some(Addr::new(0x400)) // forward target: not a self-loop
+            ));
+        }
+        assert_eq!(lc.stats().captures, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Run reports: every number the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+use ucsim_mem::HierarchyStats;
+
+use crate::FrontEndEnergy;
+
+/// Which structure supplied a uop to the back end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopSource {
+    /// Uop cache hit.
+    OpCache,
+    /// x86 decoder (I-cache path).
+    Decoder,
+    /// Loop cache.
+    LoopCache,
+}
+
+/// Results of one simulation run (measurement window only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions measured.
+    pub insts: u64,
+    /// Uops committed.
+    pub uops: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Uops committed per cycle (the paper's performance metric).
+    pub upc: f64,
+    /// Average dispatched uops per cycle over busy dispatch cycles
+    /// (paper Section III-B).
+    pub dispatch_bw: f64,
+    /// Uops supplied by the uop cache.
+    pub oc_uops: u64,
+    /// Uops supplied by the decoder.
+    pub decoder_uops: u64,
+    /// Uops supplied by the loop cache.
+    pub loop_uops: u64,
+    /// OC fetch ratio: OC uops / (OC + decoder uops) (paper Section III-A).
+    pub oc_fetch_ratio: f64,
+    /// Uop cache hit rate over lookups.
+    pub oc_hit_rate: f64,
+    /// Lookup misses where a resident entry covered the address without
+    /// starting there (alignment diagnostic).
+    pub interior_misses: u64,
+    /// Total lookup misses.
+    pub oc_lookup_misses: u64,
+    /// Conditional + indirect branch mispredictions.
+    pub mispredicts: u64,
+    /// Conditional-direction mispredictions.
+    pub direction_mispredicts: u64,
+    /// Indirect/return target mispredictions.
+    pub target_mispredicts: u64,
+    /// Taken branches discovered only at decode (BTB misses).
+    pub decode_redirects: u64,
+    /// Branch MPKI (Table II metric).
+    pub mpki: f64,
+    /// Mean branch misprediction latency, fetch → resolve (Section III-C).
+    pub avg_mispredict_latency: f64,
+    /// Normalized-unit decoder power (normalize across runs yourself).
+    pub decoder_power: f64,
+    /// Whole front-end power (extension metric).
+    pub front_end_power: f64,
+    /// Instructions decoded by the x86 decoder.
+    pub decoded_insts: u64,
+    /// Energy activity counters.
+    pub energy: FrontEndEnergy,
+    /// Entry-size distribution fractions ([1-19],[20-39],[40-64],>64 B).
+    pub entry_size_dist: Vec<f64>,
+    /// Fraction of entries terminated by a predicted-taken branch (Fig 6).
+    pub taken_term_frac: f64,
+    /// Fraction of entries by termination reason, indexed by
+    /// [`ucsim_model::EntryTermination::index`].
+    pub term_fracs: [f64; 8],
+    /// Mean uops per filled entry.
+    pub mean_entry_uops: f64,
+    /// Fraction of entries spanning an I-cache boundary (Fig 9).
+    pub spanning_frac: f64,
+    /// Entries-per-PW distribution (1, 2, 3, ≥4) (Fig 12).
+    pub entries_per_pw: [f64; 4],
+    /// Fraction of fills compacted into an existing line (Fig 18).
+    pub compacted_fill_frac: f64,
+    /// Compacted-fill technique split (RAC, PWAC, F-PWAC) (Fig 19).
+    pub compaction_dist: (f64, f64, f64),
+    /// Uop cache fills during measurement.
+    pub oc_fills: u64,
+    /// Mean bytes per filled entry.
+    pub mean_entry_bytes: f64,
+    /// Resident uops at end of run (occupancy diagnostic).
+    pub resident_uops_end: u64,
+    /// Valid physical lines at end of run.
+    pub valid_lines_end: u64,
+    /// Resident entries at end of run.
+    pub resident_entries_end: u64,
+    /// Self-modifying-code store probes observed.
+    pub smc_probes: u64,
+    /// Uop cache entries invalidated by SMC probes.
+    pub smc_invalidated_entries: u64,
+    /// Front-end stall cycles caused by uop cache fill-port backlog
+    /// (paper Section V-B's fill-time concern).
+    pub fill_stall_cycles: u64,
+    /// Total cached code bytes at end of run (with duplication).
+    pub coverage_total_bytes: u64,
+    /// Unique cached code bytes at end of run.
+    pub coverage_unique_bytes: u64,
+    /// Memory hierarchy counters.
+    pub mem: HierarchyStats,
+}
+
+impl SimReport {
+    /// Uops per instruction observed.
+    pub fn uops_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.insts as f64
+        }
+    }
+
+    /// Compact single-line summary for console output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} insts={:<9} UPC={:.3} disp={:.3} ocr={:.3} hit={:.3} mpki={:.2} mlat={:.1} dpow={:.3}",
+            self.workload,
+            self.insts,
+            self.upc,
+            self.dispatch_bw,
+            self.oc_fetch_ratio,
+            self.oc_hit_rate,
+            self.mpki,
+            self.avg_mispredict_latency,
+            self.decoder_power,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimReport {
+        SimReport {
+            workload: "t".into(),
+            insts: 100,
+            uops: 130,
+            cycles: 50,
+            upc: 2.6,
+            dispatch_bw: 3.0,
+            oc_uops: 80,
+            decoder_uops: 50,
+            loop_uops: 0,
+            oc_fetch_ratio: 80.0 / 130.0,
+            oc_hit_rate: 0.7,
+            interior_misses: 0,
+            oc_lookup_misses: 3,
+            mispredicts: 2,
+            direction_mispredicts: 2,
+            target_mispredicts: 0,
+            decode_redirects: 1,
+            mpki: 20.0,
+            avg_mispredict_latency: 15.0,
+            decoder_power: 0.5,
+            front_end_power: 0.8,
+            decoded_insts: 40,
+            energy: FrontEndEnergy::default(),
+            entry_size_dist: vec![0.5, 0.3, 0.2, 0.0],
+            taken_term_frac: 0.5,
+            term_fracs: [0.0; 8],
+            mean_entry_uops: 4.0,
+            spanning_frac: 0.0,
+            entries_per_pw: [0.6, 0.3, 0.1, 0.0],
+            compacted_fill_frac: 0.0,
+            compaction_dist: (0.0, 0.0, 0.0),
+            oc_fills: 10,
+            mean_entry_bytes: 30.0,
+            resident_uops_end: 0,
+            valid_lines_end: 0,
+            resident_entries_end: 0,
+            smc_probes: 0,
+            smc_invalidated_entries: 0,
+            fill_stall_cycles: 0,
+            coverage_total_bytes: 0,
+            coverage_unique_bytes: 0,
+            mem: ucsim_mem::MemoryHierarchy::new(Default::default()).stats(),
+        }
+    }
+
+    #[test]
+    fn uops_per_inst_derived() {
+        assert!((blank().uops_per_inst() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_key_metrics() {
+        let s = blank().summary();
+        assert!(s.contains("UPC=2.600"));
+        assert!(s.contains("mpki=20.00"));
+    }
+}

@@ -1,0 +1,704 @@
+//! The front-end simulator: PW stream → uop supply (uop cache / decoder /
+//! loop cache) → back end, with all the paper's metrics.
+
+use ucsim_bpu::{PwBatchRef, PwGenerator};
+use ucsim_isa::{uop_kinds_into, MAX_UOPS_PER_INST};
+use ucsim_mem::{AccessKind, FetchDirectedPrefetcher, MemoryHierarchy};
+use ucsim_model::{mix64, Addr, DynInst, PwId, UopKind};
+use ucsim_trace::{Program, WorkloadProfile};
+use ucsim_uopcache::{AccumulationBuffer, UopCache, UopCacheEntry};
+
+use crate::{
+    Backend, BackendConfig, FrontEndEnergy, LoopCache, SimConfig, SimReport, UopSource,
+};
+
+/// Fixed front-end depth (predict → fetch → queue → rename) charged to
+/// every branch's fetch-to-resolve latency, on top of the decode pipe for
+/// decoder-path branches and the measured execution path.
+const BASE_FRONT_DEPTH: u64 = 6;
+
+/// Which supply path fed the back end last (switch-penalty tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    OpCache,
+    Icache,
+    LoopCache,
+}
+
+/// Carry-over coverage when a uop cache entry extends past the current PW
+/// into sequential successors.
+#[derive(Debug, Clone, Copy)]
+struct Carry {
+    /// Coverage extends up to (exclusive) this address.
+    until: Addr,
+    /// Delivery cycle of the covering entry.
+    time: u64,
+    /// The next instruction must start exactly here.
+    expect: Addr,
+}
+
+/// Per-hardware-thread front-end context: the accumulation buffer and
+/// entry-coverage carry are private to a thread; the uop cache, memory
+/// hierarchy, fetch clock and back end are shared (SMT sharing, paper
+/// Section V-B1).
+struct FrontThread {
+    acc: AccumulationBuffer,
+    carry: Option<Carry>,
+}
+
+/// The assembled simulator.
+///
+/// One `Simulator` value is a configuration; [`Simulator::run`] executes a
+/// workload and produces a [`SimReport`] over the measurement window.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.uop_cache.validate();
+        Simulator { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `warmup + measure` instructions of the workload and reports
+    /// metrics over the measurement window.
+    pub fn run(&self, profile: &WorkloadProfile, program: &Program) -> SimReport {
+        let total = self.cfg.warmup_insts + self.cfg.measure_insts;
+        let stream = program.walk(profile).take(total as usize);
+        self.run_stream(profile.name, stream)
+    }
+
+    /// Runs an arbitrary architecturally-correct instruction stream (e.g.
+    /// a recorded [`ucsim_trace::Trace`]) — the paper's own methodology:
+    /// trace-driven simulation of pre-captured workloads.
+    ///
+    /// The stream must be control-flow consistent (each instruction starts
+    /// at the previous one's `next_pc`); `warmup_insts` from the
+    /// configuration are excluded from measurement as usual.
+    pub fn run_stream<I>(&self, name: &str, stream: I) -> SimReport
+    where
+        I: Iterator<Item = DynInst>,
+    {
+        let mut pwgen = PwGenerator::new(self.cfg.bpu.clone(), stream);
+        let mut st = RunState::new(&self.cfg);
+
+        let mut insts_done: u64 = 0;
+        let mut measured = false;
+        loop {
+            if !measured && insts_done >= self.cfg.warmup_insts {
+                st.begin_measurement();
+                pwgen.reset_stats();
+                measured = true;
+            }
+            let Some(batch) = pwgen.advance() else { break };
+            insts_done += batch.insts.len() as u64;
+            st.process_batch(&batch);
+        }
+        if !measured {
+            // Degenerate short runs: measure everything.
+            insts_done = 0;
+            st.measure_insts_base = 0;
+        }
+        let bpu = pwgen.stats();
+        st.finish(name, insts_done, bpu, &self.cfg)
+    }
+}
+
+pub(crate) struct RunState {
+    // Substrates.
+    oc: UopCache,
+    threads: Vec<FrontThread>,
+    cur: usize,
+    mem: MemoryHierarchy,
+    prefetcher: FetchDirectedPrefetcher,
+    backend: Backend,
+    loop_cache: LoopCache,
+    // Front-end clock.
+    fe_ready: u64,
+    last_path: Option<Path>,
+    // Sources.
+    oc_uops: u64,
+    decoder_uops: u64,
+    loop_uops: u64,
+    // Branch resolution bookkeeping.
+    last_branch_resolve: u64,
+    last_branch_fetch_to_resolve: u64,
+    mispredicts: u64,
+    mispredict_latency_sum: u64,
+    // Energy.
+    energy: FrontEndEnergy,
+    // Self-modifying-code probes observed / entries invalidated.
+    smc_probes: u64,
+    smc_invalidated: u64,
+    // Uop cache fill port occupancy (paper Section V-B fill-time model).
+    fill_busy_until: u64,
+    fill_stall_cycles: u64,
+    // Global uop counter (config-independent identity for dep hashing).
+    uop_seq: u64,
+    // Measurement baselines.
+    cycle_base: u64,
+    uops_base: u64,
+    busy_base: u64,
+    measure_insts_base: u64,
+    // Config extracts.
+    decode_width: usize,
+    decode_latency: u64,
+    l1_latency: u32,
+    redirect_penalty: u64,
+    decode_redirect_penalty: u64,
+    btb_promote_penalty: u64,
+    path_switch_penalty: u64,
+    fill_port_cost: u64,
+    forced_move_cost: u64,
+    acc_backlog: u64,
+}
+
+impl RunState {
+    pub(crate) fn new(cfg: &SimConfig) -> Self {
+        Self::with_threads(cfg, 1)
+    }
+
+    /// Creates state for an `n_threads`-way SMT core sharing one uop
+    /// cache, memory hierarchy, fetch engine and back end.
+    pub(crate) fn with_threads(cfg: &SimConfig, n_threads: usize) -> Self {
+        assert!(n_threads >= 1);
+        RunState {
+            oc: UopCache::new(cfg.uop_cache.clone()),
+            threads: (0..n_threads)
+                .map(|_| FrontThread {
+                    acc: AccumulationBuffer::new(cfg.uop_cache.clone()),
+                    carry: None,
+                })
+                .collect(),
+            cur: 0,
+            mem: MemoryHierarchy::new(cfg.mem.clone()),
+            prefetcher: FetchDirectedPrefetcher::new(1),
+            backend: Backend::new(BackendConfig {
+                dispatch_width: cfg.core.dispatch_width,
+                retire_width: cfg.core.retire_width,
+                rob_size: cfg.core.rob_size,
+                uop_queue_size: cfg.core.uop_queue_size,
+                dep_prob: cfg.core.dep_prob,
+            }),
+            loop_cache: LoopCache::new(cfg.core.loop_cache_uops),
+            fe_ready: 0,
+            last_path: None,
+            oc_uops: 0,
+            decoder_uops: 0,
+            loop_uops: 0,
+            last_branch_resolve: 0,
+            last_branch_fetch_to_resolve: 0,
+            mispredicts: 0,
+            mispredict_latency_sum: 0,
+            energy: FrontEndEnergy::default(),
+            smc_probes: 0,
+            smc_invalidated: 0,
+            fill_busy_until: 0,
+            fill_stall_cycles: 0,
+            uop_seq: 0,
+            cycle_base: 0,
+            uops_base: 0,
+            busy_base: 0,
+            measure_insts_base: 0,
+            decode_width: cfg.core.decode_width as usize,
+            decode_latency: cfg.core.decode_latency as u64,
+            l1_latency: cfg.mem.l1_latency,
+            redirect_penalty: cfg.core.redirect_penalty as u64,
+            decode_redirect_penalty: cfg.core.decode_redirect_penalty as u64,
+            btb_promote_penalty: cfg.core.btb_promote_penalty as u64,
+            path_switch_penalty: cfg.core.path_switch_penalty as u64,
+            fill_port_cost: cfg.core.fill_port_cost as u64,
+            forced_move_cost: cfg.core.forced_move_cost as u64,
+            acc_backlog: cfg.core.acc_backlog,
+        }
+    }
+
+    pub(crate) fn begin_measurement(&mut self) {
+        self.oc.stats_mut().reset();
+        self.mem.reset_stats();
+        self.prefetcher.reset_stats();
+        self.loop_cache.reset_stats();
+        self.oc_uops = 0;
+        self.decoder_uops = 0;
+        self.loop_uops = 0;
+        self.mispredicts = 0;
+        self.mispredict_latency_sum = 0;
+        self.energy = FrontEndEnergy::default();
+        self.smc_probes = 0;
+        self.smc_invalidated = 0;
+        self.fill_stall_cycles = 0;
+        self.cycle_base = self.backend.last_retire_time();
+        let (uops, busy) = self.backend.counters();
+        self.uops_base = uops;
+        self.busy_base = busy;
+        self.measure_insts_base = 1; // marker: measurement began
+    }
+
+    fn switch_to(&mut self, path: Path) {
+        if let Some(prev) = self.last_path {
+            if prev != path {
+                self.fe_ready += self.path_switch_penalty;
+                // Leaving the IC path closes any in-flight entry build.
+                if prev == Path::Icache {
+                    if let Some(e) = self.threads[self.cur].acc.flush() {
+                        self.fill(e);
+                    }
+                }
+            }
+        }
+        self.last_path = Some(path);
+    }
+
+    /// Writes a completed entry through the single uop cache fill port.
+    /// Fill time matters (paper Section V-B): when fills back up beyond
+    /// the accumulation-buffer depth, the decoder stalls. The F-PWAC
+    /// forced move occupies the port longer (extra read + write).
+    fn fill(&mut self, e: UopCacheEntry) {
+        self.energy.oc_fills += 1;
+        let outcome = self.oc.fill(e);
+        let cost = if outcome.placement == ucsim_uopcache::PlacementKind::Fpwac
+            && !outcome.evicted.is_empty()
+        {
+            self.fill_port_cost + self.forced_move_cost
+        } else {
+            self.fill_port_cost
+        };
+        let start = self.fill_busy_until.max(self.fe_ready);
+        self.fill_busy_until = start + cost;
+        // Backlog beyond the accumulation buffer stalls the front end.
+        let backlog = self.fill_busy_until.saturating_sub(self.fe_ready);
+        let slack = self.acc_backlog * self.fill_port_cost.max(1);
+        if backlog > slack {
+            let stall = backlog - slack;
+            self.fe_ready += stall;
+            self.fill_stall_cycles += stall;
+        }
+    }
+
+    /// Code region bound: store addresses below this are code writes
+    /// (self-modifying code) and trigger invalidation probes.
+    const CODE_CEILING: u64 = 0x1_0000_0000;
+
+    /// Delivers all uops of one instruction to the back end.
+    fn deliver(&mut self, inst: &DynInst, delivery: u64, source: UopSource) {
+        let mut buf = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
+        let n = uop_kinds_into(inst.class, inst.uops, &mut buf);
+        let mem_lat = inst
+            .mem_addr
+            .map(|a| self.mem.access(AccessKind::Data, a.line()))
+            .unwrap_or(0);
+        // Self-modifying code: a store into the code region invalidates
+        // every uop cache entry and I-cache line it touches (paper Section
+        // II-B4 — the design constraint motivating per-set SMC probes).
+        if inst.class == ucsim_model::InstClass::Store {
+            if let Some(a) = inst.mem_addr {
+                if a.get() < Self::CODE_CEILING {
+                    self.smc_probes += 1;
+                    self.smc_invalidated += self.oc.invalidate_icache_line(a.line()) as u64;
+                    self.mem.invalidate_inst(a.line());
+                    // Drain any in-flight entry build: its bytes may be stale.
+                    if let Some(e) = self.threads[self.cur].acc.flush() {
+                        self.fill(e);
+                    }
+                }
+            }
+        }
+        let mut max_entered = delivery;
+        for (slot, kind) in buf[..n].iter().enumerate() {
+            let identity = mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57);
+            self.uop_seq += 1;
+            let lat = if kind.is_load() { mem_lat } else { 0 };
+            let out = self.backend.admit(delivery, *kind, identity, lat);
+            max_entered = max_entered.max(out.entered);
+            if kind.is_branch() {
+                self.last_branch_resolve = out.completed;
+                // Misprediction latency (paper Section III-C): cycles from
+                // branch fetch to detection, through the pipeline the
+                // branch actually took. Front-end run-ahead queueing is
+                // excluded (a decoupled fetch unit stalls when the queue
+                // fills, so queue occupancy is not part of the branch's
+                // own resolution path); the decoder path pays its decode
+                // pipe on top — the uop cache's early-detection benefit.
+                let exec_path = out.completed - out.dispatched;
+                let front_depth = BASE_FRONT_DEPTH
+                    + if source == UopSource::Decoder {
+                        self.decode_latency
+                    } else {
+                        0
+                    };
+                self.last_branch_fetch_to_resolve = exec_path + front_depth;
+            }
+        }
+        // Queue back-pressure stalls the front end.
+        self.fe_ready = self.fe_ready.max(max_entered);
+        match source {
+            UopSource::OpCache => self.oc_uops += n as u64,
+            UopSource::Decoder => self.decoder_uops += n as u64,
+            UopSource::LoopCache => self.loop_uops += n as u64,
+        }
+    }
+
+    pub(crate) fn process_batch_on(&mut self, batch: &PwBatchRef<'_>, tid: usize) {
+        debug_assert!(tid < self.threads.len());
+        self.cur = tid;
+        self.process_batch(batch);
+    }
+
+    fn process_batch(&mut self, batch: &PwBatchRef<'_>) {
+        let insts = batch.insts;
+        debug_assert!(!insts.is_empty());
+        let pw_id = batch.pw.id;
+
+        // Feed the fetch-directed prefetcher with the predicted PW line.
+        self.prefetcher.observe_pw(batch.pw.start.line(), &mut self.mem);
+
+        // --- Loop cache: serve a captured tight loop without touching the
+        // OC or the decoder.
+        let taken_target = if batch.pw.ends_in_taken_branch && batch.mispredict.is_none() {
+            insts.last().and_then(|i| i.branch).map(|b| b.target)
+        } else {
+            None
+        };
+        let window_uops: u32 = insts.iter().map(|i| i.uops as u32).sum();
+        if self.loop_cache.enabled()
+            && batch.mispredict.is_none()
+            && self.loop_cache.observe_window(
+                batch.pw.start,
+                batch.pw.end,
+                window_uops,
+                taken_target,
+            )
+        {
+            self.switch_to(Path::LoopCache);
+            let t = self.fe_ready;
+            self.fe_ready += 1;
+            for inst in insts {
+                self.deliver(inst, t, UopSource::LoopCache);
+            }
+            self.end_of_batch(batch);
+            return;
+        }
+
+        // --- Main fetch walk.
+        let mut idx = 0;
+
+        // Carry-over: a previously dispatched entry covered the start of
+        // this window (entry built across sequential PWs).
+        if let Some(c) = self.threads[self.cur].carry {
+            if insts[0].pc == c.expect {
+                while idx < insts.len() && insts[idx].pc.get() < c.until.get() {
+                    let inst = insts[idx];
+                    self.deliver(&inst, c.time, UopSource::OpCache);
+                    idx += 1;
+                }
+                if idx < insts.len() {
+                    self.threads[self.cur].carry = None;
+                } else {
+                    // Whole window covered; extend expectation.
+                    let last = insts[insts.len() - 1];
+                    self.threads[self.cur].carry = Some(Carry {
+                        until: c.until,
+                        time: c.time,
+                        expect: last.end(),
+                    });
+                }
+            } else {
+                self.threads[self.cur].carry = None;
+            }
+        }
+
+        while idx < insts.len() {
+            let cursor = insts[idx].pc;
+            self.energy.oc_lookups += 1;
+            if let Some(entry) = self.oc.lookup(cursor) {
+                self.switch_to(Path::OpCache);
+                let t = self.fe_ready;
+                self.fe_ready += 1; // one entry per cycle
+                let mut j = idx;
+                while j < insts.len() && insts[j].pc.get() < entry.end.get() {
+                    let inst = insts[j];
+                    self.deliver(&inst, t, UopSource::OpCache);
+                    j += 1;
+                }
+                if j >= insts.len() {
+                    let last = insts[insts.len() - 1];
+                    if entry.end.get() > last.end().get()
+                        && batch.mispredict.is_none()
+                        && !batch.pw.ends_in_taken_branch
+                    {
+                        // Entry covers into the next sequential window.
+                        self.threads[self.cur].carry = Some(Carry {
+                            until: entry.end,
+                            time: t,
+                            expect: last.end(),
+                        });
+                    }
+                }
+                idx = j;
+            } else {
+                // IC path for the remainder of the window.
+                self.ic_path(&insts[idx..], batch, pw_id);
+                idx = insts.len();
+            }
+        }
+
+        self.end_of_batch(batch);
+    }
+
+    fn ic_path(&mut self, insts: &[DynInst], batch: &PwBatchRef<'_>, pw_id: PwId) {
+        self.switch_to(Path::Icache);
+        let ends_taken = batch.pw.ends_in_taken_branch;
+        let total = insts.len();
+        let mut line_cursor = None;
+        let mut i = 0;
+        while i < total {
+            let group_end = (i + self.decode_width).min(total);
+            // Demand-fetch the I-cache lines of this group.
+            for inst in &insts[i..group_end] {
+                let l = inst.pc.line();
+                if Some(l) != line_cursor {
+                    let lat = self.mem.access(AccessKind::Fetch, l);
+                    self.energy.icache_accesses += 1;
+                    if lat > self.l1_latency {
+                        // Miss: bubble for the beyond-L1 latency.
+                        self.fe_ready += (lat - self.l1_latency) as u64;
+                    }
+                    line_cursor = Some(l);
+                }
+            }
+            let base = self.fe_ready;
+            self.fe_ready += 1; // one decode group per cycle
+            self.energy.decoder_active_cycles += 1;
+            let delivery = base + self.decode_latency;
+            for (j, inst) in insts[i..group_end].iter().enumerate() {
+                let is_last = i + j == total - 1;
+                let pred_taken = is_last && ends_taken;
+                self.deliver(inst, delivery, UopSource::Decoder);
+                self.energy.decoded_insts += 1;
+                for e in self.threads[self.cur].acc.push(inst, pw_id, pred_taken) {
+                    self.fill(e);
+                }
+            }
+            i = group_end;
+        }
+    }
+
+    fn end_of_batch(&mut self, batch: &PwBatchRef<'_>) {
+        if batch.mispredict.is_some() {
+            let resolve = self.last_branch_resolve;
+            self.mispredicts += 1;
+            self.mispredict_latency_sum += self.last_branch_fetch_to_resolve;
+            self.fe_ready = self.fe_ready.max(resolve + self.redirect_penalty);
+            self.threads[self.cur].carry = None;
+            if let Some(e) = self.threads[self.cur].acc.flush() {
+                self.fill(e);
+            }
+        }
+        if batch.decode_redirect {
+            self.fe_ready += self.decode_redirect_penalty;
+        }
+        if batch.btb_promote {
+            self.fe_ready += self.btb_promote_penalty;
+        }
+    }
+
+    pub(crate) fn finish(
+        mut self,
+        workload: &str,
+        insts_done: u64,
+        bpu: ucsim_bpu::BpuStats,
+        cfg: &SimConfig,
+    ) -> SimReport {
+        // Close any open entries so their stats are recorded.
+        for t in 0..self.threads.len() {
+            if let Some(e) = self.threads[t].acc.flush() {
+                self.fill(e);
+            }
+        }
+        let cycles = self
+            .backend
+            .last_retire_time()
+            .saturating_sub(self.cycle_base)
+            .max(1);
+        let (uops_now, busy_now) = self.backend.counters();
+        let uops = uops_now - self.uops_base;
+        let busy = (busy_now - self.busy_base).max(1);
+        let measured_insts = if self.measure_insts_base == 1 {
+            bpu.insts
+        } else {
+            insts_done
+        };
+        let oc_stats = self.oc.stats().clone();
+        let entries_per_pw = self.oc.stats_mut().entries_per_pw_dist();
+        let supply = (self.oc_uops + self.decoder_uops).max(1);
+        SimReport {
+            workload: workload.to_owned(),
+            insts: measured_insts,
+            uops,
+            cycles,
+            upc: uops as f64 / cycles as f64,
+            dispatch_bw: uops as f64 / busy as f64,
+            oc_uops: self.oc_uops,
+            decoder_uops: self.decoder_uops,
+            loop_uops: self.loop_uops,
+            oc_fetch_ratio: self.oc_uops as f64 / supply as f64,
+            oc_hit_rate: oc_stats.hit_rate(),
+            interior_misses: oc_stats.interior_misses,
+            oc_lookup_misses: oc_stats.lookups - oc_stats.hits,
+            mispredicts: self.mispredicts,
+            direction_mispredicts: bpu.direction_mispredicts,
+            target_mispredicts: bpu.target_mispredicts,
+            decode_redirects: bpu.decode_redirects,
+            mpki: bpu.mpki(),
+            avg_mispredict_latency: if self.mispredicts == 0 {
+                0.0
+            } else {
+                self.mispredict_latency_sum as f64 / self.mispredicts as f64
+            },
+            decoder_power: self.energy.decoder_power(&cfg.power, cycles),
+            front_end_power: self.energy.front_end_power(&cfg.power, cycles),
+            decoded_insts: self.energy.decoded_insts,
+            energy: self.energy,
+            entry_size_dist: oc_stats.entry_size_fractions(),
+            taken_term_frac: oc_stats.taken_branch_term_frac(),
+            term_fracs: {
+                let mut t = [0.0; 8];
+                for r in ucsim_model::EntryTermination::ALL {
+                    t[r.index()] = oc_stats.term_frac(r);
+                }
+                t
+            },
+            mean_entry_uops: oc_stats.mean_entry_uops(),
+            spanning_frac: oc_stats.spanning_frac(),
+            entries_per_pw,
+            compacted_fill_frac: oc_stats.compacted_fill_frac(),
+            compaction_dist: oc_stats.compaction_technique_dist(),
+            oc_fills: oc_stats.fills,
+            mean_entry_bytes: oc_stats.mean_entry_bytes(),
+            resident_uops_end: self.oc.resident_uops(),
+            valid_lines_end: self.oc.valid_lines() as u64,
+            resident_entries_end: self.oc.resident_entries() as u64,
+            smc_probes: self.smc_probes,
+            smc_invalidated_entries: self.smc_invalidated,
+            fill_stall_cycles: self.fill_stall_cycles,
+            coverage_total_bytes: self.oc.coverage().0,
+            coverage_unique_bytes: self.oc.coverage().1,
+            mem: self.mem.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
+
+    fn run_with(oc: UopCacheConfig) -> SimReport {
+        let profile = WorkloadProfile::quick_test();
+        let program = Program::generate(&profile);
+        let cfg = SimConfig::table1().with_uop_cache(oc).quick();
+        Simulator::new(cfg).run(&profile, &program)
+    }
+
+    #[test]
+    fn baseline_run_is_sane() {
+        let r = run_with(UopCacheConfig::baseline_2k());
+        assert!(r.upc > 0.3 && r.upc < 6.0, "UPC {}", r.upc);
+        assert!(r.oc_fetch_ratio > 0.0 && r.oc_fetch_ratio <= 1.0);
+        assert!(r.cycles > 0);
+        assert!(r.uops >= r.insts);
+        assert!(r.decoded_insts > 0);
+        assert!(r.oc_fills > 0);
+        assert!(r.mean_entry_bytes > 0.0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a = run_with(UopCacheConfig::baseline_2k());
+        let b = run_with(UopCacheConfig::baseline_2k());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.uops, b.uops);
+        assert_eq!(a.oc_uops, b.oc_uops);
+        assert_eq!(a.mispredicts, b.mispredicts);
+    }
+
+    #[test]
+    fn bigger_cache_fetches_more_from_oc() {
+        let small = run_with(UopCacheConfig::baseline_2k());
+        let big = run_with(UopCacheConfig::baseline_with_capacity(65536));
+        assert!(
+            big.oc_fetch_ratio >= small.oc_fetch_ratio,
+            "64K ratio {} < 2K ratio {}",
+            big.oc_fetch_ratio,
+            small.oc_fetch_ratio
+        );
+        assert!(big.decoder_power <= small.decoder_power * 1.001);
+    }
+
+    #[test]
+    fn clasp_does_not_regress() {
+        let base = run_with(UopCacheConfig::baseline_2k());
+        let clasp = run_with(UopCacheConfig::baseline_2k().with_clasp());
+        // CLASP produces spanning entries; baseline cannot.
+        assert_eq!(base.spanning_frac, 0.0);
+        assert!(clasp.spanning_frac > 0.0);
+    }
+
+    #[test]
+    fn compaction_compacts() {
+        // quick-test's footprint fits the 2K cache (no steady-state
+        // fills), so use a capacity-pressured Table II workload.
+        let profile = WorkloadProfile::by_name("bm-lla").expect("table2 profile");
+        let program = Program::generate(&profile);
+        let cfg = SimConfig::table1()
+            .with_uop_cache(
+                UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+            )
+            .quick();
+        let r = Simulator::new(cfg).run(&profile, &program);
+        assert!(r.compacted_fill_frac > 0.0, "some fills must compact");
+        let (rac, pwac, fpwac) = r.compaction_dist;
+        assert!(rac + pwac + fpwac > 0.99);
+    }
+
+    #[test]
+    fn loop_cache_serves_uops_when_enabled() {
+        let profile = WorkloadProfile::quick_test();
+        let program = Program::generate(&profile);
+        let mut cfg = SimConfig::table1().quick();
+        cfg.core.loop_cache_uops = 32;
+        let r = Simulator::new(cfg).run(&profile, &program);
+        // quick_test has loops; at least some should be captured.
+        assert!(r.loop_uops > 0, "loop cache never engaged");
+    }
+
+    #[test]
+    fn slow_fill_port_stalls_the_front_end() {
+        let profile = WorkloadProfile::by_name("bm-lla").expect("table2");
+        let program = Program::generate(&profile);
+        let fast = SimConfig::table1().quick();
+        let mut slow = SimConfig::table1().quick();
+        slow.core.fill_port_cost = 12;
+        slow.core.acc_backlog = 0;
+        let rf = Simulator::new(fast).run(&profile, &program);
+        let rs = Simulator::new(slow).run(&profile, &program);
+        assert_eq!(rf.fill_stall_cycles, 0, "default backlog absorbs fills");
+        assert!(rs.fill_stall_cycles > 0, "pathological fill port must stall");
+        assert!(rs.cycles > rf.cycles, "stalls cost cycles");
+    }
+
+    #[test]
+    fn mispredict_latency_is_positive() {
+        let r = run_with(UopCacheConfig::baseline_2k());
+        assert!(r.mispredicts > 0, "quick_test has noisy branches");
+        assert!(r.avg_mispredict_latency > 3.0, "{}", r.avg_mispredict_latency);
+        assert!(r.mpki > 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Directed micro-kernels: hand-built programs with *closed-form* expected
+//! front-end behaviour.
+//!
+//! The synthetic Table II workloads are statistical; these kernels are the
+//! opposite — minimal, exactly-shaped programs (a straight-line sled, a
+//! tight loop, a call chain, a coin-flip grid) whose uop cache, predictor
+//! and pipeline behaviour can be reasoned out on paper. The validation
+//! suite (`tests/kernels_validation.rs`) asserts those expectations
+//! against the full simulator, pinning the whole stack end to end.
+
+use ucsim_isa::StaticInst;
+use ucsim_model::{Addr, InstClass};
+
+use crate::{BasicBlock, Function, Program, TermInst, TermKind, WorkloadProfile};
+
+/// Where kernel code is placed (distinct from synthetic workloads).
+const KERNEL_BASE: u64 = 0x80_0000;
+
+/// A walk profile suitable for kernels: no phases, tiny data side.
+///
+/// The structural fields (`num_funcs`, block geometry, branch
+/// probabilities) are ignored by hand-built programs; only the dynamic
+/// knobs (Zipf over dispatcher callees, data footprint) matter.
+pub fn kernel_profile(seed: u64) -> WorkloadProfile {
+    let mut p = WorkloadProfile::quick_test();
+    p.name = "kernel";
+    p.seed = seed;
+    p.func_zipf_s = 1.0;
+    p.phase_insts = None;
+    p.data_lines = 64;
+    p.p_smc_store = 0.0;
+    p
+}
+
+/// Incrementally assembles a valid kernel [`Program`]: dispatcher first,
+/// then caller-supplied functions, contiguous layout, validated at build.
+struct KernelBuilder {
+    blocks: Vec<BasicBlock>,
+    funcs: Vec<Function>,
+    cursor: Addr,
+}
+
+impl KernelBuilder {
+    fn new() -> Self {
+        KernelBuilder {
+            blocks: Vec::new(),
+            funcs: Vec::new(),
+            cursor: Addr::new(KERNEL_BASE),
+        }
+    }
+
+    /// Reserves function 0 as the dispatcher (patched at `finish`).
+    fn with_dispatcher(mut self) -> Self {
+        let b0_id = self.blocks.len();
+        let b0 = BasicBlock {
+            id: b0_id,
+            start: self.cursor,
+            body: vec![StaticInst::new(InstClass::IntAlu, 4)],
+            terminator: Some(TermInst {
+                inst: StaticInst::new(InstClass::Call, 5).with_uops(2),
+                kind: TermKind::IndirectCall {
+                    callees: Vec::new(),
+                    seed: 0xD15C,
+                },
+            }),
+        };
+        self.cursor = b0.end();
+        self.blocks.push(b0);
+        let b1 = BasicBlock {
+            id: b0_id + 1,
+            start: self.cursor,
+            body: vec![StaticInst::new(InstClass::IntAlu, 4)],
+            terminator: Some(TermInst {
+                inst: StaticInst::new(InstClass::JumpDirect, 2),
+                kind: TermKind::Jump { target_block: b0_id },
+            }),
+        };
+        self.cursor = b1.end();
+        self.blocks.push(b1);
+        self.funcs.push(Function {
+            id: 0,
+            entry_block: b0_id,
+            end_block: b0_id + 2,
+        });
+        self
+    }
+
+    /// Adds a function built from `(body, terminator)` block specs. Block
+    /// indices in terminators are *function-relative* and fixed up here.
+    fn add_function(
+        &mut self,
+        blocks: Vec<(Vec<StaticInst>, Option<TermInst>)>,
+    ) -> usize {
+        // 16-byte alignment, like the synthetic generator.
+        self.cursor = Addr::new((self.cursor.get() + 15) & !15);
+        let first = self.blocks.len();
+        for (i, (body, term)) in blocks.into_iter().enumerate() {
+            let term = term.map(|mut t| {
+                t.kind = match t.kind {
+                    TermKind::CondForward { target_block, p_taken, seed } => {
+                        TermKind::CondForward { target_block: first + target_block, p_taken, seed }
+                    }
+                    TermKind::CondLoop { target_block, trip_mean, seed } => {
+                        TermKind::CondLoop { target_block: first + target_block, trip_mean, seed }
+                    }
+                    TermKind::Jump { target_block } => {
+                        TermKind::Jump { target_block: first + target_block }
+                    }
+                    TermKind::IndirectJump { targets, seed } => TermKind::IndirectJump {
+                        targets: targets.into_iter().map(|t| first + t).collect(),
+                        seed,
+                    },
+                    other => other,
+                };
+                t
+            });
+            let block = BasicBlock {
+                id: first + i,
+                start: self.cursor,
+                body,
+                terminator: term,
+            };
+            self.cursor = block.end();
+            self.blocks.push(block);
+        }
+        let fid = self.funcs.len();
+        let end = self.blocks.len();
+        self.funcs.push(Function {
+            id: fid,
+            entry_block: first,
+            end_block: end,
+        });
+        fid
+    }
+
+    /// Patches the dispatcher's callee table and validates.
+    fn finish(mut self) -> Program {
+        let callees: Vec<usize> = (1..self.funcs.len()).collect();
+        assert!(!callees.is_empty(), "kernel needs at least one function");
+        if let Some(TermInst {
+            kind: TermKind::IndirectCall { callees: c, .. },
+            ..
+        }) = self.blocks[0].terminator.as_mut()
+        {
+            *c = callees;
+        }
+        let program = Program {
+            funcs: self.funcs,
+            blocks: self.blocks,
+        };
+        program.validate();
+        program
+    }
+}
+
+fn alu(len: u8) -> StaticInst {
+    StaticInst::new(InstClass::IntAlu, len)
+}
+
+fn ret() -> TermInst {
+    TermInst {
+        inst: StaticInst::new(InstClass::Ret, 1).with_uops(2),
+        kind: TermKind::Ret,
+    }
+}
+
+/// A straight-line sled: one function of `n_insts` 4-byte single-uop ALU
+/// instructions and a final return. No conditional branches at all.
+///
+/// Closed-form expectations: zero conditional MPKI; once warm, the whole
+/// sled streams from the uop cache if its uops fit the capacity.
+pub fn straight_line(n_insts: usize) -> Program {
+    assert!(n_insts >= 1);
+    let mut b = KernelBuilder::new().with_dispatcher();
+    let body: Vec<StaticInst> = (0..n_insts).map(|_| alu(4)).collect();
+    b.add_function(vec![(body, Some(ret()))]);
+    b.finish()
+}
+
+/// A tight loop: `body_insts` ALU instructions and a backward conditional
+/// with mean trip count `trip_mean`, then return.
+///
+/// Closed-form expectations: after the first iteration the body hits the
+/// uop cache every time; with a loop cache ≥ body uops, iterations move to
+/// the loop cache.
+pub fn tight_loop(body_insts: usize, trip_mean: f64) -> Program {
+    assert!(body_insts >= 1);
+    let mut b = KernelBuilder::new().with_dispatcher();
+    let body: Vec<StaticInst> = (0..body_insts).map(|_| alu(4)).collect();
+    b.add_function(vec![
+        (
+            body,
+            Some(TermInst {
+                inst: StaticInst::new(InstClass::CondBranch, 2),
+                kind: TermKind::CondLoop {
+                    target_block: 0,
+                    trip_mean,
+                    seed: 0x100F,
+                },
+            }),
+        ),
+        (vec![alu(4)], Some(ret())),
+    ]);
+    b.finish()
+}
+
+/// A call chain `f1 → f2 → … → f_depth`, each function a few instructions,
+/// returning all the way back up.
+///
+/// Closed-form expectations: every return is RAS-predicted (depth ≤ RAS),
+/// so target MPKI ≈ 0; calls are BTB-trained after one lap.
+pub fn call_chain(depth: usize) -> Program {
+    assert!(depth >= 1);
+    let mut b = KernelBuilder::new().with_dispatcher();
+    // Build leaf-last so callee indices are known: function ids are
+    // assigned in insertion order (1..=depth); function i calls i+1.
+    for i in 0..depth {
+        let is_leaf = i == depth - 1;
+        let term = if is_leaf {
+            ret()
+        } else {
+            TermInst {
+                inst: StaticInst::new(InstClass::Call, 5).with_uops(2),
+                kind: TermKind::Call {
+                    callee_func: i + 2, // fid i+1 calls fid i+2
+                },
+            }
+        };
+        if is_leaf {
+            b.add_function(vec![(vec![alu(4), alu(4)], Some(term))]);
+        } else {
+            b.add_function(vec![
+                (vec![alu(4), alu(4)], Some(term)),
+                (vec![alu(4)], Some(ret())),
+            ]);
+        }
+    }
+    b.finish()
+}
+
+/// A grid of conditional branches with the given taken-probability: the
+/// classic coin-flip kernel. `p_taken = 0.5` is unpredictable by
+/// construction; `p_taken` near 0 or 1 is nearly free.
+pub fn coin_flip_grid(n_branches: usize, p_taken: f64) -> Program {
+    assert!(n_branches >= 1);
+    let mut b = KernelBuilder::new().with_dispatcher();
+    let mut blocks = Vec::new();
+    for i in 0..n_branches {
+        blocks.push((
+            vec![alu(4), alu(4)],
+            Some(TermInst {
+                inst: StaticInst::new(InstClass::CondBranch, 2),
+                kind: TermKind::CondForward {
+                    target_block: i + 1,
+                    p_taken,
+                    seed: 0xC01F ^ (i as u64) << 17,
+                },
+            }),
+        ));
+    }
+    blocks.push((vec![alu(4)], Some(ret())));
+    b.add_function(blocks);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_validate_and_walk() {
+        let profile = kernel_profile(1);
+        for prog in [
+            straight_line(40),
+            tight_loop(6, 10.0),
+            call_chain(5),
+            coin_flip_grid(8, 0.5),
+        ] {
+            let trace: Vec<_> = prog.walk(&profile).take(5_000).collect();
+            assert_eq!(trace.len(), 5_000);
+            for w in trace.windows(2) {
+                assert_eq!(w[1].pc, w[0].next_pc(), "control-flow break");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_has_no_conditionals() {
+        let profile = kernel_profile(2);
+        let prog = straight_line(64);
+        let conds = prog
+            .walk(&profile)
+            .take(10_000)
+            .filter(|i| i.class.is_cond_branch())
+            .count();
+        assert_eq!(conds, 0);
+    }
+
+    #[test]
+    fn tight_loop_iterates() {
+        let profile = kernel_profile(3);
+        let prog = tight_loop(4, 16.0);
+        let trace: Vec<_> = prog.walk(&profile).take(10_000).collect();
+        let backward_taken = trace
+            .iter()
+            .filter(|i| i.is_taken_branch() && i.branch.unwrap().target.get() < i.pc.get())
+            .count();
+        assert!(backward_taken > 1_200, "loop dominates: {backward_taken}");
+    }
+
+    #[test]
+    fn call_chain_balances() {
+        let profile = kernel_profile(4);
+        let prog = call_chain(6);
+        let trace: Vec<_> = prog.walk(&profile).take(10_000).collect();
+        let calls = trace.iter().filter(|i| i.class == InstClass::Call).count();
+        let rets = trace.iter().filter(|i| i.class == InstClass::Ret).count();
+        assert!(calls > 500);
+        assert!((calls as i64 - rets as i64).abs() < 20);
+    }
+
+    #[test]
+    fn coin_flip_hits_requested_bias() {
+        let profile = kernel_profile(5);
+        let prog = coin_flip_grid(8, 0.5);
+        let trace: Vec<_> = prog.walk(&profile).take(40_000).collect();
+        let (taken, total) = trace.iter().filter(|i| i.class.is_cond_branch()).fold(
+            (0u64, 0u64),
+            |(t, n), i| (t + u64::from(i.is_taken_branch()), n + 1),
+        );
+        let frac = taken as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "taken frac {frac}");
+    }
+}

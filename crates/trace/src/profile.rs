@@ -1,0 +1,465 @@
+//! Workload profiles — synthetic stand-ins for Table II.
+//!
+//! Each profile encodes the *shape* of one evaluated workload: hot code
+//! footprint (the lever behind the paper's 2K→64K capacity study), basic
+//! block geometry (the lever behind entry fragmentation), instruction mix,
+//! call/loop structure and branch predictability (targeting the Table II
+//! branch-MPKI column). The measured MPKI is reported next to the paper's
+//! value by the Table II harness; matching the trend, not the digit, is
+//! the goal.
+
+use ucsim_isa::InstMix;
+
+/// Which preset instruction mix a profile uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// Integer-dominated (SPECint-like).
+    Integer,
+    /// Server / managed runtime.
+    Server,
+    /// Vector/media.
+    Vector,
+    /// Analytics (Spark/Mahout).
+    Analytics,
+}
+
+impl MixKind {
+    /// Materializes the instruction mix.
+    pub fn to_mix(self) -> InstMix {
+        match self {
+            MixKind::Integer => InstMix::integer_heavy(),
+            MixKind::Server => InstMix::server(),
+            MixKind::Vector => InstMix::vector_heavy(),
+            MixKind::Analytics => InstMix::analytics(),
+        }
+    }
+}
+
+/// A complete description of one synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Short name (matches the paper's x-axis labels, e.g. "bm-cc").
+    pub name: &'static str,
+    /// Suite label ("Cloud", "Server", "SPEC CPU 2017").
+    pub suite: &'static str,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Instruction mix preset.
+    pub mix: MixKind,
+    /// Number of functions in the synthetic binary.
+    pub num_funcs: usize,
+    /// Mean basic blocks per function (geometric).
+    pub blocks_per_func_mean: f64,
+    /// Mean body instructions per basic block (geometric).
+    pub insts_per_block_mean: f64,
+    /// Probability a block ends in a loop back-edge.
+    pub p_loop: f64,
+    /// Mean loop trip count (geometric).
+    pub loop_trip_mean: f64,
+    /// Probability a block ends in a call.
+    pub p_call: f64,
+    /// Probability a block ends in an unconditional forward jump.
+    pub p_jump: f64,
+    /// Probability a block ends in a conditional forward branch.
+    pub p_cond: f64,
+    /// Probability a block ends in an indirect jump (switch).
+    pub p_indirect: f64,
+    /// Minority-outcome scale of predictable conditional branches: a
+    /// mostly-taken branch falls through with probability
+    /// `~0.1 × cond_taken_bias` on average (and symmetrically for
+    /// mostly-not-taken). Lower ⇒ more biased ⇒ fewer baseline
+    /// mispredictions.
+    pub cond_taken_bias: f64,
+    /// Fraction of conditional branches that are data-dependent noise.
+    pub noisy_frac: f64,
+    /// Taken probability of noisy branches (≈0.5 ⇒ hardest).
+    pub noisy_bias: f64,
+    /// Zipf exponent for dispatcher function selection (lower ⇒ flatter ⇒
+    /// larger hot footprint).
+    pub func_zipf_s: f64,
+    /// Rotate the hot set every this many instructions (phase behaviour).
+    pub phase_insts: Option<u64>,
+    /// Data working set in 64-byte lines.
+    pub data_lines: usize,
+    /// Zipf exponent for data accesses.
+    pub data_zipf_s: f64,
+    /// The paper's Table II branch MPKI for this workload (reference).
+    pub target_mpki: f64,
+    /// Probability a store writes *code* (self-modifying code / JIT
+    /// recompilation; triggers uop cache + I-cache invalidation probes).
+    pub p_smc_store: f64,
+}
+
+impl WorkloadProfile {
+    /// Approximate static instruction footprint (diagnostic).
+    pub fn approx_static_insts(&self) -> f64 {
+        self.num_funcs as f64 * self.blocks_per_func_mean * (self.insts_per_block_mean + 1.0)
+    }
+
+    /// A tiny profile for fast unit tests (not part of Table II).
+    pub fn quick_test() -> Self {
+        WorkloadProfile {
+            name: "quick-test",
+            suite: "test",
+            seed: 0xDEAD_BEEF,
+            mix: MixKind::Integer,
+            num_funcs: 12,
+            blocks_per_func_mean: 6.0,
+            insts_per_block_mean: 5.0,
+            p_loop: 0.15,
+            loop_trip_mean: 6.0,
+            p_call: 0.12,
+            p_jump: 0.08,
+            p_cond: 0.35,
+            p_indirect: 0.02,
+            cond_taken_bias: 0.154,
+            noisy_frac: 0.024,
+            noisy_bias: 0.6,
+            func_zipf_s: 1.2,
+            phase_insts: None,
+            data_lines: 1 << 10,
+            data_zipf_s: 1.1,
+            target_mpki: 5.0,
+            p_smc_store: 0.0,
+        }
+    }
+
+    /// The thirteen Table II workloads, in the paper's order.
+    pub fn table2() -> Vec<WorkloadProfile> {
+        let base = WorkloadProfile {
+            name: "",
+            suite: "",
+            seed: 0,
+            mix: MixKind::Integer,
+            num_funcs: 400,
+            blocks_per_func_mean: 24.0,
+            insts_per_block_mean: 1.6,
+            p_loop: 0.06,
+            loop_trip_mean: 6.0,
+            p_call: 0.09,
+            p_jump: 0.16,
+            p_cond: 0.48,
+            p_indirect: 0.02,
+            cond_taken_bias: 0.224,
+            noisy_frac: 0.060,
+            noisy_bias: 0.62,
+            func_zipf_s: 1.15,
+            phase_insts: None,
+            data_lines: 1 << 14,
+            data_zipf_s: 1.1,
+            target_mpki: 5.0,
+            p_smc_store: 0.0,
+        };
+        vec![
+            // --- Cloud: huge, flat code footprints, phase churn.
+            WorkloadProfile {
+                name: "sp(log_regr)",
+                suite: "Cloud",
+                seed: 101,
+                mix: MixKind::Analytics,
+                num_funcs: 900,
+                blocks_per_func_mean: 10.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.078,
+                func_zipf_s: 0.50,
+                phase_insts: Some(400_000),
+                data_lines: 1 << 16,
+                cond_taken_bias: 0.224,
+                p_smc_store: 1e-5,
+                target_mpki: 10.37,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "sp(tr_cnt)",
+                suite: "Cloud",
+                seed: 102,
+                mix: MixKind::Analytics,
+                num_funcs: 800,
+                blocks_per_func_mean: 10.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.051,
+                func_zipf_s: 0.52,
+                phase_insts: Some(400_000),
+                data_lines: 1 << 16,
+                cond_taken_bias: 0.196,
+                p_smc_store: 1e-5,
+                target_mpki: 7.9,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "sp(pg_rnk)",
+                suite: "Cloud",
+                seed: 103,
+                mix: MixKind::Analytics,
+                num_funcs: 850,
+                blocks_per_func_mean: 10.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.060,
+                func_zipf_s: 0.50,
+                phase_insts: Some(400_000),
+                data_lines: 1 << 16,
+                cond_taken_bias: 0.210,
+                p_smc_store: 1e-5,
+                target_mpki: 9.27,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "nutch",
+                suite: "Cloud",
+                seed: 104,
+                mix: MixKind::Server,
+                num_funcs: 700,
+                blocks_per_func_mean: 11.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.024,
+                func_zipf_s: 0.60,
+                phase_insts: Some(500_000),
+                data_lines: 1 << 15,
+                cond_taken_bias: 0.154,
+                p_smc_store: 1e-5,
+                target_mpki: 5.12,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "mahout",
+                suite: "Cloud",
+                seed: 105,
+                mix: MixKind::Analytics,
+                num_funcs: 750,
+                blocks_per_func_mean: 10.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.060,
+                func_zipf_s: 0.55,
+                phase_insts: Some(450_000),
+                data_lines: 1 << 15,
+                cond_taken_bias: 0.210,
+                p_smc_store: 1e-5,
+                target_mpki: 9.05,
+                ..base.clone()
+            },
+            // --- Server.
+            WorkloadProfile {
+                name: "redis",
+                suite: "Server",
+                seed: 106,
+                mix: MixKind::Server,
+                num_funcs: 250,
+                blocks_per_func_mean: 8.0,
+                insts_per_block_mean: 6.5,
+                p_loop: 0.04,
+                noisy_frac: 0.002,
+                noisy_bias: 0.7,
+                cond_taken_bias: 0.035,
+                func_zipf_s: 1.30,
+                data_lines: 1 << 15,
+                loop_trip_mean: 12.0,
+                target_mpki: 1.01,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "jvm",
+                suite: "Server",
+                seed: 107,
+                mix: MixKind::Server,
+                num_funcs: 520,
+                blocks_per_func_mean: 10.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.009,
+                func_zipf_s: 0.80,
+                p_indirect: 0.04,
+                phase_insts: Some(800_000),
+                data_lines: 1 << 15,
+                cond_taken_bias: 0.063,
+                p_smc_store: 2e-5,
+                target_mpki: 2.15,
+                ..base.clone()
+            },
+            // --- SPEC CPU 2017 (rate, integer unless noted).
+            WorkloadProfile {
+                name: "bm-pb",
+                suite: "SPEC CPU 2017",
+                seed: 108,
+                mix: MixKind::Integer,
+                num_funcs: 420,
+                blocks_per_func_mean: 9.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.009,
+                func_zipf_s: 0.95,
+                p_indirect: 0.035,
+                data_lines: 1 << 14,
+                cond_taken_bias: 0.063,
+                target_mpki: 2.07,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "bm-cc",
+                suite: "SPEC CPU 2017",
+                seed: 109,
+                mix: MixKind::Integer,
+                num_funcs: 1000,
+                blocks_per_func_mean: 12.0,
+                insts_per_block_mean: 5.0,
+                noisy_frac: 0.060,
+                func_zipf_s: 0.55,
+                p_cond: 0.42,
+                p_jump: 0.12,
+                data_lines: 1 << 15,
+                target_mpki: 5.48,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "bm-x64",
+                suite: "SPEC CPU 2017",
+                seed: 110,
+                mix: MixKind::Vector,
+                num_funcs: 130,
+                blocks_per_func_mean: 8.0,
+                insts_per_block_mean: 6.0,
+                p_loop: 0.15,
+                loop_trip_mean: 16.0,
+                noisy_frac: 0.007,
+                func_zipf_s: 1.20,
+                data_lines: 1 << 15,
+                cond_taken_bias: 0.042,
+                p_cond: 0.30,
+                p_jump: 0.10,
+                phase_insts: Some(300_000),
+                target_mpki: 1.31,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "bm-ds",
+                suite: "SPEC CPU 2017",
+                seed: 111,
+                mix: MixKind::Integer,
+                num_funcs: 310,
+                blocks_per_func_mean: 9.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.027,
+                func_zipf_s: 0.95,
+                data_lines: 1 << 14,
+                cond_taken_bias: 0.154,
+                target_mpki: 4.5,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "bm-lla",
+                suite: "SPEC CPU 2017",
+                seed: 112,
+                mix: MixKind::Integer,
+                num_funcs: 210,
+                blocks_per_func_mean: 8.0,
+                insts_per_block_mean: 5.0,
+                noisy_frac: 0.180,
+                noisy_bias: 0.55,
+                func_zipf_s: 1.10,
+                data_lines: 1 << 13,
+                cond_taken_bias: 0.280,
+                target_mpki: 11.51,
+                ..base.clone()
+            },
+            WorkloadProfile {
+                name: "bm-z",
+                suite: "SPEC CPU 2017",
+                seed: 113,
+                mix: MixKind::Integer,
+                num_funcs: 260,
+                blocks_per_func_mean: 8.0,
+                insts_per_block_mean: 6.0,
+                noisy_frac: 0.192,
+                noisy_bias: 0.55,
+                func_zipf_s: 1.00,
+                data_lines: 1 << 15,
+                cond_taken_bias: 0.280,
+                target_mpki: 11.61,
+                ..base
+            },
+        ]
+    }
+
+    /// Looks a Table II profile up by name.
+    pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+        Self::table2().into_iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_workloads() {
+        assert_eq!(WorkloadProfile::table2().len(), 13);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        let names: Vec<_> = WorkloadProfile::table2()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        for expected in [
+            "sp(log_regr)",
+            "sp(tr_cnt)",
+            "sp(pg_rnk)",
+            "nutch",
+            "mahout",
+            "redis",
+            "jvm",
+            "bm-pb",
+            "bm-cc",
+            "bm-x64",
+            "bm-ds",
+            "bm-lla",
+            "bm-z",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let profiles = WorkloadProfile::table2();
+        let mut seeds: Vec<_> = profiles.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), profiles.len());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        for p in WorkloadProfile::table2() {
+            for v in [
+                p.p_loop, p.p_call, p.p_jump, p.p_cond, p.p_indirect, p.noisy_frac,
+                p.noisy_bias, p.cond_taken_bias,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: bad prob {v}", p.name);
+            }
+            assert!(p.p_loop + p.p_call + p.p_jump + p.p_cond + p.p_indirect < 1.0);
+        }
+    }
+
+    #[test]
+    fn footprints_span_the_capacity_study() {
+        let profiles = WorkloadProfile::table2();
+        let gcc = profiles.iter().find(|p| p.name == "bm-cc").unwrap();
+        let x264 = profiles.iter().find(|p| p.name == "bm-x64").unwrap();
+        // gcc-like footprint must dwarf x264's (capacity sensitivity).
+        assert!(gcc.approx_static_insts() > 5.0 * x264.approx_static_insts());
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert!(WorkloadProfile::by_name("redis").is_some());
+        assert!(WorkloadProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn mpki_targets_match_table2() {
+        let get = |n: &str| WorkloadProfile::by_name(n).unwrap().target_mpki;
+        assert_eq!(get("sp(log_regr)"), 10.37);
+        assert_eq!(get("redis"), 1.01);
+        assert_eq!(get("bm-cc"), 5.48);
+        assert_eq!(get("bm-z"), 11.61);
+    }
+}

@@ -1,0 +1,268 @@
+//! In-memory traces with a compact binary on-disk format.
+//!
+//! For most experiments the walker is consumed streaming, but tests,
+//! examples and trace exchange want a materialized [`Trace`] that can be
+//! saved and reloaded byte-identically.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ucsim_model::{Addr, BranchExec, DynInst, InstClass};
+
+/// Magic bytes of the trace format ("UCT1").
+const MAGIC: u32 = 0x5543_5431;
+
+/// A materialized dynamic trace.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_trace::{Program, Trace, WorkloadProfile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = WorkloadProfile::quick_test();
+/// let prog = Program::generate(&p);
+/// let t = Trace::record(prog.walk(&p).take(256));
+/// let bytes = t.to_bytes();
+/// let back = Trace::from_bytes(&bytes)?;
+/// assert_eq!(t.insts(), back.insts());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    insts: Vec<DynInst>,
+}
+
+impl Trace {
+    /// Records all instructions from an iterator.
+    pub fn record<I: IntoIterator<Item = DynInst>>(src: I) -> Self {
+        Trace {
+            insts: src.into_iter().collect(),
+        }
+    }
+
+    /// The recorded instructions.
+    pub fn insts(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates by value (for feeding the simulator).
+    pub fn iter(&self) -> impl Iterator<Item = DynInst> + '_ {
+        self.insts.iter().copied()
+    }
+
+    /// Serializes into the compact binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.insts.len() * 22);
+        buf.put_u32(MAGIC);
+        buf.put_u64(self.insts.len() as u64);
+        for i in &self.insts {
+            buf.put_u64(i.pc.get());
+            let (flags, aux) = match (i.branch, i.mem_addr) {
+                (Some(b), _) => (0b01 | ((b.taken as u8) << 2), b.target.get()),
+                (None, Some(m)) => (0b10, m.get()),
+                (None, None) => (0, 0),
+            };
+            buf.put_u64(aux);
+            buf.put_u8(i.len);
+            buf.put_u8(i.uops);
+            buf.put_u8(i.imm_disp);
+            buf.put_u8(flags | ((i.microcoded as u8) << 3));
+            buf.put_u8(class_code(i.class));
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from [`Self::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on bad magic, truncation, or unknown class
+    /// codes.
+    pub fn from_bytes(mut data: &[u8]) -> io::Result<Self> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+        if data.remaining() < 12 {
+            return Err(bad("truncated header"));
+        }
+        if data.get_u32() != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let n = data.get_u64() as usize;
+        let mut insts = Vec::with_capacity(n);
+        for _ in 0..n {
+            if data.remaining() < 21 {
+                return Err(bad("truncated record"));
+            }
+            let pc = Addr::new(data.get_u64());
+            let aux = data.get_u64();
+            let len = data.get_u8();
+            let uops = data.get_u8();
+            let imm_disp = data.get_u8();
+            let flags = data.get_u8();
+            let class = class_from_code(data.get_u8()).ok_or_else(|| bad("bad class"))?;
+            let branch = (flags & 0b01 != 0).then(|| BranchExec {
+                taken: flags & 0b100 != 0,
+                target: Addr::new(aux),
+            });
+            let mem_addr = (flags & 0b10 != 0).then(|| Addr::new(aux));
+            insts.push(DynInst {
+                pc,
+                len,
+                uops,
+                imm_disp,
+                microcoded: flags & 0b1000 != 0,
+                class,
+                branch,
+                mem_addr,
+            });
+        }
+        Ok(Trace { insts })
+    }
+
+    /// Writes the binary format to `w`. A `&mut` reference works as the
+    /// writer (`W: Write` by value, per the usual std convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Reads the binary format from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and format errors.
+    pub fn load<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+}
+
+impl FromIterator<DynInst> for Trace {
+    fn from_iter<I: IntoIterator<Item = DynInst>>(iter: I) -> Self {
+        Trace::record(iter)
+    }
+}
+
+impl Extend<DynInst> for Trace {
+    fn extend<I: IntoIterator<Item = DynInst>>(&mut self, iter: I) {
+        self.insts.extend(iter);
+    }
+}
+
+fn class_code(c: InstClass) -> u8 {
+    match c {
+        InstClass::IntAlu => 0,
+        InstClass::IntMul => 1,
+        InstClass::IntDiv => 2,
+        InstClass::Load => 3,
+        InstClass::Store => 4,
+        InstClass::CondBranch => 5,
+        InstClass::JumpDirect => 6,
+        InstClass::JumpIndirect => 7,
+        InstClass::Call => 8,
+        InstClass::Ret => 9,
+        InstClass::Fp => 10,
+        InstClass::Simd => 11,
+        InstClass::Nop => 12,
+    }
+}
+
+fn class_from_code(code: u8) -> Option<InstClass> {
+    Some(match code {
+        0 => InstClass::IntAlu,
+        1 => InstClass::IntMul,
+        2 => InstClass::IntDiv,
+        3 => InstClass::Load,
+        4 => InstClass::Store,
+        5 => InstClass::CondBranch,
+        6 => InstClass::JumpDirect,
+        7 => InstClass::JumpIndirect,
+        8 => InstClass::Call,
+        9 => InstClass::Ret,
+        10 => InstClass::Fp,
+        11 => InstClass::Simd,
+        12 => InstClass::Nop,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, WorkloadProfile};
+
+    fn sample() -> Trace {
+        let p = WorkloadProfile::quick_test();
+        let prog = Program::generate(&p);
+        Trace::record(prog.walk(&p).take(2000))
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let t = sample();
+        let back = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn save_load_via_io() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = Trace::load(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[0] ^= 0xff;
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = sample().to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        let back = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p = WorkloadProfile::quick_test();
+        let prog = Program::generate(&p);
+        let t: Trace = prog.walk(&p).take(10).collect();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn all_class_codes_roundtrip() {
+        for code in 0..=12u8 {
+            let c = class_from_code(code).unwrap();
+            assert_eq!(class_code(c), code);
+        }
+        assert!(class_from_code(13).is_none());
+    }
+}

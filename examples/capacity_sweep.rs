@@ -1,0 +1,43 @@
+//! Capacity sweep: the Section III motivation study (Figures 3–4) on one
+//! workload — how UPC, fetch ratio and decoder power respond as the uop
+//! cache grows from 2K to 64K uops.
+//!
+//! ```text
+//! cargo run --release --example capacity_sweep
+//! ```
+
+use ucsim::pipeline::{SimConfig, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+use ucsim::uopcache::UopCacheConfig;
+
+fn main() {
+    let profile = WorkloadProfile::by_name("bm-cc").expect("table2 workload");
+    let program = Program::generate(&profile);
+    println!("capacity sweep on {} (gcc stand-in)\n", profile.name);
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>14} {:>14}",
+        "size", "sets", "UPC", "fetch-ratio", "decoder-power", "mispredict-lat"
+    );
+
+    let mut base: Option<(f64, f64)> = None;
+    for uops in [2048usize, 4096, 8192, 16384, 32768, 65536] {
+        let oc = UopCacheConfig::baseline_with_capacity(uops);
+        let sets = oc.sets;
+        let cfg = SimConfig::table1().with_uop_cache(oc).quick();
+        let r = Simulator::new(cfg).run(&profile, &program);
+        let (b_upc, b_pow) = *base.get_or_insert((r.upc, r.decoder_power));
+        println!(
+            "{:<8} {:>8} {:>7.3} ({:+5.1}%) {:>12.3} {:>8.3} ({:+5.1}%) {:>10.1}",
+            format!("OC_{}K", uops / 1024),
+            sets,
+            r.upc,
+            (r.upc / b_upc - 1.0) * 100.0,
+            r.oc_fetch_ratio,
+            r.decoder_power,
+            (r.decoder_power / b_pow - 1.0) * 100.0,
+            r.avg_mispredict_latency,
+        );
+    }
+    println!("\nExpected shape (paper Figures 3-4): UPC and fetch ratio rise");
+    println!("with capacity, decoder power and misprediction latency fall.");
+}

@@ -1,0 +1,61 @@
+//! Compaction study: the paper's Section V optimizations — baseline vs
+//! CLASP vs RAC/PWAC/F-PWAC compaction at the 2K baseline capacity, on a
+//! capacity-pressured workload.
+//!
+//! ```text
+//! cargo run --release --example compaction_study
+//! ```
+
+use ucsim::pipeline::{SimConfig, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn main() {
+    let profile = WorkloadProfile::by_name("bm-lla").expect("table2 workload");
+    let program = Program::generate(&profile);
+    println!("optimization ladder on {} (leela stand-in)\n", profile.name);
+
+    let ladder: Vec<(&str, UopCacheConfig)> = vec![
+        ("baseline", UopCacheConfig::baseline_2k()),
+        ("CLASP", UopCacheConfig::baseline_2k().with_clasp()),
+        (
+            "RAC",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Rac, 2),
+        ),
+        (
+            "PWAC",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Pwac, 2),
+        ),
+        (
+            "F-PWAC",
+            UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+        ),
+    ];
+
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "scheme", "UPC", "fetch-ratio", "dec-power", "spanning", "compacted", "placements"
+    );
+    let mut base_upc = None;
+    for (label, oc) in ladder {
+        let cfg = SimConfig::table1().with_uop_cache(oc).quick();
+        let r = Simulator::new(cfg).run(&profile, &program);
+        let b = *base_upc.get_or_insert(r.upc);
+        let (rac, pwac, fpwac) = r.compaction_dist;
+        println!(
+            "{:<10} {:>5.3} ({:+4.1}%) {:>12.3} {:>12.3} {:>9.1}% {:>9.1}% {:>4.0}/{:.0}/{:.0}",
+            label,
+            r.upc,
+            (r.upc / b - 1.0) * 100.0,
+            r.oc_fetch_ratio,
+            r.decoder_power,
+            r.spanning_frac * 100.0,
+            r.compacted_fill_frac * 100.0,
+            rac * 100.0,
+            pwac * 100.0,
+            fpwac * 100.0,
+        );
+    }
+    println!("\nExpected shape (paper Figures 15-17): F-PWAC >= PWAC >= RAC >=");
+    println!("CLASP >= baseline on UPC and fetch ratio; decoder power inverts.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: simulate one workload on the paper's baseline uop cache
+//! and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ucsim::pipeline::{SimConfig, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+
+fn main() {
+    // Pick a Table II workload (531.deepsjeng_r stand-in) and generate its
+    // synthetic program — everything is deterministic in the profile seed.
+    let profile = WorkloadProfile::by_name("bm-ds").expect("table2 workload");
+    let program = Program::generate(&profile);
+    println!(
+        "workload {}: {} static insts, {} static uops, {:.1} KB of code",
+        profile.name,
+        program.static_insts(),
+        program.static_uops(),
+        program.code_bytes() as f64 / 1024.0
+    );
+
+    // The paper's Table I configuration: 2K-uop cache, TAGE front end,
+    // 6-wide dispatch. `quick()` shortens the run for a demo.
+    let cfg = SimConfig::table1().quick();
+    let report = Simulator::new(cfg).run(&profile, &program);
+
+    println!("\n-- measurement window --");
+    println!("instructions      {:>12}", report.insts);
+    println!("uops              {:>12}", report.uops);
+    println!("cycles            {:>12}", report.cycles);
+    println!("UPC               {:>12.3}", report.upc);
+    println!("dispatch uops/cyc {:>12.3}", report.dispatch_bw);
+    println!("OC fetch ratio    {:>12.3}", report.oc_fetch_ratio);
+    println!("OC hit rate       {:>12.3}", report.oc_hit_rate);
+    println!("branch MPKI       {:>12.2}  (paper target {:.2})", report.mpki, profile.target_mpki);
+    println!("mispredict lat.   {:>12.1} cycles", report.avg_mispredict_latency);
+    println!("decoder power     {:>12.3} (model units)", report.decoder_power);
+    println!(
+        "entry sizes       {:>12}",
+        report
+            .entry_size_dist
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    println!(
+        "taken-branch entry terminations: {:.1}%",
+        report.taken_term_frac * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Self-modifying-code invalidation: demonstrates the uop cache's SMC
+//! probe semantics that motivate the paper's baseline design choices
+//! (Section II-B4) and CLASP's bounded probe widening (Section V-A).
+//!
+//! ```text
+//! cargo run --release --example smc_invalidation
+//! ```
+
+use ucsim::model::{Addr, DynInst, InstClass, PwId};
+use ucsim::uopcache::{AccumulationBuffer, UopCache, UopCacheConfig};
+
+/// Builds entries for a straight-line run and fills them.
+fn fill_run(oc: &mut UopCache, cfg: &UopCacheConfig, start: u64, insts: u64) {
+    let mut acc = AccumulationBuffer::new(cfg.clone());
+    for i in 0..insts {
+        let inst = DynInst::simple(Addr::new(start + i * 4), 4, InstClass::IntAlu);
+        for e in acc.push(&inst, PwId(i / 8), false) {
+            oc.fill(e);
+        }
+    }
+    if let Some(e) = acc.flush() {
+        oc.fill(e);
+    }
+}
+
+fn show(oc: &UopCache, what: &str) {
+    println!(
+        "{what:<36} entries={:<3} uops={:<4} lines={}",
+        oc.resident_entries(),
+        oc.resident_uops(),
+        oc.valid_lines()
+    );
+}
+
+fn main() {
+    // --- Baseline: entries never span I-cache lines, so one probe of the
+    // written line's set suffices.
+    let cfg = UopCacheConfig::baseline_2k();
+    let mut oc = UopCache::new(cfg.clone());
+    fill_run(&mut oc, &cfg, 0x1000, 48); // three I-cache lines of code
+    show(&oc, "baseline after fill");
+
+    // A JIT rewrites one instruction in line 0x1040..0x1080: every entry
+    // overlapping that line must die; neighbours survive.
+    let removed = oc.invalidate_icache_line(Addr::new(0x1040).line());
+    println!("SMC write to line L0x41 invalidated {removed} entries");
+    show(&oc, "baseline after SMC probe");
+    assert!(oc.probe(Addr::new(0x1000)), "line 0x40 code survives");
+    assert!(!oc.probe(Addr::new(0x1040)), "line 0x41 code is gone");
+
+    // --- CLASP: a merged entry can start in the *previous* line, so the
+    // probe also searches that line's set (bounded: max 2 lines/entry).
+    println!();
+    let cfg = UopCacheConfig::baseline_2k().with_clasp();
+    let mut oc = UopCache::new(cfg.clone());
+    fill_run(&mut oc, &cfg, 0x2014, 48); // mid-line start: entries cross boundaries
+    show(&oc, "CLASP after fill");
+    let spanning = oc.iter_entries().filter(|e| e.spans_boundary()).count();
+    println!("spanning entries resident: {spanning}");
+
+    let removed = oc.invalidate_icache_line(Addr::new(0x2054).line());
+    println!("SMC write to the second code line invalidated {removed} entries");
+    // No stale uops for the written line may survive anywhere.
+    let stale = oc
+        .iter_entries()
+        .filter(|e| e.overlaps_line(Addr::new(0x2054).line()))
+        .count();
+    assert_eq!(stale, 0, "invalidation must be complete");
+    show(&oc, "CLASP after SMC probe");
+    println!("\nno stale entries survive — CLASP keeps SMC invalidation exact");
+}

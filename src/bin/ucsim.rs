@@ -1,0 +1,208 @@
+//! `ucsim` — command-line front end for single simulations.
+//!
+//! ```text
+//! ucsim --workload bm-cc --capacity 2048 --compaction fpwac --insts 1000000
+//! ```
+
+use ucsim::mem::ReplacementPolicy;
+use ucsim::pipeline::{SimConfig, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
+
+const USAGE: &str = "\
+ucsim — x86 uop cache simulator (MICRO 2020 reproduction)
+
+USAGE:
+    ucsim [OPTIONS]
+
+OPTIONS:
+    --workload <name>      Table II workload (default bm-cc); use --list to see all
+    --capacity <uops>      uop cache capacity: 2048/4096/.../65536 (default 2048)
+    --clasp                enable CLASP
+    --compaction <p>       rac | pwac | fpwac (implies --clasp)
+    --max-entries <n>      compacted entries per line, 2 or 3 (default 2)
+    --replacement <p>      lru | plru | srrip (default lru)
+    --loop-cache <uops>    enable the loop cache with this capacity
+    --trace <file>         replay a recorded .uct trace instead of synthesizing
+    --insts <n>            measured instructions (default 2000000)
+    --warmup <n>           warmup instructions (default 200000)
+    --list                 list workloads and exit
+    --help                 this text
+";
+
+struct Args {
+    workload: String,
+    trace: Option<String>,
+    capacity: usize,
+    clasp: bool,
+    compaction: Option<CompactionPolicy>,
+    max_entries: u32,
+    replacement: ReplacementPolicy,
+    loop_cache: u32,
+    insts: u64,
+    warmup: u64,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        workload: "bm-cc".to_owned(),
+        trace: None,
+        capacity: 2048,
+        clasp: false,
+        compaction: None,
+        max_entries: 2,
+        replacement: ReplacementPolicy::Lru,
+        loop_cache: 0,
+        insts: 2_000_000,
+        warmup: 200_000,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let bail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        std::process::exit(2)
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--list" => {
+                println!("{:<14} {:<14} target-MPKI", "name", "suite");
+                for p in WorkloadProfile::table2() {
+                    println!("{:<14} {:<14} {:.2}", p.name, p.suite, p.target_mpki);
+                }
+                std::process::exit(0);
+            }
+            "--trace" => {
+                i += 1;
+                a.trace = Some(
+                    argv.get(i).unwrap_or_else(|| bail("--trace needs a path")).clone(),
+                );
+            }
+            "--workload" => {
+                i += 1;
+                a.workload = argv.get(i).unwrap_or_else(|| bail("--workload needs a name")).clone();
+            }
+            "--capacity" => {
+                i += 1;
+                a.capacity = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--capacity needs a uop count"));
+            }
+            "--clasp" => a.clasp = true,
+            "--compaction" => {
+                i += 1;
+                a.compaction = Some(match argv.get(i).map(String::as_str) {
+                    Some("rac") => CompactionPolicy::Rac,
+                    Some("pwac") => CompactionPolicy::Pwac,
+                    Some("fpwac") => CompactionPolicy::Fpwac,
+                    _ => bail("--compaction takes rac|pwac|fpwac"),
+                });
+            }
+            "--max-entries" => {
+                i += 1;
+                a.max_entries = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--max-entries takes 2 or 3"));
+            }
+            "--replacement" => {
+                i += 1;
+                a.replacement = match argv.get(i).map(String::as_str) {
+                    Some("lru") => ReplacementPolicy::Lru,
+                    Some("plru") => ReplacementPolicy::TreePlru,
+                    Some("srrip") => ReplacementPolicy::Srrip,
+                    _ => bail("--replacement takes lru|plru|srrip"),
+                };
+            }
+            "--loop-cache" => {
+                i += 1;
+                a.loop_cache = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--loop-cache needs a uop count"));
+            }
+            "--insts" => {
+                i += 1;
+                a.insts = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--insts needs a number"));
+            }
+            "--warmup" => {
+                i += 1;
+                a.warmup = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--warmup needs a number"));
+            }
+            other => bail(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse();
+
+    let mut oc = UopCacheConfig::baseline_with_capacity(args.capacity)
+        .with_replacement(args.replacement);
+    if let Some(policy) = args.compaction {
+        oc = oc.with_compaction(policy, args.max_entries);
+    } else if args.clasp {
+        oc = oc.with_clasp();
+    }
+
+    let mut cfg = SimConfig::table1()
+        .with_uop_cache(oc)
+        .with_insts(args.warmup, args.insts);
+    cfg.core.loop_cache_uops = args.loop_cache;
+
+    let t0 = std::time::Instant::now();
+    let r = if let Some(path) = &args.trace {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+        let trace = ucsim::trace::Trace::load(file).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("replaying {path} ({} insts) | capacity {} uops", trace.len(), args.capacity);
+        Simulator::new(cfg).run_stream(path, trace.iter())
+    } else {
+        let Some(profile) = WorkloadProfile::by_name(&args.workload) else {
+            eprintln!("unknown workload '{}' (try --list)", args.workload);
+            std::process::exit(2);
+        };
+        eprintln!(
+            "simulating {} | capacity {} uops | clasp={} compaction={:?} | {} insts",
+            profile.name, args.capacity, cfg.uop_cache.clasp, cfg.uop_cache.compaction, args.insts
+        );
+        let program = Program::generate(&profile);
+        Simulator::new(cfg).run(&profile, &program)
+    };
+    eprintln!("({:?})", t0.elapsed());
+
+    println!("insts                {:>14}", r.insts);
+    println!("uops                 {:>14}", r.uops);
+    println!("cycles               {:>14}", r.cycles);
+    println!("UPC                  {:>14.4}", r.upc);
+    println!("dispatch uops/cycle  {:>14.4}", r.dispatch_bw);
+    println!("OC fetch ratio       {:>14.4}", r.oc_fetch_ratio);
+    println!("OC hit rate          {:>14.4}", r.oc_hit_rate);
+    println!("OC fills             {:>14}", r.oc_fills);
+    println!("loop-cache uops      {:>14}", r.loop_uops);
+    println!("branch MPKI          {:>14.2}", r.mpki);
+    println!("mispredict latency   {:>14.1}", r.avg_mispredict_latency);
+    println!("decoder power        {:>14.4}", r.decoder_power);
+    println!("front-end power      {:>14.4}", r.front_end_power);
+    println!("taken-term fraction  {:>14.3}", r.taken_term_frac);
+    println!("spanning fraction    {:>14.3}", r.spanning_frac);
+    println!("compacted fraction   {:>14.3}", r.compacted_fill_frac);
+    println!("SMC probes           {:>14}", r.smc_probes);
+}

@@ -1,0 +1,53 @@
+//! # ucsim
+//!
+//! A from-scratch reproduction of *"Improving the Utilization of
+//! Micro-operation Caches in x86 Processors"* (Kotra & Kalamatianos,
+//! MICRO 2020): a trace-driven x86 front-end simulator with a complete
+//! micro-operation cache model — the paper's baseline design, **CLASP**
+//! (cache-line-boundary-agnostic entries) and **compaction**
+//! (RAC / PWAC / F-PWAC allocation policies) — plus every substrate the
+//! evaluation needs: synthetic x86-like workloads, a TAGE + BTB decoupled
+//! fetch unit, a three-level cache hierarchy, and a cycle-level pipeline
+//! timing model.
+//!
+//! This facade crate re-exports the workspace so downstream users depend
+//! on one crate:
+//!
+//! * [`model`] — shared types (addresses, uops, instructions, PWs).
+//! * [`isa`] — synthetic x86-like instruction model.
+//! * [`trace`] — workload profiles, program synthesis, trace walking.
+//! * [`mem`] — caches, replacement policies, memory hierarchy.
+//! * [`bpu`] — TAGE, BTB, RAS, prediction-window generation.
+//! * [`uopcache`] — the uop cache (baseline, CLASP, compaction).
+//! * [`pipeline`] — the simulator and its reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucsim::pipeline::{SimConfig, Simulator};
+//! use ucsim::trace::{Program, WorkloadProfile};
+//! use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
+//!
+//! // Simulate a small workload on the paper's 2K baseline...
+//! let profile = WorkloadProfile::quick_test();
+//! let program = Program::generate(&profile);
+//! let base = Simulator::new(SimConfig::table1().quick()).run(&profile, &program);
+//!
+//! // ...and with CLASP + F-PWAC compaction.
+//! let cfg = SimConfig::table1()
+//!     .with_uop_cache(UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2))
+//!     .quick();
+//! let opt = Simulator::new(cfg).run(&profile, &program);
+//! assert!(opt.upc > 0.0 && base.upc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ucsim_bpu as bpu;
+pub use ucsim_isa as isa;
+pub use ucsim_mem as mem;
+pub use ucsim_model as model;
+pub use ucsim_pipeline as pipeline;
+pub use ucsim_trace as trace;
+pub use ucsim_uopcache as uopcache;

@@ -1,0 +1,129 @@
+//! Closed-form validation: directed micro-kernels whose front-end
+//! behaviour can be derived on paper, asserted against the full simulator.
+
+use ucsim::pipeline::{SimConfig, SimReport, Simulator};
+use ucsim::trace::kernels;
+use ucsim::uopcache::UopCacheConfig;
+
+fn run(program: &ucsim::trace::Program, seed: u64, oc: UopCacheConfig) -> SimReport {
+    let profile = kernels::kernel_profile(seed);
+    let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(10_000, 60_000);
+    Simulator::new(cfg).run(&profile, program)
+}
+
+/// A warm straight-line sled that fits the cache streams ~entirely from
+/// the uop cache, with zero conditional mispredictions.
+#[test]
+fn straight_line_streams_from_oc() {
+    let prog = kernels::straight_line(120); // ~130 uops ≪ 2K
+    let r = run(&prog, 1, UopCacheConfig::baseline_2k());
+    assert_eq!(r.direction_mispredicts, 0, "sled has no conditionals");
+    assert!(
+        r.oc_fetch_ratio > 0.95,
+        "warm sled must stream from the OC: {}",
+        r.oc_fetch_ratio
+    );
+    assert!(r.oc_hit_rate > 0.9, "{}", r.oc_hit_rate);
+}
+
+/// A sled far larger than the cache thrashes: LRU retains nothing across
+/// laps, so the fetch ratio collapses.
+#[test]
+fn oversized_sled_thrashes() {
+    let prog = kernels::straight_line(4_000); // ~4.3K uops > 2K capacity
+    let small = run(&prog, 2, UopCacheConfig::baseline_2k());
+    let big = run(&prog, 2, UopCacheConfig::baseline_with_capacity(8192));
+    assert!(
+        small.oc_fetch_ratio < 0.35,
+        "streaming beyond capacity must thrash: {}",
+        small.oc_fetch_ratio
+    );
+    assert!(
+        big.oc_fetch_ratio > 0.9,
+        "8K holds the whole sled: {}",
+        big.oc_fetch_ratio
+    );
+}
+
+/// A tight loop hits the uop cache from the second iteration on.
+#[test]
+fn tight_loop_lives_in_the_oc() {
+    let prog = kernels::tight_loop(5, 24.0);
+    let r = run(&prog, 3, UopCacheConfig::baseline_2k());
+    assert!(r.oc_fetch_ratio > 0.9, "{}", r.oc_fetch_ratio);
+    // Loop exits are mostly stable trips: modest MPKI.
+    assert!(r.mpki < 25.0, "{}", r.mpki);
+}
+
+/// With a loop cache at least as large as the body, iterations migrate
+/// out of the uop cache into the loop buffer.
+#[test]
+fn loop_cache_captures_the_loop() {
+    let prog = kernels::tight_loop(5, 24.0);
+    let profile = kernels::kernel_profile(4);
+    let mut cfg = SimConfig::table1().with_insts(10_000, 60_000);
+    cfg.core.loop_cache_uops = 32;
+    let r = Simulator::new(cfg).run(&profile, &prog);
+    assert!(
+        r.loop_uops > r.uops / 4,
+        "loop cache must serve a large share: {} of {}",
+        r.loop_uops,
+        r.uops
+    );
+}
+
+/// Call chains are fully RAS-predictable: no target mispredictions once
+/// the BTB knows the calls.
+#[test]
+fn call_chain_is_ras_perfect() {
+    let prog = kernels::call_chain(8); // well under the 32-entry RAS
+    let r = run(&prog, 5, UopCacheConfig::baseline_2k());
+    assert_eq!(
+        r.target_mispredicts, 0,
+        "returns must be RAS-predicted in a shallow chain"
+    );
+    assert!(r.mpki < 1.0, "{}", r.mpki);
+}
+
+/// Coin-flip branches are unpredictable by construction: TAGE cannot beat
+/// the coin, so the direction-MPKI approaches the branch rate × 50%.
+#[test]
+fn coin_flips_defeat_tage() {
+    let prog = kernels::coin_flip_grid(8, 0.5);
+    let fair = run(&prog, 6, UopCacheConfig::baseline_2k());
+    let prog_biased = kernels::coin_flip_grid(8, 0.98);
+    let biased = run(&prog_biased, 6, UopCacheConfig::baseline_2k());
+    assert!(
+        fair.mpki > 5.0 * biased.mpki.max(0.5),
+        "fair coins {} vs biased {}",
+        fair.mpki,
+        biased.mpki
+    );
+    assert!(fair.mpki > 40.0, "8 coin flips per ~27 insts: {}", fair.mpki);
+}
+
+/// The misprediction-latency gap between OC-fed and decoder-fed branches:
+/// the same coin-flip kernel resolves faster when it fits the uop cache
+/// than when the cache is disabled-by-thrashing (paper Section III-C).
+#[test]
+fn oc_resolves_mispredicts_earlier() {
+    // Same branchy kernel; tiny cache thrashes when the kernel is padded
+    // beyond capacity with sled instructions.
+    let small_kernel = kernels::coin_flip_grid(8, 0.5);
+    let fits = run(&small_kernel, 7, UopCacheConfig::baseline_2k());
+    // Interleave: run the same branches but from the decoder by shrinking
+    // effective capacity (32-uop cache: sets can't go below one; use a
+    // huge kernel instead).
+    let huge = kernels::coin_flip_grid(600, 0.5); // ~1.9K uops of branches + sleds
+    let thrash = run(&huge, 7, UopCacheConfig::baseline_2k());
+    // The decoder-path share is higher in `thrash`, so its average
+    // fetch→resolve latency carries more decode-pipe cycles.
+    if thrash.oc_fetch_ratio < fits.oc_fetch_ratio - 0.1 {
+        assert!(
+            thrash.avg_mispredict_latency >= fits.avg_mispredict_latency - 0.5,
+            "decoder-fed branches must not resolve faster: {} vs {}",
+            thrash.avg_mispredict_latency,
+            fits.avg_mispredict_latency
+        );
+    }
+}

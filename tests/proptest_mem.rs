@@ -1,0 +1,86 @@
+//! Property-based tests of the cache/replacement substrate.
+
+use proptest::prelude::*;
+use ucsim::mem::{AccessKind, Cache, CacheConfig, MemoryHierarchy, ReplacementPolicy};
+use ucsim::model::LineAddr;
+
+fn line(n: u64) -> LineAddr {
+    LineAddr::from_line_number(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Occupancy never exceeds capacity, and a line is resident right
+    /// after its fill, under arbitrary access/fill/invalidate traffic.
+    #[test]
+    fn cache_occupancy_and_residency(
+        ops in prop::collection::vec((0u8..3, 0u64..200), 1..500),
+        set_bits in 1u32..5,
+        ways in 1usize..9,
+        policy_pick in 0u8..3,
+    ) {
+        let policy = match policy_pick {
+            0 => ReplacementPolicy::Lru,
+            1 => ReplacementPolicy::Srrip,
+            _ => ReplacementPolicy::Lru, // TreePlru needs pow2 ways
+        };
+        let sets = 1usize << set_bits;
+        let mut c = Cache::new(CacheConfig::new("t", sets, ways, policy));
+        for (op, n) in ops {
+            match op {
+                0 => {
+                    let _ = c.access(line(n));
+                }
+                1 => {
+                    c.fill(line(n));
+                    prop_assert!(c.probe(line(n)), "fill must make resident");
+                }
+                _ => {
+                    c.invalidate(line(n));
+                    prop_assert!(!c.probe(line(n)), "invalidate must remove");
+                }
+            }
+            prop_assert!(c.resident_lines() <= sets * ways);
+        }
+    }
+
+    /// LRU never evicts the line that was just touched when the set has
+    /// more than one way.
+    #[test]
+    fn lru_protects_the_mru_line(
+        lines in prop::collection::vec(0u64..64, 2..200),
+        ways in 2usize..9,
+    ) {
+        // Single set: every line conflicts.
+        let mut c = Cache::new(CacheConfig::new("t", 1, ways, ReplacementPolicy::Lru));
+        let mut last: Option<LineAddr> = None;
+        for n in lines {
+            let l = line(n);
+            if !c.access(l) {
+                let evicted = c.fill(l);
+                if let (Some(prev), Some(ev)) = (last, evicted) {
+                    prop_assert_ne!(ev, prev, "evicted the MRU line");
+                    prop_assert_ne!(ev, l);
+                }
+            }
+            last = Some(l);
+        }
+    }
+
+    /// Hierarchy latencies always come from the configured ladder, and a
+    /// repeat access is never slower than the first.
+    #[test]
+    fn hierarchy_latency_ladder(addrs in prop::collection::vec(0u64..5000, 1..300)) {
+        let mut mem = MemoryHierarchy::new(Default::default());
+        let cfg = mem.config().clone();
+        let valid = [cfg.l1_latency, cfg.l2_latency, cfg.l3_latency, cfg.dram_latency];
+        for n in addrs {
+            let first = mem.access(AccessKind::Fetch, line(n));
+            prop_assert!(valid.contains(&first), "latency {first} not in ladder");
+            let second = mem.access(AccessKind::Fetch, line(n));
+            prop_assert!(second <= first, "repeat slower: {second} > {first}");
+            prop_assert_eq!(second, cfg.l1_latency, "repeat must hit L1");
+        }
+    }
+}

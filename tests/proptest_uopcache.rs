@@ -1,0 +1,212 @@
+//! Property-based tests of the uop cache invariants under arbitrary
+//! instruction streams and fill/lookup/invalidate interleavings.
+
+use proptest::prelude::*;
+use ucsim::model::{Addr, BranchExec, DynInst, InstClass, PwId, UOP_BYTES, IMM_DISP_BYTES};
+use ucsim::uopcache::{
+    AccumulationBuffer, CompactionPolicy, UopCache, UopCacheConfig, UopCacheEntry,
+};
+
+/// A compact recipe for one synthetic instruction in a stream.
+#[derive(Debug, Clone)]
+struct InstSpec {
+    len: u8,
+    uops: u8,
+    imm: u8,
+    microcoded: bool,
+    taken_branch: bool,
+}
+
+fn inst_spec() -> impl Strategy<Value = InstSpec> {
+    (1u8..=15, 1u8..=8, 0u8..=2, any::<bool>(), any::<bool>()).prop_map(
+        |(len, uops, imm, microcoded, taken_branch)| InstSpec {
+            len,
+            uops,
+            imm,
+            microcoded: microcoded && uops >= 4,
+            taken_branch,
+        },
+    )
+}
+
+/// Materializes a sequential instruction stream from specs, with taken
+/// branches jumping to fresh addresses.
+fn build_stream(specs: &[InstSpec], base: u64) -> Vec<(DynInst, bool)> {
+    let mut out = Vec::with_capacity(specs.len());
+    let mut pc = base;
+    for (i, s) in specs.iter().enumerate() {
+        if s.taken_branch {
+            let target = base + 0x4000 + (i as u64 * 64);
+            let inst = DynInst::branch(
+                Addr::new(pc),
+                s.len,
+                InstClass::JumpDirect,
+                BranchExec {
+                    taken: true,
+                    target: Addr::new(target),
+                },
+            );
+            out.push((inst, true));
+            pc = target;
+        } else {
+            let inst = DynInst::simple(Addr::new(pc), s.len, InstClass::IntAlu)
+                .with_uops(s.uops)
+                .with_imm_disp(s.imm)
+                .with_microcoded(s.microcoded);
+            out.push((inst, false));
+            pc += s.len as u64;
+        }
+    }
+    out
+}
+
+fn check_entry_invariants(e: &UopCacheEntry, cfg: &UopCacheConfig) {
+    assert!(e.uops >= 1, "entries are never empty");
+    assert!(e.uops <= cfg.max_uops_per_entry, "uop limit: {e:?}");
+    assert!(e.imm_disp <= cfg.max_imm_disp_per_entry, "imm limit: {e:?}");
+    assert!(e.ucoded_insts <= cfg.max_ucoded_per_entry, "ucode limit: {e:?}");
+    assert!(
+        e.uops * UOP_BYTES + e.imm_disp * IMM_DISP_BYTES <= cfg.entry_byte_budget(),
+        "byte budget: {e:?}"
+    );
+    assert!(e.end.get() > e.start.get(), "non-empty coverage: {e:?}");
+    let line_limit = if cfg.clasp { cfg.clasp_max_lines } else { 1 };
+    assert!(e.pc_lines <= line_limit, "line span: {e:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every entry the accumulation buffer emits satisfies every
+    /// termination constraint, for baseline and CLASP configurations.
+    #[test]
+    fn builder_entries_respect_all_limits(
+        specs in prop::collection::vec(inst_spec(), 1..200),
+        clasp in any::<bool>(),
+    ) {
+        let cfg = if clasp {
+            UopCacheConfig::baseline_2k().with_clasp()
+        } else {
+            UopCacheConfig::baseline_2k()
+        };
+        let mut acc = AccumulationBuffer::new(cfg.clone());
+        let stream = build_stream(&specs, 0x10_000);
+        let mut entries = Vec::new();
+        for (i, (inst, taken)) in stream.iter().enumerate() {
+            entries.extend(acc.push(inst, PwId(i as u64 / 6), *taken));
+        }
+        entries.extend(acc.flush());
+        for e in &entries {
+            check_entry_invariants(e, &cfg);
+        }
+    }
+
+    /// Entry coverage is contiguous and non-overlapping along each
+    /// sequential run.
+    #[test]
+    fn builder_coverage_is_contiguous(
+        specs in prop::collection::vec(inst_spec(), 1..150),
+    ) {
+        let cfg = UopCacheConfig::baseline_2k().with_clasp();
+        let mut acc = AccumulationBuffer::new(cfg.clone());
+        let stream = build_stream(&specs, 0x20_000);
+        let mut entries = Vec::new();
+        for (i, (inst, taken)) in stream.iter().enumerate() {
+            entries.extend(acc.push(inst, PwId(i as u64), *taken));
+        }
+        entries.extend(acc.flush());
+        // Consecutive entries either continue exactly (fall-through cut)
+        // or restart at a branch target (disjoint region).
+        for w in entries.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                b.start == a.end || b.start.get() >= 0x14_000,
+                "gap without a branch: {a:?} -> {b:?}"
+            );
+        }
+    }
+
+    /// The cache never exceeds its physical capacity and lookups only hit
+    /// exact entry starts, under arbitrary fill streams and policies.
+    #[test]
+    fn cache_capacity_and_tag_exactness(
+        specs in prop::collection::vec(inst_spec(), 1..300),
+        policy_pick in 0u8..4,
+    ) {
+        let cfg = match policy_pick {
+            0 => UopCacheConfig::baseline_2k(),
+            1 => UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Rac, 2),
+            2 => UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Pwac, 2),
+            _ => UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 3),
+        };
+        let mut acc = AccumulationBuffer::new(cfg.clone());
+        let mut oc = UopCache::new(cfg.clone());
+        let stream = build_stream(&specs, 0x30_000);
+        for (i, (inst, taken)) in stream.iter().enumerate() {
+            for e in acc.push(inst, PwId(i as u64 / 4), *taken) {
+                oc.fill(e);
+            }
+        }
+        // Physical capacity: lines * ways bounded; bytes per line bounded.
+        prop_assert!(oc.valid_lines() <= cfg.sets * cfg.ways);
+        prop_assert!(oc.resident_uops() <= cfg.capacity_uops() as u64);
+        // Tag exactness: a hit returns an entry starting at the address.
+        for e in oc.iter_entries() {
+            prop_assert_eq!(e.start, e.start);
+        }
+        let starts: Vec<Addr> = oc.iter_entries().map(|e| e.start).collect();
+        for s in starts {
+            let got = oc.lookup(s).expect("resident start must hit");
+            prop_assert_eq!(got.start, s);
+        }
+    }
+
+    /// SMC invalidation is complete: after probing a line, no resident
+    /// entry overlaps it — under any policy, including CLASP spans.
+    #[test]
+    fn invalidation_is_complete(
+        specs in prop::collection::vec(inst_spec(), 1..200),
+        probe_offset in 0u64..0x600,
+    ) {
+        let cfg = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2);
+        let mut acc = AccumulationBuffer::new(cfg.clone());
+        let mut oc = UopCache::new(cfg);
+        let stream = build_stream(&specs, 0x40_000);
+        for (i, (inst, taken)) in stream.iter().enumerate() {
+            for e in acc.push(inst, PwId(i as u64 / 4), *taken) {
+                oc.fill(e);
+            }
+        }
+        if let Some(e) = acc.flush() {
+            oc.fill(e);
+        }
+        let line = Addr::new(0x40_000 + probe_offset).line();
+        oc.invalidate_icache_line(line);
+        let survivors = oc.iter_entries().filter(|e| e.overlaps_line(line)).count();
+        prop_assert_eq!(survivors, 0, "stale entries after SMC probe");
+    }
+
+    /// Duplicate fills never create two entries with the same start.
+    #[test]
+    fn no_duplicate_starts(
+        specs in prop::collection::vec(inst_spec(), 1..120),
+    ) {
+        let cfg = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Rac, 2);
+        let mut oc = UopCache::new(cfg.clone());
+        // Fill the same stream twice.
+        for _ in 0..2 {
+            let mut acc = AccumulationBuffer::new(cfg.clone());
+            let stream = build_stream(&specs, 0x50_000);
+            for (i, (inst, taken)) in stream.iter().enumerate() {
+                for e in acc.push(inst, PwId(i as u64 / 4), *taken) {
+                    oc.fill(e);
+                }
+            }
+        }
+        let mut starts: Vec<u64> = oc.iter_entries().map(|e| e.start.get()).collect();
+        let n = starts.len();
+        starts.sort_unstable();
+        starts.dedup();
+        prop_assert_eq!(starts.len(), n, "duplicate entry starts resident");
+    }
+}

@@ -1,0 +1,144 @@
+//! Reproduction-shape checks: short-run versions of the qualitative
+//! claims each paper figure makes. The full-length numbers live in
+//! EXPERIMENTS.md; these tests pin the *shapes* so regressions in any
+//! substrate (workloads, predictor, uop cache, timing) surface in CI.
+
+use ucsim::pipeline::{SimConfig, SimReport, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
+
+fn run(name: &str, oc: UopCacheConfig) -> SimReport {
+    let profile = WorkloadProfile::by_name(name).expect("table2 workload");
+    let program = Program::generate(&profile);
+    let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(20_000, 150_000);
+    Simulator::new(cfg).run(&profile, &program)
+}
+
+/// Figure 3/4 shape: capacity monotonically improves fetch ratio and
+/// decoder power on capacity-pressured workloads.
+#[test]
+fn capacity_curves_are_monotone() {
+    for name in ["bm-cc", "bm-lla", "sp(tr_cnt)"] {
+        let mut last_ratio = -1.0;
+        let mut last_power = f64::INFINITY;
+        for uops in [2048usize, 8192, 65536] {
+            let r = run(name, UopCacheConfig::baseline_with_capacity(uops));
+            assert!(
+                r.oc_fetch_ratio >= last_ratio - 0.01,
+                "{name}@{uops}: ratio {} after {}",
+                r.oc_fetch_ratio,
+                last_ratio
+            );
+            assert!(
+                r.decoder_power <= last_power + 0.01,
+                "{name}@{uops}: power {} after {}",
+                r.decoder_power,
+                last_power
+            );
+            last_ratio = r.oc_fetch_ratio;
+            last_power = r.decoder_power;
+        }
+    }
+}
+
+/// Figure 5 shape: entries are dominated by the sub-40-byte buckets plus
+/// a meaningful 40-64 B tail; nothing exceeds the 64 B line.
+#[test]
+fn entry_sizes_match_figure5_shape() {
+    let r = run("bm-cc", UopCacheConfig::baseline_2k());
+    let d = &r.entry_size_dist;
+    assert!(d[0] > 0.05, "tiny entries must exist: {d:?}");
+    assert!(d[0] + d[1] > 0.35, "sub-40B majority-ish: {d:?}");
+    assert!(d[2] > 0.05, "large entries exist: {d:?}");
+    assert!(d[3] < 1e-9, "nothing above 64 B: {d:?}");
+}
+
+/// Figure 6 shape: roughly half of all entries terminate at a
+/// predicted-taken branch (paper average 49.4%).
+#[test]
+fn taken_branch_termination_near_half() {
+    let r = run("bm-cc", UopCacheConfig::baseline_2k());
+    assert!(
+        (0.30..0.70).contains(&r.taken_term_frac),
+        "taken-term {}",
+        r.taken_term_frac
+    );
+}
+
+/// Figure 9 shape: a substantial minority of CLASP entries span the
+/// I-cache boundary (paper: up to ~40%).
+#[test]
+fn clasp_spanning_in_figure9_range() {
+    let r = run("bm-cc", UopCacheConfig::baseline_2k().with_clasp());
+    assert!(
+        (0.10..0.50).contains(&r.spanning_frac),
+        "spanning {}",
+        r.spanning_frac
+    );
+}
+
+/// Figure 12 shape: most PWs produce one entry, a solid minority two,
+/// few three (paper: 64.5% / 31.6% / 3.9%).
+#[test]
+fn entries_per_pw_matches_figure12_shape() {
+    let r = run("bm-cc", UopCacheConfig::baseline_2k());
+    let d = r.entries_per_pw;
+    assert!(d[0] > 0.5, "singles dominate: {d:?}");
+    assert!(d[1] > 0.1, "doubles are a solid minority: {d:?}");
+    assert!(d[1] < d[0], "{d:?}");
+    assert!(d[2] < d[1], "{d:?}");
+}
+
+/// Figures 15–17 shape: every optimization beats the baseline on decoder
+/// power and fetch ratio, and compaction beats CLASP-only.
+#[test]
+fn optimization_ladder_shape() {
+    let name = "bm-lla";
+    let base = run(name, UopCacheConfig::baseline_2k());
+    let clasp = run(name, UopCacheConfig::baseline_2k().with_clasp());
+    let fpwac = run(
+        name,
+        UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+    );
+    assert!(clasp.decoder_power <= base.decoder_power * 1.02);
+    assert!(fpwac.decoder_power <= clasp.decoder_power * 1.005);
+    assert!(fpwac.oc_fetch_ratio >= base.oc_fetch_ratio);
+    assert!(fpwac.upc >= base.upc, "{} vs {}", fpwac.upc, base.upc);
+}
+
+/// Figure 18/19 shape: under F-PWAC a nontrivial share of fills compact,
+/// and all three techniques add up to the whole.
+#[test]
+fn compaction_accounting_shape() {
+    let r = run(
+        "bm-cc",
+        UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+    );
+    assert!(r.compacted_fill_frac > 0.08, "{}", r.compacted_fill_frac);
+    let (rac, pwac, fpwac) = r.compaction_dist;
+    assert!((rac + pwac + fpwac - 1.0).abs() < 1e-9);
+    assert!(rac > 0.0);
+}
+
+/// Figure 22 shape: gains shrink at the 4K baseline but survive.
+#[test]
+fn gains_shrink_but_survive_at_4k() {
+    let name = "bm-lla";
+    let b2 = run(name, UopCacheConfig::baseline_2k());
+    let f2 = run(
+        name,
+        UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+    );
+    let b4 = run(name, UopCacheConfig::baseline_with_capacity(4096));
+    let f4 = run(
+        name,
+        UopCacheConfig::baseline_with_capacity(4096).with_compaction(CompactionPolicy::Fpwac, 2),
+    );
+    let gain2 = f2.oc_fetch_ratio / b2.oc_fetch_ratio;
+    let gain4 = f4.oc_fetch_ratio / b4.oc_fetch_ratio;
+    assert!(gain4 >= 0.99, "no regression at 4K: {gain4}");
+    assert!(
+        gain4 <= gain2 + 0.02,
+        "diminishing returns: 2K gain {gain2}, 4K gain {gain4}"
+    );
+}

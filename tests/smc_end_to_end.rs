@@ -1,0 +1,66 @@
+//! End-to-end self-modifying-code behaviour: a workload whose stores
+//! occasionally patch code must trigger uop cache invalidation probes,
+//! and the uop cache must never serve stale entries for patched lines.
+
+use ucsim::pipeline::{SimConfig, Simulator};
+use ucsim::trace::{Program, WorkloadProfile};
+
+fn jitty_profile() -> WorkloadProfile {
+    let mut p = WorkloadProfile::quick_test();
+    p.p_smc_store = 0.02; // exaggerated JIT patch rate for the test
+    p
+}
+
+#[test]
+fn smc_stores_trigger_probes() {
+    let profile = jitty_profile();
+    let program = Program::generate(&profile);
+    let cfg = SimConfig::table1().with_insts(5_000, 60_000);
+    let r = Simulator::new(cfg).run(&profile, &program);
+    assert!(r.smc_probes > 0, "JIT workload must emit code writes");
+    assert!(
+        r.smc_invalidated_entries > 0,
+        "probes must occasionally hit resident entries"
+    );
+}
+
+#[test]
+fn smc_rate_zero_means_no_probes() {
+    let profile = WorkloadProfile::quick_test();
+    assert_eq!(profile.p_smc_store, 0.0);
+    let program = Program::generate(&profile);
+    let cfg = SimConfig::table1().with_insts(5_000, 40_000);
+    let r = Simulator::new(cfg).run(&profile, &program);
+    assert_eq!(r.smc_probes, 0);
+    assert_eq!(r.smc_invalidated_entries, 0);
+}
+
+#[test]
+fn smc_behaviour_is_deterministic() {
+    let profile = jitty_profile();
+    let program = Program::generate(&profile);
+    let cfg = SimConfig::table1().with_insts(5_000, 40_000);
+    let a = Simulator::new(cfg.clone()).run(&profile, &program);
+    let b = Simulator::new(cfg).run(&profile, &program);
+    assert_eq!(a.smc_probes, b.smc_probes);
+    assert_eq!(a.smc_invalidated_entries, b.smc_invalidated_entries);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn smc_works_under_clasp_and_compaction() {
+    use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
+    let profile = jitty_profile();
+    let program = Program::generate(&profile);
+    for oc in [
+        UopCacheConfig::baseline_2k().with_clasp(),
+        UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
+    ] {
+        let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(5_000, 60_000);
+        let r = Simulator::new(cfg).run(&profile, &program);
+        assert!(r.smc_probes > 0);
+        // The run completes with sane metrics despite invalidation churn.
+        assert!(r.upc > 0.2);
+        assert!((0.0..=1.0).contains(&r.oc_fetch_ratio));
+    }
+}
