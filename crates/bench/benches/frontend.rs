@@ -62,5 +62,10 @@ fn bench_pw_generation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_trace_generation, bench_tage, bench_pw_generation);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_tage,
+    bench_pw_generation
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn bench_simulator(c: &mut Criterion) {
             "fpwac_2k",
             UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
         ),
-        ("baseline_64k", UopCacheConfig::baseline_with_capacity(65536)),
+        (
+            "baseline_64k",
+            UopCacheConfig::baseline_with_capacity(65536),
+        ),
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {

@@ -94,7 +94,13 @@ fn main() {
     let mut rule = ExperimentTable::new(
         "ablation_build_rule",
         "Entry build rule under F-PWAC (2K): span PWs vs cut at PW end",
-        &["comp_span", "comp_cut", "upc_span", "upc_cut", "pwac_share_cut"],
+        &[
+            "comp_span",
+            "comp_cut",
+            "upc_span",
+            "upc_cut",
+            "pwac_share_cut",
+        ],
     );
     for p in &workloads {
         let span_cfg = UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2);

@@ -22,8 +22,7 @@ fn main() {
         ));
         configs.push(LabeledConfig::new(
             &format!("fpwac_{}K", cap / 1024),
-            SimConfig::table1()
-                .with_uop_cache(base.with_compaction(CompactionPolicy::Fpwac, 2)),
+            SimConfig::table1().with_uop_cache(base.with_compaction(CompactionPolicy::Fpwac, 2)),
         ));
     }
 

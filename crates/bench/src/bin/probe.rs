@@ -15,7 +15,10 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "bm-cc".to_owned());
     let profile = WorkloadProfile::by_name(&name).expect("unknown workload");
-    println!("probe: {} (target MPKI {})", profile.name, profile.target_mpki);
+    println!(
+        "probe: {} (target MPKI {})",
+        profile.name, profile.target_mpki
+    );
 
     let configs = [
         ("base-2K", UopCacheConfig::baseline_2k()),
@@ -56,7 +59,10 @@ fn main() {
             r.resident_uops_end,
             r.valid_lines_end,
             r.resident_entries_end,
-            r.entry_size_dist.iter().map(|f| (f * 100.0).round()).collect::<Vec<_>>()
+            r.entry_size_dist
+                .iter()
+                .map(|f| (f * 100.0).round())
+                .collect::<Vec<_>>()
         );
         println!(
             "           coverage: total={}B unique={}B dup_ratio={:.2}",
@@ -66,12 +72,14 @@ fn main() {
         );
         println!(
             "           interior_misses={} / misses={}",
-            r.interior_misses,
-            r.oc_lookup_misses,
+            r.interior_misses, r.oc_lookup_misses,
         );
         println!(
             "           terms(bound,taken,maxu,maxi,maxmc,cap,flush)={:?} mean_uops={:.2}",
-            r.term_fracs.iter().map(|f| (f * 100.0).round() as i64).collect::<Vec<_>>(),
+            r.term_fracs
+                .iter()
+                .map(|f| (f * 100.0).round() as i64)
+                .collect::<Vec<_>>(),
             r.mean_entry_uops
         );
     }

@@ -21,10 +21,7 @@ fn main() {
         let program = Program::generate(&p);
         let n = (opts.warmup + opts.insts) as usize;
         let trace = Trace::record(program.walk(&p).take(n));
-        let path = format!(
-            "target/traces/{}.uct",
-            p.name.replace(['(', ')'], "_")
-        );
+        let path = format!("target/traces/{}.uct", p.name.replace(['(', ')'], "_"));
         let f = File::create(&path).expect("create trace file");
         trace.save(f).expect("write trace");
         println!("{path}: {} insts", trace.len());

@@ -12,8 +12,7 @@ pub fn capacity_sweep() -> Vec<LabeledConfig> {
         .map(|&uops| {
             LabeledConfig::new(
                 &format!("OC_{}K", uops / 1024),
-                SimConfig::table1()
-                    .with_uop_cache(UopCacheConfig::baseline_with_capacity(uops)),
+                SimConfig::table1().with_uop_cache(UopCacheConfig::baseline_with_capacity(uops)),
             )
         })
         .collect()
@@ -32,13 +31,17 @@ pub fn optimization_ladder(capacity_uops: usize, max_entries: u32) -> Vec<Labele
         ),
         LabeledConfig::new(
             "RAC",
-            SimConfig::table1()
-                .with_uop_cache(base.clone().with_compaction(CompactionPolicy::Rac, max_entries)),
+            SimConfig::table1().with_uop_cache(
+                base.clone()
+                    .with_compaction(CompactionPolicy::Rac, max_entries),
+            ),
         ),
         LabeledConfig::new(
             "PWAC",
-            SimConfig::table1()
-                .with_uop_cache(base.clone().with_compaction(CompactionPolicy::Pwac, max_entries)),
+            SimConfig::table1().with_uop_cache(
+                base.clone()
+                    .with_compaction(CompactionPolicy::Pwac, max_entries),
+            ),
         ),
         LabeledConfig::new(
             "F-PWAC",

@@ -6,8 +6,8 @@ use ucsim_pipeline::{SimConfig, SimReport};
 use ucsim_trace::{Program, TraceStats, WorkloadProfile};
 
 use crate::{
-    capacity_sweep, geomean, normalize, optimization_ladder, percent_improvement,
-    run_matrix, ExperimentTable, LabeledConfig, RunOpts,
+    capacity_sweep, geomean, normalize, optimization_ladder, percent_improvement, run_matrix,
+    ExperimentTable, LabeledConfig, RunOpts,
 };
 
 /// Table I: prints the simulated processor configuration.
@@ -15,9 +15,18 @@ pub fn table1() {
     let cfg = SimConfig::table1();
     println!("== Table I: Simulated Processor Configuration ==");
     println!("Core        3 GHz, x86 CISC-like ISA");
-    println!("            dispatch width: {} uops/cycle", cfg.core.dispatch_width);
-    println!("            retire width:   {} uops/cycle", cfg.core.retire_width);
-    println!("            ROB: {}  uop queue: {}", cfg.core.rob_size, cfg.core.uop_queue_size);
+    println!(
+        "            dispatch width: {} uops/cycle",
+        cfg.core.dispatch_width
+    );
+    println!(
+        "            retire width:   {} uops/cycle",
+        cfg.core.retire_width
+    );
+    println!(
+        "            ROB: {}  uop queue: {}",
+        cfg.core.rob_size, cfg.core.uop_queue_size
+    );
     println!(
         "Decoder     latency {} cycles, bandwidth {} insts/cycle",
         cfg.core.decode_latency, cfg.core.decode_width
@@ -85,9 +94,8 @@ pub fn table2(opts: &RunOpts) -> ExperimentTable {
     let results = run_matrix(&configs, opts);
     for (profile, reports) in &results {
         let program = Program::generate(profile);
-        let stats = TraceStats::from_stream(
-            program.walk(profile).take(200_000.min(opts.insts as usize)),
-        );
+        let stats =
+            TraceStats::from_stream(program.walk(profile).take(200_000.min(opts.insts as usize)));
         let r = &reports[0];
         t.row(
             profile.name,
@@ -117,8 +125,11 @@ pub fn fig03(opts: &RunOpts) -> (ExperimentTable, ExperimentTable) {
     let labels: Vec<String> = capacity_sweep().iter().map(|c| c.label.clone()).collect();
     let cols: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
     let mut upc = ExperimentTable::new("fig03_upc", "Normalized UPC vs OC capacity", &cols);
-    let mut pow =
-        ExperimentTable::new("fig03_power", "Normalized decoder power vs OC capacity", &cols);
+    let mut pow = ExperimentTable::new(
+        "fig03_power",
+        "Normalized decoder power vs OC capacity",
+        &cols,
+    );
     for (profile, reports) in &results {
         let base = &reports[0];
         let u: Vec<f64> = reports.iter().map(|r| normalize(r.upc, base.upc)).collect();
@@ -140,10 +151,12 @@ pub fn fig04(opts: &RunOpts) -> (ExperimentTable, ExperimentTable, ExperimentTab
     let results = sweep_results(opts);
     let labels: Vec<String> = capacity_sweep().iter().map(|c| c.label.clone()).collect();
     let cols: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let mut ratio =
-        ExperimentTable::new("fig04_fetch_ratio", "Normalized OC fetch ratio", &cols);
-    let mut disp =
-        ExperimentTable::new("fig04_dispatch", "Normalized avg dispatched uops/cycle", &cols);
+    let mut ratio = ExperimentTable::new("fig04_fetch_ratio", "Normalized OC fetch ratio", &cols);
+    let mut disp = ExperimentTable::new(
+        "fig04_dispatch",
+        "Normalized avg dispatched uops/cycle",
+        &cols,
+    );
     let mut mlat = ExperimentTable::new(
         "fig04_mispredict_latency",
         "Normalized avg branch misprediction latency",
@@ -295,10 +308,7 @@ fn upc_improvement_table(
         }
         t.row(profile.name, &vals);
     }
-    let g: Vec<f64> = ratios
-        .iter()
-        .map(|v| (geomean(v) - 1.0) * 100.0)
-        .collect();
+    let g: Vec<f64> = ratios.iter().map(|v| (geomean(v) - 1.0) * 100.0).collect();
     t.row("G.Mean", &g);
     t
 }
@@ -321,8 +331,11 @@ pub fn fig17(opts: &RunOpts) -> (ExperimentTable, ExperimentTable, ExperimentTab
     let results = ladder_results(opts, 2048, 2);
     let cols = ["baseline", "CLASP", "RAC", "PWAC", "F-PWAC"];
     let mut ratio = ExperimentTable::new("fig17_fetch_ratio", "Normalized OC fetch ratio", &cols);
-    let mut disp =
-        ExperimentTable::new("fig17_dispatch", "Normalized avg dispatched uops/cycle", &cols);
+    let mut disp = ExperimentTable::new(
+        "fig17_dispatch",
+        "Normalized avg dispatched uops/cycle",
+        &cols,
+    );
     let mut mlat = ExperimentTable::new(
         "fig17_mispredict_latency",
         "Normalized avg branch misprediction latency",

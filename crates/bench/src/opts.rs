@@ -74,7 +74,10 @@ impl RunOpts {
     /// True if the named workload passes the filter.
     pub fn selects(&self, name: &str) -> bool {
         self.workload_filter.is_empty()
-            || self.workload_filter.iter().any(|f| name.contains(f.as_str()))
+            || self
+                .workload_filter
+                .iter()
+                .any(|f| name.contains(f.as_str()))
     }
 }
 

@@ -1,8 +1,7 @@
 //! Workload × configuration matrix execution.
 
-use std::sync::Mutex;
-
 use ucsim_pipeline::{SimConfig, SimReport, Simulator};
+use ucsim_pool::Progress;
 use ucsim_trace::{Program, WorkloadProfile};
 
 use crate::RunOpts;
@@ -44,42 +43,27 @@ pub fn run_matrix(
         .into_iter()
         .filter(|p| opts.selects(p.name))
         .collect();
-    let results: Mutex<Vec<(usize, Vec<SimReport>)>> = Mutex::new(Vec::new());
-    let next: Mutex<usize> = Mutex::new(0);
+    let progress = Progress::stderr();
 
-    std::thread::scope(|s| {
-        for _ in 0..opts.threads.max(1).min(profiles.len().max(1)) {
-            s.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("queue lock");
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                if idx >= profiles.len() {
-                    break;
-                }
-                let profile = &profiles[idx];
-                let program = Program::generate(profile);
-                let reports: Vec<SimReport> = configs
-                    .iter()
-                    .map(|lc| {
-                        let cfg = lc.config.clone().with_insts(opts.warmup, opts.insts);
-                        Simulator::new(cfg).run(profile, &program)
-                    })
-                    .collect();
-                eprintln!("  done {:<14} ({} configs)", profile.name, configs.len());
-                results.lock().expect("results lock").push((idx, reports));
-            });
-        }
+    let reports = ucsim_pool::run_indexed(profiles.len(), opts.threads, |idx| {
+        let profile = &profiles[idx];
+        let program = Program::generate(profile);
+        let reports: Vec<SimReport> = configs
+            .iter()
+            .map(|lc| {
+                let cfg = lc.config.clone().with_insts(opts.warmup, opts.insts);
+                Simulator::new(cfg).run(profile, &program)
+            })
+            .collect();
+        progress.line(&format!(
+            "  done {:<14} ({} configs)",
+            profile.name,
+            configs.len()
+        ));
+        reports
     });
 
-    let mut collected = results.into_inner().expect("results");
-    collected.sort_by_key(|(i, _)| *i);
-    collected
-        .into_iter()
-        .map(|(i, reports)| (profiles[i].clone(), reports))
-        .collect()
+    profiles.into_iter().zip(reports).collect()
 }
 
 #[cfg(test)]

@@ -272,7 +272,11 @@ mod tests {
         btb.update(pc, BranchKind::Direct, Addr::new(0x800));
         // Evict from L1 by training conflicting blocks (same L1 set).
         for i in 1..=4u64 {
-            btb.update(Addr::new(0x100 + i * 4 * 32), BranchKind::Direct, Addr::new(0x900));
+            btb.update(
+                Addr::new(0x100 + i * 4 * 32),
+                BranchKind::Direct,
+                Addr::new(0x900),
+            );
         }
         let (o, t) = btb.lookup(pc);
         assert_eq!(o, BtbOutcome::L2Hit);

@@ -1,9 +1,11 @@
 //! Front-end branch-prediction configuration.
 
+use ucsim_model::{FromJson, ToJson};
+
 use crate::TageConfig;
 
 /// Configuration for the whole branch-prediction unit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct BpuConfig {
     /// TAGE geometry.
     pub tage: TageConfig,

@@ -41,7 +41,7 @@ mod pwgen;
 mod ras;
 mod tage;
 
-pub use btb::{Btb, BtbStats, BranchKind};
+pub use btb::{BranchKind, Btb, BtbStats};
 pub use config::BpuConfig;
 pub use pwgen::{BpuStats, Mispredict, PwBatchRef, PwGenerator};
 pub use ras::ReturnAddressStack;

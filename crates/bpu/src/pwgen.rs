@@ -16,9 +16,7 @@
 //! the effect measured in the paper's Figure 4/17 misprediction-latency
 //! curves).
 
-use ucsim_model::{
-    Addr, DynInst, InstClass, PredictionWindow, PwId, PwTermination,
-};
+use ucsim_model::{Addr, DynInst, InstClass, PredictionWindow, PwId, PwTermination};
 
 use crate::btb::BtbOutcome;
 use crate::{BpuConfig, BranchKind, Btb, ReturnAddressStack, Tage};
@@ -58,8 +56,7 @@ impl BpuStats {
         if self.insts == 0 {
             0.0
         } else {
-            (self.direction_mispredicts + self.target_mispredicts) as f64
-                / self.insts as f64
+            (self.direction_mispredicts + self.target_mispredicts) as f64 / self.insts as f64
                 * 1000.0
         }
     }
@@ -227,7 +224,10 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
                         ends_taken = true;
                         done = true;
                     }
-                    BranchVerdict::Mispredicted { believed_taken, kind } => {
+                    BranchVerdict::Mispredicted {
+                        believed_taken,
+                        kind,
+                    } => {
                         termination = PwTermination::Redirect;
                         ends_taken = believed_taken;
                         self.batch.mispredict = Some(kind);
@@ -395,7 +395,10 @@ enum BranchVerdict {
     /// Correctly predicted taken: PW ends here.
     PredictedTaken,
     /// Mispredicted: PW ends, pipeline charges resolution.
-    Mispredicted { believed_taken: bool, kind: Mispredict },
+    Mispredicted {
+        believed_taken: bool,
+        kind: Mispredict,
+    },
 }
 
 #[cfg(test)]
@@ -519,11 +522,7 @@ mod tests {
     fn mispredicted_direction_flags_batch() {
         // A branch alternates T/NT with no warmup: first encounters
         // mispredict. Find at least one Direction mispredict.
-        let insts = vec![
-            alu(0x1000, 4),
-            jcc(0x1004, true, 0x2000),
-            alu(0x2000, 4),
-        ];
+        let insts = vec![alu(0x1000, 4), jcc(0x1004, true, 0x2000), alu(0x2000, 4)];
         let mut g = gen(insts);
         let b = g.advance().unwrap();
         // Cold TAGE predicts not-taken (bimodal weakly taken is >= 0 ...)
@@ -596,7 +595,7 @@ mod tests {
 
     #[test]
     fn indirect_jump_learns_target() {
-        let hop = |i: u64| {
+        let hop = |_: u64| {
             vec![
                 DynInst::branch(
                     Addr::new(0x1000),
@@ -608,7 +607,7 @@ mod tests {
                     },
                 ),
                 alu(0x5000, 4),
-                jmp(0x5004 + i * 0, 0x1000),
+                jmp(0x5004, 0x1000),
             ]
         };
         let mut insts = Vec::new();

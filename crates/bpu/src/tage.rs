@@ -6,10 +6,10 @@
 //! matching table provides the prediction; allocation on mispredictions
 //! moves hard branches into longer-history tables.
 
-use ucsim_model::{mix64, Addr, SplitMix64};
+use ucsim_model::{mix64, Addr, FromJson, SplitMix64, ToJson};
 
 /// Geometry of the TAGE predictor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct TageConfig {
     /// log2 entries of the bimodal base table.
     pub bimodal_bits: u32,
@@ -102,7 +102,10 @@ struct Provider {
 impl Tage {
     /// Creates a predictor with all counters neutral.
     pub fn new(cfg: TageConfig) -> Self {
-        assert!(!cfg.history_lengths.is_empty(), "need at least one tagged table");
+        assert!(
+            !cfg.history_lengths.is_empty(),
+            "need at least one tagged table"
+        );
         assert!(
             cfg.history_lengths.windows(2).all(|w| w[0] < w[1]),
             "history lengths must increase"
@@ -251,7 +254,11 @@ impl Tage {
             }
         } else {
             let b = &mut self.bimodal[provider.index];
-            *b = if taken { (*b + 1).min(1) } else { (*b - 1).max(-2) };
+            *b = if taken {
+                (*b + 1).min(1)
+            } else {
+                (*b - 1).max(-2)
+            };
         }
 
         // On a misprediction, allocate in a table with *longer* history
@@ -276,8 +283,7 @@ impl Tage {
                         // Random single candidate; decay its useful bit.
                         let t = candidates[self.alloc_rng.index(candidates.len())];
                         let idx = self.index_of(pc, t);
-                        self.tables[t][idx].useful =
-                            self.tables[t][idx].useful.saturating_sub(1);
+                        self.tables[t][idx].useful = self.tables[t][idx].useful.saturating_sub(1);
                         None
                     });
                 if let Some(t) = pick {

@@ -365,9 +365,17 @@ mod tests {
         // only trip via imm bytes with few uops: 6 uops (42B) + 4 imm
         // (16B) = 58; adding 1 uop (7B) = 65 > 62 with imm already at 4.
         let mut b = acc();
-        b.push(&alu(0x2000, 4).with_uops(3).with_imm_disp(2), PwId(0), false);
+        b.push(
+            &alu(0x2000, 4).with_uops(3).with_imm_disp(2),
+            PwId(0),
+            false,
+        );
         assert!(b
-            .push(&alu(0x2004, 4).with_uops(2).with_imm_disp(2), PwId(0), false)
+            .push(
+                &alu(0x2004, 4).with_uops(2).with_imm_disp(2),
+                PwId(0),
+                false
+            )
             .is_empty());
         // Now 5 uops (35B) + 4 imm (16B) = 51B.
         let filler = alu(0x2008, 4).with_uops(1).with_imm_disp(0);
@@ -427,7 +435,11 @@ mod tests {
     #[test]
     fn entry_bytes_match_contents() {
         let mut a = acc();
-        a.push(&alu(0x1000, 4).with_uops(2).with_imm_disp(1), PwId(0), false);
+        a.push(
+            &alu(0x1000, 4).with_uops(2).with_imm_disp(1),
+            PwId(0),
+            false,
+        );
         a.push(&alu(0x1004, 4).with_uops(1), PwId(0), false);
         let e = a.flush().unwrap();
         assert_eq!(e.uops, 3);

@@ -4,10 +4,8 @@
 use ucsim_mem::ReplacementState;
 use ucsim_model::{Addr, LineAddr, PwId};
 
-
 use crate::{
-    CompactionPolicy, PlacementKind, UopCacheConfig, UopCacheEntry, UopCacheLine,
-    UopCacheStats,
+    CompactionPolicy, PlacementKind, UopCacheConfig, UopCacheEntry, UopCacheLine, UopCacheStats,
 };
 
 /// Result of a fill operation.
@@ -121,10 +119,10 @@ impl UopCache {
                 return Some(e);
             }
         }
-        let interior = self.sets[si]
-            .lines
-            .iter()
-            .any(|l| l.entries().any(|e| e.start.get() < addr.get() && addr.get() < e.end.get()));
+        let interior = self.sets[si].lines.iter().any(|l| {
+            l.entries()
+                .any(|e| e.start.get() < addr.get() && addr.get() < e.end.get())
+        });
         if interior {
             self.stats.note_interior_miss();
         }
@@ -170,7 +168,8 @@ impl UopCache {
         } else {
             self.fill_new_line(si, entry)
         };
-        self.stats.note_fill(&entry, outcome.placement, outcome.evicted.len());
+        self.stats
+            .note_fill(&entry, outcome.placement, outcome.evicted.len());
         outcome
     }
 
@@ -497,8 +496,8 @@ mod tests {
     #[test]
     fn conflict_evicts_lru_whole_line() {
         let mut oc = baseline(); // 32 sets, 8 ways
-        // 9 entries in distinct I-cache lines mapping to set of 0x1000:
-        // lines 0x40, 0x60, 0x80... step 32 lines (0x800 bytes).
+                                 // 9 entries in distinct I-cache lines mapping to set of 0x1000:
+                                 // lines 0x40, 0x60, 0x80... step 32 lines (0x800 bytes).
         for i in 0..9u64 {
             oc.fill(entry_at(0x1000 + i * 0x800, 4, i));
         }
@@ -549,8 +548,8 @@ mod tests {
         // the MRU by touching it, then check PWAC still unites PW 9.
         oc.fill(entry_at(0x1000, 2, 7)); // line A
         oc.fill(entry_at(0x1008, 2, 9)); // compacted into A (RAC, MRU)...
-        // Force separation: fill something big under PW 9 that cannot fit
-        // line A.
+                                         // Force separation: fill something big under PW 9 that cannot fit
+                                         // line A.
         let mut oc = compacting(CompactionPolicy::Pwac);
         oc.fill(entry_at(0x1000, 6, 7)); // line A: 42 B
         oc.fill(entry_at(0x1010, 6, 9)); // line B: 42 B (can't fit A)

@@ -1,10 +1,10 @@
 //! Uop cache geometry and policy configuration.
 
-use serde::{Deserialize, Serialize};
 use ucsim_mem::ReplacementPolicy;
+use ucsim_model::{FromJson, ToJson};
 
 /// Which compaction allocation policy the cache uses (paper Section V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson)]
 pub enum CompactionPolicy {
     /// No compaction: one entry per line (baseline / CLASP-only).
     None,
@@ -28,7 +28,7 @@ impl CompactionPolicy {
 }
 
 /// How a fill was placed (recorded per compacted entry; Figure 19).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson)]
 pub enum PlacementKind {
     /// Allocated a fresh (or victimized) line of its own.
     NewLine,
@@ -45,7 +45,7 @@ pub enum PlacementKind {
 /// The paper's baseline (Table I): 32 sets × 8 ways, 64-byte lines,
 /// 56-bit uops, max 8 uops / 4 imm-disp fields / 4 micro-coded insts per
 /// entry ⇒ a 2K-uop capacity. The capacity sweeps scale `sets`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct UopCacheConfig {
     /// Number of sets (power of two).
     pub sets: usize,
@@ -112,7 +112,10 @@ impl UopCacheConfig {
         let per_set = base.ways * base.max_uops_per_entry as usize;
         assert!(uops >= per_set, "capacity below one set");
         let sets = uops / per_set;
-        assert!(sets.is_power_of_two(), "capacity must give power-of-two sets");
+        assert!(
+            sets.is_power_of_two(),
+            "capacity must give power-of-two sets"
+        );
         UopCacheConfig { sets, ..base }
     }
 

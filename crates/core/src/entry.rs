@@ -1,12 +1,12 @@
 //! Uop cache entries.
 
-use serde::{Deserialize, Serialize};
 use ucsim_model::{Addr, EntryTermination, LineAddr, PwId, IMM_DISP_BYTES, UOP_BYTES};
+use ucsim_model::{FromJson, ToJson};
 
 /// One uop cache entry: a run of decoded uops covering the instruction
 /// bytes `[start, end)`, plus the metadata the tag array keeps (paper
 /// Section II-B2 / Figure 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson)]
 pub struct UopCacheEntry {
     /// Address of the first instruction byte covered.
     pub start: Addr,

@@ -1,7 +1,7 @@
 //! Physical uop cache lines (possibly holding several compacted entries).
 
-use serde::{Deserialize, Serialize};
 use ucsim_model::Addr;
+use ucsim_model::{FromJson, ToJson};
 
 use crate::{PlacementKind, UopCacheConfig, UopCacheEntry};
 
@@ -11,7 +11,7 @@ use crate::{PlacementKind, UopCacheConfig, UopCacheEntry};
 /// holds up to `max_entries_per_line`, each remembered together with the
 /// policy that placed it (the Figure 19 statistic). Replacement state is
 /// per *line* regardless of how many entries it holds (paper Section V-B).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, ToJson, FromJson)]
 pub struct UopCacheLine {
     entries: Vec<(UopCacheEntry, PlacementKind)>,
 }
@@ -77,9 +77,7 @@ impl UopCacheLine {
     }
 
     /// Iterates over `(entry, placement)` pairs.
-    pub fn entries_with_placement(
-        &self,
-    ) -> impl Iterator<Item = (&UopCacheEntry, PlacementKind)> {
+    pub fn entries_with_placement(&self) -> impl Iterator<Item = (&UopCacheEntry, PlacementKind)> {
         self.entries.iter().map(|(e, p)| (e, *p))
     }
 

@@ -167,8 +167,7 @@ impl UopCacheStats {
         if self.fills == 0 {
             0.0
         } else {
-            self.term_counts[EntryTermination::TakenBranch.index()] as f64
-                / self.fills as f64
+            self.term_counts[EntryTermination::TakenBranch.index()] as f64 / self.fills as f64
         }
     }
 
@@ -279,9 +278,21 @@ mod tests {
     #[test]
     fn size_buckets_match_figure5() {
         let mut s = UopCacheStats::new();
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0); // 14 B
-        s.note_fill(&entry(4, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::NewLine, 0); // 28 B
-        s.note_fill(&entry(8, 1, EntryTermination::MaxUops, (2, 2)), PlacementKind::NewLine, 0); // 60 B
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (0, 0)),
+            PlacementKind::NewLine,
+            0,
+        ); // 14 B
+        s.note_fill(
+            &entry(4, 0, EntryTermination::TakenBranch, (1, 1)),
+            PlacementKind::NewLine,
+            0,
+        ); // 28 B
+        s.note_fill(
+            &entry(8, 1, EntryTermination::MaxUops, (2, 2)),
+            PlacementKind::NewLine,
+            0,
+        ); // 60 B
         let f = s.entry_size_fractions();
         assert!((f[0] - 1.0 / 3.0).abs() < 1e-9);
         assert!((f[1] - 1.0 / 3.0).abs() < 1e-9);
@@ -291,8 +302,16 @@ mod tests {
     #[test]
     fn taken_branch_fraction() {
         let mut s = UopCacheStats::new();
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::IcacheBoundary, (1, 1)), PlacementKind::NewLine, 0);
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (0, 0)),
+            PlacementKind::NewLine,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::IcacheBoundary, (1, 1)),
+            PlacementKind::NewLine,
+            0,
+        );
         assert!((s.taken_branch_term_frac() - 0.5).abs() < 1e-9);
         assert!((s.term_frac(EntryTermination::IcacheBoundary) - 0.5).abs() < 1e-9);
     }
@@ -302,10 +321,26 @@ mod tests {
         let mut s = UopCacheStats::new();
         // PW 0 produces two entries; PW 1 produces one; an entry spanning
         // PWs 2-3 counts once for each.
-        s.note_fill(&entry(2, 0, EntryTermination::MaxUops, (0, 0)), PlacementKind::NewLine, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::NewLine, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (2, 3)), PlacementKind::NewLine, 0);
+        s.note_fill(
+            &entry(2, 0, EntryTermination::MaxUops, (0, 0)),
+            PlacementKind::NewLine,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (0, 0)),
+            PlacementKind::NewLine,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (1, 1)),
+            PlacementKind::NewLine,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (2, 3)),
+            PlacementKind::NewLine,
+            0,
+        );
         let d = s.entries_per_pw_dist();
         // PWs: 0→2 entries, 1→1, 2→1, 3→1 ⇒ 3/4 singles, 1/4 doubles.
         assert!((d[0] - 0.75).abs() < 1e-9, "{d:?}");
@@ -315,10 +350,26 @@ mod tests {
     #[test]
     fn compaction_distribution() {
         let mut s = UopCacheStats::new();
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (0, 0)), PlacementKind::NewLine, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (1, 1)), PlacementKind::Rac, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (2, 2)), PlacementKind::Pwac, 0);
-        s.note_fill(&entry(2, 0, EntryTermination::TakenBranch, (3, 3)), PlacementKind::Pwac, 0);
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (0, 0)),
+            PlacementKind::NewLine,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (1, 1)),
+            PlacementKind::Rac,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (2, 2)),
+            PlacementKind::Pwac,
+            0,
+        );
+        s.note_fill(
+            &entry(2, 0, EntryTermination::TakenBranch, (3, 3)),
+            PlacementKind::Pwac,
+            0,
+        );
         assert!((s.compacted_fill_frac() - 0.75).abs() < 1e-9);
         let (rac, pwac, fpwac) = s.compaction_technique_dist();
         assert!((rac - 1.0 / 3.0).abs() < 1e-9);

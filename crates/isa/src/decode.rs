@@ -51,7 +51,12 @@ pub fn uop_kinds_for(class: InstClass, n: u8) -> Vec<UopKind> {
         }
     }
     // Fill the remainder with realistic helper uops.
-    let helpers = [UopKind::IntAlu, UopKind::Load, UopKind::IntAlu, UopKind::Store];
+    let helpers = [
+        UopKind::IntAlu,
+        UopKind::Load,
+        UopKind::IntAlu,
+        UopKind::Store,
+    ];
     let mut h = 0;
     while kinds.len() < n {
         kinds.push(helpers[h % helpers.len()]);
@@ -117,8 +122,12 @@ pub fn uop_kinds_into(
             1
         }
     };
-    const HELPERS: [UopKind; 4] =
-        [UopKind::IntAlu, UopKind::Load, UopKind::IntAlu, UopKind::Store];
+    const HELPERS: [UopKind; 4] = [
+        UopKind::IntAlu,
+        UopKind::Load,
+        UopKind::IntAlu,
+        UopKind::Store,
+    ];
     let mut h = 0;
     while len < n {
         out[len] = HELPERS[h % HELPERS.len()];

@@ -41,7 +41,10 @@ impl StaticInst {
     ///
     /// Panics if `len` is not in `1..=15`.
     pub fn new(class: InstClass, len: u8) -> Self {
-        assert!((1..=15).contains(&len), "x86 length must be 1..=15, got {len}");
+        assert!(
+            (1..=15).contains(&len),
+            "x86 length must be 1..=15, got {len}"
+        );
         StaticInst {
             class,
             len,
@@ -73,12 +76,7 @@ impl StaticInst {
     ///
     /// `branch` must be `Some` iff the class is a branch; `mem` should be
     /// `Some` for loads/stores.
-    pub fn instantiate(
-        self,
-        pc: Addr,
-        branch: Option<BranchExec>,
-        mem: Option<Addr>,
-    ) -> DynInst {
+    pub fn instantiate(self, pc: Addr, branch: Option<BranchExec>, mem: Option<Addr>) -> DynInst {
         debug_assert_eq!(self.class.is_branch(), branch.is_some());
         DynInst {
             pc,

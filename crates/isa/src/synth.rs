@@ -57,7 +57,11 @@ impl InstSynthesizer {
 
         // Immediate/displacement fields.
         if rng.chance(self.mix.imm_disp_prob) {
-            let n = if rng.chance(self.mix.second_imm_prob) { 2 } else { 1 };
+            let n = if rng.chance(self.mix.second_imm_prob) {
+                2
+            } else {
+                1
+            };
             inst = inst.with_imm_disp(n);
         }
         inst

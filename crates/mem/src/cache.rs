@@ -1,12 +1,12 @@
 //! Generic set-associative cache over 64-byte lines.
 
-use serde::{Deserialize, Serialize};
 use ucsim_model::LineAddr;
+use ucsim_model::{FromJson, ToJson};
 
 use crate::{ReplacementPolicy, ReplacementState};
 
 /// Static geometry and policy of one cache level.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct CacheConfig {
     /// Human-readable name ("L1I", "L2", ...).
     pub name: String,
@@ -42,7 +42,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters for one cache.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, ToJson, FromJson)]
 pub struct CacheStats {
     /// Demand accesses.
     pub accesses: u64,
@@ -210,7 +210,6 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     fn line(n: u64) -> LineAddr {
         LineAddr::from_line_number(n)

@@ -8,8 +8,8 @@
 //!
 //! The hierarchy returns *latencies*; the pipeline turns them into stalls.
 
-use serde::{Deserialize, Serialize};
 use ucsim_model::LineAddr;
+use ucsim_model::{FromJson, ToJson};
 
 use crate::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
 
@@ -23,7 +23,7 @@ pub enum AccessKind {
 }
 
 /// Latency parameters (cycles at the 3 GHz core clock of Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct HierarchyConfig {
     /// L1 (I or D) hit latency.
     pub l1_latency: u32,
@@ -63,7 +63,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Aggregated per-level statistics snapshot.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, ToJson, FromJson)]
 pub struct HierarchyStats {
     /// L1-I counters.
     pub l1i: CacheStats,
@@ -234,7 +234,10 @@ mod tests {
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         mem.access(AccessKind::Fetch, line(5));
         // Data access to the same line misses L1D but hits L2.
-        assert_eq!(mem.access(AccessKind::Data, line(5)), mem.config().l2_latency);
+        assert_eq!(
+            mem.access(AccessKind::Data, line(5)),
+            mem.config().l2_latency
+        );
     }
 
     #[test]
@@ -242,7 +245,10 @@ mod tests {
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         assert!(mem.prefetch_inst(line(9)));
         assert!(!mem.prefetch_inst(line(9)));
-        assert_eq!(mem.access(AccessKind::Fetch, line(9)), mem.config().l1_latency);
+        assert_eq!(
+            mem.access(AccessKind::Fetch, line(9)),
+            mem.config().l1_latency
+        );
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! I-cache lines (plus `depth` sequential next lines) before the fetch
 //! stage consumes them.
 
-use serde::{Deserialize, Serialize};
 use ucsim_model::LineAddr;
+use ucsim_model::{FromJson, ToJson};
 
 use crate::MemoryHierarchy;
 
 /// Counters for the prefetcher.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, ToJson, FromJson)]
 pub struct PrefetcherStats {
     /// PW addresses observed.
     pub observed: u64,

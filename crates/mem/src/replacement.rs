@@ -3,11 +3,10 @@
 //! Table I of the paper prescribes true LRU for the L1/L2 and uop cache and
 //! RRIP for the L3. Tree-PLRU is included for ablation studies.
 
-use serde::{Deserialize, Serialize};
+use ucsim_model::{FromJson, ToJson};
 
 /// Which replacement policy a cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson, Default)]
 pub enum ReplacementPolicy {
     /// True least-recently-used (per-way timestamps).
     #[default]
@@ -17,7 +16,6 @@ pub enum ReplacementPolicy {
     /// Static RRIP (2-bit re-reference interval prediction, hit-promotion).
     Srrip,
 }
-
 
 /// Per-set replacement state for any [`ReplacementPolicy`].
 ///
@@ -155,9 +153,7 @@ impl ReplacementState {
             ReplacementPolicy::Srrip => {
                 // Age until something reaches RRPV 3.
                 loop {
-                    if let Some((w, _)) =
-                        self.meta.iter().enumerate().find(|&(_, &v)| v >= 3)
-                    {
+                    if let Some((w, _)) = self.meta.iter().enumerate().find(|&(_, &v)| v >= 3) {
                         return w;
                     }
                     for v in &mut self.meta {

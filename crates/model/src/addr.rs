@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{FromJson, ToJson};
 
 /// Number of bytes in an I-cache line (and a uop cache physical line).
 pub const ICACHE_LINE_BYTES: u64 = 64;
@@ -28,7 +28,7 @@ pub const ICACHE_LINE_SHIFT: u32 = 6;
 /// assert_eq!(a.get(), 0x1046);
 /// assert_eq!(a.line_offset(), 6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, ToJson, FromJson)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -106,7 +106,7 @@ impl From<u64> for Addr {
 /// assert_eq!(l.base(), Addr::new(0x1040));
 /// assert_eq!(l.next().base(), Addr::new(0x1080));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, ToJson, FromJson)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

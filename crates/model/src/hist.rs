@@ -112,7 +112,12 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last().expect("non-empty")));
+                return Some(
+                    *self
+                        .bounds
+                        .get(i)
+                        .unwrap_or(self.bounds.last().expect("non-empty")),
+                );
             }
         }
         self.bounds.last().copied()
@@ -140,7 +145,12 @@ impl fmt::Display for Histogram {
             write!(f, "[{lo}-{b}]={} ", self.counts[i])?;
             lo = b + 1;
         }
-        write!(f, "[>{}]={}", self.bounds.last().unwrap(), self.counts.last().unwrap())
+        write!(
+            f,
+            "[>{}]={}",
+            self.bounds.last().unwrap(),
+            self.counts.last().unwrap()
+        )
     }
 }
 

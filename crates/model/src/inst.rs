@@ -8,12 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{FromJson, ToJson};
 
 use crate::Addr;
 
 /// Architectural class of an x86-like instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum InstClass {
     /// Integer ALU (add/sub/logic/shift/lea/mov reg-reg).
     IntAlu,
@@ -95,7 +95,7 @@ impl fmt::Display for InstClass {
 }
 
 /// Executed-branch information attached to branch instructions in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub struct BranchExec {
     /// Actual (architecturally correct) direction.
     pub taken: bool,
@@ -118,7 +118,7 @@ pub struct BranchExec {
 /// assert!(br.class.is_branch());
 /// assert_eq!(br.next_pc(), Addr::new(0x80));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub struct DynInst {
     /// Instruction physical address.
     pub pc: Addr,

@@ -19,6 +19,8 @@
 //!   workload synthesis and stable per-uop hashes.
 //! * [`Histogram`] / [`RunningStat`] — bookkeeping used by every stats
 //!   module in the workspace.
+//! * [`json`] — the workspace's dependency-free JSON wire format, with
+//!   `#[derive(ToJson, FromJson)]` re-exported from `ucsim-derive`.
 //!
 //! # Example
 //!
@@ -34,6 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Derived `ToJson`/`FromJson` impls name this crate by its external path
+// (`ucsim_model::json::...`); this alias makes those paths resolve when a
+// derive expands inside the crate itself.
+extern crate self as ucsim_model;
+
+pub mod json;
+
 mod addr;
 mod hist;
 mod inst;
@@ -45,7 +54,9 @@ mod uop;
 pub use addr::{Addr, LineAddr, ICACHE_LINE_BYTES, ICACHE_LINE_SHIFT};
 pub use hist::{Histogram, RunningStat};
 pub use inst::{BranchExec, DynInst, InstClass};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pw::{PredictionWindow, PwId, PwTermination};
 pub use rng::{mix64, SplitMix64};
 pub use term::EntryTermination;
+pub use ucsim_derive::{FromJson, ToJson};
 pub use uop::{Uop, UopKind, IMM_DISP_BYTES, UOP_BYTES};

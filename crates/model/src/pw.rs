@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{FromJson, ToJson};
 
 use crate::Addr;
 
@@ -16,7 +16,7 @@ use crate::Addr;
 ///
 /// PWAC / F-PWAC compaction (paper Section V-B2/V-B3) tags every uop cache
 /// entry with the PW that created it; this is that tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, ToJson, FromJson)]
 pub struct PwId(pub u64);
 
 impl fmt::Display for PwId {
@@ -26,7 +26,7 @@ impl fmt::Display for PwId {
 }
 
 /// Why a prediction window was terminated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum PwTermination {
     /// Reached the end of the 64-byte I-cache line.
     IcacheLineEnd,
@@ -68,7 +68,7 @@ impl fmt::Display for PwTermination {
 /// };
 /// assert_eq!(pw.byte_len(), 0x30);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub struct PredictionWindow {
     /// Unique id (monotonic per run).
     pub id: PwId,

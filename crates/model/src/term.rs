@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{FromJson, ToJson};
 
 /// Why a uop cache entry stopped accumulating instructions.
 ///
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// micro-coded-instruction limit. A sixth cause — the 64-byte physical
 /// line filling up — arises from the byte accounting, and a seventh when a
 /// front-end redirect flushes the accumulation buffer mid-build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum EntryTermination {
     /// Crossed the 64-byte I-cache line boundary (relaxed by CLASP).
     IcacheBoundary,
@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn display_is_kebab() {
-        assert_eq!(EntryTermination::IcacheBoundary.to_string(), "icache-boundary");
+        assert_eq!(
+            EntryTermination::IcacheBoundary.to_string(),
+            "icache-boundary"
+        );
         assert_eq!(EntryTermination::MaxImmDisp.to_string(), "max-imm-disp");
     }
 }

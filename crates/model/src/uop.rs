@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::{FromJson, ToJson};
 
 use crate::Addr;
 
@@ -19,7 +19,7 @@ pub const IMM_DISP_BYTES: u32 = 4;
 
 /// Functional class of a micro-operation, used by the back-end timing model
 /// to pick execution latency and by statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum UopKind {
     /// Single-cycle integer ALU operation (add, sub, logic, shifts, lea).
     IntAlu,
@@ -110,7 +110,7 @@ impl fmt::Display for UopKind {
 /// assert!(u.kind.is_load());
 /// assert_eq!(u.pc, Addr::new(0x1000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub struct Uop {
     /// Address of the parent x86 instruction.
     pub pc: Addr,

@@ -257,11 +257,11 @@ mod tests {
         let n = 60_000;
         let last = flood(&mut be, n);
         let upc = n as f64 / last.retired as f64;
+        assert!(upc <= 6.05, "UPC {upc} cannot exceed dispatch width 6");
         assert!(
-            upc <= 6.05,
-            "UPC {upc} cannot exceed dispatch width 6"
+            upc > 5.0,
+            "independent uops should near dispatch width, got {upc}"
         );
-        assert!(upc > 5.0, "independent uops should near dispatch width, got {upc}");
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Whole-simulator configuration (paper Table I).
 
-use serde::{Deserialize, Serialize};
 use ucsim_bpu::BpuConfig;
 use ucsim_mem::HierarchyConfig;
+use ucsim_model::{FromJson, ToJson};
 use ucsim_uopcache::UopCacheConfig;
 
 use crate::PowerConfig;
 
 /// Core pipeline widths and latencies (Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct CoreConfig {
     /// Uops dispatched to the back-end per cycle (Table I: 6).
     pub dispatch_width: u32,
@@ -81,7 +81,11 @@ impl Default for CoreConfig {
 }
 
 /// Complete simulation configuration.
-#[derive(Debug, Clone)]
+///
+/// This type is part of the `ucsim-serve` wire contract: it round-trips
+/// through `ucsim_model::json` exactly, and its canonical encoding feeds
+/// the service's content-addressed result cache.
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct SimConfig {
     /// Uop cache geometry and policies.
     pub uop_cache: UopCacheConfig,

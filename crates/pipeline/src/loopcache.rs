@@ -131,7 +131,12 @@ mod tests {
     use super::*;
 
     fn body() -> (Addr, Addr, u32, Option<Addr>) {
-        (Addr::new(0x100), Addr::new(0x120), 8, Some(Addr::new(0x100)))
+        (
+            Addr::new(0x100),
+            Addr::new(0x120),
+            8,
+            Some(Addr::new(0x100)),
+        )
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Run reports: every number the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
 use ucsim_mem::HierarchyStats;
+use ucsim_model::{FromJson, ToJson};
 
 use crate::FrontEndEnergy;
 
@@ -17,7 +17,7 @@ pub enum UopSource {
 }
 
 /// Results of one simulation run (measurement window only).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,

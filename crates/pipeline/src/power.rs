@@ -8,10 +8,10 @@
 //! baseline run of the same model, only relative activity matters — the
 //! same property the paper's normalized plots rely on.
 
-use serde::{Deserialize, Serialize};
+use ucsim_model::{FromJson, ToJson};
 
 /// Energy/power coefficients (arbitrary units; only ratios matter).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct PowerConfig {
     /// Dynamic energy per decoded x86 instruction.
     pub decode_energy_per_inst: f64,
@@ -41,7 +41,7 @@ impl Default for PowerConfig {
 }
 
 /// Activity counters and derived energy numbers for one run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, ToJson, FromJson)]
 pub struct FrontEndEnergy {
     /// Instructions that went through the x86 decoder.
     pub decoded_insts: u64,

@@ -8,9 +8,7 @@ use ucsim_model::{mix64, Addr, DynInst, PwId, UopKind};
 use ucsim_trace::{Program, WorkloadProfile};
 use ucsim_uopcache::{AccumulationBuffer, UopCache, UopCacheEntry};
 
-use crate::{
-    Backend, BackendConfig, FrontEndEnergy, LoopCache, SimConfig, SimReport, UopSource,
-};
+use crate::{Backend, BackendConfig, FrontEndEnergy, LoopCache, SimConfig, SimReport, UopSource};
 
 /// Fixed front-end depth (predict → fetch → queue → rename) charged to
 /// every branch's fetch-to-resolve latency, on top of the decode pipe for
@@ -312,7 +310,8 @@ impl RunState {
         }
         let mut max_entered = delivery;
         for (slot, kind) in buf[..n].iter().enumerate() {
-            let identity = mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57);
+            let identity =
+                mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57);
             self.uop_seq += 1;
             let lat = if kind.is_load() { mem_lat } else { 0 };
             let out = self.backend.admit(delivery, *kind, identity, lat);
@@ -357,7 +356,8 @@ impl RunState {
         let pw_id = batch.pw.id;
 
         // Feed the fetch-directed prefetcher with the predicted PW line.
-        self.prefetcher.observe_pw(batch.pw.start.line(), &mut self.mem);
+        self.prefetcher
+            .observe_pw(batch.pw.start.line(), &mut self.mem);
 
         // --- Loop cache: serve a captured tight loop without touching the
         // OC or the decoder.
@@ -690,7 +690,10 @@ mod tests {
         let rf = Simulator::new(fast).run(&profile, &program);
         let rs = Simulator::new(slow).run(&profile, &program);
         assert_eq!(rf.fill_stall_cycles, 0, "default backlog absorbs fills");
-        assert!(rs.fill_stall_cycles > 0, "pathological fill port must stall");
+        assert!(
+            rs.fill_stall_cycles > 0,
+            "pathological fill port must stall"
+        );
         assert!(rs.cycles > rf.cycles, "stalls cost cycles");
     }
 
@@ -698,7 +701,11 @@ mod tests {
     fn mispredict_latency_is_positive() {
         let r = run_with(UopCacheConfig::baseline_2k());
         assert!(r.mispredicts > 0, "quick_test has noisy branches");
-        assert!(r.avg_mispredict_latency > 3.0, "{}", r.avg_mispredict_latency);
+        assert!(
+            r.avg_mispredict_latency > 3.0,
+            "{}",
+            r.avg_mispredict_latency
+        );
         assert!(r.mpki > 0.0);
     }
 }

@@ -132,7 +132,9 @@ mod tests {
     fn run_smt(oc: UopCacheConfig) -> SimReport {
         let (a, pa, b, pb) = pair();
         let sim = SmtSimulator::new(
-            SimConfig::table1().with_uop_cache(oc).with_insts(5_000, 50_000),
+            SimConfig::table1()
+                .with_uop_cache(oc)
+                .with_insts(5_000, 50_000),
         );
         sim.run((&a, &pa), (&b, &pb))
     }
@@ -159,10 +161,8 @@ mod tests {
         // Two threads competing for 2K uops must see a lower fetch ratio
         // than either thread running alone.
         let (a, pa, _, _) = pair();
-        let solo = crate::Simulator::new(
-            SimConfig::table1().with_insts(5_000, 50_000),
-        )
-        .run(&a, &pa);
+        let solo =
+            crate::Simulator::new(SimConfig::table1().with_insts(5_000, 50_000)).run(&a, &pa);
         let smt = run_smt(UopCacheConfig::baseline_2k());
         assert!(
             smt.oc_fetch_ratio < solo.oc_fetch_ratio,

@@ -1,0 +1,380 @@
+//! # ucsim-pool
+//!
+//! Shared work-queue primitives for the workspace, extracted from the
+//! hand-rolled `Mutex<usize>` scheduler that used to live in
+//! `ucsim-bench`'s matrix runner. Std-only (threads + `Mutex`/`Condvar`),
+//! matching the workspace's no-async stance (DESIGN.md §5).
+//!
+//! * [`run_indexed`] — fan a fixed index range out over a scoped thread
+//!   pool and collect results in index order. `ucsim-bench`'s `run_matrix`
+//!   is built on this.
+//! * [`BoundedQueue`] — a blocking MPMC queue with a hard capacity and
+//!   non-blocking [`BoundedQueue::try_push`] for explicit backpressure.
+//!   `ucsim-serve`'s job queue (HTTP 429 when full) is built on this.
+//! * [`WorkerPool`] — a fixed set of named worker threads draining a
+//!   [`BoundedQueue`] until it is closed.
+//! * [`Progress`] — a mutex-serialized line reporter so progress output
+//!   from concurrent workers never interleaves mid-line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Runs `f(0..count)` across at most `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// Work is claimed dynamically (an atomic next-index counter), so uneven
+/// item costs balance across workers. With `threads <= 1` or `count <= 1`
+/// the work still runs, on a single worker.
+///
+/// # Example
+///
+/// ```
+/// let squares = ucsim_pool::run_indexed(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(count.max(1)) {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let out = f(idx);
+                results.lock().expect("results lock").push((idx, out));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("results");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Error returned by [`BoundedQueue::try_push`]; hands the rejected item
+/// back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking multi-producer multi-consumer FIFO with a hard capacity.
+///
+/// Producers use the non-blocking [`try_push`](Self::try_push) and handle
+/// [`PushError::Full`] themselves — this is the backpressure point, not a
+/// hidden wait. Consumers block in [`pop`](Self::pop) until an item
+/// arrives or the queue is [closed](Self::close) and drained.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or returns it in a [`PushError`] if the queue is
+    /// full or closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed **and** drained — the worker-loop
+    /// termination signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain what
+    /// remains then receive `None`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+/// A fixed set of named OS threads draining a shared [`BoundedQueue`].
+///
+/// Each worker runs `handler(item)` for every item it pops; the pool ends
+/// when the queue is closed and drained. [`join`](Self::join) waits for
+/// that — in-flight items finish (graceful drain), they are never dropped.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads named `{name}-{i}` running `handler` over
+    /// items popped from `queue`.
+    ///
+    /// The queue and handler are shared by reference with `'static`
+    /// lifetime — wrap them in `Arc` at the call site.
+    pub fn spawn<T, F>(
+        name: &str,
+        workers: usize,
+        queue: std::sync::Arc<BoundedQueue<T>>,
+        handler: std::sync::Arc<F>,
+    ) -> Self
+    where
+        T: Send + 'static,
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = std::sync::Arc::clone(&queue);
+                let handler = std::sync::Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Some(item) = queue.pop() {
+                            handler(item);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every worker to finish (close the queue first, or this
+    /// blocks forever).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A mutex-serialized progress reporter.
+///
+/// Concurrent workers that report progress with bare `eprintln!` interleave
+/// nondeterministically; routing lines through one `Progress` guarantees
+/// each line is written whole, in one `write_all`, under one lock.
+pub struct Progress {
+    sink: Mutex<Sink>,
+}
+
+enum Sink {
+    Stderr,
+    /// Capture buffer for tests.
+    Buffer(Vec<u8>),
+}
+
+impl Progress {
+    /// A reporter writing whole lines to stderr.
+    pub fn stderr() -> Self {
+        Progress {
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    /// A reporter capturing lines in memory (for tests).
+    pub fn sink() -> Self {
+        Progress {
+            sink: Mutex::new(Sink::Buffer(Vec::new())),
+        }
+    }
+
+    /// Writes one line atomically (a trailing newline is added).
+    pub fn line(&self, msg: &str) {
+        let mut out = Vec::with_capacity(msg.len() + 1);
+        out.extend_from_slice(msg.as_bytes());
+        out.push(b'\n');
+        let mut sink = self.sink.lock().expect("progress lock");
+        match &mut *sink {
+            Sink::Stderr => {
+                let _ = std::io::stderr().write_all(&out);
+            }
+            Sink::Buffer(buf) => buf.extend_from_slice(&out),
+        }
+    }
+
+    /// The captured output of a [`Progress::sink`] reporter.
+    pub fn captured(&self) -> String {
+        match &*self.sink.lock().expect("progress lock") {
+            Sink::Stderr => String::new(),
+            Sink::Buffer(buf) => String::from_utf8_lossy(buf).into_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let out = run_indexed(100, 7, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_handles_degenerate_sizes() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 0, |i| i + 1), vec![1]);
+        assert_eq!(run_indexed(3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn queue_backpressure_is_explicit() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_capacity_floor_is_one() {
+        let q = BoundedQueue::<u8>::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn worker_pool_drains_everything_then_stops() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        let pool = WorkerPool::spawn(
+            "test",
+            4,
+            Arc::clone(&q),
+            Arc::new(move |v: u64| {
+                s.fetch_add(v, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(pool.workers(), 4);
+        for v in 1..=50u64 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        pool.join();
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(99).unwrap();
+        assert_eq!(h.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn progress_lines_never_tear() {
+        let p = Arc::new(Progress::sink());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        p.line(&format!("worker {t} item {i} done"));
+                    }
+                });
+            }
+        });
+        let text = p.captured();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8 * 50);
+        for l in lines {
+            assert!(
+                l.starts_with("worker ") && l.ends_with(" done"),
+                "torn line: {l:?}"
+            );
+        }
+    }
+}

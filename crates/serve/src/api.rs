@@ -1,0 +1,188 @@
+//! The typed job API: request parsing, canonicalization, and response
+//! envelopes.
+//!
+//! A `POST /v1/sim` body is a [`SimRequest`]. The server normalizes it
+//! into a [`JobSpec`] — workload name, effective seed, and the complete
+//! [`SimConfig`] with run lengths folded in — whose canonical JSON
+//! encoding is the identity of the job: equal specs hash to the same
+//! content address and are simulated at most once.
+
+use ucsim_model::json::{Json, JsonError};
+use ucsim_model::{FromJson, ToJson};
+use ucsim_pipeline::{SimConfig, SimReport};
+
+/// A `POST /v1/sim` request body.
+///
+/// Everything except `workload` is optional; omitted fields fall back to
+/// the paper's Table I configuration and the workload's default seed.
+#[derive(Debug, Clone, ToJson, FromJson)]
+pub struct SimRequest {
+    /// Table II workload name (e.g. `"redis"`, `"bm-lla"`).
+    pub workload: String,
+    /// Full simulator configuration; defaults to `SimConfig::table1()`.
+    pub config: Option<SimConfig>,
+    /// Workload generation seed; defaults to the profile's own seed.
+    pub seed: Option<u64>,
+    /// Warmup instructions; overrides `config.warmup_insts` when present.
+    pub warmup: Option<u64>,
+    /// Measured instructions; overrides `config.measure_insts` when
+    /// present.
+    pub insts: Option<u64>,
+    /// When `true` the server replies `202 Accepted` with a job id for
+    /// `GET /v1/jobs/:id` polling instead of blocking until completion.
+    pub background: Option<bool>,
+}
+
+/// The canonical, fully-resolved identity of a simulation job.
+///
+/// Field order matters: derived `ToJson` encodes members in declaration
+/// order, making [`JobSpec::canonical`] a stable content address.
+#[derive(Debug, Clone, ToJson, FromJson)]
+pub struct JobSpec {
+    /// Workload name.
+    pub workload: String,
+    /// Effective generation seed.
+    pub seed: u64,
+    /// Complete configuration, run lengths included.
+    pub config: SimConfig,
+}
+
+impl SimRequest {
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse/decode error for malformed bodies.
+    pub fn parse(body: &str) -> Result<Self, JsonError> {
+        SimRequest::from_json_str(body)
+    }
+
+    /// Resolves defaults into the canonical [`JobSpec`].
+    pub fn resolve(&self, default_seed: u64) -> JobSpec {
+        let mut config = self.config.clone().unwrap_or_default();
+        if let Some(w) = self.warmup {
+            config.warmup_insts = w;
+        }
+        if let Some(n) = self.insts {
+            config.measure_insts = n;
+        }
+        JobSpec {
+            workload: self.workload.clone(),
+            seed: self.seed.unwrap_or(default_seed),
+            config,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The canonical encoding — the string whose hash content-addresses
+    /// the job.
+    pub fn canonical(&self) -> String {
+        self.to_json_string()
+    }
+}
+
+/// FNV-1a 64-bit hash of the canonical encoding.
+pub fn content_hash(canonical: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Formats a content hash as the wire-visible cache key.
+pub fn format_key(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Builds the response envelope `{"key":…,"cached":…,"report":…}` around
+/// a pre-encoded report payload.
+///
+/// The report payload is stored once (in the cache / job result) and
+/// spliced in verbatim, so every response carrying the same report is
+/// byte-identical modulo the `cached` flag.
+pub fn envelope(hash: u64, cached: bool, report_json: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(report_json.len() + 64);
+    out.push_str("{\"key\":\"");
+    out.push_str(&format_key(hash));
+    out.push_str("\",\"cached\":");
+    out.push_str(if cached { "true" } else { "false" });
+    out.push_str(",\"report\":");
+    out.push_str(report_json);
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Encodes a report as its canonical JSON payload.
+pub fn encode_report(report: &SimReport) -> String {
+    report.to_json_string()
+}
+
+/// Builds an error body `{"error": …}`.
+pub fn error_body(msg: &str) -> Vec<u8> {
+    Json::Obj(vec![("error".to_owned(), Json::Str(msg.to_owned()))])
+        .to_string()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_parses_and_resolves() {
+        let r = SimRequest::parse(r#"{"workload":"redis"}"#).unwrap();
+        assert_eq!(r.workload, "redis");
+        assert!(r.config.is_none());
+        let spec = r.resolve(7);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.config.warmup_insts, SimConfig::table1().warmup_insts);
+    }
+
+    #[test]
+    fn overrides_fold_into_spec() {
+        let r =
+            SimRequest::parse(r#"{"workload":"redis","seed":9,"warmup":100,"insts":200}"#).unwrap();
+        let spec = r.resolve(7);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.config.warmup_insts, 100);
+        assert_eq!(spec.config.measure_insts, 200);
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable() {
+        let r = SimRequest::parse(r#"{"workload":"redis","seed":1}"#).unwrap();
+        let a = r.resolve(0).canonical();
+        let b = r.resolve(0).canonical();
+        assert_eq!(a, b);
+        // Round-trips through the wire format to the same canonical form.
+        let back = JobSpec::from_json_str(&a).unwrap();
+        assert_eq!(back.canonical(), a);
+    }
+
+    #[test]
+    fn distinct_specs_hash_distinctly() {
+        let base = SimRequest::parse(r#"{"workload":"redis"}"#).unwrap();
+        let a = base.resolve(1).canonical();
+        let b = base.resolve(2).canonical();
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn envelope_splices_verbatim() {
+        let body = envelope(0xabc, true, "{\"upc\":1.5}");
+        let text = String::from_utf8(body).unwrap();
+        assert_eq!(
+            text,
+            "{\"key\":\"0000000000000abc\",\"cached\":true,\"report\":{\"upc\":1.5}}"
+        );
+    }
+
+    #[test]
+    fn malformed_body_is_an_error() {
+        assert!(SimRequest::parse("{\"workload\":").is_err());
+        assert!(SimRequest::parse("{}").is_err()); // workload required
+    }
+}

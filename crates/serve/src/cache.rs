@@ -1,0 +1,233 @@
+//! Content-addressed in-memory result cache with an LRU byte budget.
+//!
+//! Keys are FNV-1a hashes of a job's canonical JSON encoding
+//! ([`crate::api::JobSpec::canonical`]); the full canonical string is
+//! stored alongside each entry and compared on lookup, so a (vanishingly
+//! unlikely) 64-bit hash collision degrades to a miss instead of serving
+//! the wrong report. Values are the pre-encoded report JSON payloads.
+//!
+//! Simulations are deterministic (DESIGN.md §6), so entries never expire —
+//! they are only evicted when the byte budget forces it, least recently
+//! used first.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Cache counters, as exposed by `GET /v1/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Resident entries.
+    pub entries: usize,
+    /// Bytes held by resident payloads (+ canonical keys).
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget: usize,
+    /// Lookups served from the cache, *including* requests coalesced onto
+    /// an in-flight job for the same key — either way, no new simulation
+    /// ran.
+    pub hits: u64,
+    /// Of the hits, how many were coalesced joins rather than resident
+    /// entries.
+    pub coalesced: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+}
+
+struct Entry {
+    canonical: String,
+    payload: Arc<String>,
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// LRU order: access tick → key hash. Ticks are unique (monotonic
+    /// counter), so this is a total order.
+    lru: BTreeMap<u64, u64>,
+    tick: u64,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+/// The content-addressed result cache. All methods take `&self`; a single
+/// internal mutex serializes access.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to roughly `budget` bytes of payload.
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                tick: 0,
+                bytes: 0,
+                stats: CacheStats {
+                    budget,
+                    ..CacheStats::default()
+                },
+            }),
+            budget,
+        }
+    }
+
+    /// Looks up `hash`, verifying `canonical` matches. Counts a hit or
+    /// miss and refreshes recency on hit.
+    pub fn get(&self, hash: u64, canonical: &str) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&hash) {
+            Some(e) if e.canonical == canonical => {
+                let old = std::mem::replace(&mut e.tick, tick);
+                let payload = Arc::clone(&e.payload);
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, hash);
+                inner.stats.hits += 1;
+                Some(payload)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a payload, evicting least-recently-used entries until the
+    /// byte budget holds. A payload larger than the whole budget is not
+    /// cached at all.
+    pub fn put(&self, hash: u64, canonical: String, payload: Arc<String>) {
+        let cost = payload.len() + canonical.len();
+        if cost > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(prev) = inner.map.remove(&hash) {
+            inner.lru.remove(&prev.tick);
+            inner.bytes -= prev.payload.len() + prev.canonical.len();
+        }
+        while inner.bytes + cost > self.budget {
+            let Some((&tick, &victim)) = inner.lru.iter().next() else {
+                break;
+            };
+            inner.lru.remove(&tick);
+            let e = inner.map.remove(&victim).expect("lru entry resident");
+            inner.bytes -= e.payload.len() + e.canonical.len();
+            inner.stats.evictions += 1;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.lru.insert(tick, hash);
+        inner.map.insert(
+            hash,
+            Entry {
+                canonical,
+                payload,
+                tick,
+            },
+        );
+        inner.bytes += cost;
+        inner.stats.insertions += 1;
+    }
+
+    /// Records a request that attached to an in-flight job for the same
+    /// key: no resident entry, but no new simulation either. Counted as a
+    /// hit (and separately as `coalesced`).
+    pub fn record_coalesced(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.hits += 1;
+        inner.stats.coalesced += 1;
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            ..inner.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let c = ResultCache::new(1024);
+        assert!(c.get(1, "k1").is_none());
+        c.put(1, "k1".into(), payload("v1"));
+        assert_eq!(c.get(1, "k1").unwrap().as_str(), "v1");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn hash_collision_with_different_canonical_is_a_miss() {
+        let c = ResultCache::new(1024);
+        c.put(1, "k1".into(), payload("v1"));
+        assert!(c.get(1, "other-canonical").is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        // Each entry costs payload + canonical = 4 bytes; budget fits two.
+        let c = ResultCache::new(9);
+        c.put(1, "k1".into(), payload("v1"));
+        c.put(2, "k2".into(), payload("v2"));
+        assert!(c.get(1, "k1").is_some()); // 1 is now most recent
+        c.put(3, "k3".into(), payload("v3")); // evicts 2
+        assert!(c.get(2, "k2").is_none());
+        assert!(c.get(1, "k1").is_some());
+        assert!(c.get(3, "k3").is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_cached() {
+        let c = ResultCache::new(4);
+        c.put(1, "k1".into(), payload("way too large"));
+        assert!(c.get(1, "k1").is_none());
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let c = ResultCache::new(64);
+        c.put(1, "k1".into(), payload("aa"));
+        c.put(1, "k1".into(), payload("bbbb"));
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, "k1".len() + "bbbb".len());
+        assert_eq!(c.get(1, "k1").unwrap().as_str(), "bbbb");
+    }
+
+    #[test]
+    fn coalesced_counts_as_hit() {
+        let c = ResultCache::new(64);
+        c.record_coalesced();
+        c.record_coalesced();
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.coalesced, 2);
+        assert_eq!(s.misses, 0);
+    }
+}

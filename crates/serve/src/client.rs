@@ -1,0 +1,102 @@
+//! A minimal blocking HTTP client for talking to a running server —
+//! used by the `ucsim client` subcommand and the integration tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 429, ...).
+    pub status: u16,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request to `addr` and reads the full response.
+///
+/// `body` may be empty (e.g. for GET). The connection is one-shot
+/// (`Connection: close`), matching the server.
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors; a malformed status line maps to
+/// [`io::ErrorKind::InvalidData`].
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let split = find_head_end(raw).ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_lowercase(), v.trim().to_owned()))
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[split + 4..].to_vec(),
+    })
+}
+
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 2\r\ncontent-length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.body_str(), "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! A deliberately small HTTP/1.1 layer over blocking TCP streams.
+//!
+//! One request per connection (`Connection: close`), bounded header and
+//! body sizes, and only what the job API needs: request line, headers,
+//! `Content-Length` bodies, and a response writer. Not a general web
+//! server — a wire format for the job service.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/v1/sim`).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error suitable for a 400.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_owned())
+    }
+
+    /// Reads and parses one request from a stream.
+    ///
+    /// # Errors
+    ///
+    /// `Ok(None)` when the peer closed without sending anything;
+    /// `Err(msg)` for malformed or oversized requests (respond 400).
+    pub fn read(stream: &mut TcpStream) -> io::Result<Option<Result<Request, String>>> {
+        let mut r = BufReader::new(stream);
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Ok(Some(Err("malformed request line".to_owned())));
+        };
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+            None => (target.to_owned(), None),
+        };
+        let method = method.to_uppercase();
+
+        let mut headers = Vec::new();
+        let mut head_bytes = line.len();
+        loop {
+            let mut h = String::new();
+            if r.read_line(&mut h)? == 0 {
+                return Ok(Some(Err("connection closed mid-headers".to_owned())));
+            }
+            head_bytes += h.len();
+            if head_bytes > MAX_HEAD_BYTES {
+                return Ok(Some(Err("request head too large".to_owned())));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.push((k.trim().to_lowercase(), v.trim().to_owned()));
+            }
+        }
+
+        let len = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        if len > MAX_BODY_BYTES {
+            return Ok(Some(Err("request body too large".to_owned())));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Ok(Some(Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })))
+    }
+}
+
+/// Writes a complete JSON response and flushes.
+///
+/// # Errors
+///
+/// Propagates stream I/O errors.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &str) -> Option<Result<Request, String>> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_owned();
+        let h = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut s, _) = listener.accept().unwrap();
+        let req = Request::read(&mut s).unwrap();
+        h.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip("POST /v1/sim?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sim");
+        assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body_utf8().unwrap(), "body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip("GET /v1/metrics HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(roundtrip("NONSENSE\r\n\r\n").unwrap().is_err());
+    }
+
+    #[test]
+    fn empty_connection_yields_none() {
+        assert!(roundtrip("").is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Job lifecycle: identifiers, states, completion wake-ups, and
+//! same-key coalescing.
+//!
+//! The table answers two questions: "what happened to job N?" (polling
+//! via `GET /v1/jobs/:id`) and "is a job for this content key already in
+//! flight?" (request coalescing — N concurrent identical submissions run
+//! one simulation, and the N−1 joiners wait on the same [`JobCell`]).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Job identifier, monotonically assigned per server.
+pub type JobId = u64;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Accepted, waiting in the bounded queue.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; holds the full response envelope bytes.
+    Done(Arc<Vec<u8>>),
+    /// Failed; holds the error message.
+    Failed(String),
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Shared completion cell for one job: every thread interested in the
+/// result (the submitting connection, coalesced joiners, pollers) holds
+/// an `Arc` to the same cell.
+pub struct JobCell {
+    /// The job's id.
+    pub id: JobId,
+    /// Content hash of the job's canonical spec.
+    pub key_hash: u64,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl JobCell {
+    fn new(id: JobId, key_hash: u64) -> Self {
+        JobCell {
+            id,
+            key_hash,
+            state: Mutex::new(JobState::Queued),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Current state snapshot.
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job lock").clone()
+    }
+
+    /// Marks the job running.
+    pub fn set_running(&self) {
+        *self.state.lock().expect("job lock") = JobState::Running;
+    }
+
+    /// Completes the job with its response envelope and wakes waiters.
+    pub fn complete(&self, body: Arc<Vec<u8>>) {
+        *self.state.lock().expect("job lock") = JobState::Done(body);
+        self.done.notify_all();
+    }
+
+    /// Fails the job and wakes waiters.
+    pub fn fail(&self, msg: String) {
+        *self.state.lock().expect("job lock") = JobState::Failed(msg);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the job is done or failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure message if the job failed.
+    pub fn wait(&self) -> Result<Arc<Vec<u8>>, String> {
+        let mut st = self.state.lock().expect("job lock");
+        loop {
+            match &*st {
+                JobState::Done(b) => return Ok(Arc::clone(b)),
+                JobState::Failed(e) => return Err(e.clone()),
+                _ => st = self.done.wait(st).expect("job lock"),
+            }
+        }
+    }
+}
+
+/// Result of submitting a content key to the table.
+pub enum Submit {
+    /// No job with this key in flight; the caller owns enqueueing this
+    /// fresh cell (and must [`JobTable::abandon`] it if the queue rejects
+    /// it).
+    New(Arc<JobCell>),
+    /// A job with the same key is already queued/running; the caller
+    /// should wait on the returned cell instead of enqueueing.
+    Joined(Arc<JobCell>),
+}
+
+struct TableInner {
+    jobs: HashMap<JobId, Arc<JobCell>>,
+    /// Completed job ids in completion order, for pruning.
+    finished_order: Vec<JobId>,
+    /// key hash → in-flight (queued or running) job id.
+    inflight: HashMap<u64, JobId>,
+    next_id: JobId,
+}
+
+/// The server's job registry. Retains the most recent completed jobs for
+/// polling; prunes beyond `retain`.
+pub struct JobTable {
+    inner: Mutex<TableInner>,
+    retain: usize,
+}
+
+impl JobTable {
+    /// Creates a table retaining at most `retain` finished jobs.
+    pub fn new(retain: usize) -> Self {
+        JobTable {
+            inner: Mutex::new(TableInner {
+                jobs: HashMap::new(),
+                finished_order: Vec::new(),
+                inflight: HashMap::new(),
+                next_id: 1,
+            }),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Registers interest in `key_hash`: returns an existing in-flight
+    /// job ([`Submit::Joined`]) or a fresh one ([`Submit::New`]).
+    pub fn submit(&self, key_hash: u64) -> Submit {
+        let mut t = self.inner.lock().expect("job table lock");
+        if let Some(&id) = t.inflight.get(&key_hash) {
+            if let Some(cell) = t.jobs.get(&id) {
+                return Submit::Joined(Arc::clone(cell));
+            }
+        }
+        let id = t.next_id;
+        t.next_id += 1;
+        let cell = Arc::new(JobCell::new(id, key_hash));
+        t.jobs.insert(id, Arc::clone(&cell));
+        t.inflight.insert(key_hash, id);
+        Submit::New(cell)
+    }
+
+    /// Removes a job the queue refused (429 path): it never ran, so it
+    /// must not linger as in-flight or poll as queued forever.
+    pub fn abandon(&self, cell: &JobCell) {
+        let mut t = self.inner.lock().expect("job table lock");
+        if t.inflight.get(&cell.key_hash) == Some(&cell.id) {
+            t.inflight.remove(&cell.key_hash);
+        }
+        t.jobs.remove(&cell.id);
+    }
+
+    /// Marks a job's key no longer in flight (worker finished it, in
+    /// success or failure) and prunes old finished jobs.
+    pub fn finish(&self, cell: &JobCell) {
+        let mut t = self.inner.lock().expect("job table lock");
+        if t.inflight.get(&cell.key_hash) == Some(&cell.id) {
+            t.inflight.remove(&cell.key_hash);
+        }
+        t.finished_order.push(cell.id);
+        while t.finished_order.len() > self.retain {
+            let old = t.finished_order.remove(0);
+            t.jobs.remove(&old);
+        }
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: JobId) -> Option<Arc<JobCell>> {
+        self.inner
+            .lock()
+            .expect("job table lock")
+            .jobs
+            .get(&id)
+            .map(Arc::clone)
+    }
+
+    /// Number of jobs currently registered (in flight + retained).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("job table lock").jobs.len()
+    }
+
+    /// True when no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_submit_of_same_key_joins() {
+        let t = JobTable::new(16);
+        let a = match t.submit(42) {
+            Submit::New(c) => c,
+            Submit::Joined(_) => panic!("first submit must be new"),
+        };
+        let b = match t.submit(42) {
+            Submit::Joined(c) => c,
+            Submit::New(_) => panic!("second submit must join"),
+        };
+        assert_eq!(a.id, b.id);
+        // A different key is a new job.
+        assert!(matches!(t.submit(43), Submit::New(_)));
+    }
+
+    #[test]
+    fn finish_releases_the_key() {
+        let t = JobTable::new(16);
+        let Submit::New(a) = t.submit(42) else {
+            panic!()
+        };
+        a.complete(Arc::new(b"r".to_vec()));
+        t.finish(&a);
+        assert!(matches!(t.submit(42), Submit::New(_)));
+        // The finished job remains pollable.
+        assert!(matches!(t.get(a.id).unwrap().state(), JobState::Done(_)));
+    }
+
+    #[test]
+    fn abandon_removes_entirely() {
+        let t = JobTable::new(16);
+        let Submit::New(a) = t.submit(42) else {
+            panic!()
+        };
+        t.abandon(&a);
+        assert!(t.get(a.id).is_none());
+        assert!(matches!(t.submit(42), Submit::New(_)));
+    }
+
+    #[test]
+    fn retention_prunes_oldest_finished() {
+        let t = JobTable::new(2);
+        let mut ids = Vec::new();
+        for key in 0..4u64 {
+            let Submit::New(c) = t.submit(key) else {
+                panic!()
+            };
+            c.complete(Arc::new(vec![]));
+            t.finish(&c);
+            ids.push(c.id);
+        }
+        assert!(t.get(ids[0]).is_none());
+        assert!(t.get(ids[1]).is_none());
+        assert!(t.get(ids[2]).is_some());
+        assert!(t.get(ids[3]).is_some());
+    }
+
+    #[test]
+    fn wait_blocks_until_complete() {
+        let t = JobTable::new(4);
+        let Submit::New(c) = t.submit(1) else {
+            panic!()
+        };
+        let waiter = Arc::clone(&c);
+        let h = std::thread::spawn(move || waiter.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.set_running();
+        c.complete(Arc::new(b"body".to_vec()));
+        assert_eq!(h.join().unwrap().unwrap().as_slice(), b"body");
+    }
+
+    #[test]
+    fn failure_propagates_to_waiters() {
+        let t = JobTable::new(4);
+        let Submit::New(c) = t.submit(1) else {
+            panic!()
+        };
+        c.fail("boom".into());
+        assert_eq!(c.wait().unwrap_err(), "boom");
+        assert_eq!(c.state().name(), "failed");
+    }
+}

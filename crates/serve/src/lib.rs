@@ -1,0 +1,69 @@
+//! # ucsim-serve
+//!
+//! A long-running simulation job service over the `ucsim` simulator: the
+//! repo's first serving layer on the road from experiment harness to
+//! production system (ROADMAP north star).
+//!
+//! The server speaks HTTP/1.1 + JSON over [`std::net::TcpListener`] with
+//! std threads only — no async runtime, matching the workspace's
+//! concurrency stance (DESIGN.md §5). Its JSON layer is the workspace's
+//! own `ucsim_model::json` wire format.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             POST /v1/sim            GET /v1/jobs/:id   GET /v1/metrics
+//!                  │                          │                 │
+//!   ┌──────────────▼──────────────────────────▼─────────────────▼───┐
+//!   │ accept loop → one handler thread per connection               │
+//!   └──────┬────────────────────────────────────────────────────────┘
+//!          │ canonicalize request → content hash
+//!   ┌──────▼───────┐  hit   ┌─────────────────────────────────────┐
+//!   │ result cache ├───────►│ respond immediately, cached: true   │
+//!   └──────┬───────┘        └─────────────────────────────────────┘
+//!          │ miss
+//!   ┌──────▼───────┐ same key in flight: join it (coalescing)
+//!   │  job table   │
+//!   └──────┬───────┘ new key
+//!   ┌──────▼───────┐ full: HTTP 429 + Retry-After (backpressure)
+//!   │bounded queue │
+//!   └──────┬───────┘
+//!   ┌──────▼───────┐ fixed worker pool (ucsim-pool) runs the
+//!   │   workers    │ simulation once, fills the cache, wakes waiters
+//!   └──────────────┘
+//! ```
+//!
+//! Determinism (DESIGN.md §6) is what makes the cache sound: a simulation
+//! is a pure function of `(workload, seed, SimConfig)`, so the cache key
+//! is a stable FNV-1a hash of the request's canonical JSON encoding and a
+//! cached report is *exact*, not approximate.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use ucsim_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run_until_shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod api;
+mod cache;
+mod client;
+mod http;
+mod jobs;
+mod metrics;
+mod server;
+mod signal;
+
+pub use api::{JobSpec, SimRequest};
+pub use cache::{CacheStats, ResultCache};
+pub use client::{request, HttpResponse};
+pub use http::Request;
+pub use jobs::{JobId, JobState, JobTable};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};
+pub use signal::{install_signal_handlers, request_shutdown, signalled};

@@ -1,0 +1,77 @@
+//! `ucsim-serve` — the simulation job service binary.
+//!
+//! Runs until SIGTERM/ctrl-c, then drains in-flight jobs and exits.
+
+use std::process::ExitCode;
+
+use ucsim_serve::{install_signal_handlers, Server, ServerConfig};
+
+const USAGE: &str = "\
+ucsim-serve: long-running simulation job service
+
+USAGE:
+    ucsim-serve [OPTIONS]
+
+OPTIONS:
+    --addr ADDR       bind address        [default: 127.0.0.1:7199]
+    --workers N       worker threads      [default: #cpus, max 8]
+    --queue N         job queue capacity  [default: 64]
+    --cache-mb N      result cache budget [default: 64]
+    --help            show this help
+
+ENDPOINTS:
+    POST /v1/sim      submit a job: {\"workload\", \"config\"?, \"seed\"?,
+                      \"background\"?} -> report envelope (or 202 + id)
+    GET  /v1/jobs/ID  poll a background job
+    GET  /v1/metrics  queue/worker/cache/latency counters
+";
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    let bail = |msg: &str| {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        ExitCode::FAILURE
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => match args.next() {
+                Some(v) => cfg.addr = v,
+                None => return bail("--addr needs a value"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return bail("--workers needs a number"),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.queue_capacity = v,
+                None => return bail("--queue needs a number"),
+            },
+            "--cache-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => cfg.cache_budget_bytes = v * 1024 * 1024,
+                None => return bail("--cache-mb needs a number"),
+            },
+            other => return bail(&format!("unknown option: {other}")),
+        }
+    }
+
+    install_signal_handlers();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ucsim-serve listening on {} (ctrl-c or SIGTERM to drain and stop)",
+        server.local_addr()
+    );
+    server.run_until_shutdown();
+    eprintln!("ucsim-serve: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,247 @@
+//! Server-side observability: queue depth, worker utilization, cache
+//! counters, and per-endpoint latency histograms.
+//!
+//! Latency histograms reuse [`ucsim_model::Histogram`] — the same
+//! bucketed counter every stats module in the simulator uses — with
+//! microsecond bounds spanning sub-millisecond metric reads to
+//! multi-second simulations.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ucsim_model::json::Json;
+use ucsim_model::Histogram;
+
+use crate::cache::CacheStats;
+
+/// Histogram bucket upper bounds, in microseconds.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// Endpoints with dedicated latency histograms, in display order.
+pub const ENDPOINTS: &[&str] = &["POST /v1/sim", "GET /v1/jobs", "GET /v1/metrics"];
+
+/// Shared server counters. All methods take `&self`.
+pub struct Metrics {
+    started: Instant,
+    workers: usize,
+    /// Workers currently simulating.
+    busy_workers: AtomicUsize,
+    /// Total microseconds workers spent simulating.
+    busy_us: AtomicU64,
+    /// Simulations actually executed (cache misses that ran).
+    jobs_executed: AtomicU64,
+    /// Jobs that failed.
+    jobs_failed: AtomicU64,
+    /// Requests rejected with 429.
+    rejected_429: AtomicU64,
+    /// HTTP requests served, any endpoint/status.
+    requests: AtomicU64,
+    latency: Mutex<Vec<Histogram>>,
+}
+
+impl Metrics {
+    /// Creates counters for a pool of `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            started: Instant::now(),
+            workers,
+            busy_workers: AtomicUsize::new(0),
+            busy_us: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            latency: Mutex::new(
+                ENDPOINTS
+                    .iter()
+                    .map(|_| Histogram::new(LATENCY_BOUNDS_US))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Marks a worker busy; call before simulating.
+    pub fn worker_started(&self) {
+        self.busy_workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker idle again, accounting `us` microseconds of work.
+    pub fn worker_finished(&self, us: u64, failed: bool) {
+        self.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(us, Ordering::Relaxed);
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a 429 rejection.
+    pub fn rejected(&self) {
+        self.rejected_429.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served request on `endpoint` (an [`ENDPOINTS`] entry)
+    /// taking `us` microseconds.
+    pub fn observe(&self, endpoint: &str, us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
+            self.latency.lock().expect("latency lock")[i].record(us);
+        }
+    }
+
+    /// Simulations executed so far.
+    pub fn executed(&self) -> u64 {
+        self.jobs_executed.load(Ordering::Relaxed)
+    }
+
+    /// Builds the `GET /v1/metrics` document.
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: &CacheStats) -> Json {
+        let uptime_us = self.started.elapsed().as_micros() as u64;
+        let busy_us = self.busy_us.load(Ordering::Relaxed);
+        let utilization = if uptime_us == 0 {
+            0.0
+        } else {
+            busy_us as f64 / (uptime_us as f64 * self.workers as f64)
+        };
+        let hits = cache.hits;
+        let lookups = hits + cache.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+
+        let queue = Json::Obj(vec![
+            ("depth".to_owned(), Json::Uint(queue_depth as u64)),
+            ("capacity".to_owned(), Json::Uint(queue_capacity as u64)),
+            (
+                "rejected_429".to_owned(),
+                Json::Uint(self.rejected_429.load(Ordering::Relaxed)),
+            ),
+        ]);
+        let workers = Json::Obj(vec![
+            ("count".to_owned(), Json::Uint(self.workers as u64)),
+            (
+                "busy".to_owned(),
+                Json::Uint(self.busy_workers.load(Ordering::Relaxed) as u64),
+            ),
+            ("utilization".to_owned(), Json::Float(utilization)),
+            (
+                "jobs_executed".to_owned(),
+                Json::Uint(self.jobs_executed.load(Ordering::Relaxed)),
+            ),
+            (
+                "jobs_failed".to_owned(),
+                Json::Uint(self.jobs_failed.load(Ordering::Relaxed)),
+            ),
+        ]);
+        let cache_json = Json::Obj(vec![
+            ("entries".to_owned(), Json::Uint(cache.entries as u64)),
+            ("bytes".to_owned(), Json::Uint(cache.bytes as u64)),
+            ("budget_bytes".to_owned(), Json::Uint(cache.budget as u64)),
+            ("hits".to_owned(), Json::Uint(cache.hits)),
+            ("coalesced".to_owned(), Json::Uint(cache.coalesced)),
+            ("misses".to_owned(), Json::Uint(cache.misses)),
+            ("insertions".to_owned(), Json::Uint(cache.insertions)),
+            ("evictions".to_owned(), Json::Uint(cache.evictions)),
+            ("hit_rate".to_owned(), Json::Float(hit_rate)),
+        ]);
+        let latency = {
+            let hists = self.latency.lock().expect("latency lock");
+            Json::Obj(
+                ENDPOINTS
+                    .iter()
+                    .zip(hists.iter())
+                    .map(|(name, h)| ((*name).to_owned(), histogram_json(h)))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("uptime_us".to_owned(), Json::Uint(uptime_us)),
+            (
+                "requests".to_owned(),
+                Json::Uint(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("queue".to_owned(), queue),
+            ("workers".to_owned(), workers),
+            ("cache".to_owned(), cache_json),
+            ("latency_us".to_owned(), latency),
+        ])
+    }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        (
+            "bounds".to_owned(),
+            Json::Arr(h.bounds().iter().map(|&b| Json::Uint(b)).collect()),
+        ),
+        (
+            "counts".to_owned(),
+            Json::Arr(h.counts().iter().map(|&c| Json::Uint(c)).collect()),
+        ),
+        ("total".to_owned(), Json::Uint(h.total())),
+        ("mean".to_owned(), Json::Float(h.mean())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_accounting_balances() {
+        let m = Metrics::new(2);
+        m.worker_started();
+        m.worker_finished(1000, false);
+        m.worker_started();
+        m.worker_finished(500, true);
+        assert_eq!(m.executed(), 2);
+        let j = m.to_json(0, 4, &CacheStats::default());
+        let workers = j.get("workers").unwrap();
+        assert_eq!(workers.get("busy").unwrap().as_u64(), Some(0));
+        assert_eq!(workers.get("jobs_executed").unwrap().as_u64(), Some(2));
+        assert_eq!(workers.get("jobs_failed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn latency_lands_in_the_right_endpoint() {
+        let m = Metrics::new(1);
+        m.observe("POST /v1/sim", 700);
+        m.observe("POST /v1/sim", 700);
+        m.observe("GET /v1/metrics", 10);
+        m.observe("GET /unknown", 10); // counted as a request, no histogram
+        let j = m.to_json(0, 1, &CacheStats::default());
+        assert_eq!(j.get("requests").unwrap().as_u64(), Some(4));
+        let lat = j.get("latency_us").unwrap();
+        let sim = lat.get("POST /v1/sim").unwrap();
+        assert_eq!(sim.get("total").unwrap().as_u64(), Some(2));
+        let met = lat.get("GET /v1/metrics").unwrap();
+        assert_eq!(met.get("total").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_document_shape() {
+        let m = Metrics::new(3);
+        m.rejected();
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        let j = m.to_json(2, 8, &stats);
+        let q = j.get("queue").unwrap();
+        assert_eq!(q.get("depth").unwrap().as_u64(), Some(2));
+        assert_eq!(q.get("capacity").unwrap().as_u64(), Some(8));
+        assert_eq!(q.get("rejected_429").unwrap().as_u64(), Some(1));
+        let rate = j.get("cache").unwrap().get("hit_rate").unwrap().as_f64();
+        assert_eq!(rate, Some(0.75));
+        // Whole document survives the wire format.
+        let text = j.to_string();
+        assert_eq!(ucsim_model::Json::parse(&text).unwrap(), j);
+    }
+}

@@ -1,0 +1,439 @@
+//! The server proper: accept loop, routing, the bounded job queue, the
+//! worker pool, and graceful shutdown.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ucsim_model::json::Json;
+use ucsim_pipeline::{SimReport, Simulator};
+use ucsim_pool::{BoundedQueue, PushError, WorkerPool};
+use ucsim_trace::{Program, WorkloadProfile};
+
+use crate::api::{self, JobSpec, SimRequest};
+use crate::cache::ResultCache;
+use crate::http::{respond, Request};
+use crate::jobs::{JobState, JobTable, Submit};
+use crate::metrics::Metrics;
+use crate::{jobs, signal};
+
+/// Poll interval of the accept loop (checks the shutdown flag between
+/// non-blocking accepts).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue answers 429.
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_budget_bytes: usize,
+    /// `Retry-After` seconds advertised on 429.
+    pub retry_after_secs: u32,
+    /// Finished jobs retained for `GET /v1/jobs/:id`.
+    pub retain_jobs: usize,
+    /// Accept `test-sleep:<ms>` pseudo-workloads (integration tests use
+    /// them to hold workers busy deterministically).
+    pub enable_test_workloads: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7199".to_owned(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_capacity: 64,
+            cache_budget_bytes: 64 * 1024 * 1024,
+            retry_after_secs: 1,
+            retain_jobs: 1024,
+            enable_test_workloads: false,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Work {
+    cell: Arc<jobs::JobCell>,
+    spec: JobSpec,
+    canonical: String,
+}
+
+/// Shared state every connection handler and worker sees.
+struct Inner {
+    cfg: ServerConfig,
+    queue: Arc<BoundedQueue<Work>>,
+    jobs: JobTable,
+    cache: ResultCache,
+    metrics: Metrics,
+    stopping: AtomicBool,
+    open_conns: AtomicUsize,
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown`] (or let [`Server::run_until_shutdown`] return).
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let inner = Arc::new(Inner {
+            queue: Arc::clone(&queue),
+            jobs: JobTable::new(cfg.retain_jobs),
+            cache: ResultCache::new(cfg.cache_budget_bytes),
+            metrics: Metrics::new(cfg.workers.max(1)),
+            stopping: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            cfg,
+        });
+
+        let worker_inner = Arc::clone(&inner);
+        let pool = WorkerPool::spawn(
+            "sim-worker",
+            inner.cfg.workers,
+            queue,
+            Arc::new(move |work: Work| execute(&worker_inner, work)),
+        );
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::Builder::new()
+            .name("http-accept".to_owned())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Simulations executed so far (for tests).
+    pub fn simulations_executed(&self) -> u64 {
+        self.inner.metrics.executed()
+    }
+
+    /// Blocks until a shutdown signal (SIGTERM/ctrl-c via
+    /// [`crate::install_signal_handlers`], or
+    /// [`crate::signal::request_shutdown`]), then drains gracefully.
+    pub fn run_until_shutdown(self) {
+        while !signal::signalled() && !self.inner.stopping.load(Ordering::SeqCst) {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        self.shutdown();
+    }
+
+    /// Graceful shutdown: stop accepting, let queued and in-flight jobs
+    /// finish, wake their waiters, then join all threads.
+    pub fn shutdown(mut self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // No new connections now. Existing handlers may still enqueue;
+        // wait for them to finish before closing the queue so their jobs
+        // are either queued (and will drain) or rejected consistently.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.inner.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.inner.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+/// Runs one job on a worker thread: simulate, encode, cache, wake.
+fn execute(inner: &Inner, work: Work) {
+    work.cell.set_running();
+    inner.metrics.worker_started();
+    let t0 = Instant::now();
+    let result = run_spec(&work.spec, inner.cfg.enable_test_workloads);
+    let us = t0.elapsed().as_micros() as u64;
+    match result {
+        Ok(report) => {
+            let payload = Arc::new(api::encode_report(&report));
+            inner
+                .cache
+                .put(work.cell.key_hash, work.canonical, Arc::clone(&payload));
+            let body = api::envelope(work.cell.key_hash, false, &payload);
+            inner.metrics.worker_finished(us, false);
+            work.cell.complete(Arc::new(body));
+        }
+        Err(msg) => {
+            inner.metrics.worker_finished(us, true);
+            work.cell.fail(msg);
+        }
+    }
+    inner.jobs.finish(&work.cell);
+}
+
+/// Runs the simulation described by `spec`.
+///
+/// With test workloads enabled, `test-sleep:<ms>` sleeps that long and
+/// then simulates the quick-test profile — a deterministic way for tests
+/// to keep workers busy.
+fn run_spec(spec: &JobSpec, test_workloads: bool) -> Result<SimReport, String> {
+    let mut profile = if let Some(ms) = test_sleep_ms(&spec.workload) {
+        if !test_workloads {
+            return Err(format!("unknown workload: {}", spec.workload));
+        }
+        std::thread::sleep(Duration::from_millis(ms));
+        WorkloadProfile::quick_test()
+    } else {
+        WorkloadProfile::by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload: {}", spec.workload))?
+    };
+    profile.seed = spec.seed;
+    let program = Program::generate(&profile);
+    Ok(Simulator::new(spec.config.clone()).run(&profile, &program))
+}
+
+fn test_sleep_ms(workload: &str) -> Option<u64> {
+    workload.strip_prefix("test-sleep:")?.parse().ok()
+}
+
+/// True when `workload` names something the server can run.
+fn workload_known(workload: &str, test_workloads: bool) -> bool {
+    (test_workloads && test_sleep_ms(workload).is_some())
+        || WorkloadProfile::by_name(workload).is_some()
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while !inner.stopping.load(Ordering::SeqCst) && !signal::signalled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.open_conns.fetch_add(1, Ordering::SeqCst);
+                let inner = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name("http-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(stream, &inner);
+                        inner.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = match Request::read(&mut stream) {
+        Ok(Some(Ok(req))) => req,
+        Ok(Some(Err(msg))) => {
+            let _ = respond(&mut stream, 400, &[], &api::error_body(&msg));
+            return;
+        }
+        _ => return,
+    };
+    // Writes can take as long as a blocking simulation; clear the timeout.
+    let _ = stream.set_read_timeout(None);
+    let t0 = Instant::now();
+    let endpoint = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/sim") => {
+            handle_sim(&mut stream, inner, &req);
+            "POST /v1/sim"
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            handle_job_get(&mut stream, inner, path);
+            "GET /v1/jobs"
+        }
+        ("GET", "/v1/metrics") => {
+            let stats = inner.cache.stats();
+            let body = inner
+                .metrics
+                .to_json(inner.queue.len(), inner.queue.capacity(), &stats)
+                .to_string()
+                .into_bytes();
+            let _ = respond(&mut stream, 200, &[], &body);
+            "GET /v1/metrics"
+        }
+        ("GET", "/healthz") => {
+            let _ = respond(&mut stream, 200, &[], b"{\"ok\":true}");
+            "GET /healthz"
+        }
+        (_, "/v1/sim" | "/v1/metrics") => {
+            let _ = respond(
+                &mut stream,
+                405,
+                &[],
+                &api::error_body("method not allowed"),
+            );
+            "405"
+        }
+        _ => {
+            let _ = respond(&mut stream, 404, &[], &api::error_body("not found"));
+            "404"
+        }
+    };
+    inner
+        .metrics
+        .observe(endpoint, t0.elapsed().as_micros() as u64);
+}
+
+fn handle_sim(stream: &mut TcpStream, inner: &Inner, req: &Request) {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(msg) => {
+            let _ = respond(stream, 400, &[], &api::error_body(&msg));
+            return;
+        }
+    };
+    let sim_req = match SimRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = respond(
+                stream,
+                400,
+                &[],
+                &api::error_body(&format!("bad request: {e}")),
+            );
+            return;
+        }
+    };
+    if !workload_known(&sim_req.workload, inner.cfg.enable_test_workloads) {
+        let _ = respond(
+            stream,
+            400,
+            &[],
+            &api::error_body(&format!("unknown workload: {}", sim_req.workload)),
+        );
+        return;
+    }
+    let default_seed = WorkloadProfile::by_name(&sim_req.workload)
+        .map(|p| p.seed)
+        .unwrap_or(0);
+    let spec = sim_req.resolve(default_seed);
+    let canonical = spec.canonical();
+    let hash = api::content_hash(&canonical);
+    let background = sim_req.background.unwrap_or(false);
+
+    // 1. Resident cache entry: answer without touching the queue.
+    if let Some(payload) = inner.cache.get(hash, &canonical) {
+        let _ = respond(stream, 200, &[], &api::envelope(hash, true, &payload));
+        return;
+    }
+
+    // 2. Coalesce onto an in-flight job for the same key, or create one.
+    let cell = match inner.jobs.submit(hash) {
+        Submit::Joined(cell) => {
+            inner.cache.record_coalesced();
+            cell
+        }
+        Submit::New(cell) => {
+            let work = Work {
+                cell: Arc::clone(&cell),
+                spec,
+                canonical,
+            };
+            match inner.queue.try_push(work) {
+                Ok(()) => cell,
+                Err(PushError::Full(_)) => {
+                    inner.jobs.abandon(&cell);
+                    inner.metrics.rejected();
+                    let retry = inner.cfg.retry_after_secs.to_string();
+                    let _ = respond(
+                        stream,
+                        429,
+                        &[("retry-after", retry)],
+                        &api::error_body("job queue full; retry later"),
+                    );
+                    return;
+                }
+                Err(PushError::Closed(_)) => {
+                    inner.jobs.abandon(&cell);
+                    let _ = respond(stream, 503, &[], &api::error_body("server shutting down"));
+                    return;
+                }
+            }
+        }
+    };
+
+    if background {
+        let body = Json::Obj(vec![
+            ("id".to_owned(), Json::Uint(cell.id)),
+            ("key".to_owned(), Json::Str(api::format_key(hash))),
+            (
+                "poll".to_owned(),
+                Json::Str(format!("/v1/jobs/{}", cell.id)),
+            ),
+        ])
+        .to_string()
+        .into_bytes();
+        let _ = respond(stream, 202, &[], &body);
+        return;
+    }
+
+    match cell.wait() {
+        Ok(body) => {
+            let _ = respond(stream, 200, &[], &body);
+        }
+        Err(msg) => {
+            let _ = respond(stream, 500, &[], &api::error_body(&msg));
+        }
+    }
+}
+
+fn handle_job_get(stream: &mut TcpStream, inner: &Inner, path: &str) {
+    let id_str = path.trim_start_matches("/v1/jobs/");
+    let Ok(id) = id_str.parse::<u64>() else {
+        let _ = respond(stream, 400, &[], &api::error_body("bad job id"));
+        return;
+    };
+    let Some(cell) = inner.jobs.get(id) else {
+        let _ = respond(stream, 404, &[], &api::error_body("no such job"));
+        return;
+    };
+    let state = cell.state();
+    let mut obj = vec![
+        ("id".to_owned(), Json::Uint(id)),
+        ("key".to_owned(), Json::Str(api::format_key(cell.key_hash))),
+        ("status".to_owned(), Json::Str(state.name().to_owned())),
+    ];
+    match state {
+        JobState::Done(body) => {
+            // Splice the finished envelope in verbatim.
+            let mut out = Json::Obj(obj).to_string();
+            out.pop(); // trailing '}'
+            out.push_str(",\"response\":");
+            out.push_str(std::str::from_utf8(&body).expect("envelope is utf-8"));
+            out.push('}');
+            let _ = respond(stream, 200, &[], out.as_bytes());
+            return;
+        }
+        JobState::Failed(msg) => obj.push(("error".to_owned(), Json::Str(msg))),
+        _ => {}
+    }
+    let _ = respond(stream, 200, &[], Json::Obj(obj).to_string().as_bytes());
+}

@@ -72,7 +72,9 @@ impl KernelBuilder {
             body: vec![StaticInst::new(InstClass::IntAlu, 4)],
             terminator: Some(TermInst {
                 inst: StaticInst::new(InstClass::JumpDirect, 2),
-                kind: TermKind::Jump { target_block: b0_id },
+                kind: TermKind::Jump {
+                    target_block: b0_id,
+                },
             }),
         };
         self.cursor = b1.end();
@@ -87,25 +89,34 @@ impl KernelBuilder {
 
     /// Adds a function built from `(body, terminator)` block specs. Block
     /// indices in terminators are *function-relative* and fixed up here.
-    fn add_function(
-        &mut self,
-        blocks: Vec<(Vec<StaticInst>, Option<TermInst>)>,
-    ) -> usize {
+    fn add_function(&mut self, blocks: Vec<(Vec<StaticInst>, Option<TermInst>)>) -> usize {
         // 16-byte alignment, like the synthetic generator.
         self.cursor = Addr::new((self.cursor.get() + 15) & !15);
         let first = self.blocks.len();
         for (i, (body, term)) in blocks.into_iter().enumerate() {
             let term = term.map(|mut t| {
                 t.kind = match t.kind {
-                    TermKind::CondForward { target_block, p_taken, seed } => {
-                        TermKind::CondForward { target_block: first + target_block, p_taken, seed }
-                    }
-                    TermKind::CondLoop { target_block, trip_mean, seed } => {
-                        TermKind::CondLoop { target_block: first + target_block, trip_mean, seed }
-                    }
-                    TermKind::Jump { target_block } => {
-                        TermKind::Jump { target_block: first + target_block }
-                    }
+                    TermKind::CondForward {
+                        target_block,
+                        p_taken,
+                        seed,
+                    } => TermKind::CondForward {
+                        target_block: first + target_block,
+                        p_taken,
+                        seed,
+                    },
+                    TermKind::CondLoop {
+                        target_block,
+                        trip_mean,
+                        seed,
+                    } => TermKind::CondLoop {
+                        target_block: first + target_block,
+                        trip_mean,
+                        seed,
+                    },
+                    TermKind::Jump { target_block } => TermKind::Jump {
+                        target_block: first + target_block,
+                    },
                     TermKind::IndirectJump { targets, seed } => TermKind::IndirectJump {
                         targets: targets.into_iter().map(|t| first + t).collect(),
                         seed,
@@ -324,10 +335,12 @@ mod tests {
         let profile = kernel_profile(5);
         let prog = coin_flip_grid(8, 0.5);
         let trace: Vec<_> = prog.walk(&profile).take(40_000).collect();
-        let (taken, total) = trace.iter().filter(|i| i.class.is_cond_branch()).fold(
-            (0u64, 0u64),
-            |(t, n), i| (t + u64::from(i.is_taken_branch()), n + 1),
-        );
+        let (taken, total) = trace
+            .iter()
+            .filter(|i| i.class.is_cond_branch())
+            .fold((0u64, 0u64), |(t, n), i| {
+                (t + u64::from(i.is_taken_branch()), n + 1)
+            });
         let frac = taken as f64 / total as f64;
         assert!((0.45..0.55).contains(&frac), "taken frac {frac}");
     }

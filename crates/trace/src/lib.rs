@@ -43,7 +43,7 @@ mod tracefile;
 mod walker;
 
 pub use profile::WorkloadProfile;
-pub use program::{BasicBlock, Function, Program, TermKind, TermInst};
+pub use program::{BasicBlock, Function, Program, TermInst, TermKind};
 pub use stats::TraceStats;
 pub use tracefile::Trace;
 pub use walker::TraceWalker;

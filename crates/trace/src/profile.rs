@@ -394,10 +394,7 @@ mod tests {
 
     #[test]
     fn names_match_paper_labels() {
-        let names: Vec<_> = WorkloadProfile::table2()
-            .iter()
-            .map(|p| p.name)
-            .collect();
+        let names: Vec<_> = WorkloadProfile::table2().iter().map(|p| p.name).collect();
         for expected in [
             "sp(log_regr)",
             "sp(tr_cnt)",
@@ -430,8 +427,14 @@ mod tests {
     fn probabilities_are_probabilities() {
         for p in WorkloadProfile::table2() {
             for v in [
-                p.p_loop, p.p_call, p.p_jump, p.p_cond, p.p_indirect, p.noisy_frac,
-                p.noisy_bias, p.cond_taken_bias,
+                p.p_loop,
+                p.p_call,
+                p.p_jump,
+                p.p_cond,
+                p.p_indirect,
+                p.noisy_frac,
+                p.noisy_bias,
+                p.cond_taken_bias,
             ] {
                 assert!((0.0..=1.0).contains(&v), "{}: bad prob {v}", p.name);
             }

@@ -118,7 +118,11 @@ impl BasicBlock {
     ///
     /// Panics if the block has no terminator.
     pub fn terminator_pc(&self) -> Addr {
-        assert!(self.terminator.is_some(), "block {} has no terminator", self.id);
+        assert!(
+            self.terminator.is_some(),
+            "block {} has no terminator",
+            self.id
+        );
         let body: u64 = self.body.iter().map(|i| i.len as u64).sum();
         self.start.offset(body)
     }
@@ -214,7 +218,9 @@ impl Program {
                 body,
                 terminator: Some(TermInst {
                     inst: jump_inst,
-                    kind: TermKind::Jump { target_block: entry },
+                    kind: TermKind::Jump {
+                        target_block: entry,
+                    },
                 }),
             };
             cursor = b1.end();
@@ -240,9 +246,7 @@ impl Program {
                 // sampling) and stretch branch-free runs far beyond the
                 // static mean, inflating uop cache entries.
                 let cap = profile.insts_per_block_mean.ceil() as u64 + 2;
-                let body_len = rng
-                    .geometric_mean(profile.insts_per_block_mean)
-                    .min(cap) as usize;
+                let body_len = rng.geometric_mean(profile.insts_per_block_mean).min(cap) as usize;
                 let mut body = Vec::with_capacity(body_len);
                 for _ in 0..body_len {
                     body.push(synth.sample(&mut rng));
@@ -256,9 +260,7 @@ impl Program {
                         kind: TermKind::Ret,
                     })
                 } else {
-                    Self::pick_terminator(
-                        profile, &synth, &mut rng, f, id, first, first + n_blocks,
-                    )
+                    Self::pick_terminator(profile, &synth, &mut rng, f, id, first, first + n_blocks)
                 };
 
                 let block = BasicBlock {
@@ -403,7 +405,10 @@ impl Program {
             .iter()
             .map(|b| {
                 b.body.iter().map(|i| i.uops as usize).sum::<usize>()
-                    + b.terminator.as_ref().map(|t| t.inst.uops as usize).unwrap_or(0)
+                    + b.terminator
+                        .as_ref()
+                        .map(|t| t.inst.uops as usize)
+                        .unwrap_or(0)
             })
             .sum()
     }
@@ -447,7 +452,11 @@ impl Program {
             if let Some(t) = &block.terminator {
                 assert!(t.inst.class.is_branch(), "terminator must be a branch");
                 match &t.kind {
-                    TermKind::CondForward { target_block, p_taken, .. } => {
+                    TermKind::CondForward {
+                        target_block,
+                        p_taken,
+                        ..
+                    } => {
                         assert!(*target_block < self.blocks.len());
                         assert!((0.0..=1.0).contains(p_taken));
                     }

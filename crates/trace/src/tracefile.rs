@@ -6,7 +6,6 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ucsim_model::{Addr, BranchExec, DynInst, InstClass};
 
 /// Magic bytes of the trace format ("UCT1").
@@ -62,26 +61,27 @@ impl Trace {
         self.insts.iter().copied()
     }
 
-    /// Serializes into the compact binary format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.insts.len() * 22);
-        buf.put_u32(MAGIC);
-        buf.put_u64(self.insts.len() as u64);
+    /// Serializes into the compact binary format (big-endian fields,
+    /// byte-identical to the historical `bytes`-based encoder).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.insts.len() * 22);
+        buf.extend_from_slice(&MAGIC.to_be_bytes());
+        buf.extend_from_slice(&(self.insts.len() as u64).to_be_bytes());
         for i in &self.insts {
-            buf.put_u64(i.pc.get());
+            buf.extend_from_slice(&i.pc.get().to_be_bytes());
             let (flags, aux) = match (i.branch, i.mem_addr) {
                 (Some(b), _) => (0b01 | ((b.taken as u8) << 2), b.target.get()),
                 (None, Some(m)) => (0b10, m.get()),
                 (None, None) => (0, 0),
             };
-            buf.put_u64(aux);
-            buf.put_u8(i.len);
-            buf.put_u8(i.uops);
-            buf.put_u8(i.imm_disp);
-            buf.put_u8(flags | ((i.microcoded as u8) << 3));
-            buf.put_u8(class_code(i.class));
+            buf.extend_from_slice(&aux.to_be_bytes());
+            buf.push(i.len);
+            buf.push(i.uops);
+            buf.push(i.imm_disp);
+            buf.push(flags | ((i.microcoded as u8) << 3));
+            buf.push(class_code(i.class));
         }
-        buf.freeze()
+        buf
     }
 
     /// Deserializes from [`Self::to_bytes`] output.
@@ -90,27 +90,28 @@ impl Trace {
     ///
     /// Returns `InvalidData` on bad magic, truncation, or unknown class
     /// codes.
-    pub fn from_bytes(mut data: &[u8]) -> io::Result<Self> {
+    pub fn from_bytes(data: &[u8]) -> io::Result<Self> {
         let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
-        if data.remaining() < 12 {
+        let mut r = Reader { data, pos: 0 };
+        if r.remaining() < 12 {
             return Err(bad("truncated header"));
         }
-        if data.get_u32() != MAGIC {
+        if r.get_u32() != MAGIC {
             return Err(bad("bad magic"));
         }
-        let n = data.get_u64() as usize;
-        let mut insts = Vec::with_capacity(n);
+        let n = r.get_u64() as usize;
+        let mut insts = Vec::with_capacity(n.min(r.remaining() / 21));
         for _ in 0..n {
-            if data.remaining() < 21 {
+            if r.remaining() < 21 {
                 return Err(bad("truncated record"));
             }
-            let pc = Addr::new(data.get_u64());
-            let aux = data.get_u64();
-            let len = data.get_u8();
-            let uops = data.get_u8();
-            let imm_disp = data.get_u8();
-            let flags = data.get_u8();
-            let class = class_from_code(data.get_u8()).ok_or_else(|| bad("bad class"))?;
+            let pc = Addr::new(r.get_u64());
+            let aux = r.get_u64();
+            let len = r.get_u8();
+            let uops = r.get_u8();
+            let imm_disp = r.get_u8();
+            let flags = r.get_u8();
+            let class = class_from_code(r.get_u8()).ok_or_else(|| bad("bad class"))?;
             let branch = (flags & 0b01 != 0).then(|| BranchExec {
                 taken: flags & 0b100 != 0,
                 target: Addr::new(aux),
@@ -161,6 +162,45 @@ impl FromIterator<DynInst> for Trace {
 impl Extend<DynInst> for Trace {
     fn extend<I: IntoIterator<Item = DynInst>>(&mut self, iter: I) {
         self.insts.extend(iter);
+    }
+}
+
+/// Big-endian cursor over a byte slice; callers bounds-check via
+/// [`Reader::remaining`] before each record.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(
+            self.data[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.pos += 4;
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(
+            self.data[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        v
     }
 }
 

@@ -156,13 +156,20 @@ impl TraceWalker<'_> {
                         *c
                     };
                     let (taken, target_block, target_addr, push, pop) = match &term.kind {
-                        TermKind::CondForward { target_block, p_taken, seed } => {
-                            let taken =
-                                hash_unit(mix64(seed ^ count.rotate_left(32))) < *p_taken;
+                        TermKind::CondForward {
+                            target_block,
+                            p_taken,
+                            seed,
+                        } => {
+                            let taken = hash_unit(mix64(seed ^ count.rotate_left(32))) < *p_taken;
                             let t_addr = self.prog.blocks[*target_block].start;
                             (taken, *target_block, t_addr, false, false)
                         }
-                        TermKind::CondLoop { target_block, trip_mean, seed } => {
+                        TermKind::CondLoop {
+                            target_block,
+                            trip_mean,
+                            seed,
+                        } => {
                             let entry = self.loops.entry(block.id).or_insert((0, 0));
                             if entry.0 == 0 {
                                 entry.1 += 1;
@@ -183,9 +190,13 @@ impl TraceWalker<'_> {
                             let t_addr = self.prog.blocks[*target_block].start;
                             (taken, *target_block, t_addr, false, false)
                         }
-                        TermKind::Jump { target_block } => {
-                            (true, *target_block, self.prog.blocks[*target_block].start, false, false)
-                        }
+                        TermKind::Jump { target_block } => (
+                            true,
+                            *target_block,
+                            self.prog.blocks[*target_block].start,
+                            false,
+                            false,
+                        ),
                         TermKind::IndirectJump { targets, seed } => {
                             // Switch-like indirect jumps are sticky in real
                             // code: the hot case dominates for stretches,
@@ -206,13 +217,11 @@ impl TraceWalker<'_> {
                             (true, tb, self.prog.blocks[tb].start, true, false)
                         }
                         TermKind::IndirectCall { callees, seed } => {
-                            let mut r =
-                                SplitMix64::new(mix64(seed ^ count.rotate_left(17)));
+                            let mut r = SplitMix64::new(mix64(seed ^ count.rotate_left(17)));
                             let raw = r.zipf(callees.len(), self.func_zipf_s);
                             let stride = callees.len() / 7 + 1;
-                            let idx = (raw
-                                + (self.current_phase() as usize * stride))
-                                % callees.len();
+                            let idx =
+                                (raw + (self.current_phase() as usize * stride)) % callees.len();
                             let tb = self.prog.funcs[callees[idx]].entry_block;
                             (true, tb, self.prog.blocks[tb].start, true, false)
                         }
@@ -351,7 +360,10 @@ mod tests {
                 }
             }
         }
-        assert!(max_streak >= 3, "loops should iterate, max streak {max_streak}");
+        assert!(
+            max_streak >= 3,
+            "loops should iterate, max streak {max_streak}"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use ucsim::trace::{Program, WorkloadProfile};
 fn main() {
     let profile = WorkloadProfile::by_name("bm-x64").expect("table2 workload");
     let program = Program::generate(&profile);
-    println!("loop cache sensitivity on {} (x264 stand-in)\n", profile.name);
+    println!(
+        "loop cache sensitivity on {} (x264 stand-in)\n",
+        profile.name
+    );
     println!(
         "{:<10} {:>8} {:>12} {:>12} {:>12} {:>12}",
         "loop-cap", "UPC", "loop-uops", "oc-uops", "dec-uops", "dec-power"

@@ -34,9 +34,18 @@ fn main() {
     println!("dispatch uops/cyc {:>12.3}", report.dispatch_bw);
     println!("OC fetch ratio    {:>12.3}", report.oc_fetch_ratio);
     println!("OC hit rate       {:>12.3}", report.oc_hit_rate);
-    println!("branch MPKI       {:>12.2}  (paper target {:.2})", report.mpki, profile.target_mpki);
-    println!("mispredict lat.   {:>12.1} cycles", report.avg_mispredict_latency);
-    println!("decoder power     {:>12.3} (model units)", report.decoder_power);
+    println!(
+        "branch MPKI       {:>12.2}  (paper target {:.2})",
+        report.mpki, profile.target_mpki
+    );
+    println!(
+        "mispredict lat.   {:>12.1} cycles",
+        report.avg_mispredict_latency
+    );
+    println!(
+        "decoder power     {:>12.3} (model units)",
+        report.decoder_power
+    );
     println!(
         "entry sizes       {:>12}",
         report

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! ucsim --workload bm-cc --capacity 2048 --compaction fpwac --insts 1000000
+//! ucsim client --addr 127.0.0.1:7199 --workload redis
 //! ```
 
 use ucsim::mem::ReplacementPolicy;
+use ucsim::model::Json;
 use ucsim::pipeline::{SimConfig, Simulator};
 use ucsim::trace::{Program, WorkloadProfile};
 use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
@@ -14,6 +16,7 @@ ucsim — x86 uop cache simulator (MICRO 2020 reproduction)
 
 USAGE:
     ucsim [OPTIONS]
+    ucsim client [CLIENT OPTIONS]     submit a job to a ucsim-serve instance
 
 OPTIONS:
     --workload <name>      Table II workload (default bm-cc); use --list to see all
@@ -28,6 +31,16 @@ OPTIONS:
     --warmup <n>           warmup instructions (default 200000)
     --list                 list workloads and exit
     --help                 this text
+
+CLIENT OPTIONS:
+    --addr <host:port>     server address (default 127.0.0.1:7199)
+    --workload <name>      workload to submit (default bm-cc)
+    --seed <n>             generation seed (default: the workload's own)
+    --insts <n>            measured instructions
+    --warmup <n>           warmup instructions
+    --background           submit async, print the job id and exit
+    --job <id>             poll a background job instead of submitting
+    --metrics              fetch /v1/metrics instead of submitting
 ";
 
 struct Args {
@@ -78,12 +91,17 @@ fn parse() -> Args {
             "--trace" => {
                 i += 1;
                 a.trace = Some(
-                    argv.get(i).unwrap_or_else(|| bail("--trace needs a path")).clone(),
+                    argv.get(i)
+                        .unwrap_or_else(|| bail("--trace needs a path"))
+                        .clone(),
                 );
             }
             "--workload" => {
                 i += 1;
-                a.workload = argv.get(i).unwrap_or_else(|| bail("--workload needs a name")).clone();
+                a.workload = argv
+                    .get(i)
+                    .unwrap_or_else(|| bail("--workload needs a name"))
+                    .clone();
             }
             "--capacity" => {
                 i += 1;
@@ -146,11 +164,132 @@ fn parse() -> Args {
     a
 }
 
+/// The `ucsim client` subcommand: talk to a running `ucsim-serve`.
+fn client_main(argv: &[String]) {
+    let mut addr = "127.0.0.1:7199".to_owned();
+    let mut workload = "bm-cc".to_owned();
+    let mut seed: Option<u64> = None;
+    let mut insts: Option<u64> = None;
+    let mut warmup: Option<u64> = None;
+    let mut background = false;
+    let mut job: Option<u64> = None;
+    let mut metrics = false;
+    let bail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => {
+                i += 1;
+                addr = argv
+                    .get(i)
+                    .unwrap_or_else(|| bail("--addr needs host:port"))
+                    .clone();
+            }
+            "--workload" => {
+                i += 1;
+                workload = argv
+                    .get(i)
+                    .unwrap_or_else(|| bail("--workload needs a name"))
+                    .clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--seed needs a number")),
+                );
+            }
+            "--insts" => {
+                i += 1;
+                insts = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--insts needs a number")),
+                );
+            }
+            "--warmup" => {
+                i += 1;
+                warmup = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--warmup needs a number")),
+                );
+            }
+            "--background" => background = true,
+            "--job" => {
+                i += 1;
+                job = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--job needs an id")),
+                );
+            }
+            "--metrics" => metrics = true,
+            other => bail(&format!("unknown client option {other}")),
+        }
+        i += 1;
+    }
+
+    let (method, path, body) = if metrics {
+        ("GET", "/v1/metrics".to_owned(), Vec::new())
+    } else if let Some(id) = job {
+        ("GET", format!("/v1/jobs/{id}"), Vec::new())
+    } else {
+        let mut fields = vec![("workload".to_owned(), Json::Str(workload))];
+        if let Some(s) = seed {
+            fields.push(("seed".to_owned(), Json::Uint(s)));
+        }
+        if let Some(w) = warmup {
+            fields.push(("warmup".to_owned(), Json::Uint(w)));
+        }
+        if let Some(n) = insts {
+            fields.push(("insts".to_owned(), Json::Uint(n)));
+        }
+        if background {
+            fields.push(("background".to_owned(), Json::Bool(true)));
+        }
+        (
+            "POST",
+            "/v1/sim".to_owned(),
+            Json::Obj(fields).to_string().into_bytes(),
+        )
+    };
+
+    let resp = ucsim::serve::request(&addr, method, &path, &body).unwrap_or_else(|e| {
+        eprintln!("cannot reach {addr}: {e}");
+        std::process::exit(1);
+    });
+    let text = resp.body_str();
+    let pretty = Json::parse(&text).map_or(text.clone(), |j| j.to_pretty());
+    if resp.status == 200 || resp.status == 202 {
+        println!("{pretty}");
+    } else {
+        eprintln!("server answered {}:\n{pretty}", resp.status);
+        if let Some(retry) = resp.header("retry-after") {
+            eprintln!("(retry after {retry}s)");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("client") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        client_main(&argv);
+        return;
+    }
     let args = parse();
 
-    let mut oc = UopCacheConfig::baseline_with_capacity(args.capacity)
-        .with_replacement(args.replacement);
+    let mut oc =
+        UopCacheConfig::baseline_with_capacity(args.capacity).with_replacement(args.replacement);
     if let Some(policy) = args.compaction {
         oc = oc.with_compaction(policy, args.max_entries);
     } else if args.clasp {
@@ -172,7 +311,11 @@ fn main() {
             eprintln!("cannot parse {path}: {e}");
             std::process::exit(2);
         });
-        eprintln!("replaying {path} ({} insts) | capacity {} uops", trace.len(), args.capacity);
+        eprintln!(
+            "replaying {path} ({} insts) | capacity {} uops",
+            trace.len(),
+            args.capacity
+        );
         Simulator::new(cfg).run_stream(path, trace.iter())
     } else {
         let Some(profile) = WorkloadProfile::by_name(&args.workload) else {

@@ -20,6 +20,7 @@
 //! * [`bpu`] — TAGE, BTB, RAS, prediction-window generation.
 //! * [`uopcache`] — the uop cache (baseline, CLASP, compaction).
 //! * [`pipeline`] — the simulator and its reports.
+//! * [`serve`] — the HTTP job service (`ucsim-serve`) and its client.
 //!
 //! # Quickstart
 //!
@@ -49,5 +50,6 @@ pub use ucsim_isa as isa;
 pub use ucsim_mem as mem;
 pub use ucsim_model as model;
 pub use ucsim_pipeline as pipeline;
+pub use ucsim_serve as serve;
 pub use ucsim_trace as trace;
 pub use ucsim_uopcache as uopcache;

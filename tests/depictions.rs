@@ -113,9 +113,7 @@ fn fig2c_pw_ends_at_taken_branch() {
     let mut gen = PwGenerator::new(BpuConfig::default(), insts.into_iter());
     let mut saw = false;
     while let Some(b) = gen.advance() {
-        if b.pw.start == Addr::new(0x1020)
-            && b.pw.termination == PwTermination::TakenBranch
-        {
+        if b.pw.start == Addr::new(0x1020) && b.pw.termination == PwTermination::TakenBranch {
             assert!(b.pw.ends_in_taken_branch);
             assert!(b.pw.end.get() < 0x1040, "ends before the line boundary");
             saw = true;
@@ -190,7 +188,7 @@ fn fig13_pwac_unites_same_pw() {
     // pair with each other).
     oc.fill(entry(0x1000, 6, 100)); // PW-A, 42 B
     oc.fill(entry(0x1010, 6, 200)); // PW-B1, 42 B
-    // Touch PW-A's line so RAC would pick it (MRU).
+                                    // Touch PW-A's line so RAC would pick it (MRU).
     oc.lookup(Addr::new(0x1000));
     // PW-B2 (small) must still join PW-B1.
     let out = oc.fill(entry(0x1020, 2, 200));

@@ -60,10 +60,7 @@ fn trace_is_identical_across_configurations() {
     // The front-end configuration must not leak into the trace: the same
     // instruction count and branch behaviour feed every design.
     let a = run(&pressured(), UopCacheConfig::baseline_2k());
-    let b = run(
-        &pressured(),
-        UopCacheConfig::baseline_with_capacity(65536),
-    );
+    let b = run(&pressured(), UopCacheConfig::baseline_with_capacity(65536));
     assert_eq!(a.insts, b.insts);
     assert_eq!(a.uops, b.uops);
     assert_eq!(a.mpki, b.mpki, "branch predictor sees the same stream");
@@ -148,8 +145,14 @@ fn three_entries_per_line_at_least_as_good() {
 #[test]
 fn mpki_tracks_profile_ordering() {
     // Workloads the paper ranks as branchy must out-MPKI the tame ones.
-    let hard = run(&WorkloadProfile::by_name("bm-lla").unwrap(), UopCacheConfig::baseline_2k());
-    let easy = run(&WorkloadProfile::by_name("redis").unwrap(), UopCacheConfig::baseline_2k());
+    let hard = run(
+        &WorkloadProfile::by_name("bm-lla").unwrap(),
+        UopCacheConfig::baseline_2k(),
+    );
+    let easy = run(
+        &WorkloadProfile::by_name("redis").unwrap(),
+        UopCacheConfig::baseline_2k(),
+    );
     assert!(
         hard.mpki > 2.0 * easy.mpki,
         "leela {} vs redis {}",

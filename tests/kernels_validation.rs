@@ -7,7 +7,9 @@ use ucsim::uopcache::UopCacheConfig;
 
 fn run(program: &ucsim::trace::Program, seed: u64, oc: UopCacheConfig) -> SimReport {
     let profile = kernels::kernel_profile(seed);
-    let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(10_000, 60_000);
+    let cfg = SimConfig::table1()
+        .with_uop_cache(oc)
+        .with_insts(10_000, 60_000);
     Simulator::new(cfg).run(&profile, program)
 }
 
@@ -99,7 +101,11 @@ fn coin_flips_defeat_tage() {
         fair.mpki,
         biased.mpki
     );
-    assert!(fair.mpki > 40.0, "8 coin flips per ~27 insts: {}", fair.mpki);
+    assert!(
+        fair.mpki > 40.0,
+        "8 coin flips per ~27 insts: {}",
+        fair.mpki
+    );
 }
 
 /// The misprediction-latency gap between OC-fed and decoder-fed branches:

@@ -2,7 +2,7 @@
 //! instruction streams and fill/lookup/invalidate interleavings.
 
 use proptest::prelude::*;
-use ucsim::model::{Addr, BranchExec, DynInst, InstClass, PwId, UOP_BYTES, IMM_DISP_BYTES};
+use ucsim::model::{Addr, BranchExec, DynInst, InstClass, PwId, IMM_DISP_BYTES, UOP_BYTES};
 use ucsim::uopcache::{
     AccumulationBuffer, CompactionPolicy, UopCache, UopCacheConfig, UopCacheEntry,
 };
@@ -64,7 +64,10 @@ fn check_entry_invariants(e: &UopCacheEntry, cfg: &UopCacheConfig) {
     assert!(e.uops >= 1, "entries are never empty");
     assert!(e.uops <= cfg.max_uops_per_entry, "uop limit: {e:?}");
     assert!(e.imm_disp <= cfg.max_imm_disp_per_entry, "imm limit: {e:?}");
-    assert!(e.ucoded_insts <= cfg.max_ucoded_per_entry, "ucode limit: {e:?}");
+    assert!(
+        e.ucoded_insts <= cfg.max_ucoded_per_entry,
+        "ucode limit: {e:?}"
+    );
     assert!(
         e.uops * UOP_BYTES + e.imm_disp * IMM_DISP_BYTES <= cfg.entry_byte_budget(),
         "byte budget: {e:?}"

@@ -10,7 +10,9 @@ use ucsim::uopcache::{CompactionPolicy, UopCacheConfig};
 fn run(name: &str, oc: UopCacheConfig) -> SimReport {
     let profile = WorkloadProfile::by_name(name).expect("table2 workload");
     let program = Program::generate(&profile);
-    let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(20_000, 150_000);
+    let cfg = SimConfig::table1()
+        .with_uop_cache(oc)
+        .with_insts(20_000, 150_000);
     Simulator::new(cfg).run(&profile, &program)
 }
 

@@ -1,0 +1,273 @@
+//! End-to-end tests of the `ucsim-serve` job service: a real server on an
+//! ephemeral port, real TCP clients, request coalescing, the content
+//! cache, backpressure, and graceful drain.
+
+use std::time::{Duration, Instant};
+
+use ucsim::model::Json;
+use ucsim::serve::{request, Server, ServerConfig};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_budget_bytes: 8 * 1024 * 1024,
+        retry_after_secs: 2,
+        retain_jobs: 64,
+        enable_test_workloads: true,
+    }
+}
+
+fn parse_json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON from server: {e}\n{body}"))
+}
+
+/// The acceptance-criteria test: the same job submitted from four
+/// concurrent clients yields byte-identical responses, exactly one
+/// simulation, and a consistent `/v1/metrics` document.
+#[test]
+fn concurrent_identical_jobs_coalesce_to_one_simulation() {
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The worker holds the job for 500 ms before simulating, so all four
+    // clients are in flight together and coalesce deterministically.
+    let body = br#"{"workload":"test-sleep:500","seed":1,"warmup":500,"insts":5000}"#;
+
+    let responses: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || request(&addr, "POST", "/v1/sim", body).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for r in &responses {
+        assert_eq!(r.status, 200, "body: {}", r.body_str());
+    }
+    // All four responses are byte-identical.
+    for r in &responses[1..] {
+        assert_eq!(
+            r.body, responses[0].body,
+            "responses differ between clients"
+        );
+    }
+    // Exactly one simulation ran.
+    assert_eq!(server.simulations_executed(), 1);
+
+    let env = parse_json(&responses[0].body_str());
+    assert_eq!(env.get("cached").unwrap().as_bool(), Some(false));
+    let report = env.get("report").expect("envelope carries the report");
+    assert!(report.get("upc").unwrap().as_f64().unwrap() > 0.0);
+
+    // A later identical request is served from the cache, same report.
+    let again = request(&addr, "POST", "/v1/sim", body).unwrap();
+    assert_eq!(again.status, 200);
+    let env2 = parse_json(&again.body_str());
+    assert_eq!(env2.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(env2.get("key").unwrap(), env.get("key").unwrap());
+    assert_eq!(env2.get("report").unwrap(), report);
+    assert_eq!(
+        server.simulations_executed(),
+        1,
+        "cache hit must not re-run"
+    );
+
+    // /v1/metrics is consistent with what just happened.
+    let m = request(&addr, "GET", "/v1/metrics", b"").unwrap();
+    assert_eq!(m.status, 200);
+    let m = parse_json(&m.body_str());
+    let workers = m.get("workers").unwrap();
+    assert_eq!(workers.get("count").unwrap().as_u64(), Some(2));
+    assert_eq!(workers.get("jobs_executed").unwrap().as_u64(), Some(1));
+    assert_eq!(workers.get("busy").unwrap().as_u64(), Some(0));
+    let queue = m.get("queue").unwrap();
+    assert_eq!(queue.get("depth").unwrap().as_u64(), Some(0));
+    assert_eq!(queue.get("capacity").unwrap().as_u64(), Some(8));
+    let cache = m.get("cache").unwrap();
+    // Three coalesced joiners + one resident-cache hit.
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(4));
+    assert_eq!(cache.get("coalesced").unwrap().as_u64(), Some(3));
+    // Each of the four concurrent lookups missed before coalescing.
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(4));
+    assert_eq!(cache.get("entries").unwrap().as_u64(), Some(1));
+    // 4 coalesced + 1 cached = 5 (a request is counted after it is
+    // answered, so this metrics read doesn't see itself).
+    assert!(m.get("requests").unwrap().as_u64().unwrap() >= 5);
+    let lat = m.get("latency_us").unwrap();
+    assert_eq!(
+        lat.get("POST /v1/sim")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .as_u64(),
+        Some(5)
+    );
+
+    server.shutdown();
+}
+
+/// A full queue answers 429 + `Retry-After` immediately — it never blocks
+/// the client or panics the server — and the drain still completes.
+#[test]
+fn full_queue_returns_429_with_retry_after() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Job A occupies the single worker for 600 ms.
+    let a = request(
+        &addr,
+        "POST",
+        "/v1/sim",
+        br#"{"workload":"test-sleep:600","warmup":100,"insts":2000,"background":true}"#,
+    )
+    .unwrap();
+    assert_eq!(a.status, 202, "body: {}", a.body_str());
+    let a_id = parse_json(&a.body_str())
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    // Let the worker pop A off the queue.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Job B fills the (capacity-1) queue.
+    let b = request(
+        &addr,
+        "POST",
+        "/v1/sim",
+        br#"{"workload":"test-sleep:601","warmup":100,"insts":2000,"background":true}"#,
+    )
+    .unwrap();
+    assert_eq!(b.status, 202, "body: {}", b.body_str());
+
+    // Job C must be rejected immediately with backpressure headers.
+    let t0 = Instant::now();
+    let c = request(
+        &addr,
+        "POST",
+        "/v1/sim",
+        br#"{"workload":"test-sleep:602","warmup":100,"insts":2000,"background":true}"#,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(c.status, 429, "body: {}", c.body_str());
+    assert_eq!(c.header("retry-after"), Some("2"));
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "429 must not block (took {elapsed:?})"
+    );
+    let m = parse_json(
+        &request(&addr, "GET", "/v1/metrics", b"")
+            .unwrap()
+            .body_str(),
+    );
+    assert_eq!(
+        m.get("queue")
+            .unwrap()
+            .get("rejected_429")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+
+    // Poll job A until it completes.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let r = request(&addr, "GET", &format!("/v1/jobs/{a_id}"), b"").unwrap();
+        assert_eq!(r.status, 200);
+        let j = parse_json(&r.body_str());
+        match j.get("status").unwrap().as_str().unwrap() {
+            "done" => {
+                let resp = j.get("response").expect("done job embeds its response");
+                assert_eq!(resp.get("cached").unwrap().as_bool(), Some(false));
+                assert!(resp.get("report").is_some());
+                break;
+            }
+            "failed" => panic!("job failed: {}", r.body_str()),
+            _ => {
+                assert!(Instant::now() < deadline, "job never finished");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+
+    // Graceful drain: B is still queued or running; shutdown waits for it.
+    server.shutdown();
+}
+
+/// Unknown workloads and malformed bodies are 400s; unknown paths 404;
+/// wrong methods 405. None of them disturb the queue.
+#[test]
+fn error_paths_answer_without_side_effects() {
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let r = request(&addr, "POST", "/v1/sim", br#"{"workload":"no-such-wl"}"#).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body_str().contains("unknown workload"));
+
+    let r = request(&addr, "POST", "/v1/sim", b"{not json").unwrap();
+    assert_eq!(r.status, 400);
+
+    let r = request(&addr, "GET", "/v1/jobs/999", b"").unwrap();
+    assert_eq!(r.status, 404);
+
+    let r = request(&addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(r.status, 404);
+
+    let r = request(&addr, "GET", "/v1/sim", b"").unwrap();
+    assert_eq!(r.status, 405);
+
+    let r = request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(r.status, 200);
+
+    assert_eq!(server.simulations_executed(), 0);
+    let m = parse_json(
+        &request(&addr, "GET", "/v1/metrics", b"")
+            .unwrap()
+            .body_str(),
+    );
+    assert_eq!(
+        m.get("queue").unwrap().get("depth").unwrap().as_u64(),
+        Some(0)
+    );
+    server.shutdown();
+}
+
+/// A real Table II workload runs end to end through the service and the
+/// returned report decodes as a SimReport.
+#[test]
+fn real_workload_round_trips_through_the_service() {
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let body = br#"{"workload":"bm-cc","seed":7,"warmup":1000,"insts":20000}"#;
+    let r = request(&addr, "POST", "/v1/sim", body).unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.body_str());
+    let env = parse_json(&r.body_str());
+    let report_text = env.get("report").unwrap().to_string();
+    let report =
+        <ucsim::pipeline::SimReport as ucsim::model::FromJson>::from_json_str(&report_text)
+            .expect("report decodes as SimReport");
+    // The simulator stops at a prediction-window boundary, so the count
+    // lands a handful of instructions under the requested 20000.
+    assert!(report.insts >= 19000, "insts = {}", report.insts);
+    assert!(report.upc > 0.0);
+
+    // Same spec again: cached, and the decoded report is identical.
+    let r2 = request(&addr, "POST", "/v1/sim", body).unwrap();
+    let env2 = parse_json(&r2.body_str());
+    assert_eq!(env2.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(env2.get("report").unwrap().to_string(), report_text);
+    assert_eq!(server.simulations_executed(), 1);
+    server.shutdown();
+}

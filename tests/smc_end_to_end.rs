@@ -56,7 +56,9 @@ fn smc_works_under_clasp_and_compaction() {
         UopCacheConfig::baseline_2k().with_clasp(),
         UopCacheConfig::baseline_2k().with_compaction(CompactionPolicy::Fpwac, 2),
     ] {
-        let cfg = SimConfig::table1().with_uop_cache(oc).with_insts(5_000, 60_000);
+        let cfg = SimConfig::table1()
+            .with_uop_cache(oc)
+            .with_insts(5_000, 60_000);
         let r = Simulator::new(cfg).run(&profile, &program);
         assert!(r.smc_probes > 0);
         // The run completes with sane metrics despite invalidation churn.

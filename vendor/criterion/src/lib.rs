@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! throughput annotation, `bench_function`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with plain wall-clock
+//! timing: a short warm-up, then a fixed number of timed samples whose
+//! median is reported. No statistics, plots, or saved baselines.
+//!
+//! Benches honour the standard libtest-style flags enough to stay usable
+//! under `cargo test --benches` (`--test`/`--bench` filters are accepted
+//! and ignored; in test mode each bench body runs once).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as B/s).
+    Bytes(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Median per-iteration time of the timed samples.
+    sample_median: Duration,
+    test_mode: bool,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording its median execution time.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: a few untimed runs.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.sample_median = times[times.len() / 2];
+    }
+}
+
+/// The top-level harness; each bench target gets one.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                "--exact" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip a value if one follows.
+                    if let Some(v) = args.peek() {
+                        if !v.starts_with('-') {
+                            args.next();
+                        }
+                    }
+                }
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: 30,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (filter, test_mode) = (self.filter.clone(), self.test_mode);
+        run_one(id, None, 30, filter.as_deref(), test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(
+            &full,
+            self.throughput,
+            self.samples,
+            self.criterion.filter.as_deref(),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    filter: Option<&str>,
+    test_mode: bool,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_median: Duration::ZERO,
+        test_mode,
+        samples,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    let t = b.sample_median;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !t.is_zero() => {
+            format!("  {:.1} Melem/s", n as f64 / t.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !t.is_zero() => {
+            format!("  {:.1} MB/s", n as f64 / t.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} median {t:>12.3?}{rate}");
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10)).sample_size(3);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match-me-too", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}
