@@ -1,59 +1,35 @@
-//! Standard configuration sets used across figures.
+//! Standard configuration sets used across figures — thin wrappers over
+//! the shared [`MatrixCross`] expansion.
 
-use ucsim_pipeline::SimConfig;
-use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
-
+use crate::matrix::{MatrixCross, SweepPolicy};
 use crate::LabeledConfig;
 
 /// The paper's capacity sweep: OC_2K … OC_64K baselines (Figures 3–4).
 pub fn capacity_sweep() -> Vec<LabeledConfig> {
-    [2048usize, 4096, 8192, 16384, 32768, 65536]
-        .iter()
-        .map(|&uops| {
-            LabeledConfig::new(
-                &format!("OC_{}K", uops / 1024),
-                SimConfig::table1().with_uop_cache(UopCacheConfig::baseline_with_capacity(uops)),
-            )
-        })
-        .collect()
+    MatrixCross {
+        capacities: MatrixCross::table1_capacities(),
+        policies: vec![SweepPolicy::Baseline],
+        max_entries: 2,
+    }
+    .expand()
 }
 
 /// The optimization ladder at a given capacity: baseline, CLASP, RAC,
 /// PWAC, F-PWAC (Figures 15–17 use 2K and ≤2 entries/line; Figure 20 uses
 /// 3; Figure 22 uses a 4K capacity).
 pub fn optimization_ladder(capacity_uops: usize, max_entries: u32) -> Vec<LabeledConfig> {
-    let base = UopCacheConfig::baseline_with_capacity(capacity_uops);
-    vec![
-        LabeledConfig::new("baseline", SimConfig::table1().with_uop_cache(base.clone())),
-        LabeledConfig::new(
-            "CLASP",
-            SimConfig::table1().with_uop_cache(base.clone().with_clasp()),
-        ),
-        LabeledConfig::new(
-            "RAC",
-            SimConfig::table1().with_uop_cache(
-                base.clone()
-                    .with_compaction(CompactionPolicy::Rac, max_entries),
-            ),
-        ),
-        LabeledConfig::new(
-            "PWAC",
-            SimConfig::table1().with_uop_cache(
-                base.clone()
-                    .with_compaction(CompactionPolicy::Pwac, max_entries),
-            ),
-        ),
-        LabeledConfig::new(
-            "F-PWAC",
-            SimConfig::table1()
-                .with_uop_cache(base.with_compaction(CompactionPolicy::Fpwac, max_entries)),
-        ),
-    ]
+    MatrixCross {
+        capacities: vec![capacity_uops],
+        policies: SweepPolicy::ALL.to_vec(),
+        max_entries,
+    }
+    .expand()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ucsim_uopcache::CompactionPolicy;
 
     #[test]
     fn sweep_has_six_sizes() {

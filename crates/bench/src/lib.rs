@@ -19,12 +19,14 @@
 
 mod configs;
 pub mod figures;
+mod matrix;
 mod opts;
 mod runner;
 mod svg;
 mod table;
 
 pub use configs::{capacity_sweep, optimization_ladder};
+pub use matrix::{MatrixCross, SweepPolicy};
 pub use opts::RunOpts;
 pub use runner::{run_matrix, run_one, LabeledConfig};
 pub use svg::{render_grouped_bars, ChartOptions};

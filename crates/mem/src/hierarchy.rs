@@ -63,7 +63,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Aggregated per-level statistics snapshot.
-#[derive(Debug, Clone, Copy, ToJson, FromJson)]
+#[derive(Debug, Clone, Copy, Default, ToJson, FromJson)]
 pub struct HierarchyStats {
     /// L1-I counters.
     pub l1i: CacheStats,

@@ -38,6 +38,7 @@ mod metrics;
 mod power;
 mod sim;
 mod smt;
+mod sweep;
 
 pub use backend::{Backend, BackendConfig};
 pub use config::{CoreConfig, SimConfig};
@@ -46,3 +47,4 @@ pub use metrics::{SimReport, UopSource};
 pub use power::{FrontEndEnergy, PowerConfig};
 pub use sim::Simulator;
 pub use smt::SmtSimulator;
+pub use sweep::{SweepCellReport, SweepReport};

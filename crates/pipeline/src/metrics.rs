@@ -17,7 +17,7 @@ pub enum UopSource {
 }
 
 /// Results of one simulation run (measurement window only).
-#[derive(Debug, Clone, ToJson, FromJson)]
+#[derive(Debug, Clone, Default, ToJson, FromJson)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,

@@ -1,0 +1,156 @@
+//! Sweep-aggregate reports: the result of a capacity × policy cross over
+//! a workload set, as produced by the bench matrix runner and the serve
+//! layer's `POST /v1/matrix` endpoint.
+//!
+//! A sweep is a grid of independent [`SimReport`]s; this module adds the
+//! aggregation the paper's figures need on top of the raw cells — a
+//! workload × configuration UPC table and per-configuration geomeans —
+//! in a wire-encodable form (the workspace derive JSON, canonical member
+//! order).
+
+use ucsim_model::{FromJson, ToJson};
+
+use crate::SimReport;
+
+/// One completed cell of a sweep: a workload simulated under one labeled
+/// configuration.
+#[derive(Debug, Clone, ToJson, FromJson)]
+pub struct SweepCellReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label (e.g. `"OC_2K"`, `"F-PWAC"`).
+    pub label: String,
+    /// Generation seed the cell ran with.
+    pub seed: u64,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+/// An aggregated sweep: every cell plus the derived UPC grid.
+///
+/// `upc[w][c]` is the UPC of workload `workloads[w]` under configuration
+/// `labels[c]`; `geomean_upc[c]` is the geometric mean of column `c`
+/// across workloads (the paper's cross-workload summary statistic).
+#[derive(Debug, Clone, ToJson, FromJson)]
+pub struct SweepReport {
+    /// Workloads, in first-appearance (submission) order.
+    pub workloads: Vec<String>,
+    /// Configuration labels, in first-appearance order.
+    pub labels: Vec<String>,
+    /// UPC grid, rows = workloads, columns = labels.
+    pub upc: Vec<Vec<f64>>,
+    /// Per-configuration geometric-mean UPC across workloads.
+    pub geomean_upc: Vec<f64>,
+    /// The raw cells, in submission order.
+    pub cells: Vec<SweepCellReport>,
+}
+
+impl SweepReport {
+    /// Builds the aggregate view from completed cells.
+    ///
+    /// Cells may arrive in any order; the grid is keyed by the distinct
+    /// workloads/labels in first-appearance order. A missing cell (a
+    /// workload × label pair never submitted) leaves `0.0` in the grid
+    /// and is excluded from the geomean.
+    pub fn from_cells(cells: Vec<SweepCellReport>) -> SweepReport {
+        let mut workloads: Vec<String> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for c in &cells {
+            if !workloads.contains(&c.workload) {
+                workloads.push(c.workload.clone());
+            }
+            if !labels.contains(&c.label) {
+                labels.push(c.label.clone());
+            }
+        }
+        let mut upc = vec![vec![0.0; labels.len()]; workloads.len()];
+        for c in &cells {
+            let w = workloads.iter().position(|n| *n == c.workload).expect("w");
+            let l = labels.iter().position(|n| *n == c.label).expect("l");
+            upc[w][l] = c.report.upc;
+        }
+        let geomean_upc = (0..labels.len())
+            .map(|l| {
+                let col: Vec<f64> = (0..workloads.len())
+                    .map(|w| upc[w][l])
+                    .filter(|&v| v > 0.0)
+                    .collect();
+                if col.is_empty() {
+                    0.0
+                } else {
+                    let log_sum: f64 = col.iter().map(|v| v.ln()).sum();
+                    (log_sum / col.len() as f64).exp()
+                }
+            })
+            .collect();
+        SweepReport {
+            workloads,
+            labels,
+            upc,
+            geomean_upc,
+            cells,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the sweep holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(workload: &str, label: &str, upc: f64) -> SweepCellReport {
+        let report = SimReport {
+            workload: workload.to_owned(),
+            upc,
+            ..SimReport::default()
+        };
+        SweepCellReport {
+            workload: workload.to_owned(),
+            label: label.to_owned(),
+            seed: 1,
+            report,
+        }
+    }
+
+    #[test]
+    fn grid_and_geomean_follow_first_appearance_order() {
+        let r = SweepReport::from_cells(vec![
+            cell("a", "OC_2K", 2.0),
+            cell("a", "OC_4K", 4.0),
+            cell("b", "OC_2K", 8.0),
+            cell("b", "OC_4K", 16.0),
+        ]);
+        assert_eq!(r.workloads, ["a", "b"]);
+        assert_eq!(r.labels, ["OC_2K", "OC_4K"]);
+        assert_eq!(r.upc, vec![vec![2.0, 4.0], vec![8.0, 16.0]]);
+        assert!((r.geomean_upc[0] - 4.0).abs() < 1e-12); // √(2·8)
+        assert!((r.geomean_upc[1] - 8.0).abs() < 1e-12); // √(4·16)
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn missing_cells_do_not_poison_the_geomean() {
+        let r = SweepReport::from_cells(vec![cell("a", "x", 2.0), cell("b", "y", 3.0)]);
+        assert_eq!(r.upc, vec![vec![2.0, 0.0], vec![0.0, 3.0]]);
+        assert!((r.geomean_upc[0] - 2.0).abs() < 1e-12);
+        assert!((r.geomean_upc[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_report_round_trips_through_json() {
+        let r = SweepReport::from_cells(vec![cell("a", "x", 1.5)]);
+        let text = r.to_json_string();
+        let back = SweepReport::from_json_str(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
+        assert_eq!(back.cells[0].report.upc, 1.5);
+    }
+}

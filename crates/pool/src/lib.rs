@@ -86,6 +86,7 @@ struct QueueState<T> {
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     not_empty: Condvar,
+    not_full: Condvar,
     capacity: usize,
 }
 
@@ -98,6 +99,7 @@ impl<T> BoundedQueue<T> {
                 closed: false,
             }),
             not_empty: Condvar::new(),
+            not_full: Condvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -123,6 +125,32 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues `item`, blocking while the queue is at capacity. This is
+    /// the fan-out producer's entry point (a sweep feeder pushing dozens
+    /// of cells): unlike [`try_push`](Self::try_push) it waits for a
+    /// worker to free a slot instead of bouncing, so large batches flow
+    /// through a small queue without rejection.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] once the queue is closed (also when it closes
+    /// mid-wait); the item is handed back.
+    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("queue lock");
+        }
+    }
+
     /// Dequeues the next item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed **and** drained — the worker-loop
     /// termination signal.
@@ -130,6 +158,8 @@ impl<T> BoundedQueue<T> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
                 return Some(item);
             }
             if st.closed {
@@ -144,6 +174,7 @@ impl<T> BoundedQueue<T> {
     pub fn close(&self) {
         self.state.lock().expect("queue lock").closed = true;
         self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Number of items currently queued.
@@ -342,6 +373,29 @@ mod tests {
         pool.join();
         assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_wait_blocks_until_a_slot_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u64).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1)); // frees the slot, wakes the pusher
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_wait_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u64).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 use ucsim_model::json::{Json, JsonError};
 use ucsim_model::{FromJson, ToJson};
 use ucsim_pipeline::{SimConfig, SimReport};
+use ucsim_trace::WorkloadProfile;
+
+use crate::http::Response;
 
 /// A `POST /v1/sim` request body.
 ///
@@ -82,14 +85,74 @@ impl JobSpec {
     }
 }
 
-/// FNV-1a 64-bit hash of the canonical encoding.
-pub fn content_hash(canonical: &str) -> u64 {
+/// A `POST /v1/matrix` request body: a workload set crossed with
+/// uop-cache capacities × entry-construction policies — the axes of the
+/// paper's headline sweeps (Figs. 9–13) and of `run_matrix` offline.
+///
+/// Omitted axes fall back to the paper's defaults: the full Table I
+/// capacity sweep and the baseline policy.
+#[derive(Debug, Clone, ToJson, FromJson)]
+pub struct MatrixRequest {
+    /// Table II workload names; each cell simulates one of these.
+    pub workloads: Vec<String>,
+    /// Capacity axis in uops; defaults to Table I (2048 … 65536).
+    pub capacities: Option<Vec<u64>>,
+    /// Policy axis (`"baseline"`, `"clasp"`, `"rac"`, `"pwac"`,
+    /// `"fpwac"`); defaults to `["baseline"]`.
+    pub policies: Option<Vec<String>>,
+    /// Compacted entries per line for RAC/PWAC/F-PWAC (default 2).
+    pub max_entries: Option<u32>,
+    /// Generation seed applied to every cell; defaults to each
+    /// workload's own profile seed.
+    pub seed: Option<u64>,
+    /// Warmup instructions per cell.
+    pub warmup: Option<u64>,
+    /// Measured instructions per cell.
+    pub insts: Option<u64>,
+}
+
+impl MatrixRequest {
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse/decode error for malformed bodies.
+    pub fn parse(body: &str) -> Result<Self, JsonError> {
+        MatrixRequest::from_json_str(body)
+    }
+}
+
+/// Parses the `test-sleep:<ms>` pseudo-workload name (integration tests
+/// use it to hold workers busy deterministically).
+pub fn test_sleep_ms(workload: &str) -> Option<u64> {
+    workload.strip_prefix("test-sleep:")?.parse().ok()
+}
+
+/// True when `workload` names something the server can run.
+pub fn workload_known(workload: &str, test_workloads: bool) -> bool {
+    (test_workloads && test_sleep_ms(workload).is_some())
+        || WorkloadProfile::by_name(workload).is_some()
+}
+
+/// The seed a request for `workload` defaults to: the profile's own seed
+/// (0 for test pseudo-workloads).
+pub fn default_seed(workload: &str) -> u64 {
+    WorkloadProfile::by_name(workload).map_or(0, |p| p.seed)
+}
+
+/// FNV-1a 64-bit hash over raw bytes (also the store's record checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in canonical.bytes() {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64-bit hash of the canonical encoding.
+pub fn content_hash(canonical: &str) -> u64 {
+    fnv1a(canonical.as_bytes())
 }
 
 /// Formats a content hash as the wire-visible cache key.
@@ -120,11 +183,79 @@ pub fn encode_report(report: &SimReport) -> String {
     report.to_json_string()
 }
 
-/// Builds an error body `{"error": …}`.
-pub fn error_body(msg: &str) -> Vec<u8> {
-    Json::Obj(vec![("error".to_owned(), Json::Str(msg.to_owned()))])
+/// Machine-readable error codes of the uniform `/v1/*` error envelope.
+///
+/// Every non-2xx response body is
+/// `{"error":{"code":"…","message":"…","retry_after":…?}}`; these are the
+/// stable `code` values clients dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed request (bad JSON, bad id, missing fields).
+    BadRequest,
+    /// A named workload is not in Table II (nor an enabled test workload).
+    UnknownWorkload,
+    /// The bounded job queue is full; retry after the advertised delay.
+    QueueFull,
+    /// No such resource (unknown path, unknown job/sweep id).
+    NotFound,
+    /// The path exists but not under this method.
+    MethodNotAllowed,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+    /// A simulation failed on the server.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire `code` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownWorkload => "unknown_workload",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// The HTTP status the code maps to.
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest | ErrorCode::UnknownWorkload => 400,
+            ErrorCode::QueueFull => 429,
+            ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::Draining => 503,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
+/// Builds the uniform error envelope body.
+pub fn error_envelope(code: ErrorCode, message: &str, retry_after: Option<u32>) -> Vec<u8> {
+    let mut fields = vec![
+        ("code".to_owned(), Json::Str(code.as_str().to_owned())),
+        ("message".to_owned(), Json::Str(message.to_owned())),
+    ];
+    if let Some(secs) = retry_after {
+        fields.push(("retry_after".to_owned(), Json::Uint(u64::from(secs))));
+    }
+    Json::Obj(vec![("error".to_owned(), Json::Obj(fields))])
         .to_string()
         .into_bytes()
+}
+
+/// Builds a complete error [`Response`]: envelope body, mapped status,
+/// and — for [`ErrorCode::QueueFull`] — the `Retry-After` header mirrored
+/// into the body.
+pub fn error_response(code: ErrorCode, message: &str, retry_after: Option<u32>) -> Response {
+    let resp = Response::json(code.status(), error_envelope(code, message, retry_after));
+    match retry_after {
+        Some(secs) => resp.with_header("retry-after", secs.to_string()),
+        None => resp,
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +315,57 @@ mod tests {
     fn malformed_body_is_an_error() {
         assert!(SimRequest::parse("{\"workload\":").is_err());
         assert!(SimRequest::parse("{}").is_err()); // workload required
+    }
+
+    #[test]
+    fn matrix_request_parses_with_defaults_absent() {
+        let r = MatrixRequest::parse(r#"{"workloads":["redis","bm-cc"]}"#).unwrap();
+        assert_eq!(r.workloads, ["redis", "bm-cc"]);
+        assert!(r.capacities.is_none() && r.policies.is_none());
+        assert!(MatrixRequest::parse("{}").is_err()); // workloads required
+
+        let r = MatrixRequest::parse(
+            r#"{"workloads":["redis"],"capacities":[2048,4096],"policies":["baseline","clasp"],"max_entries":3}"#,
+        )
+        .unwrap();
+        assert_eq!(r.capacities.unwrap(), [2048, 4096]);
+        assert_eq!(r.policies.unwrap(), ["baseline", "clasp"]);
+        assert_eq!(r.max_entries, Some(3));
+    }
+
+    #[test]
+    fn error_envelope_has_stable_shape() {
+        let body = String::from_utf8(error_envelope(
+            ErrorCode::QueueFull,
+            "job queue full; retry later",
+            Some(2),
+        ))
+        .unwrap();
+        let v = Json::parse(&body).unwrap();
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(
+            e.get("message").unwrap().as_str(),
+            Some("job queue full; retry later")
+        );
+        assert_eq!(e.get("retry_after").unwrap().as_u64(), Some(2));
+
+        let body =
+            String::from_utf8(error_envelope(ErrorCode::NotFound, "no such job", None)).unwrap();
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("error").unwrap().get("retry_after").is_none());
+    }
+
+    #[test]
+    fn error_response_mirrors_retry_after_into_the_header() {
+        let r = error_response(ErrorCode::QueueFull, "full", Some(7));
+        assert_eq!(r.status, 429);
+        assert!(r
+            .headers
+            .iter()
+            .any(|(k, v)| *k == "retry-after" && v == "7"));
+        let r = error_response(ErrorCode::MethodNotAllowed, "nope", None);
+        assert_eq!(r.status, 405);
+        assert!(r.headers.is_empty());
     }
 }

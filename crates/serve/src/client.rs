@@ -1,7 +1,12 @@
 //! A minimal blocking HTTP client for talking to a running server —
 //! used by the `ucsim client` subcommand and the integration tests.
+//!
+//! Two shapes: the one-shot [`request`] (`Connection: close`, reads to
+//! EOF), and the keep-alive [`Client`], which holds one TCP connection
+//! across requests using `Content-Length` framing — a whole
+//! submit-then-poll sweep rides a single connection.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// A parsed HTTP response.
@@ -33,7 +38,7 @@ impl HttpResponse {
 /// Sends one request to `addr` and reads the full response.
 ///
 /// `body` may be empty (e.g. for GET). The connection is one-shot
-/// (`Connection: close`), matching the server.
+/// (`Connection: close`).
 ///
 /// # Errors
 ///
@@ -52,6 +57,137 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     parse_response(&raw)
+}
+
+/// A keep-alive client: one TCP connection reused across requests.
+///
+/// Responses are read by `Content-Length` framing rather than to EOF, so
+/// the connection stays usable. If the server closed the connection in
+/// the meantime (idle timeout, restart), the next request transparently
+/// reconnects once.
+pub struct Client {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+    connects: u64,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connects lazily on first request).
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_owned(),
+            conn: None,
+            connects: 0,
+        }
+    }
+
+    /// TCP connections established so far (tests assert keep-alive reuse
+    /// by checking this stays at 1 across requests).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Sends one request on the kept-alive connection and reads the
+    /// framed response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write errors after the one reconnect
+    /// attempt; malformed responses map to [`io::ErrorKind::InvalidData`].
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) if self.conn.is_none() => {
+                // The cached connection had gone stale (server idle-closed
+                // it); retry once on a fresh one.
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+        if self.conn.is_none() {
+            self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+            self.connects += 1;
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        let result = (|| {
+            let stream = conn.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+            read_framed_response(conn)
+        })();
+        match result {
+            Ok(resp) => {
+                // Honor the server's decision to close.
+                if resp
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                // Drop the broken connection so the caller (or our retry)
+                // starts clean.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `Content-Length`-framed response off a buffered stream,
+/// leaving the stream positioned at the next response.
+fn read_framed_response(r: &mut BufReader<TcpStream>) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_lowercase(), v.trim().to_owned()));
+        }
+    }
+    let len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| bad("response without content-length"))?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
@@ -98,5 +234,27 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn framed_reads_leave_the_stream_aligned() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Two back-to-back framed responses in one write.
+            s.write_all(
+                b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\n\r\nabcHTTP/1.1 404 Not Found\r\ncontent-length: 2\r\n\r\nno",
+            )
+            .unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream);
+        let a = read_framed_response(&mut r).unwrap();
+        assert_eq!((a.status, a.body_str().as_str()), (200, "abc"));
+        let b = read_framed_response(&mut r).unwrap();
+        assert_eq!((b.status, b.body_str().as_str()), (404, "no"));
+        h.join().unwrap();
     }
 }

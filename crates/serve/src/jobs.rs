@@ -46,6 +46,10 @@ pub struct JobCell {
     /// Content hash of the job's canonical spec.
     pub key_hash: u64,
     state: Mutex<JobState>,
+    /// The bare report payload (set just before [`JobCell::complete`]).
+    /// Sweep aggregation reads this — the [`JobState::Done`] body is the
+    /// full response envelope, not the raw report.
+    payload: Mutex<Option<Arc<String>>>,
     done: Condvar,
 }
 
@@ -55,6 +59,7 @@ impl JobCell {
             id,
             key_hash,
             state: Mutex::new(JobState::Queued),
+            payload: Mutex::new(None),
             done: Condvar::new(),
         }
     }
@@ -67,6 +72,17 @@ impl JobCell {
     /// Marks the job running.
     pub fn set_running(&self) {
         *self.state.lock().expect("job lock") = JobState::Running;
+    }
+
+    /// Stores the bare report payload; call before [`JobCell::complete`]
+    /// so anyone observing `Done` can read it.
+    pub fn set_payload(&self, payload: Arc<String>) {
+        *self.payload.lock().expect("job lock") = Some(payload);
+    }
+
+    /// The bare report payload, once set.
+    pub fn payload(&self) -> Option<Arc<String>> {
+        self.payload.lock().expect("job lock").clone()
     }
 
     /// Completes the job with its response envelope and wakes waiters.

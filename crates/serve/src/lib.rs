@@ -7,36 +7,46 @@
 //! The server speaks HTTP/1.1 + JSON over [`std::net::TcpListener`] with
 //! std threads only — no async runtime, matching the workspace's
 //! concurrency stance (DESIGN.md §5). Its JSON layer is the workspace's
-//! own `ucsim_model::json` wire format.
+//! own `ucsim_model::json` wire format. Connections are keep-alive with
+//! `Content-Length` framing; every request dispatches through a typed
+//! route table and every non-2xx answer is the uniform error envelope
+//! `{"error":{"code","message","retry_after"?}}`.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!             POST /v1/sim            GET /v1/jobs/:id   GET /v1/metrics
-//!                  │                          │                 │
-//!   ┌──────────────▼──────────────────────────▼─────────────────▼───┐
-//!   │ accept loop → one handler thread per connection               │
-//!   └──────┬────────────────────────────────────────────────────────┘
-//!          │ canonicalize request → content hash
-//!   ┌──────▼───────┐  hit   ┌─────────────────────────────────────┐
-//!   │ result cache ├───────►│ respond immediately, cached: true   │
-//!   └──────┬───────┘        └─────────────────────────────────────┘
-//!          │ miss
-//!   ┌──────▼───────┐ same key in flight: join it (coalescing)
-//!   │  job table   │
-//!   └──────┬───────┘ new key
-//!   ┌──────▼───────┐ full: HTTP 429 + Retry-After (backpressure)
-//!   │bounded queue │
-//!   └──────┬───────┘
-//!   ┌──────▼───────┐ fixed worker pool (ucsim-pool) runs the
-//!   │   workers    │ simulation once, fills the cache, wakes waiters
-//!   └──────────────┘
+//!   POST /v1/sim   POST /v1/matrix   GET /v1/{jobs,matrix}/:id  /v1/metrics
+//!        │               │                      │                   │
+//!   ┌────▼───────────────▼──────────────────────▼───────────────────▼──┐
+//!   │ accept loop → keep-alive handler thread → typed route table      │
+//!   └────┬───────────────┬─────────────────────────────────────────────┘
+//!        │               │ expand capacity × policy cross, one
+//!        │               │ content-addressed cell per config
+//!        │          ┌────▼────────┐
+//!        │          │ sweep table │ feeder resolves each cell ↓
+//!        │          └────┬────────┘
+//!        │ canonicalize → content hash
+//!   ┌────▼────────┐  hit   ┌──────────────────────────────────────────┐
+//!   │ result cache├───────►│ respond immediately, cached: true        │
+//!   └────┬────────┘        └──────────────────────────────────────────┘
+//!        │ miss                       ▲ replay on startup
+//!   ┌────▼────────┐            ┌──────┴──────────┐
+//!   │  job table  │            │ persistent store│ append on completion
+//!   └────┬────────┘            │  (results.log)  │
+//!        │ new key             └─────────────────┘
+//!   ┌────▼────────┐ full: HTTP 429 + Retry-After (backpressure)
+//!   │bounded queue│ (sweep feeders block on a free slot instead)
+//!   └────┬────────┘
+//!   ┌────▼────────┐ fixed worker pool (ucsim-pool) runs the
+//!   │   workers   │ simulation once, fills cache + store, wakes waiters
+//!   └─────────────┘
 //! ```
 //!
-//! Determinism (DESIGN.md §6) is what makes the cache sound: a simulation
-//! is a pure function of `(workload, seed, SimConfig)`, so the cache key
-//! is a stable FNV-1a hash of the request's canonical JSON encoding and a
-//! cached report is *exact*, not approximate.
+//! Determinism (DESIGN.md §6) is what makes the cache *and* the store
+//! sound: a simulation is a pure function of `(workload, seed,
+//! SimConfig)`, so the cache key is a stable FNV-1a hash of the request's
+//! canonical JSON encoding, a cached report is *exact*, and a result
+//! replayed from disk after a restart is byte-identical to re-running it.
 //!
 //! ## Quick start
 //!
@@ -56,14 +66,20 @@ mod client;
 mod http;
 mod jobs;
 mod metrics;
+mod router;
 mod server;
 mod signal;
+mod store;
+mod sweep;
 
-pub use api::{JobSpec, SimRequest};
+pub use api::{ErrorCode, JobSpec, MatrixRequest, SimRequest};
 pub use cache::{CacheStats, ResultCache};
-pub use client::{request, HttpResponse};
-pub use http::Request;
-pub use jobs::{JobId, JobState, JobTable};
+pub use client::{request, Client, HttpResponse};
+pub use http::{HttpConn, ReadOutcome, Request, Response};
+pub use jobs::{JobCell, JobId, JobState, JobTable, Submit};
 pub use metrics::Metrics;
+pub use router::{Params, Route, Router};
 pub use server::{Server, ServerConfig};
 pub use signal::{install_signal_handlers, request_shutdown, signalled};
+pub use store::{ResultStore, StoreRecord};
+pub use sweep::{CellMeta, Sweep, SweepTable};

@@ -17,13 +17,21 @@ OPTIONS:
     --workers N       worker threads      [default: #cpus, max 8]
     --queue N         job queue capacity  [default: 64]
     --cache-mb N      result cache budget [default: 64]
+    --data-dir DIR    persist results to DIR/results.log and replay
+                      them into the cache on startup
     --help            show this help
 
 ENDPOINTS:
-    POST /v1/sim      submit a job: {\"workload\", \"config\"?, \"seed\"?,
-                      \"background\"?} -> report envelope (or 202 + id)
-    GET  /v1/jobs/ID  poll a background job
-    GET  /v1/metrics  queue/worker/cache/latency counters
+    POST /v1/sim        submit a job: {\"workload\", \"config\"?, \"seed\"?,
+                        \"background\"?} -> report envelope (or 202 + id)
+    POST /v1/matrix     fan out a sweep: {\"workloads\", \"capacities\"?,
+                        \"policies\"?, ...} -> 202 + sweep id
+    GET  /v1/matrix/ID  sweep progress; aggregated table when done
+    GET  /v1/jobs/ID    poll a background job
+    GET  /v1/metrics    queue/worker/cache/latency counters
+
+Connections are keep-alive; errors use the uniform envelope
+{\"error\":{\"code\",\"message\",\"retry_after\"?}}.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +62,10 @@ fn main() -> ExitCode {
             "--cache-mb" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(v) => cfg.cache_budget_bytes = v * 1024 * 1024,
                 None => return bail("--cache-mb needs a number"),
+            },
+            "--data-dir" => match args.next() {
+                Some(v) => cfg.data_dir = Some(v.into()),
+                None => return bail("--data-dir needs a path"),
             },
             other => return bail(&format!("unknown option: {other}")),
         }

@@ -22,7 +22,13 @@ const LATENCY_BOUNDS_US: &[u64] = &[
 ];
 
 /// Endpoints with dedicated latency histograms, in display order.
-pub const ENDPOINTS: &[&str] = &["POST /v1/sim", "GET /v1/jobs", "GET /v1/metrics"];
+pub const ENDPOINTS: &[&str] = &[
+    "POST /v1/sim",
+    "POST /v1/matrix",
+    "GET /v1/matrix",
+    "GET /v1/jobs",
+    "GET /v1/metrics",
+];
 
 /// Shared server counters. All methods take `&self`.
 pub struct Metrics {
@@ -84,7 +90,7 @@ impl Metrics {
         self.rejected_429.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one served request on `endpoint` (an [`ENDPOINTS`] entry)
+    /// Records one served request on `endpoint` (an `ENDPOINTS` entry)
     /// taking `us` microseconds.
     pub fn observe(&self, endpoint: &str, us: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);

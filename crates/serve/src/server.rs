@@ -1,8 +1,10 @@
-//! The server proper: accept loop, routing, the bounded job queue, the
-//! worker pool, and graceful shutdown.
+//! The server proper: accept loop, the typed route table, keep-alive
+//! connection handling, the bounded job queue, the worker pool, sweep
+//! fan-out, the persistent result store, and graceful shutdown.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -13,11 +15,14 @@ use ucsim_pipeline::{SimReport, Simulator};
 use ucsim_pool::{BoundedQueue, PushError, WorkerPool};
 use ucsim_trace::{Program, WorkloadProfile};
 
-use crate::api::{self, JobSpec, SimRequest};
+use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest};
 use crate::cache::ResultCache;
-use crate::http::{respond, Request};
+use crate::http::{HttpConn, ReadOutcome, Request, Response};
 use crate::jobs::{JobState, JobTable, Submit};
 use crate::metrics::Metrics;
+use crate::router::{Params, Route, Router};
+use crate::store::ResultStore;
+use crate::sweep::{self, Sweep, SweepTable};
 use crate::{jobs, signal};
 
 /// Poll interval of the accept loop (checks the shutdown flag between
@@ -39,6 +44,15 @@ pub struct ServerConfig {
     pub retry_after_secs: u32,
     /// Finished jobs retained for `GET /v1/jobs/:id`.
     pub retain_jobs: usize,
+    /// Sweeps retained for `GET /v1/matrix/:id`.
+    pub retain_sweeps: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// When set, completed results are appended to
+    /// `<data_dir>/results.log` and replayed into the cache on startup,
+    /// so a restarted server re-simulates nothing it already computed.
+    pub data_dir: Option<PathBuf>,
     /// Accept `test-sleep:<ms>` pseudo-workloads (integration tests use
     /// them to hold workers busy deterministically).
     pub enable_test_workloads: bool,
@@ -53,6 +67,9 @@ impl Default for ServerConfig {
             cache_budget_bytes: 64 * 1024 * 1024,
             retry_after_secs: 1,
             retain_jobs: 1024,
+            retain_sweeps: 64,
+            keep_alive_idle: Duration::from_secs(30),
+            data_dir: None,
             enable_test_workloads: false,
         }
     }
@@ -65,12 +82,15 @@ struct Work {
     canonical: String,
 }
 
-/// Shared state every connection handler and worker sees.
+/// Shared state every connection handler, worker, and sweep feeder sees.
 struct Inner {
     cfg: ServerConfig,
+    router: Router<Arc<Inner>>,
     queue: Arc<BoundedQueue<Work>>,
     jobs: JobTable,
+    sweeps: SweepTable,
     cache: ResultCache,
+    store: Option<ResultStore>,
     metrics: Metrics,
     stopping: AtomicBool,
     open_conns: AtomicUsize,
@@ -86,26 +106,46 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and accept loop, and returns.
+    /// Binds, opens the persistent store (replaying it into the cache),
+    /// spawns the worker pool and accept loop, and returns.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind errors and store open/replay errors.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let (store, replayed) = match &cfg.data_dir {
+            Some(dir) => {
+                let (store, records) = ResultStore::open(dir)?;
+                (Some(store), records)
+            }
+            None => (None, Vec::new()),
+        };
+
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let inner = Arc::new(Inner {
+            router: routes(),
             queue: Arc::clone(&queue),
             jobs: JobTable::new(cfg.retain_jobs),
+            sweeps: SweepTable::new(cfg.retain_sweeps),
             cache: ResultCache::new(cfg.cache_budget_bytes),
+            store,
             metrics: Metrics::new(cfg.workers.max(1)),
             stopping: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
             cfg,
         });
+
+        // Warm the cache from the store: a restarted server answers every
+        // previously computed job (and whole sweeps) without simulating.
+        for rec in replayed {
+            inner
+                .cache
+                .put(rec.key_hash, rec.canonical, Arc::new(rec.payload));
+        }
 
         let worker_inner = Arc::clone(&inner);
         let pool = WorkerPool::spawn(
@@ -156,9 +196,11 @@ impl Server {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        // No new connections now. Existing handlers may still enqueue;
-        // wait for them to finish before closing the queue so their jobs
-        // are either queued (and will drain) or rejected consistently.
+        // No new connections now; kept-alive handlers notice the stopping
+        // flag at their next idle poll (≤ 200 ms). Existing handlers may
+        // still enqueue; wait for them to finish before closing the queue
+        // so their jobs are either queued (and will drain) or rejected
+        // consistently. Blocked sweep feeders wake on close with `Closed`.
         let deadline = Instant::now() + Duration::from_secs(30);
         while self.inner.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -170,7 +212,51 @@ impl Server {
     }
 }
 
-/// Runs one job on a worker thread: simulate, encode, cache, wake.
+/// The v1 route table. Adding an endpoint is one entry here: dispatch,
+/// 404/405 handling, and the metrics label all follow from it.
+fn routes() -> Router<Arc<Inner>> {
+    Router::new(vec![
+        Route {
+            method: "POST",
+            pattern: "/v1/sim",
+            label: "POST /v1/sim",
+            handler: handle_sim,
+        },
+        Route {
+            method: "POST",
+            pattern: "/v1/matrix",
+            label: "POST /v1/matrix",
+            handler: handle_matrix_post,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/matrix/:id",
+            label: "GET /v1/matrix",
+            handler: handle_matrix_get,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/jobs/:id",
+            label: "GET /v1/jobs",
+            handler: handle_job_get,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/metrics",
+            label: "GET /v1/metrics",
+            handler: handle_metrics,
+        },
+        Route {
+            method: "GET",
+            pattern: "/healthz",
+            label: "GET /healthz",
+            handler: handle_healthz,
+        },
+    ])
+}
+
+/// Runs one job on a worker thread: simulate, encode, persist, cache,
+/// wake.
 fn execute(inner: &Inner, work: Work) {
     work.cell.set_running();
     inner.metrics.worker_started();
@@ -180,11 +266,22 @@ fn execute(inner: &Inner, work: Work) {
     match result {
         Ok(report) => {
             let payload = Arc::new(api::encode_report(&report));
+            if let Some(store) = &inner.store {
+                // A failed append costs durability, not the response: the
+                // in-memory cache still holds the result.
+                if let Err(e) = store.append(work.cell.key_hash, &work.canonical, &payload) {
+                    eprintln!(
+                        "ucsim-serve: appending to {} failed: {e}",
+                        store.path().display()
+                    );
+                }
+            }
             inner
                 .cache
                 .put(work.cell.key_hash, work.canonical, Arc::clone(&payload));
             let body = api::envelope(work.cell.key_hash, false, &payload);
             inner.metrics.worker_finished(us, false);
+            work.cell.set_payload(payload);
             work.cell.complete(Arc::new(body));
         }
         Err(msg) => {
@@ -201,7 +298,7 @@ fn execute(inner: &Inner, work: Work) {
 /// then simulates the quick-test profile — a deterministic way for tests
 /// to keep workers busy.
 fn run_spec(spec: &JobSpec, test_workloads: bool) -> Result<SimReport, String> {
-    let mut profile = if let Some(ms) = test_sleep_ms(&spec.workload) {
+    let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
         if !test_workloads {
             return Err(format!("unknown workload: {}", spec.workload));
         }
@@ -214,16 +311,6 @@ fn run_spec(spec: &JobSpec, test_workloads: bool) -> Result<SimReport, String> {
     profile.seed = spec.seed;
     let program = Program::generate(&profile);
     Ok(Simulator::new(spec.config.clone()).run(&profile, &program))
-}
-
-fn test_sleep_ms(workload: &str) -> Option<u64> {
-    workload.strip_prefix("test-sleep:")?.parse().ok()
-}
-
-/// True when `workload` names something the server can run.
-fn workload_known(workload: &str, test_workloads: bool) -> bool {
-    (test_workloads && test_sleep_ms(workload).is_some())
-        || WorkloadProfile::by_name(workload).is_some()
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
@@ -247,102 +334,64 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, inner: &Inner) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let req = match Request::read(&mut stream) {
-        Ok(Some(Ok(req))) => req,
-        Ok(Some(Err(msg))) => {
-            let _ = respond(&mut stream, 400, &[], &api::error_body(&msg));
+/// Serves one connection for its whole keep-alive lifetime: read a
+/// request, dispatch through the route table, respond, repeat — until the
+/// peer closes, asks `Connection: close`, goes idle past the limit, or
+/// the server starts draining.
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let mut conn = HttpConn::new(stream);
+    let stop = || inner.stopping.load(Ordering::SeqCst) || signal::signalled();
+    loop {
+        let req = match conn.read_request(inner.cfg.keep_alive_idle, &stop) {
+            Ok(ReadOutcome::Request(req)) => req,
+            Ok(ReadOutcome::Malformed(msg)) => {
+                let resp = api::error_response(ErrorCode::BadRequest, &msg, None);
+                let _ = conn.respond(&resp, true);
+                return;
+            }
+            Ok(ReadOutcome::Closed | ReadOutcome::Stopped) | Err(_) => return,
+        };
+        let t0 = Instant::now();
+        let (label, resp) = inner.router.dispatch(inner, &req);
+        inner
+            .metrics
+            .observe(label, t0.elapsed().as_micros() as u64);
+        let close = req.wants_close() || stop();
+        if conn.respond(&resp, close).is_err() || close {
             return;
         }
-        _ => return,
-    };
-    // Writes can take as long as a blocking simulation; clear the timeout.
-    let _ = stream.set_read_timeout(None);
-    let t0 = Instant::now();
-    let endpoint = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/sim") => {
-            handle_sim(&mut stream, inner, &req);
-            "POST /v1/sim"
-        }
-        ("GET", path) if path.starts_with("/v1/jobs/") => {
-            handle_job_get(&mut stream, inner, path);
-            "GET /v1/jobs"
-        }
-        ("GET", "/v1/metrics") => {
-            let stats = inner.cache.stats();
-            let body = inner
-                .metrics
-                .to_json(inner.queue.len(), inner.queue.capacity(), &stats)
-                .to_string()
-                .into_bytes();
-            let _ = respond(&mut stream, 200, &[], &body);
-            "GET /v1/metrics"
-        }
-        ("GET", "/healthz") => {
-            let _ = respond(&mut stream, 200, &[], b"{\"ok\":true}");
-            "GET /healthz"
-        }
-        (_, "/v1/sim" | "/v1/metrics") => {
-            let _ = respond(
-                &mut stream,
-                405,
-                &[],
-                &api::error_body("method not allowed"),
-            );
-            "405"
-        }
-        _ => {
-            let _ = respond(&mut stream, 404, &[], &api::error_body("not found"));
-            "404"
-        }
-    };
-    inner
-        .metrics
-        .observe(endpoint, t0.elapsed().as_micros() as u64);
+    }
 }
 
-fn handle_sim(stream: &mut TcpStream, inner: &Inner, req: &Request) {
+fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    if inner.stopping.load(Ordering::SeqCst) {
+        return api::error_response(ErrorCode::Draining, "server shutting down", None);
+    }
     let body = match req.body_utf8() {
         Ok(b) => b,
-        Err(msg) => {
-            let _ = respond(stream, 400, &[], &api::error_body(&msg));
-            return;
-        }
+        Err(msg) => return api::error_response(ErrorCode::BadRequest, &msg, None),
     };
     let sim_req = match SimRequest::parse(body) {
         Ok(r) => r,
         Err(e) => {
-            let _ = respond(
-                stream,
-                400,
-                &[],
-                &api::error_body(&format!("bad request: {e}")),
-            );
-            return;
+            return api::error_response(ErrorCode::BadRequest, &format!("bad request: {e}"), None)
         }
     };
-    if !workload_known(&sim_req.workload, inner.cfg.enable_test_workloads) {
-        let _ = respond(
-            stream,
-            400,
-            &[],
-            &api::error_body(&format!("unknown workload: {}", sim_req.workload)),
+    if !api::workload_known(&sim_req.workload, inner.cfg.enable_test_workloads) {
+        return api::error_response(
+            ErrorCode::UnknownWorkload,
+            &format!("unknown workload: {}", sim_req.workload),
+            None,
         );
-        return;
     }
-    let default_seed = WorkloadProfile::by_name(&sim_req.workload)
-        .map(|p| p.seed)
-        .unwrap_or(0);
-    let spec = sim_req.resolve(default_seed);
+    let spec = sim_req.resolve(api::default_seed(&sim_req.workload));
     let canonical = spec.canonical();
     let hash = api::content_hash(&canonical);
     let background = sim_req.background.unwrap_or(false);
 
     // 1. Resident cache entry: answer without touching the queue.
     if let Some(payload) = inner.cache.get(hash, &canonical) {
-        let _ = respond(stream, 200, &[], &api::envelope(hash, true, &payload));
-        return;
+        return Response::json(200, api::envelope(hash, true, &payload));
     }
 
     // 2. Coalesce onto an in-flight job for the same key, or create one.
@@ -362,19 +411,15 @@ fn handle_sim(stream: &mut TcpStream, inner: &Inner, req: &Request) {
                 Err(PushError::Full(_)) => {
                     inner.jobs.abandon(&cell);
                     inner.metrics.rejected();
-                    let retry = inner.cfg.retry_after_secs.to_string();
-                    let _ = respond(
-                        stream,
-                        429,
-                        &[("retry-after", retry)],
-                        &api::error_body("job queue full; retry later"),
+                    return api::error_response(
+                        ErrorCode::QueueFull,
+                        "job queue full; retry later",
+                        Some(inner.cfg.retry_after_secs),
                     );
-                    return;
                 }
                 Err(PushError::Closed(_)) => {
                     inner.jobs.abandon(&cell);
-                    let _ = respond(stream, 503, &[], &api::error_body("server shutting down"));
-                    return;
+                    return api::error_response(ErrorCode::Draining, "server shutting down", None);
                 }
             }
         }
@@ -391,29 +436,102 @@ fn handle_sim(stream: &mut TcpStream, inner: &Inner, req: &Request) {
         ])
         .to_string()
         .into_bytes();
-        let _ = respond(stream, 202, &[], &body);
-        return;
+        return Response::json(202, body);
     }
 
     match cell.wait() {
-        Ok(body) => {
-            let _ = respond(stream, 200, &[], &body);
+        Ok(body) => Response::json(200, body.to_vec()),
+        Err(msg) => api::error_response(ErrorCode::Internal, &msg, None),
+    }
+}
+
+fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    if inner.stopping.load(Ordering::SeqCst) {
+        return api::error_response(ErrorCode::Draining, "server shutting down", None);
+    }
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(msg) => return api::error_response(ErrorCode::BadRequest, &msg, None),
+    };
+    let matrix_req = match MatrixRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => {
+            return api::error_response(ErrorCode::BadRequest, &format!("bad request: {e}"), None)
         }
-        Err(msg) => {
-            let _ = respond(stream, 500, &[], &api::error_body(&msg));
+    };
+    let metas = match sweep::expand_request(&matrix_req, inner.cfg.enable_test_workloads) {
+        Ok(m) => m,
+        Err((code, msg)) => return api::error_response(code, &msg, None),
+    };
+    let total = metas.len();
+    let sweep = inner.sweeps.create(metas);
+    let id = sweep.id;
+
+    // Fan the cells out from a feeder thread: it blocks on queue slots
+    // (`push_wait`), so a sweep larger than the queue flows through it
+    // instead of failing with 429s, and the 202 returns immediately.
+    let feeder_inner = Arc::clone(inner);
+    let _ = std::thread::Builder::new()
+        .name("sweep-feeder".to_owned())
+        .spawn(move || feed_sweep(&feeder_inner, &sweep));
+
+    let body = Json::Obj(vec![
+        ("id".to_owned(), Json::Uint(id)),
+        ("total".to_owned(), Json::Uint(total as u64)),
+        ("poll".to_owned(), Json::Str(format!("/v1/matrix/{id}"))),
+    ])
+    .to_string()
+    .into_bytes();
+    Response::json(202, body)
+}
+
+/// Resolves every cell of a sweep: cache hit, coalesced join, or a fresh
+/// job pushed through the bounded queue.
+fn feed_sweep(inner: &Inner, sweep: &Sweep) {
+    for (idx, cell) in sweep.cells().iter().enumerate() {
+        let meta = &cell.meta;
+        if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
+            sweep.fulfill(idx, payload);
+            continue;
+        }
+        match inner.jobs.submit(meta.key_hash) {
+            Submit::Joined(job) => {
+                inner.cache.record_coalesced();
+                sweep.attach(idx, job);
+            }
+            Submit::New(job) => {
+                sweep.attach(idx, Arc::clone(&job));
+                let work = Work {
+                    cell: job,
+                    spec: meta.spec.clone(),
+                    canonical: meta.canonical.clone(),
+                };
+                if let Err(PushError::Closed(w) | PushError::Full(w)) = inner.queue.push_wait(work)
+                {
+                    inner.jobs.abandon(&w.cell);
+                    sweep.fail(idx, "server shutting down".to_owned());
+                }
+            }
         }
     }
 }
 
-fn handle_job_get(stream: &mut TcpStream, inner: &Inner, path: &str) {
-    let id_str = path.trim_start_matches("/v1/jobs/");
-    let Ok(id) = id_str.parse::<u64>() else {
-        let _ = respond(stream, 400, &[], &api::error_body("bad job id"));
-        return;
+fn handle_matrix_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+        return api::error_response(ErrorCode::BadRequest, "bad sweep id", None);
+    };
+    let Some(sweep) = inner.sweeps.get(id) else {
+        return api::error_response(ErrorCode::NotFound, "no such sweep", None);
+    };
+    Response::json(200, sweep.status_body().to_vec())
+}
+
+fn handle_job_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+        return api::error_response(ErrorCode::BadRequest, "bad job id", None);
     };
     let Some(cell) = inner.jobs.get(id) else {
-        let _ = respond(stream, 404, &[], &api::error_body("no such job"));
-        return;
+        return api::error_response(ErrorCode::NotFound, "no such job", None);
     };
     let state = cell.state();
     let mut obj = vec![
@@ -429,11 +547,26 @@ fn handle_job_get(stream: &mut TcpStream, inner: &Inner, path: &str) {
             out.push_str(",\"response\":");
             out.push_str(std::str::from_utf8(&body).expect("envelope is utf-8"));
             out.push('}');
-            let _ = respond(stream, 200, &[], out.as_bytes());
-            return;
+            Response::json(200, out.into_bytes())
         }
-        JobState::Failed(msg) => obj.push(("error".to_owned(), Json::Str(msg))),
-        _ => {}
+        JobState::Failed(msg) => {
+            obj.push(("error".to_owned(), Json::Str(msg)));
+            Response::json(200, Json::Obj(obj).to_string().into_bytes())
+        }
+        _ => Response::json(200, Json::Obj(obj).to_string().into_bytes()),
     }
-    let _ = respond(stream, 200, &[], Json::Obj(obj).to_string().as_bytes());
+}
+
+fn handle_metrics(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
+    let stats = inner.cache.stats();
+    let body = inner
+        .metrics
+        .to_json(inner.queue.len(), inner.queue.capacity(), &stats)
+        .to_string()
+        .into_bytes();
+    Response::json(200, body)
+}
+
+fn handle_healthz(_inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
+    Response::json(200, b"{\"ok\":true}".to_vec())
 }

@@ -1,0 +1,258 @@
+//! The persistent result store: an append-only, checksummed log of
+//! completed simulation results under `--data-dir`.
+//!
+//! Simulations are deterministic (DESIGN.md §6), so a result is valid
+//! forever; the store makes the content-addressed cache survive restarts.
+//! Every completed job appends one record; on startup the log is replayed
+//! into the in-memory LRU, so a restarted server answers previously
+//! computed jobs (and whole sweeps) from disk with zero re-simulations.
+//!
+//! ## File format (`results.log`)
+//!
+//! An 8-byte magic (`UCSTOR01`) followed by records, all integers
+//! big-endian:
+//!
+//! ```text
+//! [u64 key_hash][u32 canonical_len][u32 payload_len][u64 checksum]
+//! [canonical bytes][payload bytes]
+//! ```
+//!
+//! `key_hash` is the FNV-1a content address of the canonical spec;
+//! `checksum` is FNV-1a over the concatenated canonical + payload bytes.
+//! Replay stops at the first short or checksum-failing record and
+//! truncates the file there, so a crash mid-append costs at most the last
+//! record — never the log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::api::fnv1a;
+
+const MAGIC: &[u8; 8] = b"UCSTOR01";
+/// Per-record fixed header: key (8) + lengths (4+4) + checksum (8).
+const RECORD_HEADER_BYTES: usize = 24;
+/// Replay refuses records larger than this (corrupt length fields would
+/// otherwise make it try to allocate garbage).
+const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// One replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Content address of the canonical spec.
+    pub key_hash: u64,
+    /// The canonical spec string.
+    pub canonical: String,
+    /// The report payload JSON.
+    pub payload: String,
+}
+
+/// The append-only result store. All methods take `&self`; a mutex
+/// serializes appends.
+#[derive(Debug)]
+pub struct ResultStore {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) `<dir>/results.log` and replays its
+    /// records. A corrupt tail is truncated away; the valid prefix is
+    /// returned for cache warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O errors; a bad magic in
+    /// an existing non-empty file maps to [`io::ErrorKind::InvalidData`].
+    pub fn open(dir: &Path) -> io::Result<(ResultStore, Vec<StoreRecord>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.log");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, valid_len) = if raw.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            (Vec::new(), MAGIC.len() as u64)
+        } else {
+            if raw.len() < MAGIC.len() || &raw[..MAGIC.len()] != MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a ucsim result store", path.display()),
+                ));
+            }
+            replay(&raw[MAGIC.len()..])
+        };
+        // Chop any corrupt tail so future appends extend the valid prefix
+        // (a no-op when the whole log replayed).
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            ResultStore {
+                file: Mutex::new(file),
+                path,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one completed result and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (the caller logs and carries on — the
+    /// in-memory cache still holds the result).
+    pub fn append(&self, key_hash: u64, canonical: &str, payload: &str) -> io::Result<()> {
+        let record = encode_record(key_hash, canonical, payload);
+        let mut file = self.file.lock().expect("store lock");
+        file.write_all(&record)?;
+        file.flush()
+    }
+
+    /// The log's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn encode_record(key_hash: u64, canonical: &str, payload: &str) -> Vec<u8> {
+    let c = canonical.as_bytes();
+    let p = payload.as_bytes();
+    let mut sum_input = Vec::with_capacity(c.len() + p.len());
+    sum_input.extend_from_slice(c);
+    sum_input.extend_from_slice(p);
+    let checksum = fnv1a(&sum_input);
+
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + c.len() + p.len());
+    out.extend_from_slice(&key_hash.to_be_bytes());
+    out.extend_from_slice(&(c.len() as u32).to_be_bytes());
+    out.extend_from_slice(&(p.len() as u32).to_be_bytes());
+    out.extend_from_slice(&checksum.to_be_bytes());
+    out.extend_from_slice(c);
+    out.extend_from_slice(p);
+    out
+}
+
+/// Walks the record region, returning the valid records and the file
+/// length (magic included) of the valid prefix.
+fn replay(mut body: &[u8]) -> (Vec<StoreRecord>, u64) {
+    let mut records = Vec::new();
+    let mut valid = MAGIC.len() as u64;
+    while body.len() >= RECORD_HEADER_BYTES {
+        let key_hash = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
+        let c_len = u32::from_be_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+        let p_len = u32::from_be_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_be_bytes(body[16..24].try_into().expect("8 bytes"));
+        let total = RECORD_HEADER_BYTES + c_len + p_len;
+        if c_len + p_len > MAX_RECORD_BYTES || body.len() < total {
+            break; // short or absurd tail — truncate here
+        }
+        let data = &body[RECORD_HEADER_BYTES..total];
+        if fnv1a(data) != checksum {
+            break;
+        }
+        let (c, p) = data.split_at(c_len);
+        let (Ok(canonical), Ok(payload)) = (
+            std::str::from_utf8(c).map(str::to_owned),
+            std::str::from_utf8(p).map(str::to_owned),
+        ) else {
+            break;
+        };
+        records.push(StoreRecord {
+            key_hash,
+            canonical,
+            payload,
+        });
+        valid += total as u64;
+        body = &body[total..];
+    }
+    (records, valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ucsim-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = temp_dir("roundtrip");
+        {
+            let (store, replayed) = ResultStore::open(&dir).unwrap();
+            assert!(replayed.is_empty());
+            store.append(1, "spec-a", "{\"upc\":1.0}").unwrap();
+            store.append(2, "spec-b", "{\"upc\":2.0}").unwrap();
+        }
+        let (_store, replayed) = ResultStore::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].key_hash, 1);
+        assert_eq!(replayed[0].canonical, "spec-a");
+        assert_eq!(replayed[1].payload, "{\"upc\":2.0}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_and_appends_continue() {
+        let dir = temp_dir("corrupt");
+        {
+            let (store, _) = ResultStore::open(&dir).unwrap();
+            store.append(1, "good", "{\"ok\":true}").unwrap();
+        }
+        let path = dir.join("results.log");
+        // Simulate a crash mid-append: a torn record at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01]).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (store, replayed) = ResultStore::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1, "valid prefix survives");
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        store.append(2, "more", "{\"ok\":1}").unwrap();
+        drop(store);
+        let (_s, replayed) = ResultStore::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].canonical, "more");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let dir = temp_dir("checksum");
+        {
+            let (store, _) = ResultStore::open(&dir).unwrap();
+            store.append(7, "spec", "{\"upc\":3.5}").unwrap();
+        }
+        let path = dir.join("results.log");
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let (_s, replayed) = ResultStore::open(&dir).unwrap();
+        assert!(replayed.is_empty(), "corrupted record must not replay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("results.log"), b"not a store at all").unwrap();
+        let err = ResultStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

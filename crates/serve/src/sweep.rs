@@ -1,0 +1,488 @@
+//! Sweep lifecycle for `POST /v1/matrix`: request expansion into
+//! per-cell job specs, per-sweep progress tracking, and final
+//! aggregation into a [`SweepReport`].
+//!
+//! A sweep is a set of content-addressed cells fanned through the same
+//! worker pool as single jobs. Each cell independently resolves from the
+//! result cache, joins an in-flight job for the same key, or queues a
+//! fresh simulation — so overlapping sweeps, repeated sweeps, and
+//! restarts (via the persistent store) all dedup cell-by-cell.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ucsim_bench::{MatrixCross, SweepPolicy};
+use ucsim_model::json::Json;
+use ucsim_model::{FromJson, ToJson};
+use ucsim_pipeline::{SimReport, SweepCellReport, SweepReport};
+
+use crate::api::{self, ErrorCode, JobSpec, MatrixRequest};
+use crate::jobs::{JobCell, JobState};
+
+/// Hard ceiling on cells per sweep (guards against a typo'd cross
+/// exploding the queue).
+pub const MAX_SWEEP_CELLS: usize = 1024;
+
+/// Immutable identity of one sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellMeta {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label from the matrix cross (`OC_2K`, `F-PWAC`, …).
+    pub label: String,
+    /// Effective generation seed.
+    pub seed: u64,
+    /// The fully-resolved job spec.
+    pub spec: JobSpec,
+    /// The spec's canonical encoding.
+    pub canonical: String,
+    /// FNV-1a content address of `canonical`.
+    pub key_hash: u64,
+}
+
+/// Where a cell currently stands.
+enum CellSlot {
+    /// Not yet handed to the queue (the feeder is still working).
+    Pending,
+    /// Riding a queued/running job.
+    Waiting(Arc<JobCell>),
+    /// Finished; holds the bare report payload.
+    Done(Arc<String>),
+    /// Failed with a message.
+    Failed(String),
+}
+
+/// One cell: identity plus mutable progress.
+pub struct SweepCell {
+    /// The cell's identity.
+    pub meta: CellMeta,
+    slot: Mutex<CellSlot>,
+}
+
+/// One `SweepCell::poll` observation:
+/// `(status_name, payload_if_done, failure_if_failed)`.
+type CellPoll = (&'static str, Option<Arc<String>>, Option<String>);
+
+impl SweepCell {
+    /// Advances `Waiting` cells whose job has settled, then reports
+    /// `(status_name, payload_if_done, failure_if_failed)`.
+    fn poll(&self) -> CellPoll {
+        let mut slot = self.slot.lock().expect("cell lock");
+        if let CellSlot::Waiting(job) = &*slot {
+            match job.state() {
+                JobState::Done(_) => {
+                    let payload = job
+                        .payload()
+                        .unwrap_or_else(|| Arc::new(String::from("null")));
+                    *slot = CellSlot::Done(payload);
+                }
+                JobState::Failed(msg) => *slot = CellSlot::Failed(msg),
+                _ => {}
+            }
+        }
+        match &*slot {
+            CellSlot::Pending => ("pending", None, None),
+            CellSlot::Waiting(job) => (job.state().name(), None, None),
+            CellSlot::Done(p) => ("done", Some(Arc::clone(p)), None),
+            CellSlot::Failed(msg) => ("failed", None, Some(msg.clone())),
+        }
+    }
+}
+
+/// A sweep in flight (or finished).
+pub struct Sweep {
+    /// Sweep identifier, monotonically assigned per server.
+    pub id: u64,
+    cells: Vec<SweepCell>,
+    /// Memoized final response body, built once every cell is done.
+    final_body: Mutex<Option<Arc<Vec<u8>>>>,
+}
+
+impl Sweep {
+    fn new(id: u64, metas: Vec<CellMeta>) -> Sweep {
+        Sweep {
+            id,
+            cells: metas
+                .into_iter()
+                .map(|meta| SweepCell {
+                    meta,
+                    slot: Mutex::new(CellSlot::Pending),
+                })
+                .collect(),
+            final_body: Mutex::new(None),
+        }
+    }
+
+    /// The cells, in submission order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn total(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Marks cell `idx` as riding `job`.
+    pub fn attach(&self, idx: usize, job: Arc<JobCell>) {
+        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Waiting(job);
+    }
+
+    /// Marks cell `idx` as done with its payload (cache hit path).
+    pub fn fulfill(&self, idx: usize, payload: Arc<String>) {
+        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Done(payload);
+    }
+
+    /// Marks cell `idx` as failed.
+    pub fn fail(&self, idx: usize, msg: String) {
+        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Failed(msg);
+    }
+
+    /// Builds the `GET /v1/matrix/:id` response body: progress counters,
+    /// per-cell status, and — once every cell has settled successfully —
+    /// the aggregated [`SweepReport`].
+    pub fn status_body(&self) -> Arc<Vec<u8>> {
+        if let Some(body) = self.final_body.lock().expect("sweep lock").clone() {
+            return body;
+        }
+        let polls: Vec<CellPoll> = self.cells.iter().map(SweepCell::poll).collect();
+        let done = polls.iter().filter(|(s, _, _)| *s == "done").count();
+        let failed = polls.iter().filter(|(s, _, _)| *s == "failed").count();
+        let settled = done + failed == self.cells.len();
+        let status = if !settled {
+            "running"
+        } else if failed > 0 {
+            "failed"
+        } else {
+            "done"
+        };
+
+        let cells_json: Vec<Json> = self
+            .cells
+            .iter()
+            .zip(&polls)
+            .map(|(cell, (state, _, err))| {
+                let mut obj = vec![
+                    ("workload".to_owned(), Json::Str(cell.meta.workload.clone())),
+                    ("label".to_owned(), Json::Str(cell.meta.label.clone())),
+                    ("seed".to_owned(), Json::Uint(cell.meta.seed)),
+                    (
+                        "key".to_owned(),
+                        Json::Str(api::format_key(cell.meta.key_hash)),
+                    ),
+                    ("status".to_owned(), Json::Str((*state).to_owned())),
+                ];
+                if let Some(msg) = err {
+                    obj.push(("error".to_owned(), Json::Str(msg.clone())));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+
+        let head = Json::Obj(vec![
+            ("id".to_owned(), Json::Uint(self.id)),
+            ("status".to_owned(), Json::Str(status.to_owned())),
+            ("total".to_owned(), Json::Uint(self.cells.len() as u64)),
+            ("done".to_owned(), Json::Uint(done as u64)),
+            ("failed".to_owned(), Json::Uint(failed as u64)),
+            ("cells".to_owned(), Json::Arr(cells_json)),
+        ]);
+
+        if status != "done" {
+            return Arc::new(head.to_string().into_bytes());
+        }
+
+        // Every cell completed: aggregate. Decode the canonical payloads
+        // back into reports; re-encoding is byte-identical (canonical
+        // JSON, bit-exact f64 round-trips), so served cells equal offline
+        // `run_matrix` output.
+        let mut report_cells = Vec::with_capacity(self.cells.len());
+        for (cell, (_, payload, _)) in self.cells.iter().zip(&polls) {
+            let payload = payload.as_ref().expect("done cell has payload");
+            let report = match SimReport::from_json_str(payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Undecodable payload (should be impossible): report
+                    // the sweep as failed rather than panicking a handler.
+                    let mut out = head.to_string();
+                    out.truncate(out.len() - 1);
+                    out.push_str(&format!(
+                        ",\"aggregate_error\":{}}}",
+                        Json::Str(format!("cell {} payload: {e}", cell.meta.label))
+                    ));
+                    return Arc::new(out.into_bytes());
+                }
+            };
+            report_cells.push(SweepCellReport {
+                workload: cell.meta.workload.clone(),
+                label: cell.meta.label.clone(),
+                seed: cell.meta.seed,
+                report,
+            });
+        }
+        let aggregate = SweepReport::from_cells(report_cells);
+        let mut out = head.to_string();
+        out.truncate(out.len() - 1); // strip trailing '}'
+        out.push_str(",\"sweep\":");
+        out.push_str(&aggregate.to_json_string());
+        out.push('}');
+        let body = Arc::new(out.into_bytes());
+        *self.final_body.lock().expect("sweep lock") = Some(Arc::clone(&body));
+        body
+    }
+}
+
+struct TableInner {
+    sweeps: HashMap<u64, Arc<Sweep>>,
+    order: Vec<u64>,
+    next_id: u64,
+}
+
+/// The server's sweep registry; retains the most recent `retain` sweeps.
+pub struct SweepTable {
+    inner: Mutex<TableInner>,
+    retain: usize,
+}
+
+impl SweepTable {
+    /// Creates a table retaining at most `retain` sweeps.
+    pub fn new(retain: usize) -> SweepTable {
+        SweepTable {
+            inner: Mutex::new(TableInner {
+                sweeps: HashMap::new(),
+                order: Vec::new(),
+                next_id: 1,
+            }),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Registers a new sweep over `metas`.
+    pub fn create(&self, metas: Vec<CellMeta>) -> Arc<Sweep> {
+        let mut t = self.inner.lock().expect("sweep table lock");
+        let id = t.next_id;
+        t.next_id += 1;
+        let sweep = Arc::new(Sweep::new(id, metas));
+        t.sweeps.insert(id, Arc::clone(&sweep));
+        t.order.push(id);
+        while t.order.len() > self.retain {
+            let old = t.order.remove(0);
+            t.sweeps.remove(&old);
+        }
+        sweep
+    }
+
+    /// Looks up a sweep by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Sweep>> {
+        self.inner
+            .lock()
+            .expect("sweep table lock")
+            .sweeps
+            .get(&id)
+            .map(Arc::clone)
+    }
+}
+
+/// Expands a [`MatrixRequest`] into per-cell metas: workload-major, then
+/// the capacity × policy cross in [`MatrixCross::expand`] order — the
+/// exact cell order `run_matrix` produces offline.
+///
+/// # Errors
+///
+/// Returns the envelope error code and message for invalid axes.
+pub fn expand_request(
+    req: &MatrixRequest,
+    test_workloads: bool,
+) -> Result<Vec<CellMeta>, (ErrorCode, String)> {
+    if req.workloads.is_empty() {
+        return Err((
+            ErrorCode::BadRequest,
+            "workloads must name at least one workload".to_owned(),
+        ));
+    }
+    for w in &req.workloads {
+        if !api::workload_known(w, test_workloads) {
+            return Err((ErrorCode::UnknownWorkload, format!("unknown workload: {w}")));
+        }
+    }
+    let capacities: Vec<usize> = match &req.capacities {
+        Some(caps) if caps.is_empty() => {
+            return Err((
+                ErrorCode::BadRequest,
+                "capacities must not be empty".to_owned(),
+            ))
+        }
+        Some(caps) => caps.iter().map(|&c| c as usize).collect(),
+        None => MatrixCross::table1_capacities(),
+    };
+    let policies: Vec<SweepPolicy> = match &req.policies {
+        Some(names) if names.is_empty() => {
+            return Err((
+                ErrorCode::BadRequest,
+                "policies must not be empty".to_owned(),
+            ))
+        }
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                SweepPolicy::parse(n)
+                    .ok_or_else(|| (ErrorCode::BadRequest, format!("unknown policy: {n}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![SweepPolicy::Baseline],
+    };
+    let cross = MatrixCross {
+        capacities,
+        policies,
+        max_entries: req.max_entries.unwrap_or(2),
+    };
+    let total = req.workloads.len() * cross.len();
+    if total > MAX_SWEEP_CELLS {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("sweep would expand to {total} cells (max {MAX_SWEEP_CELLS})"),
+        ));
+    }
+
+    let configs = cross.expand();
+    let mut metas = Vec::with_capacity(total);
+    for workload in &req.workloads {
+        let seed = req.seed.unwrap_or_else(|| api::default_seed(workload));
+        for lc in &configs {
+            let mut config = lc.config.clone();
+            if let Some(w) = req.warmup {
+                config.warmup_insts = w;
+            }
+            if let Some(n) = req.insts {
+                config.measure_insts = n;
+            }
+            let spec = JobSpec {
+                workload: workload.clone(),
+                seed,
+                config,
+            };
+            let canonical = spec.canonical();
+            let key_hash = api::content_hash(&canonical);
+            metas.push(CellMeta {
+                workload: workload.clone(),
+                label: lc.label.clone(),
+                seed,
+                spec,
+                canonical,
+                key_hash,
+            });
+        }
+    }
+    Ok(metas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> MatrixRequest {
+        MatrixRequest::parse(body).unwrap()
+    }
+
+    #[test]
+    fn expansion_is_workload_major_and_content_addressed() {
+        let req = parse(
+            r#"{"workloads":["redis","bm-cc"],"capacities":[2048,4096],"policies":["baseline","clasp"],"warmup":100,"insts":2000}"#,
+        );
+        let metas = expand_request(&req, false).unwrap();
+        assert_eq!(metas.len(), 8);
+        assert_eq!(metas[0].workload, "redis");
+        assert_eq!(metas[0].label, "OC_2K:baseline");
+        assert_eq!(metas[1].label, "OC_2K:CLASP");
+        assert_eq!(metas[4].workload, "bm-cc");
+        // Every cell gets a distinct content address, and run lengths fold
+        // into the spec.
+        let mut keys: Vec<u64> = metas.iter().map(|m| m.key_hash).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 8);
+        assert_eq!(metas[0].spec.config.warmup_insts, 100);
+        assert_eq!(metas[0].spec.config.measure_insts, 2000);
+    }
+
+    #[test]
+    fn default_axes_are_table1_capacities_and_baseline() {
+        let req = parse(r#"{"workloads":["redis"]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        assert_eq!(metas.len(), 6);
+        assert_eq!(metas[0].label, "OC_2K");
+        assert_eq!(metas[5].label, "OC_64K");
+    }
+
+    #[test]
+    fn invalid_axes_map_to_envelope_codes() {
+        let e = expand_request(&parse(r#"{"workloads":["nope"]}"#), false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::UnknownWorkload);
+        let e = expand_request(&parse(r#"{"workloads":[]}"#), false).unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        let e = expand_request(
+            &parse(r#"{"workloads":["redis"],"policies":["zap"]}"#),
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(e.0, ErrorCode::BadRequest);
+        // Test workloads only expand when enabled.
+        assert!(expand_request(&parse(r#"{"workloads":["test-sleep:5"]}"#), true).is_ok());
+        assert!(expand_request(&parse(r#"{"workloads":["test-sleep:5"]}"#), false).is_err());
+    }
+
+    #[test]
+    fn sweep_tracks_progress_to_done() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048],"policies":["baseline"]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let table = SweepTable::new(8);
+        let sweep = table.create(metas);
+        assert_eq!(sweep.total(), 1);
+        let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
+        assert!(body.contains("\"status\":\"running\""));
+        assert!(body.contains("\"pending\""));
+
+        // Complete the cell with a tiny (but decodable) report payload.
+        let report = SimReport {
+            workload: "redis".to_owned(),
+            upc: 2.5,
+            ..SimReport::default()
+        };
+        sweep.fulfill(0, Arc::new(report.to_json_string()));
+        let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
+        assert!(body.contains("\"status\":\"done\""), "{body}");
+        assert!(body.contains("\"sweep\":"), "{body}");
+        let v = Json::parse(&body).unwrap();
+        let agg = v.get("sweep").unwrap();
+        assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
+        // The memoized final body is stable.
+        assert_eq!(sweep.status_body().as_slice(), body.as_bytes());
+        assert_eq!(table.get(sweep.id).unwrap().id, sweep.id);
+        assert!(table.get(999).is_none());
+    }
+
+    #[test]
+    fn a_failed_cell_fails_the_sweep() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let sweep = SweepTable::new(8).create(metas);
+        sweep.fail(0, "boom".to_owned());
+        let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("failed"));
+        assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
+        assert!(v.get("sweep").is_none());
+    }
+
+    #[test]
+    fn retention_prunes_oldest_sweeps() {
+        let table = SweepTable::new(2);
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
+        let ids: Vec<u64> = (0..3)
+            .map(|_| table.create(expand_request(&req, false).unwrap()).id)
+            .collect();
+        assert!(table.get(ids[0]).is_none());
+        assert!(table.get(ids[1]).is_some());
+        assert!(table.get(ids[2]).is_some());
+    }
+}

@@ -17,6 +17,11 @@ ucsim — x86 uop cache simulator (MICRO 2020 reproduction)
 USAGE:
     ucsim [OPTIONS]
     ucsim client [CLIENT OPTIONS]     submit a job to a ucsim-serve instance
+    ucsim client matrix [MATRIX OPTIONS]
+                                      fan out a capacity x policy sweep and
+                                      poll it to completion (one connection)
+    ucsim client job --id N [--addr A]
+                                      fetch one job's status/result
 
 OPTIONS:
     --workload <name>      Table II workload (default bm-cc); use --list to see all
@@ -41,6 +46,17 @@ CLIENT OPTIONS:
     --background           submit async, print the job id and exit
     --job <id>             poll a background job instead of submitting
     --metrics              fetch /v1/metrics instead of submitting
+
+MATRIX OPTIONS:
+    --addr <host:port>     server address (default 127.0.0.1:7199)
+    --workloads <a,b,...>  workload set (default bm-cc)
+    --capacities <n,...>   capacity axis in uops (default: Table I sweep)
+    --policies <p,...>     baseline|clasp|rac|pwac|fpwac (default baseline)
+    --max-entries <n>      compacted entries per line (default 2)
+    --seed <n>             seed for every cell (default: per-workload)
+    --insts <n>            measured instructions per cell
+    --warmup <n>           warmup instructions per cell
+    --poll-ms <n>          progress poll interval (default 500)
 ";
 
 struct Args {
@@ -164,8 +180,283 @@ fn parse() -> Args {
     a
 }
 
+/// Prints a non-2xx response — decoding the uniform error envelope
+/// (`{"error":{"code","message","retry_after"?}}`) when present — and
+/// exits non-zero.
+fn print_error_and_exit(resp: &ucsim::serve::HttpResponse) -> ! {
+    let text = resp.body_str();
+    if let Some(e) = Json::parse(&text).ok().as_ref().and_then(|v| {
+        v.get("error").map(|e| {
+            (
+                e.get("code").cloned(),
+                e.get("message").cloned(),
+                e.get("retry_after").cloned(),
+            )
+        })
+    }) {
+        let (code, message, retry) = e;
+        let code = code.as_ref().and_then(Json::as_str).unwrap_or("unknown");
+        let message = message.as_ref().and_then(Json::as_str).unwrap_or("");
+        eprintln!("server answered {} [{code}]: {message}", resp.status);
+        if let Some(secs) = retry.as_ref().and_then(Json::as_u64) {
+            eprintln!("(retry after {secs}s)");
+        }
+    } else {
+        eprintln!("server answered {}:\n{text}", resp.status);
+    }
+    std::process::exit(1);
+}
+
+fn comma_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// The `ucsim client matrix` subcommand: POST a sweep, then poll it to
+/// completion on the same kept-alive connection and print the aggregate.
+fn client_matrix(argv: &[String]) {
+    let mut addr = "127.0.0.1:7199".to_owned();
+    let mut workloads = vec!["bm-cc".to_owned()];
+    let mut capacities: Option<Vec<u64>> = None;
+    let mut policies: Option<Vec<String>> = None;
+    let mut max_entries: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut insts: Option<u64> = None;
+    let mut warmup: Option<u64> = None;
+    let mut poll_ms: u64 = 500;
+    let bail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| bail(&format!("{} needs a value", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => {
+                addr = need(i).clone();
+                i += 1;
+            }
+            "--workloads" => {
+                workloads = comma_list(need(i));
+                i += 1;
+            }
+            "--capacities" => {
+                capacities = Some(
+                    comma_list(need(i))
+                        .iter()
+                        .map(|s| {
+                            s.parse()
+                                .unwrap_or_else(|_| bail("--capacities takes uop counts"))
+                        })
+                        .collect(),
+                );
+                i += 1;
+            }
+            "--policies" => {
+                policies = Some(comma_list(need(i)));
+                i += 1;
+            }
+            "--max-entries" => {
+                max_entries = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--max-entries takes a number")),
+                );
+                i += 1;
+            }
+            "--seed" => {
+                seed = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--seed needs a number")),
+                );
+                i += 1;
+            }
+            "--insts" => {
+                insts = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--insts needs a number")),
+                );
+                i += 1;
+            }
+            "--warmup" => {
+                warmup = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--warmup needs a number")),
+                );
+                i += 1;
+            }
+            "--poll-ms" => {
+                poll_ms = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| bail("--poll-ms needs a number"));
+                i += 1;
+            }
+            other => bail(&format!("unknown matrix option {other}")),
+        }
+        i += 1;
+    }
+
+    let mut fields = vec![(
+        "workloads".to_owned(),
+        Json::Arr(workloads.into_iter().map(Json::Str).collect()),
+    )];
+    if let Some(caps) = capacities {
+        fields.push((
+            "capacities".to_owned(),
+            Json::Arr(caps.into_iter().map(Json::Uint).collect()),
+        ));
+    }
+    if let Some(ps) = policies {
+        fields.push((
+            "policies".to_owned(),
+            Json::Arr(ps.into_iter().map(Json::Str).collect()),
+        ));
+    }
+    if let Some(n) = max_entries {
+        fields.push(("max_entries".to_owned(), Json::Uint(n)));
+    }
+    if let Some(s) = seed {
+        fields.push(("seed".to_owned(), Json::Uint(s)));
+    }
+    if let Some(w) = warmup {
+        fields.push(("warmup".to_owned(), Json::Uint(w)));
+    }
+    if let Some(n) = insts {
+        fields.push(("insts".to_owned(), Json::Uint(n)));
+    }
+    let body = Json::Obj(fields).to_string().into_bytes();
+
+    let mut client = ucsim::serve::Client::new(&addr);
+    let cannot = |e: std::io::Error| -> ! {
+        eprintln!("cannot reach {addr}: {e}");
+        std::process::exit(1)
+    };
+    let resp = client
+        .request("POST", "/v1/matrix", &body)
+        .unwrap_or_else(|e| cannot(e));
+    if resp.status != 202 {
+        print_error_and_exit(&resp);
+    }
+    let accepted = Json::parse(&resp.body_str()).unwrap_or(Json::Null);
+    let Some(id) = accepted.get("id").and_then(Json::as_u64) else {
+        eprintln!("malformed accept response: {}", resp.body_str());
+        std::process::exit(1);
+    };
+    let total = accepted.get("total").and_then(Json::as_u64).unwrap_or(0);
+    eprintln!("sweep {id} accepted: {total} cells");
+
+    let path = format!("/v1/matrix/{id}");
+    let mut last_done = u64::MAX;
+    loop {
+        let resp = client
+            .request("GET", &path, b"")
+            .unwrap_or_else(|e| cannot(e));
+        if resp.status != 200 {
+            print_error_and_exit(&resp);
+        }
+        let text = resp.body_str();
+        let v = Json::parse(&text).unwrap_or(Json::Null);
+        let status = v.get("status").and_then(Json::as_str).unwrap_or("?");
+        let done = v.get("done").and_then(Json::as_u64).unwrap_or(0);
+        if done != last_done {
+            eprintln!("  {done}/{total} cells done");
+            last_done = done;
+        }
+        match status {
+            "done" => {
+                let pretty = v.get("sweep").map_or_else(|| text.clone(), Json::to_pretty);
+                println!("{pretty}");
+                return;
+            }
+            "failed" => {
+                eprintln!("sweep failed:");
+                if let Some(cells) = v.get("cells").and_then(Json::as_arr) {
+                    for c in cells {
+                        if let Some(err) = c.get("error").and_then(Json::as_str) {
+                            let label = c.get("label").and_then(Json::as_str).unwrap_or("?");
+                            eprintln!("  {label}: {err}");
+                        }
+                    }
+                }
+                std::process::exit(1);
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(poll_ms)),
+        }
+    }
+}
+
+/// The `ucsim client job` subcommand: fetch one job by id.
+fn client_job(argv: &[String]) {
+    let mut addr = "127.0.0.1:7199".to_owned();
+    let mut id: Option<u64> = None;
+    let bail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => {
+                i += 1;
+                addr = argv
+                    .get(i)
+                    .unwrap_or_else(|| bail("--addr needs host:port"))
+                    .clone();
+            }
+            "--id" => {
+                i += 1;
+                id = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--id needs a job id")),
+                );
+            }
+            other => bail(&format!("unknown job option {other}")),
+        }
+        i += 1;
+    }
+    let Some(id) = id else {
+        bail("job needs --id");
+    };
+    let resp =
+        ucsim::serve::request(&addr, "GET", &format!("/v1/jobs/{id}"), b"").unwrap_or_else(|e| {
+            eprintln!("cannot reach {addr}: {e}");
+            std::process::exit(1);
+        });
+    if resp.status != 200 {
+        print_error_and_exit(&resp);
+    }
+    let text = resp.body_str();
+    println!(
+        "{}",
+        Json::parse(&text).map_or(text.clone(), |j| j.to_pretty())
+    );
+}
+
 /// The `ucsim client` subcommand: talk to a running `ucsim-serve`.
 fn client_main(argv: &[String]) {
+    match argv.first().map(String::as_str) {
+        Some("matrix") => return client_matrix(&argv[1..]),
+        Some("job") => return client_job(&argv[1..]),
+        _ => {}
+    }
     let mut addr = "127.0.0.1:7199".to_owned();
     let mut workload = "bm-cc".to_owned();
     let mut seed: Option<u64> = None;
@@ -267,17 +558,14 @@ fn client_main(argv: &[String]) {
         eprintln!("cannot reach {addr}: {e}");
         std::process::exit(1);
     });
-    let text = resp.body_str();
-    let pretty = Json::parse(&text).map_or(text.clone(), |j| j.to_pretty());
-    if resp.status == 200 || resp.status == 202 {
-        println!("{pretty}");
-    } else {
-        eprintln!("server answered {}:\n{pretty}", resp.status);
-        if let Some(retry) = resp.header("retry-after") {
-            eprintln!("(retry after {retry}s)");
-        }
-        std::process::exit(1);
+    if resp.status != 200 && resp.status != 202 {
+        print_error_and_exit(&resp);
     }
+    let text = resp.body_str();
+    println!(
+        "{}",
+        Json::parse(&text).map_or(text.clone(), |j| j.to_pretty())
+    );
 }
 
 fn main() {

@@ -1,11 +1,12 @@
 //! End-to-end tests of the `ucsim-serve` job service: a real server on an
 //! ephemeral port, real TCP clients, request coalescing, the content
-//! cache, backpressure, and graceful drain.
+//! cache, matrix sweeps, the persistent store, keep-alive connections,
+//! the uniform error envelope, backpressure, and graceful drain.
 
 use std::time::{Duration, Instant};
 
 use ucsim::model::Json;
-use ucsim::serve::{request, Server, ServerConfig};
+use ucsim::serve::{request, Client, Server, ServerConfig};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
@@ -16,11 +17,45 @@ fn test_config() -> ServerConfig {
         retry_after_secs: 2,
         retain_jobs: 64,
         enable_test_workloads: true,
+        ..ServerConfig::default()
     }
 }
 
 fn parse_json(body: &str) -> Json {
     Json::parse(body).unwrap_or_else(|e| panic!("bad JSON from server: {e}\n{body}"))
+}
+
+/// Decodes the uniform error envelope, returning `(code, retry_after)`.
+fn envelope_code(body: &str) -> (String, Option<u64>) {
+    let v = parse_json(body);
+    let e = v
+        .get("error")
+        .unwrap_or_else(|| panic!("no envelope in {body}"));
+    assert!(e.get("message").and_then(Json::as_str).is_some());
+    (
+        e.get("code").unwrap().as_str().unwrap().to_owned(),
+        e.get("retry_after").and_then(Json::as_u64),
+    )
+}
+
+/// Polls `GET /v1/matrix/:id` on a kept-alive connection until the sweep
+/// finishes, returning the final document.
+fn poll_sweep(client: &mut Client, id: u64) -> Json {
+    let path = format!("/v1/matrix/{id}");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let r = client.request("GET", &path, b"").unwrap();
+        assert_eq!(r.status, 200, "body: {}", r.body_str());
+        let v = parse_json(&r.body_str());
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" => return v,
+            "failed" => panic!("sweep failed: {}", r.body_str()),
+            _ => {
+                assert!(Instant::now() < deadline, "sweep never finished");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
 }
 
 /// The acceptance-criteria test: the same job submitted from four
@@ -161,6 +196,10 @@ fn full_queue_returns_429_with_retry_after() {
     let elapsed = t0.elapsed();
     assert_eq!(c.status, 429, "body: {}", c.body_str());
     assert_eq!(c.header("retry-after"), Some("2"));
+    // The envelope mirrors the Retry-After header into the body.
+    let (code, retry) = envelope_code(&c.body_str());
+    assert_eq!(code, "queue_full");
+    assert_eq!(retry, Some(2));
     assert!(
         elapsed < Duration::from_millis(500),
         "429 must not block (took {elapsed:?})"
@@ -214,18 +253,41 @@ fn error_paths_answer_without_side_effects() {
     let r = request(&addr, "POST", "/v1/sim", br#"{"workload":"no-such-wl"}"#).unwrap();
     assert_eq!(r.status, 400);
     assert!(r.body_str().contains("unknown workload"));
+    assert_eq!(envelope_code(&r.body_str()).0, "unknown_workload");
 
     let r = request(&addr, "POST", "/v1/sim", b"{not json").unwrap();
     assert_eq!(r.status, 400);
+    assert_eq!(envelope_code(&r.body_str()).0, "bad_request");
+
+    let r = request(
+        &addr,
+        "POST",
+        "/v1/matrix",
+        br#"{"workloads":["bm-cc"],"policies":["zap"]}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(envelope_code(&r.body_str()).0, "bad_request");
 
     let r = request(&addr, "GET", "/v1/jobs/999", b"").unwrap();
     assert_eq!(r.status, 404);
+    assert_eq!(envelope_code(&r.body_str()).0, "not_found");
+
+    let r = request(&addr, "GET", "/v1/matrix/999", b"").unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(envelope_code(&r.body_str()).0, "not_found");
 
     let r = request(&addr, "GET", "/nope", b"").unwrap();
     assert_eq!(r.status, 404);
+    assert_eq!(envelope_code(&r.body_str()).0, "not_found");
 
     let r = request(&addr, "GET", "/v1/sim", b"").unwrap();
     assert_eq!(r.status, 405);
+    assert_eq!(envelope_code(&r.body_str()).0, "method_not_allowed");
+
+    let r = request(&addr, "DELETE", "/v1/matrix", b"").unwrap();
+    assert_eq!(r.status, 405);
+    assert_eq!(envelope_code(&r.body_str()).0, "method_not_allowed");
 
     let r = request(&addr, "GET", "/healthz", b"").unwrap();
     assert_eq!(r.status, 200);
@@ -269,5 +331,162 @@ fn real_workload_round_trips_through_the_service() {
     assert_eq!(env2.get("cached").unwrap().as_bool(), Some(true));
     assert_eq!(env2.get("report").unwrap().to_string(), report_text);
     assert_eq!(server.simulations_executed(), 1);
+    server.shutdown();
+}
+
+/// The matrix acceptance test: a 2×2 capacity × policy sweep served via
+/// `POST /v1/matrix` produces per-cell reports byte-identical (canonical
+/// JSON) to direct `Simulator` runs over the same `MatrixCross`
+/// expansion `run_matrix` uses offline — and the whole exchange rides a
+/// single kept-alive connection.
+#[test]
+fn matrix_sweep_matches_direct_simulator_runs() {
+    use ucsim::model::ToJson;
+    use ucsim::pipeline::Simulator;
+    use ucsim::trace::{Program, WorkloadProfile};
+    use ucsim_bench::{MatrixCross, SweepPolicy};
+
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::new(&addr);
+
+    let body = br#"{"workloads":["bm-cc"],"capacities":[2048,4096],"policies":["baseline","clasp"],"seed":7,"warmup":1000,"insts":20000}"#;
+    let r = client.request("POST", "/v1/matrix", body).unwrap();
+    assert_eq!(r.status, 202, "body: {}", r.body_str());
+    let accepted = parse_json(&r.body_str());
+    let id = accepted.get("id").unwrap().as_u64().unwrap();
+    assert_eq!(accepted.get("total").unwrap().as_u64(), Some(4));
+
+    let v = poll_sweep(&mut client, id);
+    assert_eq!(v.get("done").unwrap().as_u64(), Some(4));
+    let sweep = v.get("sweep").expect("done sweep embeds the aggregate");
+    assert_eq!(
+        sweep.get("labels").unwrap().to_string(),
+        r#"["OC_2K:baseline","OC_2K:CLASP","OC_4K:baseline","OC_4K:CLASP"]"#
+    );
+
+    // The offline reference: the same cross expanded through the same
+    // shared code path, simulated directly.
+    let cross = MatrixCross {
+        capacities: vec![2048, 4096],
+        policies: vec![SweepPolicy::Baseline, SweepPolicy::Clasp],
+        max_entries: 2,
+    };
+    let mut profile = WorkloadProfile::by_name("bm-cc").unwrap();
+    profile.seed = 7;
+    let program = Program::generate(&profile);
+    let cells = sweep.get("cells").unwrap().as_arr().unwrap();
+    for (cell, lc) in cells.iter().zip(cross.expand()) {
+        let mut cfg = lc.config.clone();
+        cfg.warmup_insts = 1000;
+        cfg.measure_insts = 20000;
+        let expected = Simulator::new(cfg).run(&profile, &program).to_json_string();
+        assert_eq!(
+            cell.get("report").unwrap().to_string(),
+            expected,
+            "cell {} diverges from the direct run",
+            lc.label
+        );
+        assert_eq!(cell.get("label").unwrap().as_str(), Some(lc.label.as_str()));
+    }
+    assert_eq!(server.simulations_executed(), 4);
+    // Submit + every poll used one TCP connection.
+    assert_eq!(client.connects(), 1);
+    drop(client);
+    server.shutdown();
+}
+
+/// A killed-and-restarted server answers a whole sweep from the
+/// persistent store: zero re-simulations, all cells cache hits.
+#[test]
+fn restart_serves_sweep_from_persistent_store() {
+    let data_dir = std::env::temp_dir().join(format!("ucsim-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let cfg = ServerConfig {
+        data_dir: Some(data_dir.clone()),
+        ..test_config()
+    };
+    let body = br#"{"workloads":["bm-cc"],"capacities":[2048],"policies":["baseline","clasp"],"seed":7,"warmup":1000,"insts":20000}"#;
+
+    // First life: simulate the sweep and persist every cell.
+    let first_sweep = {
+        let server = Server::start(cfg.clone()).unwrap();
+        let mut client = Client::new(&server.local_addr().to_string());
+        let r = client.request("POST", "/v1/matrix", body).unwrap();
+        assert_eq!(r.status, 202, "body: {}", r.body_str());
+        let id = parse_json(&r.body_str())
+            .get("id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let v = poll_sweep(&mut client, id);
+        assert_eq!(server.simulations_executed(), 2);
+        drop(client);
+        server.shutdown();
+        v.get("sweep").unwrap().to_string()
+    };
+
+    // Second life: same data dir. The same sweep completes without a
+    // single simulation — every cell replays from the store.
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::new(&addr);
+    let r = client.request("POST", "/v1/matrix", body).unwrap();
+    assert_eq!(r.status, 202, "body: {}", r.body_str());
+    let id = parse_json(&r.body_str())
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let v = poll_sweep(&mut client, id);
+    assert_eq!(
+        v.get("sweep").unwrap().to_string(),
+        first_sweep,
+        "restarted sweep must be byte-identical"
+    );
+    assert_eq!(server.simulations_executed(), 0, "no re-simulation");
+
+    // The cache counters confirm both cells came from the replayed store.
+    let m = parse_json(
+        &client
+            .request("GET", "/v1/metrics", b"")
+            .unwrap()
+            .body_str(),
+    );
+    let cache = m.get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(2));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(0));
+    assert_eq!(cache.get("insertions").unwrap().as_u64(), Some(2));
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// Two sequential requests ride one kept-alive connection, and the
+/// server honors `Connection: close` when asked.
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::new(&addr);
+
+    let a = client.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(a.header("connection"), Some("keep-alive"));
+
+    let b = client
+        .request(
+            "POST",
+            "/v1/sim",
+            br#"{"workload":"test-sleep:50","warmup":100,"insts":2000}"#,
+        )
+        .unwrap();
+    assert_eq!(b.status, 200, "body: {}", b.body_str());
+
+    let c = client.request("GET", "/v1/metrics", b"").unwrap();
+    assert_eq!(c.status, 200);
+    assert_eq!(client.connects(), 1, "all three requests on one connection");
+
+    drop(client);
     server.shutdown();
 }
