@@ -1,29 +1,12 @@
 //! Workload × configuration matrix execution.
 
-use ucsim_pipeline::{SimConfig, SimReport, Simulator};
+use ucsim_pipeline::{run_configs_on_trace, SimConfig, SimReport, Simulator};
 use ucsim_pool::Progress;
-use ucsim_trace::{Program, WorkloadProfile};
+use ucsim_trace::{record_workload, Program, WorkloadProfile};
 
 use crate::RunOpts;
 
-/// A named simulator configuration (one bar/line of a figure).
-#[derive(Debug, Clone)]
-pub struct LabeledConfig {
-    /// Legend label ("baseline", "CLASP", "OC_8K", ...).
-    pub label: String,
-    /// The configuration.
-    pub config: SimConfig,
-}
-
-impl LabeledConfig {
-    /// Creates a labeled configuration.
-    pub fn new(label: &str, config: SimConfig) -> Self {
-        LabeledConfig {
-            label: label.to_owned(),
-            config,
-        }
-    }
-}
+pub use ucsim_pipeline::LabeledConfig;
 
 /// Runs one workload under one configuration.
 pub fn run_one(profile: &WorkloadProfile, cfg: &SimConfig, opts: &RunOpts) -> SimReport {
@@ -46,15 +29,22 @@ pub fn run_matrix(
     let progress = Progress::stderr();
 
     let reports = ucsim_pool::run_indexed(profiles.len(), opts.threads, |idx| {
+        // Record each workload's instruction stream once; every
+        // configuration cell replays the shared trace instead of
+        // re-walking the program C×P times.
         let profile = &profiles[idx];
         let program = Program::generate(profile);
-        let reports: Vec<SimReport> = configs
+        let trace = record_workload(profile, &program, opts.warmup + opts.insts);
+        let sized: Vec<LabeledConfig> = configs
             .iter()
             .map(|lc| {
-                let cfg = lc.config.clone().with_insts(opts.warmup, opts.insts);
-                Simulator::new(cfg).run(profile, &program)
+                LabeledConfig::new(
+                    &lc.label,
+                    lc.config.clone().with_insts(opts.warmup, opts.insts),
+                )
             })
             .collect();
+        let reports: Vec<SimReport> = run_configs_on_trace(profile.name, &trace, &sized);
         progress.line(&format!(
             "  done {:<14} ({} configs)",
             profile.name,

@@ -87,6 +87,12 @@ pub struct Tage {
     ghr: u128,
     alloc_rng: SplitMix64,
     stats: TageStats,
+    /// Provider of the most recent [`Self::predict`] call, consumed by the
+    /// following [`Self::update`] for the same pc so the predict-then-update
+    /// protocol costs one table scan instead of two. Nothing that affects a
+    /// lookup (tables, ghr) mutates between the two calls, so the cached
+    /// provider is exactly what a fresh scan would return.
+    last_lookup: Option<(u64, Provider)>,
 }
 
 /// Which component provided a prediction (fed back into `update`).
@@ -129,6 +135,7 @@ impl Tage {
             alloc_rng: SplitMix64::new(0x7a6e_1dea),
             cfg,
             stats: TageStats::default(),
+            last_lookup: None,
         }
     }
 
@@ -222,6 +229,7 @@ impl Tage {
         if provider.table < self.tables.len() {
             self.stats.tagged_provided += 1;
         }
+        self.last_lookup = Some((pc.get(), provider));
         taken
     }
 
@@ -229,7 +237,10 @@ impl Tage {
     /// by the immediately preceding [`Self::predict`] call for this branch
     /// (the standard predict-then-update protocol).
     pub fn update(&mut self, pc: Addr, taken: bool, predicted: bool) {
-        let (_, provider) = self.lookup(pc);
+        let provider = match self.last_lookup.take() {
+            Some((cached_pc, p)) if cached_pc == pc.get() => p,
+            _ => self.lookup(pc).1,
+        };
         let mispredicted = predicted != taken;
         if mispredicted {
             self.stats.mispredictions += 1;
@@ -269,24 +280,14 @@ impl Tage {
             provider.table + 1
         };
         if mispredicted && start < self.tables.len() {
-            let candidates: Vec<usize> = (start..self.tables.len()).collect();
-            if !candidates.is_empty() {
-                // Prefer a candidate with useful == 0; decay otherwise.
-                let pick = candidates
-                    .iter()
-                    .copied()
-                    .find(|&t| {
-                        let idx = self.index_of(pc, t);
-                        self.tables[t][idx].useful == 0
-                    })
-                    .or_else(|| {
-                        // Random single candidate; decay its useful bit.
-                        let t = candidates[self.alloc_rng.index(candidates.len())];
-                        let idx = self.index_of(pc, t);
-                        self.tables[t][idx].useful = self.tables[t][idx].useful.saturating_sub(1);
-                        None
-                    });
-                if let Some(t) = pick {
+            // Prefer a candidate with useful == 0; decay a random one
+            // otherwise.
+            let pick = (start..self.tables.len()).find(|&t| {
+                let idx = self.index_of(pc, t);
+                self.tables[t][idx].useful == 0
+            });
+            match pick {
+                Some(t) => {
                     let idx = self.index_of(pc, t);
                     let tag = self.tag_of(pc, t);
                     self.tables[t][idx] = TaggedEntry {
@@ -294,6 +295,11 @@ impl Tage {
                         ctr: if taken { 0 } else { -1 },
                         useful: 0,
                     };
+                }
+                None => {
+                    let t = start + self.alloc_rng.index(self.tables.len() - start);
+                    let idx = self.index_of(pc, t);
+                    self.tables[t][idx].useful = self.tables[t][idx].useful.saturating_sub(1);
                 }
             }
         }

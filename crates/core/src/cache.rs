@@ -20,9 +20,52 @@ pub struct FillOutcome {
     pub duplicate: bool,
 }
 
+/// Per-set occupancy/coverage summary, maintained at fill/invalidate
+/// time so the per-miss interior-coverage scan can short-circuit without
+/// walking the set's lines. `min_start`/`max_end` bound the union of all
+/// resident entries' `[start, end)` ranges.
+#[derive(Debug, Clone, Copy, Default)]
+struct SetSummary {
+    /// Resident entries in the set.
+    entries: u32,
+    /// Smallest resident `start` byte.
+    min_start: u64,
+    /// Largest resident `end` byte (exclusive).
+    max_end: u64,
+}
+
+impl SetSummary {
+    /// True when no resident entry can *cover* `addr` strictly in its
+    /// interior (`start < addr < end`) — the interior-miss scan is
+    /// provably empty and can be skipped.
+    fn rules_out_interior(&self, addr: u64) -> bool {
+        self.entries == 0 || addr <= self.min_start || addr >= self.max_end
+    }
+}
+
 struct SetState {
     lines: Vec<UopCacheLine>,
     repl: ReplacementState,
+    summary: SetSummary,
+}
+
+impl SetState {
+    /// Recomputes the summary from the resident entries. Called on
+    /// mutation (fills, invalidations, flushes) — rare next to lookups,
+    /// and a set holds at most `ways × max_entries_per_line` entries.
+    fn refresh_summary(&mut self) {
+        let mut s = SetSummary {
+            entries: 0,
+            min_start: u64::MAX,
+            max_end: 0,
+        };
+        for e in self.lines.iter().flat_map(|l| l.entries()) {
+            s.entries += 1;
+            s.min_start = s.min_start.min(e.start.get());
+            s.max_end = s.max_end.max(e.end.get());
+        }
+        self.summary = s;
+    }
 }
 
 /// The micro-operation cache.
@@ -55,6 +98,15 @@ pub struct UopCache {
     cfg: UopCacheConfig,
     sets: Vec<SetState>,
     stats: UopCacheStats,
+    /// `cfg.sets - 1`, precomputed: the set-index mask is applied on
+    /// every lookup/fill/probe.
+    set_mask: usize,
+    /// Reusable per-fill scratch (the way-validity mask handed to the
+    /// replacement policy) so the no-eviction fill path allocates
+    /// nothing.
+    valid_scratch: Vec<bool>,
+    /// Reusable recency-order scratch for compacting fills.
+    order_scratch: Vec<usize>,
 }
 
 impl std::fmt::Debug for UopCache {
@@ -78,11 +130,15 @@ impl UopCache {
             .map(|_| SetState {
                 lines: vec![UopCacheLine::new(); cfg.ways],
                 repl: ReplacementState::new(cfg.replacement, cfg.ways),
+                summary: SetSummary::default(),
             })
             .collect();
         UopCache {
             sets,
             stats: UopCacheStats::new(),
+            set_mask: cfg.sets - 1,
+            valid_scratch: Vec::with_capacity(cfg.ways),
+            order_scratch: Vec::with_capacity(cfg.ways),
             cfg,
         }
     }
@@ -103,7 +159,7 @@ impl UopCache {
     }
 
     fn set_of(&self, addr: Addr) -> usize {
-        (addr.line().number() as usize) & (self.cfg.sets - 1)
+        (addr.line().number() as usize) & self.set_mask
     }
 
     /// Looks up an entry starting exactly at `addr`, updating replacement
@@ -119,24 +175,39 @@ impl UopCache {
                 return Some(e);
             }
         }
-        let interior = self.sets[si].lines.iter().any(|l| {
-            l.entries()
-                .any(|e| e.start.get() < addr.get() && addr.get() < e.end.get())
-        });
-        if interior {
-            self.stats.note_interior_miss();
+        // Interior-coverage diagnostic: only scan the set when the
+        // summary says some resident entry could actually cover `addr`
+        // (empty and disjoint sets — the overwhelmingly common miss —
+        // skip the walk entirely).
+        if !set.summary.rules_out_interior(addr.get()) {
+            let interior = set.lines.iter().any(|l| {
+                l.entries()
+                    .any(|e| e.start.get() < addr.get() && addr.get() < e.end.get())
+            });
+            if interior {
+                self.stats.note_interior_miss();
+            }
         }
         self.stats.note_lookup(false, 0);
         None
     }
 
-    /// Non-updating presence check.
-    pub fn probe(&self, addr: Addr) -> bool {
+    /// Read-only lookup: the entry starting exactly at `addr`, without
+    /// touching replacement state or statistics. Diagnostics and
+    /// external observers (metrics endpoints, tests) use this so
+    /// inspecting the cache never perturbs the simulated replacement
+    /// recency — and never needs exclusive access.
+    pub fn lookup_ref(&self, addr: Addr) -> Option<&UopCacheEntry> {
         let si = self.set_of(addr);
         self.sets[si]
             .lines
             .iter()
-            .any(|l| l.entry_with_start(addr).is_some())
+            .find_map(|l| l.entry_with_start(addr))
+    }
+
+    /// Non-updating presence check.
+    pub fn probe(&self, addr: Addr) -> bool {
+        self.lookup_ref(addr).is_some()
     }
 
     /// Fills a completed entry, applying the configured compaction policy
@@ -168,19 +239,39 @@ impl UopCache {
         } else {
             self.fill_new_line(si, entry)
         };
+        self.sets[si].refresh_summary();
         self.stats
             .note_fill(&entry, outcome.placement, outcome.evicted.len());
         outcome
     }
 
-    fn valid_mask(&self, si: usize) -> Vec<bool> {
-        self.sets[si].lines.iter().map(|l| !l.is_empty()).collect()
+    /// Chooses the replacement victim of set `si`, reusing the validity
+    /// scratch buffer (no per-fill allocation).
+    fn victim_of(&mut self, si: usize) -> usize {
+        let mut valid = std::mem::take(&mut self.valid_scratch);
+        valid.clear();
+        valid.extend(self.sets[si].lines.iter().map(|l| !l.is_empty()));
+        let way = self.sets[si].repl.victim(&valid);
+        self.valid_scratch = valid;
+        way
+    }
+
+    /// The set's valid ways in recency order, written into the reusable
+    /// order scratch. The caller must hand the buffer back by assigning
+    /// `self.order_scratch` when done with it.
+    fn recency_order_of(&mut self, si: usize) -> Vec<usize> {
+        let mut valid = std::mem::take(&mut self.valid_scratch);
+        valid.clear();
+        valid.extend(self.sets[si].lines.iter().map(|l| !l.is_empty()));
+        let mut order = std::mem::take(&mut self.order_scratch);
+        self.sets[si].repl.recency_order_into(&valid, &mut order);
+        self.valid_scratch = valid;
+        order
     }
 
     fn fill_new_line(&mut self, si: usize, entry: UopCacheEntry) -> FillOutcome {
-        let valid = self.valid_mask(si);
+        let way = self.victim_of(si);
         let set = &mut self.sets[si];
-        let way = set.repl.victim(&valid);
         let evicted = set.lines[way].evict_all();
         set.lines[way].insert(entry, PlacementKind::NewLine);
         set.repl.on_fill(way);
@@ -226,20 +317,20 @@ impl UopCache {
         }
 
         // --- RAC: most-recently-used line with room (recency order).
-        let order = {
-            let valid = self.valid_mask(si);
-            self.sets[si].repl.recency_order(&valid)
-        };
-        for way in order {
-            if self.sets[si].lines[way].fits(&self.cfg, &entry) {
-                self.sets[si].lines[way].insert(entry, PlacementKind::Rac);
-                self.sets[si].repl.on_fill(way);
-                return FillOutcome {
-                    placement: PlacementKind::Rac,
-                    evicted: Vec::new(),
-                    duplicate: false,
-                };
-            }
+        let order = self.recency_order_of(si);
+        let target = order
+            .iter()
+            .copied()
+            .find(|&way| self.sets[si].lines[way].fits(&self.cfg, &entry));
+        self.order_scratch = order;
+        if let Some(way) = target {
+            self.sets[si].lines[way].insert(entry, PlacementKind::Rac);
+            self.sets[si].repl.on_fill(way);
+            return FillOutcome {
+                placement: PlacementKind::Rac,
+                evicted: Vec::new(),
+                duplicate: false,
+            };
         }
 
         // --- Fall back: own line.
@@ -255,7 +346,8 @@ impl UopCache {
         entry: UopCacheEntry,
     ) -> Option<FillOutcome> {
         let pw = entry.first_pw;
-        let cfg = self.cfg.clone();
+        let byte_budget = self.cfg.entry_byte_budget();
+        let max_entries = self.cfg.max_entries_per_line as usize;
         let same_bytes: u32 = self.sets[si].lines[pw_way]
             .entries()
             .filter(|e| e.first_pw == pw)
@@ -265,9 +357,7 @@ impl UopCache {
             .entries()
             .filter(|e| e.first_pw == pw)
             .count();
-        if same_bytes + entry.bytes() > cfg.entry_byte_budget()
-            || same_count + 1 > cfg.max_entries_per_line as usize
-        {
+        if same_bytes + entry.bytes() > byte_budget || same_count + 1 > max_entries {
             return None;
         }
 
@@ -281,10 +371,9 @@ impl UopCache {
             // Foreign entries are rewritten to the current LRU line (paper:
             // "written to the LRU line after the victim entries are
             // evicted"), whose replacement state is then refreshed.
-            let valid = self.valid_mask(si);
-            let set = &mut self.sets[si];
-            let vway = set.repl.victim(&valid);
+            let vway = self.victim_of(si);
             debug_assert_ne!(vway, pw_way, "pw line just became MRU");
+            let set = &mut self.sets[si];
             evicted = set.lines[vway].evict_all();
             for f in foreign {
                 set.lines[vway].insert(f, PlacementKind::Rac);
@@ -316,14 +405,18 @@ impl UopCache {
         let mut probe_sets = Vec::new();
         for back in 0..=depth {
             let l = LineAddr::from_line_number(line.number().saturating_sub(back));
-            let si = (l.number() as usize) & (self.cfg.sets - 1);
+            let si = (l.number() as usize) & self.set_mask;
             if !probe_sets.contains(&si) {
                 probe_sets.push(si);
             }
         }
         for si in probe_sets {
+            let before = removed;
             for l in &mut self.sets[si].lines {
                 removed += l.remove_matching(|e| e.overlaps_line(line)).len();
+            }
+            if removed != before {
+                self.sets[si].refresh_summary();
             }
         }
         self.stats.note_invalidation(removed as u64);
@@ -336,6 +429,7 @@ impl UopCache {
             for l in &mut set.lines {
                 l.evict_all();
             }
+            set.summary = SetSummary::default();
         }
     }
 

@@ -96,6 +96,9 @@ pub struct Cache {
     tags: Vec<Vec<Option<LineAddr>>>,
     repl: Vec<ReplacementState>,
     stats: CacheStats,
+    /// Reusable victim-selection buffer; fills happen on every miss in
+    /// every level, so the valid-way snapshot must not allocate.
+    valid_scratch: Vec<bool>,
 }
 
 impl Cache {
@@ -106,6 +109,7 @@ impl Cache {
             .map(|_| ReplacementState::new(cfg.policy, cfg.ways))
             .collect();
         Cache {
+            valid_scratch: Vec::with_capacity(cfg.ways),
             cfg,
             tags,
             repl,
@@ -171,8 +175,11 @@ impl Cache {
             self.repl[set].on_fill(way);
             return None;
         }
-        let valid: Vec<bool> = self.tags[set].iter().map(|t| t.is_some()).collect();
+        let mut valid = std::mem::take(&mut self.valid_scratch);
+        valid.clear();
+        valid.extend(self.tags[set].iter().map(|t| t.is_some()));
         let way = self.repl[set].victim(&valid);
+        self.valid_scratch = valid;
         let evicted = self.tags[set][way].take();
         self.tags[set][way] = Some(line);
         self.repl[set].on_fill(way);

@@ -210,14 +210,23 @@ impl ReplacementState {
     /// other policies approximate). Used by RAC to try compaction targets
     /// in recency order.
     pub fn recency_order(&self, valid: &[bool]) -> Vec<usize> {
+        let mut ways = Vec::with_capacity(self.ways);
+        self.recency_order_into(valid, &mut ways);
+        ways
+    }
+
+    /// [`Self::recency_order`] into a caller-provided buffer (cleared
+    /// first) — the fill hot path reuses one buffer across fills instead
+    /// of allocating per fill.
+    pub fn recency_order_into(&self, valid: &[bool], out: &mut Vec<usize>) {
         assert_eq!(valid.len(), self.ways, "valid mask length mismatch");
-        let mut ways: Vec<usize> = (0..self.ways).filter(|&w| valid[w]).collect();
+        out.clear();
+        out.extend((0..self.ways).filter(|&w| valid[w]));
         match self.policy {
-            ReplacementPolicy::Lru => ways.sort_by_key(|&w| std::cmp::Reverse(self.meta[w])),
-            ReplacementPolicy::Srrip => ways.sort_by_key(|&w| self.meta[w]),
+            ReplacementPolicy::Lru => out.sort_by_key(|&w| std::cmp::Reverse(self.meta[w])),
+            ReplacementPolicy::Srrip => out.sort_by_key(|&w| self.meta[w]),
             ReplacementPolicy::TreePlru => {} // arbitrary order
         }
-        ways
     }
 }
 

@@ -73,6 +73,13 @@ pub struct Backend {
     seq: u64,
     dispatch_ring: Vec<u64>,
     retire_ring: Vec<u64>,
+    /// `seq % uop_queue_size`, maintained incrementally — the ring sizes
+    /// are runtime values, so a literal `%` here is a hardware divide per
+    /// uop. Note `(seq - len) % len == seq % len`: the slot about to be
+    /// overwritten is exactly the one freed `len` uops ago.
+    disp_slot: usize,
+    /// `seq % rob_size`, maintained incrementally (same reasoning).
+    ret_slot: usize,
     complete_ring: [u64; DEP_WINDOW],
     disp_cycle: u64,
     disp_used: u32,
@@ -94,6 +101,8 @@ impl Backend {
             complete_ring: [0; DEP_WINDOW],
             cfg,
             seq: 0,
+            disp_slot: 0,
+            ret_slot: 0,
             disp_cycle: 0,
             disp_used: 0,
             ret_cycle: 0,
@@ -122,8 +131,9 @@ impl Backend {
         // Uop queue back-pressure: entry waits for the slot freed by the
         // uop that left the queue uop_queue_size ago.
         let q = self.cfg.uop_queue_size;
+        let dslot = self.disp_slot;
         let queue_free = if seq >= q as u64 {
-            self.dispatch_ring[(seq as usize - q) % q]
+            self.dispatch_ring[dslot]
         } else {
             0
         };
@@ -132,8 +142,9 @@ impl Backend {
         // ROB occupancy: dispatch waits for the retirement of the uop
         // rob_size back.
         let r = self.cfg.rob_size;
+        let rslot = self.ret_slot;
         let rob_free = if seq >= r as u64 {
-            self.retire_ring[(seq as usize - r) % r]
+            self.retire_ring[rslot]
         } else {
             0
         };
@@ -141,7 +152,8 @@ impl Backend {
         // Dispatch slot (in-order, dispatch_width per cycle).
         let ready = (entered + 1).max(rob_free);
         let dtime = self.take_dispatch_slot(ready);
-        self.dispatch_ring[seq as usize % q] = dtime;
+        self.dispatch_ring[dslot] = dtime;
+        self.disp_slot = if dslot + 1 == q { 0 } else { dslot + 1 };
         self.dispatched += 1;
 
         // Execution: synthetic dataflow + class latency.
@@ -166,7 +178,8 @@ impl Backend {
         // In-order retirement, retire_width per cycle.
         let rready = completed.max(self.last_retire);
         let retired = self.take_retire_slot(rready);
-        self.retire_ring[seq as usize % r] = retired;
+        self.retire_ring[rslot] = retired;
+        self.ret_slot = if rslot + 1 == r { 0 } else { rslot + 1 };
         self.last_retire = retired;
 
         AdmitOutcome {

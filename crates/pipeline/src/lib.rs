@@ -36,6 +36,7 @@ mod config;
 mod loopcache;
 mod metrics;
 mod power;
+mod pwtrace;
 mod sim;
 mod smt;
 mod sweep;
@@ -45,6 +46,7 @@ pub use config::{CoreConfig, SimConfig};
 pub use loopcache::{LoopCache, LoopCacheStats};
 pub use metrics::{SimReport, UopSource};
 pub use power::{FrontEndEnergy, PowerConfig};
+pub use pwtrace::PwTrace;
 pub use sim::Simulator;
 pub use smt::SmtSimulator;
-pub use sweep::{SweepCellReport, SweepReport};
+pub use sweep::{run_configs_on_trace, LabeledConfig, SweepCellReport, SweepReport};

@@ -1,0 +1,203 @@
+//! Record-once/replay-many at the prediction-window level.
+//!
+//! The front end is decoupled: [`ucsim_bpu::PwGenerator`] consumes only
+//! the architectural instruction stream and its own predictor state —
+//! nothing downstream (uop cache, decoder, back end) ever feeds back into
+//! it. Every cell of a sweep that shares the BPU configuration and run
+//! length therefore sees the *same* sequence of prediction windows,
+//! branch events, and BPU statistics. A [`PwTrace`] records that sequence
+//! once per workload and replays it into each cell, so the per-cell cost
+//! is the uop-cache/decode/back-end simulation alone: the TAGE, BTB and
+//! RAS work is paid once instead of `cells` times, on top of the
+//! instruction stream itself already being shared via
+//! [`ucsim_trace::SharedTrace`].
+//!
+//! Replayed reports are byte-identical to [`crate::Simulator::run_trace`]
+//! for any configuration whose front end [`PwTrace::matches`] the
+//! recording; mismatched configurations must fall back to a full run.
+
+use ucsim_bpu::{BpuStats, Mispredict, PwBatchRef, PwGenerator};
+use ucsim_model::{PredictionWindow, ToJson};
+use ucsim_trace::SharedTrace;
+
+use crate::sim::RunState;
+use crate::{SimConfig, SimReport};
+
+/// One recorded prediction window: the descriptor, its (exclusive) end
+/// index into the shared trace, and the branch events the pipeline
+/// charges for.
+#[derive(Debug, Clone)]
+struct RecordedBatch {
+    pw: PredictionWindow,
+    end: usize,
+    mispredict: Option<Mispredict>,
+    decode_redirect: bool,
+    btb_promote: bool,
+}
+
+/// A recorded prediction-window stream over a shared instruction trace.
+#[derive(Debug, Clone)]
+pub struct PwTrace {
+    trace: SharedTrace,
+    batches: Vec<RecordedBatch>,
+    /// BPU counters over the measurement window (over everything when the
+    /// run never reached the warmup boundary — exactly what
+    /// [`crate::Simulator::run_stream`] reports in that degenerate case).
+    bpu: BpuStats,
+    warmup: u64,
+    total: u64,
+    /// Canonical JSON of the recorded BPU configuration, for
+    /// [`Self::matches`].
+    bpu_json: String,
+}
+
+impl PwTrace {
+    /// Runs PW generation once over `trace` under `cfg`'s front end and
+    /// run length, recording every window and the measurement-window BPU
+    /// statistics.
+    pub fn record(trace: &SharedTrace, cfg: &SimConfig) -> PwTrace {
+        let total = cfg.warmup_insts + cfg.measure_insts;
+        let mut pwgen = PwGenerator::new(cfg.bpu.clone(), trace.iter().take(total as usize));
+        let mut batches = Vec::new();
+        let mut insts_done: u64 = 0;
+        let mut measured = false;
+        loop {
+            if !measured && insts_done >= cfg.warmup_insts {
+                pwgen.reset_stats();
+                measured = true;
+            }
+            let Some(b) = pwgen.advance() else { break };
+            insts_done += b.insts.len() as u64;
+            batches.push(RecordedBatch {
+                pw: b.pw,
+                end: insts_done as usize,
+                mispredict: b.mispredict,
+                decode_redirect: b.decode_redirect,
+                btb_promote: b.btb_promote,
+            });
+        }
+        PwTrace {
+            trace: SharedTrace::clone(trace),
+            batches,
+            bpu: pwgen.stats(),
+            warmup: cfg.warmup_insts,
+            total,
+            bpu_json: cfg.bpu.to_json_string(),
+        }
+    }
+
+    /// Whether `cfg` would produce exactly this PW stream: same front-end
+    /// configuration and same warmup/total instruction budget.
+    pub fn matches(&self, cfg: &SimConfig) -> bool {
+        cfg.warmup_insts == self.warmup
+            && cfg.warmup_insts + cfg.measure_insts == self.total
+            && cfg.bpu.to_json_string() == self.bpu_json
+    }
+
+    /// Number of recorded prediction windows.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when the recording holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Replays the recorded windows through a fresh pipeline under `cfg`,
+    /// producing a report byte-identical to
+    /// [`crate::Simulator::run_trace`] with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` does not [`Self::matches`] the recording, or on an
+    /// invalid uop-cache configuration.
+    pub fn replay(&self, name: &str, cfg: &SimConfig) -> SimReport {
+        assert!(
+            self.matches(cfg),
+            "config front end or run length differs from the recording"
+        );
+        cfg.uop_cache.validate();
+        let insts = self.trace.insts();
+        let mut st = RunState::new(cfg);
+        let mut insts_done: u64 = 0;
+        let mut measured = false;
+        let mut start = 0usize;
+        for rb in &self.batches {
+            if !measured && insts_done >= cfg.warmup_insts {
+                st.begin_measurement();
+                measured = true;
+            }
+            let batch = PwBatchRef {
+                pw: rb.pw,
+                insts: &insts[start..rb.end],
+                mispredict: rb.mispredict,
+                decode_redirect: rb.decode_redirect,
+                btb_promote: rb.btb_promote,
+            };
+            insts_done += (rb.end - start) as u64;
+            st.process_batch_on(&batch, 0);
+            start = rb.end;
+        }
+        if !measured {
+            insts_done = 0;
+            st.mark_unmeasured();
+        }
+        st.finish(name, insts_done, self.bpu, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use ucsim_trace::{record_workload, Program, WorkloadProfile};
+
+    fn quick_trace(total: u64) -> SharedTrace {
+        let p = WorkloadProfile::quick_test();
+        let prog = Program::generate(&p);
+        record_workload(&p, &prog, total)
+    }
+
+    #[test]
+    fn pw_replay_is_byte_identical_to_run_trace() {
+        let cfg = SimConfig::table1().with_insts(2_000, 10_000);
+        let trace = quick_trace(12_000);
+        let pwt = PwTrace::record(&trace, &cfg);
+        assert!(!pwt.is_empty());
+
+        // Same config, and a different uop-cache config sharing the front
+        // end — both must replay byte-identically.
+        let mut clasp = cfg.clone();
+        clasp.uop_cache.clasp = true;
+        for c in [&cfg, &clasp] {
+            let direct = Simulator::new((*c).clone()).run_trace("quick-test", &trace);
+            let replayed = pwt.replay("quick-test", c);
+            assert_eq!(replayed.to_json_string(), direct.to_json_string());
+        }
+    }
+
+    #[test]
+    fn mismatched_front_end_is_rejected() {
+        let cfg = SimConfig::table1().with_insts(1_000, 4_000);
+        let trace = quick_trace(5_000);
+        let pwt = PwTrace::record(&trace, &cfg);
+        let longer = SimConfig::table1().with_insts(1_000, 4_500);
+        assert!(!pwt.matches(&longer));
+        let mut other_bpu = cfg.clone();
+        other_bpu.bpu.ras_depth += 8;
+        assert!(!pwt.matches(&other_bpu));
+        assert!(pwt.matches(&cfg));
+    }
+
+    #[test]
+    fn degenerate_short_trace_still_matches_run_trace() {
+        // Trace shorter than warmup: the measurement window never opens.
+        let cfg = SimConfig::table1().with_insts(10_000, 10_000);
+        let trace = quick_trace(3_000);
+        let pwt = PwTrace::record(&trace, &cfg);
+        let direct = Simulator::new(cfg.clone()).run_trace("quick-test", &trace);
+        let replayed = pwt.replay("quick-test", &cfg);
+        assert_eq!(replayed.to_json_string(), direct.to_json_string());
+    }
+}

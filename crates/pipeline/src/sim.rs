@@ -73,6 +73,22 @@ impl Simulator {
         self.run_stream(profile.name, stream)
     }
 
+    /// Replays a recorded trace: byte-identical to [`Simulator::run`] on
+    /// the workload the trace was recorded from (the walker is
+    /// deterministic, so the recording *is* the stream), without paying
+    /// the walker's per-instruction synthesis again. This is how sweep
+    /// runners share one recording across every cell of a capacity ×
+    /// policy cross.
+    ///
+    /// The trace must hold at least `warmup + measure` instructions for
+    /// the reports to match a fresh walk; a shorter trace simulates what
+    /// is there (the measurement window degrades exactly as a short walk
+    /// would).
+    pub fn run_trace(&self, name: &str, trace: &ucsim_trace::Trace) -> SimReport {
+        let total = self.cfg.warmup_insts + self.cfg.measure_insts;
+        self.run_stream(name, trace.iter().take(total as usize))
+    }
+
     /// Runs an arbitrary architecturally-correct instruction stream (e.g.
     /// a recorded [`ucsim_trace::Trace`]) — the paper's own methodology:
     /// trace-driven simulation of pre-captured workloads.
@@ -237,6 +253,12 @@ impl RunState {
         self.uops_base = uops;
         self.busy_base = busy;
         self.measure_insts_base = 1; // marker: measurement began
+    }
+
+    /// Marks a degenerate run that never reached the warmup boundary
+    /// (mirrors the short-stream path of [`Simulator::run_stream`]).
+    pub(crate) fn mark_unmeasured(&mut self) {
+        self.measure_insts_base = 0;
     }
 
     fn switch_to(&mut self, path: Path) {
@@ -617,6 +639,24 @@ mod tests {
         assert!(r.decoded_insts > 0);
         assert!(r.oc_fills > 0);
         assert!(r.mean_entry_bytes > 0.0);
+    }
+
+    #[test]
+    fn trace_replay_matches_regeneration() {
+        use ucsim_model::ToJson;
+        let profile = WorkloadProfile::quick_test();
+        let program = Program::generate(&profile);
+        let cfg = SimConfig::table1().quick();
+        let sim = Simulator::new(cfg.clone());
+        let walked = sim.run(&profile, &program);
+        let trace =
+            ucsim_trace::record_workload(&profile, &program, cfg.warmup_insts + cfg.measure_insts);
+        let replayed = sim.run_trace(profile.name, &trace);
+        assert_eq!(
+            walked.to_json_string(),
+            replayed.to_json_string(),
+            "replayed report must be byte-identical canonical JSON"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! prediction windows round-robin.
 
 use ucsim_bpu::{BpuStats, PwGenerator};
-use ucsim_trace::{Program, WorkloadProfile};
+use ucsim_trace::{record_workload, Program, ReplayIter, SharedTrace, WorkloadProfile};
 
 use crate::sim::RunState;
 use crate::{SimConfig, SimReport};
@@ -50,20 +50,40 @@ impl SmtSimulator {
 
     /// Runs two workloads on the shared front end, alternating prediction
     /// windows round-robin, and reports combined metrics.
+    ///
+    /// Records each workload's stream once and replays it — callers
+    /// sweeping several configurations over the same pair should record
+    /// with [`ucsim_trace::record_workload`] themselves and call
+    /// [`SmtSimulator::run_traces`] so the recording is shared across
+    /// the whole sweep, not just across the two threads of one run.
     pub fn run(
         &self,
         a: (&WorkloadProfile, &Program),
         b: (&WorkloadProfile, &Program),
     ) -> SimReport {
         let per_thread = self.cfg.warmup_insts + self.cfg.measure_insts;
-        let mut gen_a = PwGenerator::new(
+        let ta = record_workload(a.0, a.1, per_thread);
+        let tb = record_workload(b.0, b.1, per_thread);
+        self.run_traces((a.0.name, &ta), (b.0.name, &tb))
+    }
+
+    /// One per-thread front-end feed: the branch-predictor + replay
+    /// pipeline both threads are built from (the single place the BPU
+    /// configuration is cloned into a stream).
+    fn thread_feed(&self, trace: &SharedTrace) -> PwGenerator<std::iter::Take<ReplayIter>> {
+        let per_thread = (self.cfg.warmup_insts + self.cfg.measure_insts) as usize;
+        PwGenerator::new(
             self.cfg.bpu.clone(),
-            a.1.walk(a.0).take(per_thread as usize),
-        );
-        let mut gen_b = PwGenerator::new(
-            self.cfg.bpu.clone(),
-            b.1.walk(b.0).take(per_thread as usize),
-        );
+            ReplayIter::new(SharedTrace::clone(trace)).take(per_thread),
+        )
+    }
+
+    /// Runs two recorded workload traces on the shared front end —
+    /// byte-identical to [`SmtSimulator::run`] on the workloads the
+    /// traces were recorded from.
+    pub fn run_traces(&self, a: (&str, &SharedTrace), b: (&str, &SharedTrace)) -> SimReport {
+        let mut gen_a = self.thread_feed(a.1);
+        let mut gen_b = self.thread_feed(b.1);
         let mut st = RunState::with_threads(&self.cfg, 2);
 
         let mut insts_done: u64 = 0;
@@ -98,7 +118,7 @@ impl SmtSimulator {
         }
 
         let bpu = combine(gen_a.stats(), gen_b.stats());
-        let name = format!("smt:{}+{}", a.0.name, b.0.name);
+        let name = format!("smt:{}+{}", a.0, b.0);
         st.finish(&name, insts_done, bpu, &self.cfg)
     }
 }

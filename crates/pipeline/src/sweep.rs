@@ -9,8 +9,66 @@
 //! order).
 
 use ucsim_model::{FromJson, ToJson};
+use ucsim_trace::SharedTrace;
 
-use crate::SimReport;
+use crate::{PwTrace, SimConfig, SimReport, Simulator};
+
+/// A named simulator configuration (one bar/line of a figure, one column
+/// of a sweep).
+#[derive(Debug, Clone)]
+pub struct LabeledConfig {
+    /// Legend label ("baseline", "CLASP", "OC_8K", ...).
+    pub label: String,
+    /// The configuration.
+    pub config: SimConfig,
+}
+
+impl LabeledConfig {
+    /// Creates a labeled configuration.
+    pub fn new(label: &str, config: SimConfig) -> Self {
+        LabeledConfig {
+            label: label.to_owned(),
+            config,
+        }
+    }
+}
+
+/// Runs every configuration against one shared recorded trace — the
+/// record-once/replay-many inner loop of a sweep. Each cell's report is
+/// byte-identical to regenerating the workload stream for that cell
+/// (see [`Simulator::run_trace`]); the walker's synthesis cost is paid
+/// once by whoever recorded `trace`, not `configs.len()` times.
+///
+/// On top of the shared instruction stream, prediction-window generation
+/// is recorded once (see [`PwTrace`]) and replayed into every cell whose
+/// front-end configuration and run length match the first cell's — in a
+/// capacity × policy sweep that is every cell, so the TAGE/BTB/RAS work
+/// is also paid once. Cells with a different front end fall back to a
+/// full per-cell run and remain byte-identical.
+///
+/// Configurations carry their own run lengths; `trace` must hold at
+/// least the largest `warmup + measure` among them for full-length
+/// measurement windows.
+pub fn run_configs_on_trace(
+    name: &str,
+    trace: &SharedTrace,
+    configs: &[LabeledConfig],
+) -> Vec<SimReport> {
+    let Some(first) = configs.first() else {
+        return Vec::new();
+    };
+    let pwt = PwTrace::record(trace, &first.config);
+    configs
+        .iter()
+        .map(|lc| {
+            if pwt.matches(&lc.config) {
+                pwt.replay(name, &lc.config)
+            } else {
+                Simulator::new(lc.config.clone()).run_trace(name, trace)
+            }
+        })
+        .collect()
+}
 
 /// One completed cell of a sweep: a workload simulated under one labeled
 /// configuration.

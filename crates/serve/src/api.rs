@@ -10,7 +10,7 @@
 use ucsim_model::json::{Json, JsonError};
 use ucsim_model::{FromJson, ToJson};
 use ucsim_pipeline::{SimConfig, SimReport};
-use ucsim_trace::WorkloadProfile;
+use ucsim_trace::{TraceKey, WorkloadProfile};
 
 use crate::http::Response;
 
@@ -82,6 +82,17 @@ impl JobSpec {
     /// the job.
     pub fn canonical(&self) -> String {
         self.to_json_string()
+    }
+
+    /// The recorded-stream identity this job consumes: every spec with
+    /// the same workload, seed and run length replays one shared trace,
+    /// however its front-end configuration differs.
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey {
+            workload: self.workload.clone(),
+            seed: self.seed,
+            insts: self.config.warmup_insts + self.config.measure_insts,
+        }
     }
 }
 

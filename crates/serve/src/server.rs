@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use ucsim_model::json::Json;
 use ucsim_pipeline::{SimReport, Simulator};
 use ucsim_pool::{BoundedQueue, PushError, WorkerPool};
-use ucsim_trace::{Program, WorkloadProfile};
+use ucsim_trace::{Program, TraceStore, WorkloadProfile};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest};
 use crate::cache::ResultCache;
@@ -56,6 +56,10 @@ pub struct ServerConfig {
     /// Accept `test-sleep:<ms>` pseudo-workloads (integration tests use
     /// them to hold workers busy deterministically).
     pub enable_test_workloads: bool,
+    /// Budget (in recorded instructions) of the shared trace store:
+    /// jobs with the same workload × seed × run length replay one
+    /// recording instead of re-walking the generator per cell.
+    pub trace_budget_insts: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +75,7 @@ impl Default for ServerConfig {
             keep_alive_idle: Duration::from_secs(30),
             data_dir: None,
             enable_test_workloads: false,
+            trace_budget_insts: 8_000_000,
         }
     }
 }
@@ -91,6 +96,7 @@ struct Inner {
     sweeps: SweepTable,
     cache: ResultCache,
     store: Option<ResultStore>,
+    traces: TraceStore,
     metrics: Metrics,
     stopping: AtomicBool,
     open_conns: AtomicUsize,
@@ -133,6 +139,7 @@ impl Server {
             sweeps: SweepTable::new(cfg.retain_sweeps),
             cache: ResultCache::new(cfg.cache_budget_bytes),
             store,
+            traces: TraceStore::new(cfg.trace_budget_insts),
             metrics: Metrics::new(cfg.workers.max(1)),
             stopping: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
@@ -261,7 +268,7 @@ fn execute(inner: &Inner, work: Work) {
     work.cell.set_running();
     inner.metrics.worker_started();
     let t0 = Instant::now();
-    let result = run_spec(&work.spec, inner.cfg.enable_test_workloads);
+    let result = run_spec(&work.spec, inner.cfg.enable_test_workloads, &inner.traces);
     let us = t0.elapsed().as_micros() as u64;
     match result {
         Ok(report) => {
@@ -292,12 +299,20 @@ fn execute(inner: &Inner, work: Work) {
     inner.jobs.finish(&work.cell);
 }
 
-/// Runs the simulation described by `spec`.
+/// Runs the simulation described by `spec`, replaying the workload's
+/// recorded instruction stream from the shared [`TraceStore`]: the first
+/// job for a workload × seed × run length records, every later cell of
+/// any sweep replays the same `Arc`'d trace (byte-identical reports —
+/// the walker is deterministic, so the recording *is* the stream).
 ///
 /// With test workloads enabled, `test-sleep:<ms>` sleeps that long and
 /// then simulates the quick-test profile — a deterministic way for tests
 /// to keep workers busy.
-fn run_spec(spec: &JobSpec, test_workloads: bool) -> Result<SimReport, String> {
+fn run_spec(
+    spec: &JobSpec,
+    test_workloads: bool,
+    traces: &TraceStore,
+) -> Result<SimReport, String> {
     let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
         if !test_workloads {
             return Err(format!("unknown workload: {}", spec.workload));
@@ -309,8 +324,13 @@ fn run_spec(spec: &JobSpec, test_workloads: bool) -> Result<SimReport, String> {
             .ok_or_else(|| format!("unknown workload: {}", spec.workload))?
     };
     profile.seed = spec.seed;
-    let program = Program::generate(&profile);
-    Ok(Simulator::new(spec.config.clone()).run(&profile, &program))
+    let total = spec.config.warmup_insts + spec.config.measure_insts;
+    let trace = traces.get_or_record(&spec.trace_key(), || {
+        let program = Program::generate(&profile);
+        let insts: Vec<_> = program.walk(&profile).take(total as usize).collect();
+        insts.into_iter()
+    });
+    Ok(Simulator::new(spec.config.clone()).run_trace(profile.name, &trace))
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {

@@ -40,6 +40,15 @@ pub struct CellMeta {
     pub key_hash: u64,
 }
 
+impl CellMeta {
+    /// The recorded-stream identity of this cell: cells sharing a
+    /// workload × seed × run length replay one trace from the server's
+    /// [`ucsim_trace::TraceStore`], whatever their configuration axes.
+    pub fn trace_key(&self) -> ucsim_trace::TraceKey {
+        self.spec.trace_key()
+    }
+}
+
 /// Where a cell currently stands.
 enum CellSlot {
     /// Not yet handed to the queue (the feeder is still working).
@@ -403,6 +412,21 @@ mod tests {
         assert_eq!(keys.len(), 8);
         assert_eq!(metas[0].spec.config.warmup_insts, 100);
         assert_eq!(metas[0].spec.config.measure_insts, 2000);
+    }
+
+    #[test]
+    fn cells_of_one_workload_share_a_trace_key() {
+        let req = parse(
+            r#"{"workloads":["redis","bm-cc"],"capacities":[2048,4096],"policies":["baseline","clasp"],"warmup":100,"insts":2000}"#,
+        );
+        let metas = expand_request(&req, false).unwrap();
+        // All four redis cells replay one recording; bm-cc records its own.
+        let k0 = metas[0].trace_key();
+        assert!(metas[..4].iter().all(|m| m.trace_key() == k0));
+        assert_ne!(metas[4].trace_key(), k0);
+        assert_eq!(k0.insts, 2100);
+        // ...even though every cell has a distinct content address.
+        assert_ne!(metas[0].key_hash, metas[1].key_hash);
     }
 
     #[test]

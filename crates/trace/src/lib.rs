@@ -38,12 +38,14 @@
 pub mod kernels;
 mod profile;
 mod program;
+mod share;
 mod stats;
 mod tracefile;
 mod walker;
 
 pub use profile::WorkloadProfile;
 pub use program::{BasicBlock, Function, Program, TermInst, TermKind};
+pub use share::{record_workload, ReplayIter, SharedTrace, TraceHandle, TraceKey, TraceStore};
 pub use stats::TraceStats;
 pub use tracefile::Trace;
 pub use walker::TraceWalker;

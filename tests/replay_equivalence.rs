@@ -1,0 +1,94 @@
+//! Record-once/replay-many equivalence: replaying one recorded trace
+//! through every cell of a sweep must produce reports byte-identical (as
+//! canonical JSON) to regenerating the instruction stream per cell.
+//!
+//! This is the contract the sweep runners (bench matrix, serve
+//! `/v1/matrix`) rely on to share a single recording across a capacity ×
+//! policy cross; the served-vs-direct byte equality of `/v1/sim` and
+//! `/v1/matrix` responses is covered separately in `serve_integration.rs`.
+
+use ucsim_model::ToJson;
+use ucsim_pipeline::{run_configs_on_trace, LabeledConfig, PwTrace, SimConfig, Simulator};
+use ucsim_trace::{record_workload, Program, WorkloadProfile};
+
+const WORKLOADS: [&str; 3] = ["nutch", "bm-pb", "redis"];
+
+fn policies(warmup: u64, measure: u64) -> Vec<LabeledConfig> {
+    let base = SimConfig::table1().with_insts(warmup, measure);
+    let mut clasp = base.clone();
+    clasp.uop_cache.clasp = true;
+    vec![
+        LabeledConfig::new("baseline", base),
+        LabeledConfig::new("CLASP", clasp),
+    ]
+}
+
+#[test]
+fn replayed_sweep_cells_match_per_cell_regeneration_byte_for_byte() {
+    let (warmup, measure) = (2_000u64, 12_000u64);
+    let configs = policies(warmup, measure);
+    for w in WORKLOADS {
+        let profile = WorkloadProfile::by_name(w).expect("known workload");
+        let program = Program::generate(&profile);
+
+        // Per-cell regeneration: fresh walk for every configuration.
+        let regenerated: Vec<String> = configs
+            .iter()
+            .map(|lc| {
+                Simulator::new(lc.config.clone())
+                    .run(&profile, &program)
+                    .to_json_string()
+            })
+            .collect();
+
+        // Record once, replay through every configuration.
+        let trace = record_workload(&profile, &program, warmup + measure);
+        let replayed: Vec<String> = run_configs_on_trace(profile.name, &trace, &configs)
+            .into_iter()
+            .map(|r| r.to_json_string())
+            .collect();
+
+        assert_eq!(
+            regenerated, replayed,
+            "workload {w}: replayed reports diverged from regeneration"
+        );
+    }
+}
+
+#[test]
+fn run_trace_alone_matches_run_for_every_workload_and_policy() {
+    let (warmup, measure) = (1_000u64, 8_000u64);
+    for w in WORKLOADS {
+        let profile = WorkloadProfile::by_name(w).expect("known workload");
+        let program = Program::generate(&profile);
+        let trace = record_workload(&profile, &program, warmup + measure);
+        for lc in policies(warmup, measure) {
+            let sim = Simulator::new(lc.config.clone());
+            let direct = sim.run(&profile, &program).to_json_string();
+            let replayed = sim.run_trace(profile.name, &trace).to_json_string();
+            assert_eq!(direct, replayed, "workload {w}, policy {}", lc.label);
+        }
+    }
+}
+
+#[test]
+fn pw_trace_replay_matches_full_runs_across_policies() {
+    let (warmup, measure) = (1_000u64, 8_000u64);
+    let configs = policies(warmup, measure);
+    let profile = WorkloadProfile::quick_test();
+    let program = Program::generate(&profile);
+    let trace = record_workload(&profile, &program, warmup + measure);
+    let pwt = PwTrace::record(&trace, &configs[0].config);
+    for lc in &configs {
+        assert!(pwt.matches(&lc.config), "sweep cells share the front end");
+        let direct = Simulator::new(lc.config.clone())
+            .run(&profile, &program)
+            .to_json_string();
+        assert_eq!(
+            pwt.replay(profile.name, &lc.config).to_json_string(),
+            direct,
+            "policy {}",
+            lc.label
+        );
+    }
+}

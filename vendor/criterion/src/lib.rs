@@ -29,6 +29,30 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One completed benchmark measurement, retained by [`Criterion`] so
+/// harness binaries can emit machine-readable results (`BENCH_*.json`)
+/// instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Median per-iteration wall-clock time.
+    pub median: Duration,
+    /// The group's throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements (or bytes) per second implied by the median, when a
+    /// throughput annotation was set and the median is non-zero.
+    pub fn rate(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        (!self.median.is_zero()).then(|| n as f64 / self.median.as_secs_f64())
+    }
+}
+
 /// Timing driver handed to each benchmark closure.
 pub struct Bencher {
     /// Median per-iteration time of the timed samples.
@@ -64,6 +88,7 @@ impl Bencher {
 pub struct Criterion {
     filter: Option<String>,
     test_mode: bool,
+    measurements: Vec<Measurement>,
 }
 
 impl Default for Criterion {
@@ -87,7 +112,11 @@ impl Default for Criterion {
                 s => filter = Some(s.to_owned()),
             }
         }
-        Criterion { filter, test_mode }
+        Criterion {
+            filter,
+            test_mode,
+            measurements: Vec::new(),
+        }
     }
 }
 
@@ -105,8 +134,16 @@ impl Criterion {
     /// Runs a single ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let (filter, test_mode) = (self.filter.clone(), self.test_mode);
-        run_one(id, None, 30, filter.as_deref(), test_mode, f);
+        if let Some(m) = run_one(id, None, 30, filter.as_deref(), test_mode, f) {
+            self.measurements.push(m);
+        }
         self
+    }
+
+    /// Every measurement completed so far (timed mode only; filtered-out
+    /// and test-mode runs record nothing).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
     }
 }
 
@@ -138,14 +175,17 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.as_ref());
-        run_one(
+        let filter = self.criterion.filter.clone();
+        if let Some(m) = run_one(
             &full,
             self.throughput,
             self.samples,
-            self.criterion.filter.as_deref(),
+            filter.as_deref(),
             self.criterion.test_mode,
             f,
-        );
+        ) {
+            self.criterion.measurements.push(m);
+        }
         self
     }
 
@@ -160,10 +200,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
     filter: Option<&str>,
     test_mode: bool,
     mut f: F,
-) {
+) -> Option<Measurement> {
     if let Some(pat) = filter {
         if !id.contains(pat) {
-            return;
+            return None;
         }
     }
     let mut b = Bencher {
@@ -174,7 +214,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut b);
     if test_mode {
         println!("test {id} ... ok");
-        return;
+        return None;
     }
     let t = b.sample_median;
     let rate = match throughput {
@@ -187,6 +227,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!("{id:<40} median {t:>12.3?}{rate}");
+    Some(Measurement {
+        id: id.to_owned(),
+        median: t,
+        throughput,
+    })
 }
 
 /// Bundles benchmark functions into a named group runner.
@@ -219,6 +264,7 @@ mod tests {
         let mut c = Criterion {
             filter: None,
             test_mode: true,
+            measurements: Vec::new(),
         };
         let mut ran = 0;
         {
@@ -231,10 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn measurements_are_retained_in_timed_mode() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+            measurements: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1_000)).sample_size(3);
+            g.bench_function("spin", |b| b.iter(|| black_box(7u64.pow(3))));
+            g.finish();
+        }
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "g/spin");
+        assert!(ms[0].rate().is_some());
+    }
+
+    #[test]
     fn filter_skips_non_matching() {
         let mut c = Criterion {
             filter: Some("match-me".into()),
             test_mode: true,
+            measurements: Vec::new(),
         };
         let mut ran = false;
         c.bench_function("other", |b| b.iter(|| ran = true));
