@@ -1,0 +1,87 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between the code doing
+//! long-running work (the simulation loop, which polls it) and the code
+//! that may need to stop that work (a deadline watchdog, a draining
+//! server). Cancellation is *cooperative*: setting the flag terminates
+//! nothing by itself — the worker must check it at loop boundaries and
+//! unwind cleanly. That is the only kind of cancellation that composes
+//! with a deterministic simulator: there is no safe point to preempt a
+//! thread mid-update, but every prediction-window boundary is a safe
+//! point to stop at.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag. All clones observe the same state.
+///
+/// # Example
+///
+/// ```
+/// use ucsim_model::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`cancel`](Self::cancel).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn separate_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn observable_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

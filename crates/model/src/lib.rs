@@ -19,6 +19,9 @@
 //!   workload synthesis and stable per-uop hashes.
 //! * [`Histogram`] / [`RunningStat`] — bookkeeping used by every stats
 //!   module in the workspace.
+//! * [`CancelToken`] / [`FailureKind`] — cooperative cancellation and the
+//!   stable failure vocabulary shared by the worker pool, the pipeline,
+//!   and the serving layer.
 //! * [`json`] — the workspace's dependency-free JSON wire format, with
 //!   `#[derive(ToJson, FromJson)]` re-exported from `ucsim-derive`.
 //!
@@ -44,6 +47,8 @@ extern crate self as ucsim_model;
 pub mod json;
 
 mod addr;
+mod cancel;
+mod failure;
 mod hist;
 mod inst;
 mod pw;
@@ -52,6 +57,8 @@ mod term;
 mod uop;
 
 pub use addr::{Addr, LineAddr, ICACHE_LINE_BYTES, ICACHE_LINE_SHIFT};
+pub use cancel::CancelToken;
+pub use failure::FailureKind;
 pub use hist::{Histogram, RunningStat};
 pub use inst::{BranchExec, DynInst, InstClass};
 pub use json::{FromJson, Json, JsonError, ToJson};

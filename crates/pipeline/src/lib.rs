@@ -47,6 +47,6 @@ pub use loopcache::{LoopCache, LoopCacheStats};
 pub use metrics::{SimReport, UopSource};
 pub use power::{FrontEndEnergy, PowerConfig};
 pub use pwtrace::PwTrace;
-pub use sim::Simulator;
+pub use sim::{Cancelled, Simulator};
 pub use smt::SmtSimulator;
 pub use sweep::{run_configs_on_trace, LabeledConfig, SweepCellReport, SweepReport};

@@ -4,7 +4,7 @@
 use ucsim_bpu::{PwBatchRef, PwGenerator};
 use ucsim_isa::{uop_kinds_into, MAX_UOPS_PER_INST};
 use ucsim_mem::{AccessKind, FetchDirectedPrefetcher, MemoryHierarchy};
-use ucsim_model::{mix64, Addr, DynInst, PwId, UopKind};
+use ucsim_model::{mix64, Addr, CancelToken, DynInst, PwId, UopKind};
 use ucsim_trace::{Program, WorkloadProfile};
 use ucsim_uopcache::{AccumulationBuffer, UopCache, UopCacheEntry};
 
@@ -14,6 +14,27 @@ use crate::{Backend, BackendConfig, FrontEndEnergy, LoopCache, SimConfig, SimRep
 /// every branch's fetch-to-resolve latency, on top of the decode pipe for
 /// decoder-path branches and the measured execution path.
 const BASE_FRONT_DEPTH: u64 = 6;
+
+/// How many PW batches the main loop processes between cancellation
+/// checks. Polling an atomic every batch would be noise in the hot loop;
+/// every 128 batches (a few thousand instructions) bounds the response
+/// latency to well under a millisecond of simulated work.
+const CANCEL_CHECK_BATCHES: u32 = 128;
+
+/// A cancellable run was stopped before completion (see
+/// [`Simulator::run_stream_cancellable`]). No partial report is produced:
+/// a report over an arbitrary prefix would not be the deterministic
+/// function of (workload, seed, config) that callers cache and persist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("simulation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Which supply path fed the back end last (switch-penalty tracking).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +110,18 @@ impl Simulator {
         self.run_stream(name, trace.iter().take(total as usize))
     }
 
+    /// [`Simulator::run_trace`] with cooperative cancellation: identical
+    /// output when the token never fires, `Err(Cancelled)` otherwise.
+    pub fn run_trace_cancellable(
+        &self,
+        name: &str,
+        trace: &ucsim_trace::Trace,
+        cancel: &CancelToken,
+    ) -> Result<SimReport, Cancelled> {
+        let total = self.cfg.warmup_insts + self.cfg.measure_insts;
+        self.run_stream_cancellable(name, trace.iter().take(total as usize), cancel)
+    }
+
     /// Runs an arbitrary architecturally-correct instruction stream (e.g.
     /// a recorded [`ucsim_trace::Trace`]) — the paper's own methodology:
     /// trace-driven simulation of pre-captured workloads.
@@ -100,12 +133,43 @@ impl Simulator {
     where
         I: Iterator<Item = DynInst>,
     {
+        let never = CancelToken::new();
+        match self.run_stream_cancellable(name, stream, &never) {
+            Ok(report) => report,
+            Err(Cancelled) => unreachable!("token is never cancelled"),
+        }
+    }
+
+    /// [`Simulator::run_stream`] with cooperative cancellation. The token
+    /// is polled every `CANCEL_CHECK_BATCHES` prediction-window batches
+    /// — a PW boundary is the only safe stopping point in the decoupled
+    /// front end, and checking every batch would tax the hot loop. When
+    /// the token fires the run stops promptly and returns
+    /// `Err(Cancelled)`; an un-cancelled run is byte-identical to
+    /// [`Simulator::run_stream`].
+    pub fn run_stream_cancellable<I>(
+        &self,
+        name: &str,
+        stream: I,
+        cancel: &CancelToken,
+    ) -> Result<SimReport, Cancelled>
+    where
+        I: Iterator<Item = DynInst>,
+    {
         let mut pwgen = PwGenerator::new(self.cfg.bpu.clone(), stream);
         let mut st = RunState::new(&self.cfg);
 
         let mut insts_done: u64 = 0;
         let mut measured = false;
+        let mut check_in: u32 = 0;
         loop {
+            if check_in == 0 {
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                check_in = CANCEL_CHECK_BATCHES;
+            }
+            check_in -= 1;
             if !measured && insts_done >= self.cfg.warmup_insts {
                 st.begin_measurement();
                 pwgen.reset_stats();
@@ -121,7 +185,7 @@ impl Simulator {
             st.measure_insts_base = 0;
         }
         let bpu = pwgen.stats();
-        st.finish(name, insts_done, bpu, &self.cfg)
+        Ok(st.finish(name, insts_done, bpu, &self.cfg))
     }
 }
 
@@ -657,6 +721,40 @@ mod tests {
             replayed.to_json_string(),
             "replayed report must be byte-identical canonical JSON"
         );
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run_when_uncancelled() {
+        use ucsim_model::{CancelToken, ToJson};
+        let profile = WorkloadProfile::quick_test();
+        let program = Program::generate(&profile);
+        let cfg = SimConfig::table1().quick();
+        let sim = Simulator::new(cfg.clone());
+        let plain = sim.run(&profile, &program);
+        let trace =
+            ucsim_trace::record_workload(&profile, &program, cfg.warmup_insts + cfg.measure_insts);
+        let cancellable = sim
+            .run_trace_cancellable(profile.name, &trace, &CancelToken::new())
+            .expect("un-cancelled run completes");
+        assert_eq!(
+            plain.to_json_string(),
+            cancellable.to_json_string(),
+            "cancellable path must be byte-identical when the token never fires"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_immediately() {
+        use ucsim_model::CancelToken;
+        let profile = WorkloadProfile::quick_test();
+        let program = Program::generate(&profile);
+        let cfg = SimConfig::table1().quick();
+        let token = CancelToken::new();
+        token.cancel();
+        let total = cfg.warmup_insts + cfg.measure_insts;
+        let trace = ucsim_trace::record_workload(&profile, &program, total);
+        let r = Simulator::new(cfg).run_trace_cancellable(profile.name, &trace, &token);
+        assert_eq!(r.err(), Some(Cancelled));
     }
 
     #[test]

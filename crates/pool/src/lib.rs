@@ -13,11 +13,25 @@
 //!   `ucsim-serve`'s job queue (HTTP 429 when full) is built on this.
 //! * [`WorkerPool`] — a fixed set of named worker threads draining a
 //!   [`BoundedQueue`] until it is closed.
+//! * [`SupervisedPool`] — a `WorkerPool` whose workers survive panicking
+//!   handlers: the panic is caught and reported, and a supervisor thread
+//!   respawns the worker so capacity never decays.
+//! * [`Watchdog`] — one timer thread enforcing wall-clock deadlines on
+//!   any number of in-flight jobs via disarm-on-drop guards.
+//! * [`faults`] — named-site deterministic fault injection, compiled to
+//!   no-ops unless the `fault-injection` feature is enabled.
 //! * [`Progress`] — a mutex-serialized line reporter so progress output
 //!   from concurrent workers never interleaves mid-line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod faults;
+mod supervise;
+mod watchdog;
+
+pub use supervise::{PoolMonitor, SupervisedPool};
+pub use watchdog::{WatchGuard, Watchdog};
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -167,6 +181,19 @@ impl<T> BoundedQueue<T> {
             }
             st = self.not_empty.wait(st).expect("queue lock");
         }
+    }
+
+    /// Dequeues the next item if one is ready; never blocks. A draining
+    /// server uses this to sweep out still-queued jobs and fail them
+    /// explicitly rather than abandoning them at close.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        let item = st.items.pop_front();
+        drop(st);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
     }
 
     /// Closes the queue: future pushes fail, and consumers drain what

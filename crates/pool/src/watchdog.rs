@@ -1,0 +1,264 @@
+//! Wall-clock deadlines for in-flight work.
+//!
+//! One [`Watchdog`] thread serves any number of concurrent jobs: each job
+//! [arms](Watchdog::watch) an entry with a deadline and an expiry action
+//! (typically: cancel the job's [`CancelToken`](ucsim_model::CancelToken)
+//! and mark it failed), and *disarms* it by dropping the returned
+//! [`WatchGuard`] when the job finishes first. Expiry actions run on the
+//! watchdog thread, so they must be quick and must not panic; cooperative
+//! cancellation — flip a token the worker polls — is exactly that.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The action a [`Watchdog`] runs when an armed deadline expires.
+type ExpireAction = Box<dyn FnOnce() + Send>;
+
+struct Entry {
+    id: u64,
+    deadline: Instant,
+    action: ExpireAction,
+}
+
+#[derive(Default)]
+struct WdState {
+    entries: Vec<Entry>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct WdShared {
+    state: Mutex<WdState>,
+    changed: Condvar,
+}
+
+/// A single timer thread firing expiry actions for armed deadlines.
+pub struct Watchdog {
+    shared: Arc<WdShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog thread. One per process/server is plenty.
+    pub fn new() -> Self {
+        let shared = Arc::new(WdShared {
+            state: Mutex::new(WdState::default()),
+            changed: Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("watchdog".to_owned())
+                .spawn(move || run(&shared))
+                .expect("spawn watchdog thread")
+        };
+        Watchdog {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Arms a deadline: `on_expire` runs on the watchdog thread once
+    /// `deadline` passes, unless the returned guard is dropped (or
+    /// [`WatchGuard::disarm`]ed) first. Exactly one of the two happens.
+    pub fn watch(
+        &self,
+        deadline: Instant,
+        on_expire: impl FnOnce() + Send + 'static,
+    ) -> WatchGuard {
+        let mut st = self.shared.state.lock().expect("watchdog lock");
+        let id = st.next_id;
+        st.next_id += 1;
+        st.entries.push(Entry {
+            id,
+            deadline,
+            action: Box::new(on_expire),
+        });
+        drop(st);
+        self.shared.changed.notify_all();
+        WatchGuard {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Number of currently armed (not yet expired or disarmed) deadlines.
+    pub fn armed(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("watchdog lock")
+            .entries
+            .len()
+    }
+
+    /// Stops the watchdog thread. Entries still armed are dropped without
+    /// firing — shutdown supersedes per-job deadlines.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("watchdog lock");
+            st.shutdown = true;
+            st.entries.clear();
+        }
+        self.shared.changed.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Disarms its [`Watchdog`] entry on drop (or explicitly via
+/// [`disarm`](Self::disarm)). If the entry already expired, dropping the
+/// guard is a no-op — the action ran, exactly once.
+pub struct WatchGuard {
+    shared: Arc<WdShared>,
+    id: u64,
+}
+
+impl WatchGuard {
+    /// Disarms the deadline now (equivalent to dropping the guard).
+    pub fn disarm(self) {}
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("watchdog lock");
+        st.entries.retain(|e| e.id != self.id);
+        drop(st);
+        self.shared.changed.notify_all();
+    }
+}
+
+fn run(shared: &WdShared) {
+    let mut st = shared.state.lock().expect("watchdog lock");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Collect every expired action, removing the entries first so a
+        // concurrent guard drop can no longer race the firing.
+        let mut due: Vec<ExpireAction> = Vec::new();
+        let mut i = 0;
+        while i < st.entries.len() {
+            if st.entries[i].deadline <= now {
+                due.push(st.entries.swap_remove(i).action);
+            } else {
+                i += 1;
+            }
+        }
+        if !due.is_empty() {
+            drop(st);
+            for action in due {
+                action();
+            }
+            st = shared.state.lock().expect("watchdog lock");
+            continue;
+        }
+        st = match st.entries.iter().map(|e| e.deadline).min() {
+            Some(next) => {
+                let wait = next.saturating_duration_since(now);
+                shared
+                    .changed
+                    .wait_timeout(st, wait)
+                    .expect("watchdog lock")
+                    .0
+            }
+            None => shared.changed.wait(st).expect("watchdog lock"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn expired_deadline_fires_exactly_once() {
+        let wd = Watchdog::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let guard = wd.watch(Instant::now() + Duration::from_millis(20), move || {
+            f.fetch_add(1, Ordering::AcqRel);
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(fired.load(Ordering::Acquire), 1);
+        drop(guard); // after expiry: no-op
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(fired.load(Ordering::Acquire), 1);
+        wd.shutdown();
+    }
+
+    #[test]
+    fn disarmed_deadline_never_fires() {
+        let wd = Watchdog::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let guard = wd.watch(Instant::now() + Duration::from_millis(60), move || {
+            f.fetch_add(1, Ordering::AcqRel);
+        });
+        guard.disarm();
+        assert_eq!(wd.armed(), 0);
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(fired.load(Ordering::Acquire), 0);
+        wd.shutdown();
+    }
+
+    #[test]
+    fn many_deadlines_fire_in_any_order() {
+        let wd = Watchdog::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let guards: Vec<_> = (0..10)
+            .map(|i| {
+                let f = Arc::clone(&fired);
+                wd.watch(
+                    Instant::now() + Duration::from_millis(10 + i * 5),
+                    move || {
+                        f.fetch_add(1, Ordering::AcqRel);
+                    },
+                )
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::Acquire) < 10 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fired.load(Ordering::Acquire), 10);
+        drop(guards);
+        wd.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_armed_entries_without_firing() {
+        let wd = Watchdog::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let _guard = wd.watch(Instant::now() + Duration::from_millis(50), move || {
+            f.fetch_add(1, Ordering::AcqRel);
+        });
+        wd.shutdown();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(fired.load(Ordering::Acquire), 0);
+    }
+}

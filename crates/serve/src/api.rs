@@ -8,7 +8,7 @@
 //! content address and are simulated at most once.
 
 use ucsim_model::json::{Json, JsonError};
-use ucsim_model::{FromJson, ToJson};
+use ucsim_model::{FailureKind, FromJson, ToJson};
 use ucsim_pipeline::{SimConfig, SimReport};
 use ucsim_trace::{TraceKey, WorkloadProfile};
 
@@ -213,7 +213,14 @@ pub enum ErrorCode {
     MethodNotAllowed,
     /// The server is draining for shutdown and accepts no new work.
     Draining,
-    /// A simulation failed on the server.
+    /// The simulation itself failed (worker panic, captured payload).
+    SimulationFailed,
+    /// The job exceeded its wall-clock deadline and was cancelled.
+    DeadlineExceeded,
+    /// The job was still queued when the server began shutting down; it
+    /// was failed rather than silently dropped.
+    ShuttingDown,
+    /// An unexpected server-side error.
     Internal,
 }
 
@@ -227,6 +234,9 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::Draining => "draining",
+            ErrorCode::SimulationFailed => FailureKind::SimulationFailed.as_str(),
+            ErrorCode::DeadlineExceeded => FailureKind::DeadlineExceeded.as_str(),
+            ErrorCode::ShuttingDown => FailureKind::ShuttingDown.as_str(),
             ErrorCode::Internal => "internal",
         }
     }
@@ -238,8 +248,19 @@ impl ErrorCode {
             ErrorCode::QueueFull => 429,
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
-            ErrorCode::Draining => 503,
-            ErrorCode::Internal => 500,
+            ErrorCode::Draining | ErrorCode::ShuttingDown => 503,
+            ErrorCode::DeadlineExceeded => 504,
+            ErrorCode::SimulationFailed | ErrorCode::Internal => 500,
+        }
+    }
+
+    /// The error code a terminal [`FailureKind`] surfaces as.
+    pub fn from_failure(kind: FailureKind) -> ErrorCode {
+        match kind {
+            FailureKind::SimulationFailed => ErrorCode::SimulationFailed,
+            FailureKind::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            FailureKind::ShuttingDown => ErrorCode::ShuttingDown,
+            FailureKind::StoreIo => ErrorCode::Internal,
         }
     }
 }
@@ -365,6 +386,21 @@ mod tests {
             String::from_utf8(error_envelope(ErrorCode::NotFound, "no such job", None)).unwrap();
         let v = Json::parse(&body).unwrap();
         assert!(v.get("error").unwrap().get("retry_after").is_none());
+    }
+
+    #[test]
+    fn failure_kinds_surface_as_stable_codes() {
+        let cases = [
+            (FailureKind::SimulationFailed, "simulation_failed", 500),
+            (FailureKind::DeadlineExceeded, "deadline_exceeded", 504),
+            (FailureKind::ShuttingDown, "shutting_down", 503),
+            (FailureKind::StoreIo, "internal", 500),
+        ];
+        for (kind, code, status) in cases {
+            let e = ErrorCode::from_failure(kind);
+            assert_eq!(e.as_str(), code);
+            assert_eq!(e.status(), status);
+        }
     }
 
     #[test]

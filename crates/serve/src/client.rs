@@ -2,12 +2,68 @@
 //! used by the `ucsim client` subcommand and the integration tests.
 //!
 //! Two shapes: the one-shot [`request`] (`Connection: close`, reads to
-//! EOF), and the keep-alive [`Client`], which holds one TCP connection
-//! across requests using `Content-Length` framing — a whole
-//! submit-then-poll sweep rides a single connection.
+//! EOF, never retried), and the keep-alive [`Client`], which holds one
+//! TCP connection across requests using `Content-Length` framing — a
+//! whole submit-then-poll sweep rides a single connection. The client's
+//! [`Client::request_retrying`] adds bounded, jittered exponential
+//! backoff around transient failures (connect/read errors and 429
+//! backpressure, honoring `Retry-After`).
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+use ucsim_model::SplitMix64;
+
+/// Bounded retry with jittered exponential backoff.
+///
+/// Retried outcomes: I/O errors (connect refused, reset mid-response)
+/// and HTTP 429. A 429 carrying `Retry-After: <secs>` sleeps that long
+/// (capped at `max_delay`) instead of the computed backoff — the server
+/// knows its queue better than the client does. Any other response,
+/// including 5xx error envelopes, returns immediately: those are
+/// terminal answers, not congestion.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try exactly once).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay * 2^n`, jittered.
+    pub base_delay: Duration,
+    /// Ceiling on any single sleep.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x7e57_ab1e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all (the `--no-retry` escape hatch).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry `attempt` (0-based): exponential from
+    /// `base_delay`, multiplied by a jitter factor in `[0.5, 1.5)`,
+    /// capped at `max_delay`.
+    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let jittered = exp.mul_f64(0.5 + rng.unit_f64());
+        jittered.min(self.max_delay)
+    }
+}
 
 /// A parsed HTTP response.
 #[derive(Debug)]
@@ -69,15 +125,26 @@ pub struct Client {
     addr: String,
     conn: Option<BufReader<TcpStream>>,
     connects: u64,
+    retry: RetryPolicy,
+    jitter: SplitMix64,
 }
 
 impl Client {
-    /// Creates a client for `addr` (connects lazily on first request).
+    /// Creates a client for `addr` (connects lazily on first request)
+    /// with the default [`RetryPolicy`].
     pub fn new(addr: &str) -> Client {
+        Client::with_retry(addr, RetryPolicy::default())
+    }
+
+    /// Creates a client with an explicit retry policy.
+    pub fn with_retry(addr: &str, retry: RetryPolicy) -> Client {
+        let jitter = SplitMix64::new(retry.jitter_seed);
         Client {
             addr: addr.to_owned(),
             conn: None,
             connects: 0,
+            retry,
+            jitter,
         }
     }
 
@@ -85,6 +152,46 @@ impl Client {
     /// by checking this stays at 1 across requests).
     pub fn connects(&self) -> u64 {
         self.connects
+    }
+
+    /// Like [`Client::request`], but retries transient failures — I/O
+    /// errors and 429 responses — up to the policy's `max_retries`,
+    /// sleeping a jittered exponential backoff between attempts. A 429
+    /// with `Retry-After: <secs>` sleeps that long (capped) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once retries are exhausted. An
+    /// exhausted 429 is returned as the response, not an error.
+    pub fn request_retrying(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<HttpResponse> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request(method, path, body);
+            let retriable = match &outcome {
+                Ok(resp) => resp.status == 429,
+                Err(_) => true,
+            };
+            if !retriable || attempt >= self.retry.max_retries {
+                return outcome;
+            }
+            let delay = match &outcome {
+                Ok(resp) => resp
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map_or_else(
+                        || self.retry.backoff(attempt, &mut self.jitter),
+                        |secs| Duration::from_secs(secs).min(self.retry.max_delay),
+                    ),
+                Err(_) => self.retry.backoff(attempt, &mut self.jitter),
+            };
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
     }
 
     /// Sends one request on the kept-alive connection and reads the
@@ -234,6 +341,97 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    /// Reads one request head (through `\r\n\r\n`) off a stream so the
+    /// canned response doesn't race the client's write.
+    fn read_request_head(s: &mut TcpStream) {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            if s.read(&mut byte).unwrap_or(0) == 0 {
+                return;
+            }
+            buf.push(byte[0]);
+        }
+    }
+
+    #[test]
+    fn retrying_client_rides_out_429s() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let answers = [
+                "HTTP/1.1 429 Too Many Requests\r\nretry-after: 0\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+                "HTTP/1.1 429 Too Many Requests\r\nretry-after: 0\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+                "HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok",
+            ];
+            for answer in answers {
+                let (mut s, _) = listener.accept().unwrap();
+                read_request_head(&mut s);
+                s.write_all(answer.as_bytes()).unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut client = Client::with_retry(&addr, policy);
+        let resp = client.request_retrying("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        // One connection per attempt (each answer said `connection: close`).
+        assert_eq!(client.connects(), 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_the_429() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_head(&mut s);
+            s.write_all(
+                b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+            )
+            .unwrap();
+        });
+        let mut client = Client::with_retry(&addr, RetryPolicy::none());
+        let resp = client.request_retrying("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(client.connects(), 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_jittered_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 42,
+        };
+        let mut rng = SplitMix64::new(policy.jitter_seed);
+        for attempt in 0..8 {
+            let d = policy.backoff(attempt, &mut rng);
+            let exp = Duration::from_millis(100 << attempt.min(16));
+            assert!(
+                d >= exp.mul_f64(0.5).min(policy.max_delay),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(
+                d <= policy.max_delay.max(exp.mul_f64(1.5)),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(d <= policy.max_delay, "cap violated at {attempt}: {d:?}");
+        }
+        // Same seed, same sleeps: the jitter stream is deterministic.
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(policy.backoff(3, &mut a), policy.backoff(3, &mut b));
     }
 
     #[test]

@@ -9,8 +9,30 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
+use ucsim_model::FailureKind;
+
 /// Job identifier, monotonically assigned per server.
 pub type JobId = u64;
+
+/// A terminal failure: the stable [`FailureKind`] code plus a
+/// human-readable message (e.g. the captured panic payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Why the job failed (the wire `code`).
+    pub kind: FailureKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobFailure {
+    /// Convenience constructor.
+    pub fn new(kind: FailureKind, message: impl Into<String>) -> Self {
+        JobFailure {
+            kind,
+            message: message.into(),
+        }
+    }
+}
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone)]
@@ -21,8 +43,8 @@ pub enum JobState {
     Running,
     /// Finished; holds the full response envelope bytes.
     Done(Arc<Vec<u8>>),
-    /// Failed; holds the error message.
-    Failed(String),
+    /// Failed; holds the stable error code and message.
+    Failed(JobFailure),
 }
 
 impl JobState {
@@ -86,23 +108,50 @@ impl JobCell {
     }
 
     /// Completes the job with its response envelope and wakes waiters.
-    pub fn complete(&self, body: Arc<Vec<u8>>) {
-        *self.state.lock().expect("job lock") = JobState::Done(body);
+    ///
+    /// First-wins: if the job already settled (e.g. a deadline fired it
+    /// into `Failed` while the worker was finishing anyway), the terminal
+    /// state is kept and this returns `false`.
+    pub fn complete(&self, body: Arc<Vec<u8>>) -> bool {
+        let mut st = self.state.lock().expect("job lock");
+        if matches!(*st, JobState::Done(_) | JobState::Failed(_)) {
+            return false;
+        }
+        *st = JobState::Done(body);
+        drop(st);
         self.done.notify_all();
+        true
     }
 
-    /// Fails the job and wakes waiters.
-    pub fn fail(&self, msg: String) {
-        *self.state.lock().expect("job lock") = JobState::Failed(msg);
+    /// Fails the job and wakes waiters. First-wins like
+    /// [`complete`](Self::complete): returns `false` if the job already
+    /// settled (the watchdog and a panicking worker can race; exactly one
+    /// terminal state survives).
+    pub fn fail(&self, failure: JobFailure) -> bool {
+        let mut st = self.state.lock().expect("job lock");
+        if matches!(*st, JobState::Done(_) | JobState::Failed(_)) {
+            return false;
+        }
+        *st = JobState::Failed(failure);
+        drop(st);
         self.done.notify_all();
+        true
+    }
+
+    /// True once the job reached `Done` or `Failed`.
+    pub fn settled(&self) -> bool {
+        matches!(
+            *self.state.lock().expect("job lock"),
+            JobState::Done(_) | JobState::Failed(_)
+        )
     }
 
     /// Blocks until the job is done or failed.
     ///
     /// # Errors
     ///
-    /// Returns the failure message if the job failed.
-    pub fn wait(&self) -> Result<Arc<Vec<u8>>, String> {
+    /// Returns the failure (stable code + message) if the job failed.
+    pub fn wait(&self) -> Result<Arc<Vec<u8>>, JobFailure> {
         let mut st = self.state.lock().expect("job lock");
         loop {
             match &*st {
@@ -299,8 +348,34 @@ mod tests {
         let Submit::New(c) = t.submit(1) else {
             panic!()
         };
-        c.fail("boom".into());
-        assert_eq!(c.wait().unwrap_err(), "boom");
+        c.fail(JobFailure::new(FailureKind::SimulationFailed, "boom"));
+        let err = c.wait().unwrap_err();
+        assert_eq!(err.kind, FailureKind::SimulationFailed);
+        assert_eq!(err.message, "boom");
         assert_eq!(c.state().name(), "failed");
+    }
+
+    #[test]
+    fn terminal_state_is_first_wins() {
+        let t = JobTable::new(4);
+        let Submit::New(c) = t.submit(1) else {
+            panic!()
+        };
+        // Deadline fires first…
+        assert!(c.fail(JobFailure::new(FailureKind::DeadlineExceeded, "late")));
+        // …then the worker finishes anyway: the completion is discarded.
+        assert!(!c.complete(Arc::new(b"r".to_vec())));
+        assert!(!c.fail(JobFailure::new(FailureKind::SimulationFailed, "again")));
+        let err = c.wait().unwrap_err();
+        assert_eq!(err.kind, FailureKind::DeadlineExceeded);
+        assert!(c.settled());
+
+        // And the mirror image: completion first, failure discarded.
+        let Submit::New(d) = t.submit(2) else {
+            panic!()
+        };
+        assert!(d.complete(Arc::new(b"ok".to_vec())));
+        assert!(!d.fail(JobFailure::new(FailureKind::DeadlineExceeded, "late")));
+        assert_eq!(d.wait().unwrap().as_slice(), b"ok");
     }
 }

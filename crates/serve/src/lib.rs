@@ -74,12 +74,12 @@ mod sweep;
 
 pub use api::{ErrorCode, JobSpec, MatrixRequest, SimRequest};
 pub use cache::{CacheStats, ResultCache};
-pub use client::{request, Client, HttpResponse};
+pub use client::{request, Client, HttpResponse, RetryPolicy};
 pub use http::{HttpConn, ReadOutcome, Request, Response};
-pub use jobs::{JobCell, JobId, JobState, JobTable, Submit};
+pub use jobs::{JobCell, JobFailure, JobId, JobState, JobTable, Submit};
 pub use metrics::Metrics;
 pub use router::{Params, Route, Router};
 pub use server::{Server, ServerConfig};
 pub use signal::{install_signal_handlers, request_shutdown, signalled};
-pub use store::{ResultStore, StoreRecord};
+pub use store::{RecordKind, ResultStore, StoreRecord};
 pub use sweep::{CellMeta, Sweep, SweepTable};

@@ -19,6 +19,11 @@ OPTIONS:
     --cache-mb N      result cache budget [default: 64]
     --data-dir DIR    persist results to DIR/results.log and replay
                       them into the cache on startup
+    --durable         fsync the store after every appended record
+    --deadline-ms N   per-job wall-clock deadline; late jobs fail with
+                      deadline_exceeded       [default: none]
+    --drain-timeout S seconds shutdown waits for open connections
+                      before failing queued jobs [default: 30]
     --help            show this help
 
 ENDPOINTS:
@@ -66,6 +71,17 @@ fn main() -> ExitCode {
             "--data-dir" => match args.next() {
                 Some(v) => cfg.data_dir = Some(v.into()),
                 None => return bail("--data-dir needs a path"),
+            },
+            "--durable" => cfg.durable_store = true,
+            "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => {
+                    cfg.job_deadline = Some(std::time::Duration::from_millis(v));
+                }
+                _ => return bail("--deadline-ms needs a positive number"),
+            },
+            "--drain-timeout" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cfg.drain_timeout = std::time::Duration::from_secs(v),
+                None => return bail("--drain-timeout needs a number of seconds"),
             },
             other => return bail(&format!("unknown option: {other}")),
         }

@@ -42,6 +42,10 @@ pub struct Metrics {
     jobs_executed: AtomicU64,
     /// Jobs that failed.
     jobs_failed: AtomicU64,
+    /// Jobs failed specifically by the deadline watchdog.
+    jobs_deadline_exceeded: AtomicU64,
+    /// Failed appends to the persistent result store.
+    store_write_errors: AtomicU64,
     /// Requests rejected with 429.
     rejected_429: AtomicU64,
     /// HTTP requests served, any endpoint/status.
@@ -59,6 +63,8 @@ impl Metrics {
             busy_us: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_deadline_exceeded: AtomicU64::new(0),
+            store_write_errors: AtomicU64::new(0),
             rejected_429: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             latency: Mutex::new(
@@ -85,6 +91,31 @@ impl Metrics {
         }
     }
 
+    /// Accounts a worker that died mid-job (panic caught by the
+    /// supervisor): balances [`worker_started`](Self::worker_started) and
+    /// counts the job as executed-and-failed.
+    pub fn worker_panicked(&self, us: u64) {
+        self.worker_finished(us, true);
+    }
+
+    /// Counts a job failed by the deadline watchdog. The executed/failed
+    /// accounting still flows through
+    /// [`worker_finished`](Self::worker_finished) when the cancelled
+    /// worker unwinds; this tracks the deadline-specific count.
+    pub fn deadline_exceeded(&self) {
+        self.jobs_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job failed without ever executing (drained at shutdown).
+    pub fn job_failed_unexecuted(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a failed append to the persistent result store.
+    pub fn store_write_error(&self) {
+        self.store_write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts a 429 rejection.
     pub fn rejected(&self) {
         self.rejected_429.fetch_add(1, Ordering::Relaxed);
@@ -104,8 +135,17 @@ impl Metrics {
         self.jobs_executed.load(Ordering::Relaxed)
     }
 
-    /// Builds the `GET /v1/metrics` document.
-    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: &CacheStats) -> Json {
+    /// Builds the `GET /v1/metrics` document. `workers_alive` and
+    /// `workers_respawned` come from the supervised pool's monitor (the
+    /// pool owns those counters; metrics only reports them).
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache: &CacheStats,
+        workers_alive: usize,
+        workers_respawned: u64,
+    ) -> Json {
         let uptime_us = self.started.elapsed().as_micros() as u64;
         let busy_us = self.busy_us.load(Ordering::Relaxed);
         let utilization = if uptime_us == 0 {
@@ -131,6 +171,7 @@ impl Metrics {
         ]);
         let workers = Json::Obj(vec![
             ("count".to_owned(), Json::Uint(self.workers as u64)),
+            ("alive".to_owned(), Json::Uint(workers_alive as u64)),
             (
                 "busy".to_owned(),
                 Json::Uint(self.busy_workers.load(Ordering::Relaxed) as u64),
@@ -144,7 +185,19 @@ impl Metrics {
                 "jobs_failed".to_owned(),
                 Json::Uint(self.jobs_failed.load(Ordering::Relaxed)),
             ),
+            (
+                "jobs_deadline_exceeded".to_owned(),
+                Json::Uint(self.jobs_deadline_exceeded.load(Ordering::Relaxed)),
+            ),
+            (
+                "workers_respawned".to_owned(),
+                Json::Uint(workers_respawned),
+            ),
         ]);
+        let store = Json::Obj(vec![(
+            "write_errors".to_owned(),
+            Json::Uint(self.store_write_errors.load(Ordering::Relaxed)),
+        )]);
         let cache_json = Json::Obj(vec![
             ("entries".to_owned(), Json::Uint(cache.entries as u64)),
             ("bytes".to_owned(), Json::Uint(cache.bytes as u64)),
@@ -174,6 +227,7 @@ impl Metrics {
             ),
             ("queue".to_owned(), queue),
             ("workers".to_owned(), workers),
+            ("store".to_owned(), store),
             ("cache".to_owned(), cache_json),
             ("latency_us".to_owned(), latency),
         ])
@@ -206,12 +260,40 @@ mod tests {
         m.worker_finished(1000, false);
         m.worker_started();
         m.worker_finished(500, true);
-        assert_eq!(m.executed(), 2);
-        let j = m.to_json(0, 4, &CacheStats::default());
+        m.worker_started();
+        m.worker_panicked(200);
+        assert_eq!(m.executed(), 3);
+        let j = m.to_json(0, 4, &CacheStats::default(), 2, 1);
         let workers = j.get("workers").unwrap();
         assert_eq!(workers.get("busy").unwrap().as_u64(), Some(0));
-        assert_eq!(workers.get("jobs_executed").unwrap().as_u64(), Some(2));
+        assert_eq!(workers.get("alive").unwrap().as_u64(), Some(2));
+        assert_eq!(workers.get("jobs_executed").unwrap().as_u64(), Some(3));
+        assert_eq!(workers.get("jobs_failed").unwrap().as_u64(), Some(2));
+        assert_eq!(workers.get("workers_respawned").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn failure_counters_land_in_the_document() {
+        let m = Metrics::new(1);
+        m.deadline_exceeded();
+        m.deadline_exceeded();
+        m.job_failed_unexecuted();
+        m.store_write_error();
+        let j = m.to_json(0, 1, &CacheStats::default(), 1, 0);
+        let workers = j.get("workers").unwrap();
+        assert_eq!(
+            workers.get("jobs_deadline_exceeded").unwrap().as_u64(),
+            Some(2)
+        );
         assert_eq!(workers.get("jobs_failed").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            j.get("store")
+                .unwrap()
+                .get("write_errors")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -221,7 +303,7 @@ mod tests {
         m.observe("POST /v1/sim", 700);
         m.observe("GET /v1/metrics", 10);
         m.observe("GET /unknown", 10); // counted as a request, no histogram
-        let j = m.to_json(0, 1, &CacheStats::default());
+        let j = m.to_json(0, 1, &CacheStats::default(), 1, 0);
         assert_eq!(j.get("requests").unwrap().as_u64(), Some(4));
         let lat = j.get("latency_us").unwrap();
         let sim = lat.get("POST /v1/sim").unwrap();
@@ -239,7 +321,7 @@ mod tests {
             misses: 1,
             ..CacheStats::default()
         };
-        let j = m.to_json(2, 8, &stats);
+        let j = m.to_json(2, 8, &stats, 3, 0);
         let q = j.get("queue").unwrap();
         assert_eq!(q.get("depth").unwrap().as_u64(), Some(2));
         assert_eq!(q.get("capacity").unwrap().as_u64(), Some(8));

@@ -1,27 +1,30 @@
 //! The server proper: accept loop, the typed route table, keep-alive
-//! connection handling, the bounded job queue, the worker pool, sweep
-//! fan-out, the persistent result store, and graceful shutdown.
+//! connection handling, the bounded job queue, the supervised worker
+//! pool, per-job deadlines, sweep fan-out, the persistent result store,
+//! and graceful shutdown.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ucsim_model::json::Json;
-use ucsim_pipeline::{SimReport, Simulator};
-use ucsim_pool::{BoundedQueue, PushError, WorkerPool};
+use ucsim_model::{CancelToken, FailureKind};
+use ucsim_pipeline::{Cancelled, SimReport, Simulator};
+use ucsim_pool::{faults, BoundedQueue, PoolMonitor, PushError, SupervisedPool, Watchdog};
 use ucsim_trace::{Program, TraceStore, WorkloadProfile};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest};
 use crate::cache::ResultCache;
 use crate::http::{HttpConn, ReadOutcome, Request, Response};
-use crate::jobs::{JobState, JobTable, Submit};
+use crate::jobs::{JobFailure, JobState, JobTable, Submit};
 use crate::metrics::Metrics;
 use crate::router::{Params, Route, Router};
-use crate::store::ResultStore;
+use crate::store::{RecordKind, ResultStore};
 use crate::sweep::{self, Sweep, SweepTable};
 use crate::{jobs, signal};
 
@@ -60,6 +63,16 @@ pub struct ServerConfig {
     /// jobs with the same workload × seed × run length replay one
     /// recording instead of re-walking the generator per cell.
     pub trace_budget_insts: u64,
+    /// Per-job wall-clock deadline. When a job exceeds it, the watchdog
+    /// cancels the simulation cooperatively and fails the job with
+    /// `deadline_exceeded`; `None` disables deadlines.
+    pub job_deadline: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for open connections before
+    /// failing still-queued jobs with `shutting_down`.
+    pub drain_timeout: Duration,
+    /// Fsync the persistent store after every appended record (slower,
+    /// but survives power loss, not just process death).
+    pub durable_store: bool,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +89,9 @@ impl Default for ServerConfig {
             data_dir: None,
             enable_test_workloads: false,
             trace_budget_insts: 8_000_000,
+            job_deadline: None,
+            drain_timeout: Duration::from_secs(30),
+            durable_store: false,
         }
     }
 }
@@ -85,6 +101,9 @@ struct Work {
     cell: Arc<jobs::JobCell>,
     spec: JobSpec,
     canonical: String,
+    /// Flipped by the watchdog on deadline expiry; the simulation loop
+    /// polls it at PW-batch boundaries and bails out.
+    cancel: CancelToken,
 }
 
 /// Shared state every connection handler, worker, and sweep feeder sees.
@@ -95,11 +114,28 @@ struct Inner {
     jobs: JobTable,
     sweeps: SweepTable,
     cache: ResultCache,
+    /// Negative cache: content keys whose simulation failed
+    /// *deterministically* (a panic is a pure function of the spec, like
+    /// a result). Deadline and shutdown failures are environmental and
+    /// never land here.
+    failed: Mutex<HashMap<u64, (String, JobFailure)>>,
     store: Option<ResultStore>,
     traces: TraceStore,
     metrics: Metrics,
+    watchdog: Watchdog,
+    /// Health view of the supervised pool (set once at startup).
+    pool_monitor: OnceLock<PoolMonitor>,
     stopping: AtomicBool,
     open_conns: AtomicUsize,
+}
+
+impl Inner {
+    /// Looks up a deterministic failure for this exact canonical spec.
+    fn failed_for(&self, hash: u64, canonical: &str) -> Option<JobFailure> {
+        let map = self.failed.lock().expect("failed cache lock");
+        map.get(&hash)
+            .and_then(|(c, f)| (c == canonical).then(|| f.clone()))
+    }
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -108,7 +144,7 @@ pub struct Server {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    pool: Option<WorkerPool>,
+    pool: Option<SupervisedPool>,
 }
 
 impl Server {
@@ -125,7 +161,7 @@ impl Server {
 
         let (store, replayed) = match &cfg.data_dir {
             Some(dir) => {
-                let (store, records) = ResultStore::open(dir)?;
+                let (store, records) = ResultStore::open(dir, cfg.durable_store)?;
                 (Some(store), records)
             }
             None => (None, Vec::new()),
@@ -138,29 +174,54 @@ impl Server {
             jobs: JobTable::new(cfg.retain_jobs),
             sweeps: SweepTable::new(cfg.retain_sweeps),
             cache: ResultCache::new(cfg.cache_budget_bytes),
+            failed: Mutex::new(HashMap::new()),
             store,
             traces: TraceStore::new(cfg.trace_budget_insts),
             metrics: Metrics::new(cfg.workers.max(1)),
+            watchdog: Watchdog::new(),
+            pool_monitor: OnceLock::new(),
             stopping: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
             cfg,
         });
 
-        // Warm the cache from the store: a restarted server answers every
-        // previously computed job (and whole sweeps) without simulating.
+        // Warm the caches from the store: a restarted server answers every
+        // previously computed job (and whole sweeps) without simulating,
+        // and every deterministic failure without re-panicking a worker.
         for rec in replayed {
-            inner
-                .cache
-                .put(rec.key_hash, rec.canonical, Arc::new(rec.payload));
+            match rec.kind {
+                RecordKind::Result => {
+                    inner
+                        .cache
+                        .put(rec.key_hash, rec.canonical, Arc::new(rec.payload));
+                }
+                RecordKind::Failed => {
+                    if let Some(failure) = rec.failure() {
+                        if failure.kind.is_deterministic() {
+                            inner
+                                .failed
+                                .lock()
+                                .expect("failed cache lock")
+                                .insert(rec.key_hash, (rec.canonical, failure));
+                        }
+                    }
+                }
+            }
         }
 
         let worker_inner = Arc::clone(&inner);
-        let pool = WorkerPool::spawn(
+        let panic_inner = Arc::clone(&inner);
+        let pool = SupervisedPool::spawn(
             "sim-worker",
             inner.cfg.workers,
             queue,
-            Arc::new(move |work: Work| execute(&worker_inner, work)),
+            Arc::new(move |work: &Work| execute(&worker_inner, work)),
+            Arc::new(move |work: &Work, payload: &str| job_panicked(&panic_inner, work, payload)),
         );
+        inner
+            .pool_monitor
+            .set(pool.monitor())
+            .unwrap_or_else(|_| unreachable!("pool monitor set once"));
 
         let accept_inner = Arc::clone(&inner);
         let accept_thread = std::thread::Builder::new()
@@ -196,8 +257,26 @@ impl Server {
         self.shutdown();
     }
 
-    /// Graceful shutdown: stop accepting, let queued and in-flight jobs
-    /// finish, wake their waiters, then join all threads.
+    /// Number of workers currently alive (for tests).
+    pub fn workers_alive(&self) -> usize {
+        self.inner
+            .pool_monitor
+            .get()
+            .map_or(0, ucsim_pool::PoolMonitor::alive)
+    }
+
+    /// Replacement workers spawned after panics so far (for tests).
+    pub fn workers_respawned(&self) -> u64 {
+        self.inner
+            .pool_monitor
+            .get()
+            .map_or(0, ucsim_pool::PoolMonitor::respawned)
+    }
+
+    /// Graceful shutdown: stop accepting, wait up to the configured drain
+    /// timeout for open connections, fail whatever is still queued with
+    /// `shutting_down` (waiters get an explicit envelope instead of a
+    /// hang), then join all threads.
     pub fn shutdown(mut self) {
         self.inner.stopping.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
@@ -208,14 +287,30 @@ impl Server {
         // still enqueue; wait for them to finish before closing the queue
         // so their jobs are either queued (and will drain) or rejected
         // consistently. Blocked sweep feeders wake on close with `Closed`.
-        let deadline = Instant::now() + Duration::from_secs(30);
+        let deadline = Instant::now() + self.inner.cfg.drain_timeout;
         while self.inner.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
+        }
+        // Sweep out jobs that never reached a worker: fail them now so
+        // pollers and joined waiters observe a terminal state. These are
+        // environmental failures — never persisted or negatively cached.
+        while let Some(work) = self.inner.queue.try_pop() {
+            let failure = JobFailure::new(
+                FailureKind::ShuttingDown,
+                "server shut down before the job ran",
+            );
+            if work.cell.fail(failure) {
+                self.inner.metrics.job_failed_unexecuted();
+                self.inner.jobs.finish(&work.cell);
+            }
         }
         self.inner.queue.close();
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
+        // The watchdog stops when the last `Inner` reference drops;
+        // deadlines only arm once a worker picks a job up, so the swept
+        // jobs never had one.
     }
 }
 
@@ -262,41 +357,124 @@ fn routes() -> Router<Arc<Inner>> {
     ])
 }
 
-/// Runs one job on a worker thread: simulate, encode, persist, cache,
-/// wake.
-fn execute(inner: &Inner, work: Work) {
+/// Runs one job on a worker thread: arm the deadline, simulate (with
+/// cooperative cancellation), encode, persist, cache, wake.
+///
+/// Runs under `catch_unwind` in the supervised pool; a panic anywhere in
+/// here lands in [`job_panicked`] on the same thread, then the supervisor
+/// respawns the worker.
+fn execute(inner: &Arc<Inner>, work: &Work) {
     work.cell.set_running();
     inner.metrics.worker_started();
     let t0 = Instant::now();
-    let result = run_spec(&work.spec, inner.cfg.enable_test_workloads, &inner.traces);
+
+    // Arm the per-job deadline. The guard disarms on every exit from this
+    // function — including a panic's unwind — so the watchdog only fires
+    // for jobs still genuinely in flight.
+    let _guard = inner.cfg.job_deadline.map(|limit| {
+        let cell = Arc::clone(&work.cell);
+        let cancel = work.cancel.clone();
+        let wd_inner = Arc::clone(inner);
+        let ms = limit.as_millis();
+        inner.watchdog.watch(Instant::now() + limit, move || {
+            cancel.cancel();
+            let failure = JobFailure::new(
+                FailureKind::DeadlineExceeded,
+                format!("job exceeded the {ms}ms deadline"),
+            );
+            if cell.fail(failure) {
+                wd_inner.metrics.deadline_exceeded();
+            }
+        })
+    });
+
+    faults::check("worker.pre_sim");
+    let result = run_spec(
+        &work.spec,
+        inner.cfg.enable_test_workloads,
+        &inner.traces,
+        &work.cancel,
+    );
     let us = t0.elapsed().as_micros() as u64;
     match result {
         Ok(report) => {
             let payload = Arc::new(api::encode_report(&report));
-            if let Some(store) = &inner.store {
-                // A failed append costs durability, not the response: the
-                // in-memory cache still holds the result.
-                if let Err(e) = store.append(work.cell.key_hash, &work.canonical, &payload) {
-                    eprintln!(
-                        "ucsim-serve: appending to {} failed: {e}",
-                        store.path().display()
-                    );
+            inner.metrics.worker_finished(us, false);
+            // First-wins: if the deadline already failed this job, keep
+            // the failure — but still cache the result (it is correct and
+            // deterministic; the *job* was late, the *value* is fine).
+            inner.cache.put(
+                work.cell.key_hash,
+                work.canonical.clone(),
+                Arc::clone(&payload),
+            );
+            if work
+                .cell
+                .complete(Arc::new(api::envelope(work.cell.key_hash, false, &payload)))
+            {
+                work.cell.set_payload(Arc::clone(&payload));
+                if let Some(store) = &inner.store {
+                    // A failed append costs durability, not the response:
+                    // the in-memory cache still holds the result.
+                    if let Err(e) = store.append(work.cell.key_hash, &work.canonical, &payload) {
+                        inner.metrics.store_write_error();
+                        eprintln!(
+                            "ucsim-serve: appending to {} failed: {e}",
+                            store.path().display()
+                        );
+                    }
                 }
             }
-            inner
-                .cache
-                .put(work.cell.key_hash, work.canonical, Arc::clone(&payload));
-            let body = api::envelope(work.cell.key_hash, false, &payload);
-            inner.metrics.worker_finished(us, false);
-            work.cell.set_payload(payload);
-            work.cell.complete(Arc::new(body));
         }
-        Err(msg) => {
+        Err(RunError::Cancelled) => {
+            // The watchdog already failed the cell and counted the
+            // deadline; account the worker time as a failed execution.
             inner.metrics.worker_finished(us, true);
-            work.cell.fail(msg);
+        }
+        Err(RunError::Rejected(msg)) => {
+            inner.metrics.worker_finished(us, true);
+            work.cell
+                .fail(JobFailure::new(FailureKind::SimulationFailed, msg));
         }
     }
     inner.jobs.finish(&work.cell);
+}
+
+/// Runs on the dying worker thread after a caught panic: fail the job
+/// with the captured payload, persist + negatively cache the failure
+/// (panics are deterministic — a pure function of the spec), and release
+/// the job's key.
+fn job_panicked(inner: &Arc<Inner>, work: &Work, payload: &str) {
+    let failure = JobFailure::new(
+        FailureKind::SimulationFailed,
+        format!("worker panicked: {payload}"),
+    );
+    inner.metrics.worker_panicked(0);
+    if work.cell.fail(failure.clone()) {
+        if let Some(store) = &inner.store {
+            if let Err(e) = store.append_failed(work.cell.key_hash, &work.canonical, &failure) {
+                inner.metrics.store_write_error();
+                eprintln!(
+                    "ucsim-serve: appending failure to {} failed: {e}",
+                    store.path().display()
+                );
+            }
+        }
+        inner
+            .failed
+            .lock()
+            .expect("failed cache lock")
+            .insert(work.cell.key_hash, (work.canonical.clone(), failure));
+    }
+    inner.jobs.finish(&work.cell);
+}
+
+/// Why [`run_spec`] didn't produce a report.
+enum RunError {
+    /// The cancel token flipped (deadline expired) mid-simulation.
+    Cancelled,
+    /// The spec itself is unrunnable (unknown workload).
+    Rejected(String),
 }
 
 /// Runs the simulation described by `spec`, replaying the workload's
@@ -312,25 +490,32 @@ fn run_spec(
     spec: &JobSpec,
     test_workloads: bool,
     traces: &TraceStore,
-) -> Result<SimReport, String> {
+    cancel: &CancelToken,
+) -> Result<SimReport, RunError> {
     let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
         if !test_workloads {
-            return Err(format!("unknown workload: {}", spec.workload));
+            return Err(RunError::Rejected(format!(
+                "unknown workload: {}",
+                spec.workload
+            )));
         }
         std::thread::sleep(Duration::from_millis(ms));
         WorkloadProfile::quick_test()
     } else {
         WorkloadProfile::by_name(&spec.workload)
-            .ok_or_else(|| format!("unknown workload: {}", spec.workload))?
+            .ok_or_else(|| RunError::Rejected(format!("unknown workload: {}", spec.workload)))?
     };
     profile.seed = spec.seed;
+    faults::check("worker.simulate");
     let total = spec.config.warmup_insts + spec.config.measure_insts;
     let trace = traces.get_or_record(&spec.trace_key(), || {
         let program = Program::generate(&profile);
         let insts: Vec<_> = program.walk(&profile).take(total as usize).collect();
         insts.into_iter()
     });
-    Ok(Simulator::new(spec.config.clone()).run_trace(profile.name, &trace))
+    Simulator::new(spec.config.clone())
+        .run_trace_cancellable(profile.name, &trace, cancel)
+        .map_err(|Cancelled| RunError::Cancelled)
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
@@ -414,6 +599,16 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
         return Response::json(200, api::envelope(hash, true, &payload));
     }
 
+    // 1b. Known-deterministic failure: answer with the stable code
+    // instead of panicking another worker on the same spec.
+    if let Some(failure) = inner.failed_for(hash, &canonical) {
+        return api::error_response(
+            ErrorCode::from_failure(failure.kind),
+            &failure.message,
+            None,
+        );
+    }
+
     // 2. Coalesce onto an in-flight job for the same key, or create one.
     let cell = match inner.jobs.submit(hash) {
         Submit::Joined(cell) => {
@@ -425,6 +620,7 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
                 cell: Arc::clone(&cell),
                 spec,
                 canonical,
+                cancel: CancelToken::new(),
             };
             match inner.queue.try_push(work) {
                 Ok(()) => cell,
@@ -461,7 +657,11 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
 
     match cell.wait() {
         Ok(body) => Response::json(200, body.to_vec()),
-        Err(msg) => api::error_response(ErrorCode::Internal, &msg, None),
+        Err(failure) => api::error_response(
+            ErrorCode::from_failure(failure.kind),
+            &failure.message,
+            None,
+        ),
     }
 }
 
@@ -514,6 +714,12 @@ fn feed_sweep(inner: &Inner, sweep: &Sweep) {
             sweep.fulfill(idx, payload);
             continue;
         }
+        // A known-deterministic failure settles the cell immediately —
+        // the sweep completes as `partial` instead of re-panicking.
+        if let Some(failure) = inner.failed_for(meta.key_hash, &meta.canonical) {
+            sweep.fail(idx, failure);
+            continue;
+        }
         match inner.jobs.submit(meta.key_hash) {
             Submit::Joined(job) => {
                 inner.cache.record_coalesced();
@@ -525,11 +731,16 @@ fn feed_sweep(inner: &Inner, sweep: &Sweep) {
                     cell: job,
                     spec: meta.spec.clone(),
                     canonical: meta.canonical.clone(),
+                    cancel: CancelToken::new(),
                 };
                 if let Err(PushError::Closed(w) | PushError::Full(w)) = inner.queue.push_wait(work)
                 {
+                    let failure =
+                        JobFailure::new(FailureKind::ShuttingDown, "server shutting down");
+                    w.cell.fail(failure.clone());
                     inner.jobs.abandon(&w.cell);
-                    sweep.fail(idx, "server shutting down".to_owned());
+                    inner.metrics.job_failed_unexecuted();
+                    sweep.fail(idx, failure);
                 }
             }
         }
@@ -569,8 +780,14 @@ fn handle_job_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Respon
             out.push('}');
             Response::json(200, out.into_bytes())
         }
-        JobState::Failed(msg) => {
-            obj.push(("error".to_owned(), Json::Str(msg)));
+        JobState::Failed(failure) => {
+            obj.push((
+                "error".to_owned(),
+                Json::Obj(vec![
+                    ("code".to_owned(), Json::Str(failure.kind.to_string())),
+                    ("message".to_owned(), Json::Str(failure.message)),
+                ]),
+            ));
             Response::json(200, Json::Obj(obj).to_string().into_bytes())
         }
         _ => Response::json(200, Json::Obj(obj).to_string().into_bytes()),
@@ -579,9 +796,19 @@ fn handle_job_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Respon
 
 fn handle_metrics(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
     let stats = inner.cache.stats();
+    let (alive, respawned) = inner
+        .pool_monitor
+        .get()
+        .map_or((0, 0), |m| (m.alive(), m.respawned()));
     let body = inner
         .metrics
-        .to_json(inner.queue.len(), inner.queue.capacity(), &stats)
+        .to_json(
+            inner.queue.len(),
+            inner.queue.capacity(),
+            &stats,
+            alive,
+            respawned,
+        )
         .to_string()
         .into_bytes();
     Response::json(200, body)

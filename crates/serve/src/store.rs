@@ -1,51 +1,109 @@
 //! The persistent result store: an append-only, checksummed log of
-//! completed simulation results under `--data-dir`.
+//! terminal job outcomes under `--data-dir`.
 //!
 //! Simulations are deterministic (DESIGN.md §6), so a result is valid
 //! forever; the store makes the content-addressed cache survive restarts.
-//! Every completed job appends one record; on startup the log is replayed
-//! into the in-memory LRU, so a restarted server answers previously
-//! computed jobs (and whole sweeps) from disk with zero re-simulations.
+//! Every completed job appends one `RESULT` record, and every
+//! *deterministic* failure (a worker panic — the same spec panics the
+//! same way) appends one `FAILED` record. On startup the log is replayed
+//! into the in-memory caches, so a restarted server answers previously
+//! computed jobs (and whole sweeps) from disk with zero re-simulations —
+//! including re-reporting failures without re-running doomed specs.
+//! Environment-dependent failures (deadlines, drain) are never persisted.
 //!
 //! ## File format (`results.log`)
 //!
-//! An 8-byte magic (`UCSTOR01`) followed by records, all integers
+//! An 8-byte magic (`UCSTOR02`) followed by records, all integers
 //! big-endian:
 //!
 //! ```text
-//! [u64 key_hash][u32 canonical_len][u32 payload_len][u64 checksum]
+//! [u8 kind][u64 key_hash][u32 canonical_len][u32 payload_len][u64 checksum]
 //! [canonical bytes][payload bytes]
 //! ```
 //!
-//! `key_hash` is the FNV-1a content address of the canonical spec;
-//! `checksum` is FNV-1a over the concatenated canonical + payload bytes.
-//! Replay stops at the first short or checksum-failing record and
-//! truncates the file there, so a crash mid-append costs at most the last
-//! record — never the log.
+//! `kind` is 1 (`RESULT`: payload is the report JSON) or 2 (`FAILED`:
+//! payload is `{"code":…,"message":…}`). `key_hash` is the FNV-1a content
+//! address of the canonical spec; `checksum` is FNV-1a over the
+//! concatenated canonical + payload bytes. Replay stops at the first
+//! short, unknown-kind, or checksum-failing record and truncates the file
+//! there, so a crash mid-append costs at most the last record — never the
+//! log. A v1 log (`UCSTOR01`, no kind byte, results only) is migrated to
+//! v2 in place on open.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use crate::api::fnv1a;
+use ucsim_model::json::Json;
+use ucsim_model::FailureKind;
+use ucsim_pool::faults;
 
-const MAGIC: &[u8; 8] = b"UCSTOR01";
-/// Per-record fixed header: key (8) + lengths (4+4) + checksum (8).
-const RECORD_HEADER_BYTES: usize = 24;
+use crate::api::fnv1a;
+use crate::jobs::JobFailure;
+
+const MAGIC: &[u8; 8] = b"UCSTOR02";
+const MAGIC_V1: &[u8; 8] = b"UCSTOR01";
+/// Per-record fixed header: kind (1) + key (8) + lengths (4+4) +
+/// checksum (8).
+const RECORD_HEADER_BYTES: usize = 25;
+/// v1 had no kind byte.
+const RECORD_HEADER_BYTES_V1: usize = 24;
 /// Replay refuses records larger than this (corrupt length fields would
 /// otherwise make it try to allocate garbage).
 const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
 
+const KIND_RESULT: u8 = 1;
+const KIND_FAILED: u8 = 2;
+
+/// What a store record holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A completed simulation; the payload is the report JSON.
+    Result,
+    /// A deterministic failure; the payload is `{"code":…,"message":…}`.
+    Failed,
+}
+
 /// One replayed record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreRecord {
+    /// Record type.
+    pub kind: RecordKind,
     /// Content address of the canonical spec.
     pub key_hash: u64,
     /// The canonical spec string.
     pub canonical: String,
-    /// The report payload JSON.
+    /// The report payload JSON (`Result`) or failure envelope (`Failed`).
     pub payload: String,
+}
+
+impl StoreRecord {
+    /// Decodes a `Failed` record's payload into a [`JobFailure`]. Returns
+    /// `None` for `Result` records or unparseable payloads (treated as
+    /// generic simulation failures would be too optimistic — the caller
+    /// skips them).
+    pub fn failure(&self) -> Option<JobFailure> {
+        if self.kind != RecordKind::Failed {
+            return None;
+        }
+        let v = Json::parse(&self.payload).ok()?;
+        let kind = FailureKind::parse(v.get("code")?.as_str()?)?;
+        let message = v.get("message")?.as_str()?.to_owned();
+        Some(JobFailure { kind, message })
+    }
+}
+
+/// Encodes a failure as the `FAILED` record payload.
+pub fn failure_payload(failure: &JobFailure) -> String {
+    Json::Obj(vec![
+        (
+            "code".to_owned(),
+            Json::Str(failure.kind.as_str().to_owned()),
+        ),
+        ("message".to_owned(), Json::Str(failure.message.clone())),
+    ])
+    .to_string()
 }
 
 /// The append-only result store. All methods take `&self`; a mutex
@@ -54,18 +112,22 @@ pub struct StoreRecord {
 pub struct ResultStore {
     file: Mutex<File>,
     path: PathBuf,
+    /// When set, every append is fsync'd (`--durable`).
+    durable: bool,
 }
 
 impl ResultStore {
     /// Opens (creating if needed) `<dir>/results.log` and replays its
     /// records. A corrupt tail is truncated away; the valid prefix is
-    /// returned for cache warm-up.
+    /// returned for cache warm-up. A v1 log is migrated to the v2 format
+    /// (atomically, via a temp file + rename). With `durable` set, every
+    /// append is fsync'd before returning.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation and file I/O errors; a bad magic in
     /// an existing non-empty file maps to [`io::ErrorKind::InvalidData`].
-    pub fn open(dir: &Path) -> io::Result<(ResultStore, Vec<StoreRecord>)> {
+    pub fn open(dir: &Path, durable: bool) -> io::Result<(ResultStore, Vec<StoreRecord>)> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("results.log");
         let mut file = OpenOptions::new()
@@ -81,6 +143,12 @@ impl ResultStore {
             file.write_all(MAGIC)?;
             file.flush()?;
             (Vec::new(), MAGIC.len() as u64)
+        } else if raw.len() >= MAGIC_V1.len() && &raw[..MAGIC_V1.len()] == MAGIC_V1 {
+            // v1 log: replay with the old layout, rewrite as v2.
+            let records = replay_v1(&raw[MAGIC_V1.len()..]);
+            file = migrate_to_v2(dir, &path, &records)?;
+            let len = file.seek(SeekFrom::End(0))?;
+            (records, len)
         } else {
             if raw.len() < MAGIC.len() || &raw[..MAGIC.len()] != MAGIC {
                 return Err(io::Error::new(
@@ -98,31 +166,103 @@ impl ResultStore {
             ResultStore {
                 file: Mutex::new(file),
                 path,
+                durable,
             },
             records,
         ))
     }
 
-    /// Appends one completed result and flushes it to the OS.
+    /// Appends one completed result.
     ///
     /// # Errors
     ///
-    /// Propagates write errors (the caller logs and carries on — the
+    /// Propagates write errors (the caller counts and carries on — the
     /// in-memory cache still holds the result).
     pub fn append(&self, key_hash: u64, canonical: &str, payload: &str) -> io::Result<()> {
-        let record = encode_record(key_hash, canonical, payload);
+        self.append_record(KIND_RESULT, key_hash, canonical, payload)
+    }
+
+    /// Appends one deterministic failure as a `FAILED` record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append_failed(
+        &self,
+        key_hash: u64,
+        canonical: &str,
+        failure: &JobFailure,
+    ) -> io::Result<()> {
+        self.append_record(KIND_FAILED, key_hash, canonical, &failure_payload(failure))
+    }
+
+    fn append_record(
+        &self,
+        kind: u8,
+        key_hash: u64,
+        canonical: &str,
+        payload: &str,
+    ) -> io::Result<()> {
+        let record = encode_record(kind, key_hash, canonical, payload);
         let mut file = self.file.lock().expect("store lock");
+        // Named fault site: chaos tests inject hard I/O errors and torn
+        // (partial) writes here to prove the recovery paths.
+        match faults::take_io("store.append") {
+            Some(faults::IoFault::Error) => {
+                return Err(io::Error::other("injected store I/O error"));
+            }
+            Some(faults::IoFault::Torn { keep }) => {
+                let keep = keep.min(record.len());
+                file.write_all(&record[..keep])?;
+                file.flush()?;
+                return Err(io::Error::other(format!(
+                    "injected torn write ({keep} of {} bytes)",
+                    record.len()
+                )));
+            }
+            None => {}
+        }
         file.write_all(&record)?;
-        file.flush()
+        file.flush()?;
+        if self.durable {
+            file.sync_data()?;
+        }
+        Ok(())
     }
 
     /// The log's path (for diagnostics).
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Whether appends fsync (`--durable`).
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
 }
 
-fn encode_record(key_hash: u64, canonical: &str, payload: &str) -> Vec<u8> {
+/// Rewrites `records` as a fresh v2 log, atomically replacing `path`.
+fn migrate_to_v2(dir: &Path, path: &Path, records: &[StoreRecord]) -> io::Result<File> {
+    let tmp = dir.join("results.log.migrate");
+    let mut out = Vec::with_capacity(MAGIC.len() + records.len() * 128);
+    out.extend_from_slice(MAGIC);
+    for r in records {
+        let kind = match r.kind {
+            RecordKind::Result => KIND_RESULT,
+            RecordKind::Failed => KIND_FAILED,
+        };
+        out.extend_from_slice(&encode_record(kind, r.key_hash, &r.canonical, &r.payload));
+    }
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    OpenOptions::new().read(true).write(true).open(path)
+}
+
+fn encode_record(kind: u8, key_hash: u64, canonical: &str, payload: &str) -> Vec<u8> {
     let c = canonical.as_bytes();
     let p = payload.as_bytes();
     let mut sum_input = Vec::with_capacity(c.len() + p.len());
@@ -131,6 +271,7 @@ fn encode_record(key_hash: u64, canonical: &str, payload: &str) -> Vec<u8> {
     let checksum = fnv1a(&sum_input);
 
     let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + c.len() + p.len());
+    out.push(kind);
     out.extend_from_slice(&key_hash.to_be_bytes());
     out.extend_from_slice(&(c.len() as u32).to_be_bytes());
     out.extend_from_slice(&(p.len() as u32).to_be_bytes());
@@ -140,16 +281,21 @@ fn encode_record(key_hash: u64, canonical: &str, payload: &str) -> Vec<u8> {
     out
 }
 
-/// Walks the record region, returning the valid records and the file
+/// Walks the v2 record region, returning the valid records and the file
 /// length (magic included) of the valid prefix.
 fn replay(mut body: &[u8]) -> (Vec<StoreRecord>, u64) {
     let mut records = Vec::new();
     let mut valid = MAGIC.len() as u64;
     while body.len() >= RECORD_HEADER_BYTES {
-        let key_hash = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
-        let c_len = u32::from_be_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
-        let p_len = u32::from_be_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
-        let checksum = u64::from_be_bytes(body[16..24].try_into().expect("8 bytes"));
+        let kind = match body[0] {
+            KIND_RESULT => RecordKind::Result,
+            KIND_FAILED => RecordKind::Failed,
+            _ => break, // unknown kind — truncate here
+        };
+        let key_hash = u64::from_be_bytes(body[1..9].try_into().expect("8 bytes"));
+        let c_len = u32::from_be_bytes(body[9..13].try_into().expect("4 bytes")) as usize;
+        let p_len = u32::from_be_bytes(body[13..17].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_be_bytes(body[17..25].try_into().expect("8 bytes"));
         let total = RECORD_HEADER_BYTES + c_len + p_len;
         if c_len + p_len > MAX_RECORD_BYTES || body.len() < total {
             break; // short or absurd tail — truncate here
@@ -166,6 +312,7 @@ fn replay(mut body: &[u8]) -> (Vec<StoreRecord>, u64) {
             break;
         };
         records.push(StoreRecord {
+            kind,
             key_hash,
             canonical,
             payload,
@@ -174,6 +321,42 @@ fn replay(mut body: &[u8]) -> (Vec<StoreRecord>, u64) {
         body = &body[total..];
     }
     (records, valid)
+}
+
+/// Replays a v1 (`UCSTOR01`) record region: same framing minus the kind
+/// byte; every record is a result. Only used for migration — the corrupt
+/// tail is simply dropped (the rewrite keeps the valid prefix).
+fn replay_v1(mut body: &[u8]) -> Vec<StoreRecord> {
+    let mut records = Vec::new();
+    while body.len() >= RECORD_HEADER_BYTES_V1 {
+        let key_hash = u64::from_be_bytes(body[0..8].try_into().expect("8 bytes"));
+        let c_len = u32::from_be_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+        let p_len = u32::from_be_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_be_bytes(body[16..24].try_into().expect("8 bytes"));
+        let total = RECORD_HEADER_BYTES_V1 + c_len + p_len;
+        if c_len + p_len > MAX_RECORD_BYTES || body.len() < total {
+            break;
+        }
+        let data = &body[RECORD_HEADER_BYTES_V1..total];
+        if fnv1a(data) != checksum {
+            break;
+        }
+        let (c, p) = data.split_at(c_len);
+        let (Ok(canonical), Ok(payload)) = (
+            std::str::from_utf8(c).map(str::to_owned),
+            std::str::from_utf8(p).map(str::to_owned),
+        ) else {
+            break;
+        };
+        records.push(StoreRecord {
+            kind: RecordKind::Result,
+            key_hash,
+            canonical,
+            payload,
+        });
+        body = &body[total..];
+    }
+    records
 }
 
 #[cfg(test)]
@@ -191,13 +374,14 @@ mod tests {
     fn append_then_reopen_replays_in_order() {
         let dir = temp_dir("roundtrip");
         {
-            let (store, replayed) = ResultStore::open(&dir).unwrap();
+            let (store, replayed) = ResultStore::open(&dir, false).unwrap();
             assert!(replayed.is_empty());
             store.append(1, "spec-a", "{\"upc\":1.0}").unwrap();
             store.append(2, "spec-b", "{\"upc\":2.0}").unwrap();
         }
-        let (_store, replayed) = ResultStore::open(&dir).unwrap();
+        let (_store, replayed) = ResultStore::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].kind, RecordKind::Result);
         assert_eq!(replayed[0].key_hash, 1);
         assert_eq!(replayed[0].canonical, "spec-a");
         assert_eq!(replayed[1].payload, "{\"upc\":2.0}");
@@ -205,25 +389,43 @@ mod tests {
     }
 
     #[test]
+    fn failed_records_round_trip() {
+        let dir = temp_dir("failed");
+        let failure = JobFailure::new(FailureKind::SimulationFailed, "panicked at 'boom'");
+        {
+            let (store, _) = ResultStore::open(&dir, false).unwrap();
+            store.append(1, "spec-ok", "{\"upc\":1.0}").unwrap();
+            store.append_failed(2, "spec-bad", &failure).unwrap();
+        }
+        let (_store, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].failure(), None, "result record has no failure");
+        assert_eq!(replayed[1].kind, RecordKind::Failed);
+        assert_eq!(replayed[1].failure(), Some(failure));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corrupt_tail_is_truncated_and_appends_continue() {
         let dir = temp_dir("corrupt");
         {
-            let (store, _) = ResultStore::open(&dir).unwrap();
+            let (store, _) = ResultStore::open(&dir, false).unwrap();
             store.append(1, "good", "{\"ok\":true}").unwrap();
         }
         let path = dir.join("results.log");
         // Simulate a crash mid-append: a torn record at the tail.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01]).unwrap();
+            f.write_all(&[KIND_RESULT, 0xde, 0xad, 0xbe, 0xef, 0x01])
+                .unwrap();
         }
         let before = std::fs::metadata(&path).unwrap().len();
-        let (store, replayed) = ResultStore::open(&dir).unwrap();
+        let (store, replayed) = ResultStore::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 1, "valid prefix survives");
         assert!(std::fs::metadata(&path).unwrap().len() < before);
         store.append(2, "more", "{\"ok\":1}").unwrap();
         drop(store);
-        let (_s, replayed) = ResultStore::open(&dir).unwrap();
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 2);
         assert_eq!(replayed[1].canonical, "more");
         std::fs::remove_dir_all(&dir).unwrap();
@@ -233,7 +435,7 @@ mod tests {
     fn flipped_payload_byte_fails_the_checksum() {
         let dir = temp_dir("checksum");
         {
-            let (store, _) = ResultStore::open(&dir).unwrap();
+            let (store, _) = ResultStore::open(&dir, false).unwrap();
             store.append(7, "spec", "{\"upc\":3.5}").unwrap();
         }
         let path = dir.join("results.log");
@@ -241,8 +443,63 @@ mod tests {
         let last = raw.len() - 1;
         raw[last] ^= 0x01;
         std::fs::write(&path, &raw).unwrap();
-        let (_s, replayed) = ResultStore::open(&dir).unwrap();
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
         assert!(replayed.is_empty(), "corrupted record must not replay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_record_kind_truncates() {
+        let dir = temp_dir("kind");
+        {
+            let (store, _) = ResultStore::open(&dir, false).unwrap();
+            store.append(1, "good", "{\"ok\":true}").unwrap();
+        }
+        let path = dir.join("results.log");
+        {
+            // A whole, checksummed record with an unknown kind byte.
+            let mut rec = encode_record(KIND_RESULT, 9, "x", "y");
+            rec[0] = 77;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 1, "unknown kind stops replay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_log_migrates_to_v2_preserving_records() {
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.log");
+        // Hand-build a v1 log: magic + two kind-less records.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC_V1);
+        for (key, canonical, payload) in [(1u64, "spec-a", "{\"upc\":1.0}"), (2, "spec-b", "{}")] {
+            let v2 = encode_record(KIND_RESULT, key, canonical, payload);
+            raw.extend_from_slice(&v2[1..]); // drop the kind byte → v1 layout
+        }
+        std::fs::write(&path, &raw).unwrap();
+
+        let (store, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].canonical, "spec-a");
+        assert_eq!(replayed[1].key_hash, 2);
+        // The file on disk is now v2 and keeps working.
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..8], MAGIC);
+        store
+            .append_failed(
+                3,
+                "spec-c",
+                &JobFailure::new(FailureKind::SimulationFailed, "nope"),
+            )
+            .unwrap();
+        drop(store);
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2].kind, RecordKind::Failed);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -251,8 +508,21 @@ mod tests {
         let dir = temp_dir("foreign");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("results.log"), b"not a store at all").unwrap();
-        let err = ResultStore::open(&dir).unwrap_err();
+        let err = ResultStore::open(&dir, false).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_store_appends_and_replays() {
+        let dir = temp_dir("durable");
+        {
+            let (store, _) = ResultStore::open(&dir, true).unwrap();
+            assert!(store.durable());
+            store.append(1, "spec", "{\"upc\":1.0}").unwrap();
+        }
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -17,7 +17,7 @@ use ucsim_model::{FromJson, ToJson};
 use ucsim_pipeline::{SimReport, SweepCellReport, SweepReport};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest};
-use crate::jobs::{JobCell, JobState};
+use crate::jobs::{JobCell, JobFailure, JobState};
 
 /// Hard ceiling on cells per sweep (guards against a typo'd cross
 /// exploding the queue).
@@ -57,8 +57,8 @@ enum CellSlot {
     Waiting(Arc<JobCell>),
     /// Finished; holds the bare report payload.
     Done(Arc<String>),
-    /// Failed with a message.
-    Failed(String),
+    /// Failed; holds the stable error code and message.
+    Failed(JobFailure),
 }
 
 /// One cell: identity plus mutable progress.
@@ -70,7 +70,7 @@ pub struct SweepCell {
 
 /// One `SweepCell::poll` observation:
 /// `(status_name, payload_if_done, failure_if_failed)`.
-type CellPoll = (&'static str, Option<Arc<String>>, Option<String>);
+type CellPoll = (&'static str, Option<Arc<String>>, Option<JobFailure>);
 
 impl SweepCell {
     /// Advances `Waiting` cells whose job has settled, then reports
@@ -85,7 +85,7 @@ impl SweepCell {
                         .unwrap_or_else(|| Arc::new(String::from("null")));
                     *slot = CellSlot::Done(payload);
                 }
-                JobState::Failed(msg) => *slot = CellSlot::Failed(msg),
+                JobState::Failed(failure) => *slot = CellSlot::Failed(failure),
                 _ => {}
             }
         }
@@ -93,7 +93,7 @@ impl SweepCell {
             CellSlot::Pending => ("pending", None, None),
             CellSlot::Waiting(job) => (job.state().name(), None, None),
             CellSlot::Done(p) => ("done", Some(Arc::clone(p)), None),
-            CellSlot::Failed(msg) => ("failed", None, Some(msg.clone())),
+            CellSlot::Failed(failure) => ("failed", None, Some(failure.clone())),
         }
     }
 }
@@ -142,14 +142,20 @@ impl Sweep {
         *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Done(payload);
     }
 
-    /// Marks cell `idx` as failed.
-    pub fn fail(&self, idx: usize, msg: String) {
-        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Failed(msg);
+    /// Marks cell `idx` as failed with a stable error code and message.
+    pub fn fail(&self, idx: usize, failure: JobFailure) {
+        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Failed(failure);
     }
 
     /// Builds the `GET /v1/matrix/:id` response body: progress counters,
-    /// per-cell status, and — once every cell has settled successfully —
-    /// the aggregated [`SweepReport`].
+    /// per-cell status, and — once every cell has settled — the
+    /// aggregated [`SweepReport`] over the cells that succeeded.
+    ///
+    /// The terminal status is `"done"` when every cell succeeded,
+    /// `"partial"` when some succeeded and some failed, and `"failed"`
+    /// when every cell failed. Failed cells carry a nested
+    /// `"error": {"code", "message"}` object with a stable code; a sweep
+    /// with failures still completes rather than hanging its pollers.
     pub fn status_body(&self) -> Arc<Vec<u8>> {
         if let Some(body) = self.final_body.lock().expect("sweep lock").clone() {
             return body;
@@ -160,10 +166,12 @@ impl Sweep {
         let settled = done + failed == self.cells.len();
         let status = if !settled {
             "running"
-        } else if failed > 0 {
+        } else if failed == 0 {
+            "done"
+        } else if done == 0 {
             "failed"
         } else {
-            "done"
+            "partial"
         };
 
         let cells_json: Vec<Json> = self
@@ -181,8 +189,14 @@ impl Sweep {
                     ),
                     ("status".to_owned(), Json::Str((*state).to_owned())),
                 ];
-                if let Some(msg) = err {
-                    obj.push(("error".to_owned(), Json::Str(msg.clone())));
+                if let Some(failure) = err {
+                    obj.push((
+                        "error".to_owned(),
+                        Json::Obj(vec![
+                            ("code".to_owned(), Json::Str(failure.kind.to_string())),
+                            ("message".to_owned(), Json::Str(failure.message.clone())),
+                        ]),
+                    ));
                 }
                 Json::Obj(obj)
             })
@@ -197,17 +211,19 @@ impl Sweep {
             ("cells".to_owned(), Json::Arr(cells_json)),
         ]);
 
-        if status != "done" {
+        if !settled {
             return Arc::new(head.to_string().into_bytes());
         }
 
-        // Every cell completed: aggregate. Decode the canonical payloads
-        // back into reports; re-encoding is byte-identical (canonical
-        // JSON, bit-exact f64 round-trips), so served cells equal offline
-        // `run_matrix` output.
-        let mut report_cells = Vec::with_capacity(self.cells.len());
+        // Every cell settled: aggregate the successful ones. Decode the
+        // canonical payloads back into reports; re-encoding is
+        // byte-identical (canonical JSON, bit-exact f64 round-trips), so
+        // served cells equal offline `run_matrix` output.
+        let mut report_cells = Vec::with_capacity(done);
         for (cell, (_, payload, _)) in self.cells.iter().zip(&polls) {
-            let payload = payload.as_ref().expect("done cell has payload");
+            let Some(payload) = payload.as_ref() else {
+                continue;
+            };
             let report = match SimReport::from_json_str(payload) {
                 Ok(r) => r,
                 Err(e) => {
@@ -229,12 +245,14 @@ impl Sweep {
                 report,
             });
         }
-        let aggregate = SweepReport::from_cells(report_cells);
         let mut out = head.to_string();
-        out.truncate(out.len() - 1); // strip trailing '}'
-        out.push_str(",\"sweep\":");
-        out.push_str(&aggregate.to_json_string());
-        out.push('}');
+        if !report_cells.is_empty() {
+            let aggregate = SweepReport::from_cells(report_cells);
+            out.truncate(out.len() - 1); // strip trailing '}'
+            out.push_str(",\"sweep\":");
+            out.push_str(&aggregate.to_json_string());
+            out.push('}');
+        }
         let body = Arc::new(out.into_bytes());
         *self.final_body.lock().expect("sweep lock") = Some(Arc::clone(&body));
         body
@@ -486,16 +504,55 @@ mod tests {
     }
 
     #[test]
-    fn a_failed_cell_fails_the_sweep() {
+    fn an_all_failed_sweep_reports_failed_with_stable_codes() {
         let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
         let metas = expand_request(&req, false).unwrap();
         let sweep = SweepTable::new(8).create(metas);
-        sweep.fail(0, "boom".to_owned());
+        sweep.fail(
+            0,
+            JobFailure::new(ucsim_model::FailureKind::SimulationFailed, "boom"),
+        );
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("failed"));
         assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
         assert!(v.get("sweep").is_none());
+        let cell = &v.get("cells").unwrap().as_arr().unwrap()[0];
+        let err = cell.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("simulation_failed"));
+        assert_eq!(err.get("message").unwrap().as_str(), Some("boom"));
+        // The settled body is memoized even without an aggregate.
+        assert_eq!(sweep.status_body().as_slice(), body.as_bytes());
+    }
+
+    #[test]
+    fn a_mixed_sweep_is_partial_and_aggregates_the_survivors() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048,4096]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let sweep = SweepTable::new(8).create(metas);
+        let report = SimReport {
+            workload: "redis".to_owned(),
+            upc: 2.5,
+            ..SimReport::default()
+        };
+        sweep.fulfill(0, Arc::new(report.to_json_string()));
+        sweep.fail(
+            1,
+            JobFailure::new(ucsim_model::FailureKind::DeadlineExceeded, "too slow"),
+        );
+        let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("partial"));
+        assert_eq!(v.get("done").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
+        // The aggregate covers only the surviving cell.
+        let agg = v.get("sweep").unwrap();
+        assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        let err = cells[1].get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("deadline_exceeded"));
+        // Settled bodies memoize.
+        assert_eq!(sweep.status_body().as_slice(), body.as_bytes());
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Chaos suite: the deterministic fault-injection harness driven end to
+//! end through the `ucsim-serve` service. Compiled only under
+//! `--features fault-injection`.
+//!
+//! The injection harness is process-global state, so every test holds a
+//! local serialization gate for its whole body; CI additionally runs
+//! this suite with `--test-threads=1`.
+#![cfg(feature = "fault-injection")]
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+use std::time::{Duration, Instant};
+
+use ucsim_bench::{MatrixCross, SweepPolicy};
+use ucsim_model::json::Json;
+use ucsim_model::ToJson;
+use ucsim_pipeline::run_configs_on_trace;
+use ucsim_pool::faults::{self, FaultAction, FaultRule, FireMode};
+use ucsim_serve::{request, Client, ResultStore, Server, ServerConfig};
+use ucsim_trace::{record_workload, Program, WorkloadProfile};
+
+/// Serializes tests that arm the process-global fault harness.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Suppresses panic backtraces from supervised `sim-worker-*` threads —
+/// injected panics are the point of these tests, not noise. Panics on
+/// any other thread (a real test failure) still print normally.
+fn quiet_worker_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let supervised = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sim-worker"));
+            if !supervised {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucsim-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn parse_json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON from server: {e}\n{body}"))
+}
+
+/// Polls `GET /v1/matrix/:id` until the sweep settles (`done`, `partial`,
+/// or `failed`), returning the final document.
+fn poll_settled(client: &mut Client, id: u64) -> Json {
+    let path = format!("/v1/matrix/{id}");
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let r = client.request("GET", &path, b"").unwrap();
+        assert_eq!(r.status, 200, "body: {}", r.body_str());
+        let v = parse_json(&r.body_str());
+        if v.get("status").unwrap().as_str() != Some("running") {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "sweep never settled");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// The 120-cell sweep: 4 workloads × 6 Table I capacities × 5 policies.
+const WORKLOADS: [&str; 4] = ["redis", "jvm", "bm-cc", "bm-pb"];
+const WARMUP: u64 = 200;
+const INSTS: u64 = 2000;
+const SEED: u64 = 7;
+const SWEEP_BODY: &[u8] = br#"{"workloads":["redis","jvm","bm-cc","bm-pb"],"capacities":[2048,4096,8192,16384,32768,65536],"policies":["baseline","clasp","rac","pwac","fpwac"],"seed":7,"warmup":200,"insts":2000}"#;
+const TOTAL_CELLS: u64 = 120;
+
+/// The offline oracle: every (workload, label) cell simulated directly
+/// through `run_configs_on_trace` over the same recorded stream the
+/// server replays. Surviving served cells must match these byte for byte.
+fn reference_reports() -> HashMap<(String, String), String> {
+    let cross = MatrixCross {
+        capacities: MatrixCross::table1_capacities(),
+        policies: vec![
+            SweepPolicy::Baseline,
+            SweepPolicy::Clasp,
+            SweepPolicy::Rac,
+            SweepPolicy::Pwac,
+            SweepPolicy::Fpwac,
+        ],
+        max_entries: 2,
+    };
+    let mut configs = cross.expand();
+    for lc in &mut configs {
+        lc.config.warmup_insts = WARMUP;
+        lc.config.measure_insts = INSTS;
+    }
+    let mut expected = HashMap::new();
+    for wl in WORKLOADS {
+        let mut profile = WorkloadProfile::by_name(wl).unwrap();
+        profile.seed = SEED;
+        let program = Program::generate(&profile);
+        let trace = record_workload(&profile, &program, WARMUP + INSTS);
+        let reports = run_configs_on_trace(profile.name, &trace, &configs);
+        for (lc, report) in configs.iter().zip(reports) {
+            expected.insert((wl.to_owned(), lc.label.clone()), report.to_json_string());
+        }
+    }
+    expected
+}
+
+/// The acceptance-criteria chaos test: a 120-cell sweep rides out seeded
+/// worker panics and injected deadline hangs — the sweep still settles
+/// with a complete report, every failed cell carries a stable error
+/// code, surviving cells are byte-identical to direct simulator runs,
+/// and the worker pool ends the storm at full strength. Then a restart
+/// proves the failure envelopes replay: completed cells and persisted
+/// panic failures re-simulate nothing; only the (environmental, never
+/// persisted) deadline cells run again.
+#[test]
+fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
+    let _gate = serial();
+    quiet_worker_panics();
+    let dir = temp_dir("sweep");
+    let workers = 4;
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_capacity: 32,
+        data_dir: Some(dir.clone()),
+        job_deadline: Some(Duration::from_millis(500)),
+        ..ServerConfig::default()
+    };
+    let reference = reference_reports();
+
+    // ~15% of simulations panic; the first two jobs any worker picks up
+    // stall 1.5 s at the pre-sim site, sailing past the 500 ms deadline.
+    faults::install(
+        0xCAFE,
+        vec![
+            FaultRule {
+                site: "worker.simulate",
+                action: FaultAction::Panic,
+                mode: FireMode::Prob(0.15),
+            },
+            FaultRule {
+                site: "worker.pre_sim",
+                action: FaultAction::DelayMs(1500),
+                mode: FireMode::First(2),
+            },
+        ],
+    );
+
+    let server = Server::start(cfg.clone()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::new(&addr);
+    let r = client.request("POST", "/v1/matrix", SWEEP_BODY).unwrap();
+    assert_eq!(r.status, 202, "body: {}", r.body_str());
+    let accepted = parse_json(&r.body_str());
+    assert_eq!(accepted.get("total").unwrap().as_u64(), Some(TOTAL_CELLS));
+    let id = accepted.get("id").unwrap().as_u64().unwrap();
+
+    let doc = poll_settled(&mut client, id);
+
+    // The sweep settles at the deadline, while the two stalled workers
+    // are still sleeping; wait for them to drain before reading counts.
+    let drain = Instant::now() + Duration::from_secs(10);
+    while faults::hits("worker.simulate") < TOTAL_CELLS && Instant::now() < drain {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Every cell executed exactly once (distinct content keys, no
+    // coalescing), so the per-rule fire counts are pure functions of the
+    // installed seed.
+    assert_eq!(faults::hits("worker.simulate"), TOTAL_CELLS);
+    assert_eq!(faults::hits("worker.pre_sim"), TOTAL_CELLS);
+    assert_eq!(faults::fired("worker.pre_sim"), 2);
+    let panics = faults::fired("worker.simulate");
+    assert!(
+        (10..=45).contains(&panics),
+        "seeded panic storm out of range: {panics}"
+    );
+
+    // The sweep settled partial — it never hangs — with exact accounting.
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("partial"));
+    let done_n = doc.get("done").unwrap().as_u64().unwrap();
+    let failed_n = doc.get("failed").unwrap().as_u64().unwrap();
+    assert_eq!(done_n + failed_n, TOTAL_CELLS);
+
+    // Every failed cell carries a stable code and a message; a delayed
+    // job that *also* drew a panic stays deadline_exceeded (first-wins).
+    let cells = doc.get("cells").unwrap().as_arr().unwrap();
+    let mut deadline_cells = 0u64;
+    let mut panic_cells = 0u64;
+    for cell in cells {
+        match cell.get("status").unwrap().as_str().unwrap() {
+            "done" => assert!(cell.get("error").is_none()),
+            "failed" => {
+                let err = cell.get("error").unwrap();
+                let code = err.get("code").unwrap().as_str().unwrap();
+                let msg = err.get("message").unwrap().as_str().unwrap();
+                assert!(!msg.is_empty());
+                match code {
+                    "deadline_exceeded" => deadline_cells += 1,
+                    "simulation_failed" => {
+                        assert!(
+                            msg.contains("injected fault at worker.simulate"),
+                            "unexpected panic message: {msg}"
+                        );
+                        panic_cells += 1;
+                    }
+                    other => panic!("unstable error code: {other}"),
+                }
+            }
+            other => panic!("cell left unsettled: {other}"),
+        }
+    }
+    assert_eq!(deadline_cells, 2, "both stalled jobs hit the deadline");
+    assert_eq!(panic_cells + deadline_cells, failed_n);
+    assert!(
+        panic_cells >= panics - 2 && panic_cells <= panics,
+        "panic cells {panic_cells} vs fired {panics}"
+    );
+
+    // Surviving cells are byte-identical (canonical JSON) to the direct
+    // `run_configs_on_trace` oracle.
+    let agg = doc.get("sweep").expect("partial sweep still aggregates");
+    let agg_cells = agg.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(agg_cells.len() as u64, done_n);
+    for cell in agg_cells {
+        let wl = cell.get("workload").unwrap().as_str().unwrap();
+        let label = cell.get("label").unwrap().as_str().unwrap();
+        let expected = &reference[&(wl.to_owned(), label.to_owned())];
+        assert_eq!(
+            &cell.get("report").unwrap().to_string(),
+            expected,
+            "cell {wl}/{label} diverges from the direct run"
+        );
+    }
+
+    // The pool ended the storm at full strength: one respawn per panic,
+    // nominal worker count restored (the last replacement may lag the
+    // sweep's settling by a beat).
+    assert_eq!(server.workers_respawned(), panics);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.workers_alive() < workers && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.workers_alive(), workers, "pool strength restored");
+
+    // Metrics agree with the storm.
+    let m = parse_json(
+        &client
+            .request("GET", "/v1/metrics", b"")
+            .unwrap()
+            .body_str(),
+    );
+    let w = m.get("workers").unwrap();
+    assert_eq!(w.get("jobs_executed").unwrap().as_u64(), Some(TOTAL_CELLS));
+    assert_eq!(w.get("jobs_failed").unwrap().as_u64(), Some(failed_n));
+    assert_eq!(w.get("jobs_deadline_exceeded").unwrap().as_u64(), Some(2));
+    assert_eq!(w.get("workers_respawned").unwrap().as_u64(), Some(panics));
+    assert_eq!(w.get("alive").unwrap().as_u64(), Some(workers as u64));
+
+    drop(client);
+    server.shutdown();
+    faults::clear();
+
+    // Restart against the same data dir with the faults disarmed. The
+    // completed cells replay from RESULT records, the panicked cells
+    // fail instantly from replayed FAILED records (panics are
+    // deterministic), and only the two deadline cells — environmental,
+    // never persisted — re-simulate, successfully this time.
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::new(&addr);
+    let r = client.request("POST", "/v1/matrix", SWEEP_BODY).unwrap();
+    assert_eq!(r.status, 202, "body: {}", r.body_str());
+    let id = parse_json(&r.body_str())
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let doc = poll_settled(&mut client, id);
+
+    assert_eq!(
+        server.simulations_executed(),
+        2,
+        "only the deadline cells re-simulate after a restart"
+    );
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("partial"));
+    assert_eq!(doc.get("done").unwrap().as_u64(), Some(done_n + 2));
+    assert_eq!(doc.get("failed").unwrap().as_u64(), Some(panic_cells));
+    for cell in doc.get("cells").unwrap().as_arr().unwrap() {
+        if cell.get("status").unwrap().as_str() == Some("failed") {
+            let err = cell.get("error").unwrap();
+            assert_eq!(err.get("code").unwrap().as_str(), Some("simulation_failed"));
+        }
+    }
+    assert_eq!(server.workers_respawned(), 0, "no panics this life");
+    assert_eq!(server.workers_alive(), workers);
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn (partial) store append costs that one record, never the log:
+/// the job's response is still served, the write error is counted, and a
+/// restart truncates the torn tail, replays the valid prefix, and keeps
+/// appending where it left off.
+#[test]
+fn torn_store_write_costs_one_record_never_the_log() {
+    let _gate = serial();
+    let dir = temp_dir("torn");
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        data_dir: Some(dir.clone()),
+        durable_store: true,
+        ..ServerConfig::default()
+    };
+    let job_a = br#"{"workload":"bm-cc","seed":7,"warmup":100,"insts":2000}"#;
+    let job_b = br#"{"workload":"redis","seed":7,"warmup":100,"insts":2000}"#;
+
+    // Life 1: job A persists cleanly (shutdown joins the worker, so the
+    // append is on disk before the process "dies").
+    {
+        let server = Server::start(cfg.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let r = request(&addr, "POST", "/v1/sim", job_a).unwrap();
+        assert_eq!(r.status, 200, "body: {}", r.body_str());
+        server.shutdown();
+    }
+
+    // Life 2: job B's append tears 10 bytes in — mid-record-header, like
+    // a crash between write and flush. The response is still a 200 (a
+    // failed append costs durability, not the result) and the error is
+    // counted.
+    {
+        faults::install(
+            1,
+            vec![FaultRule {
+                site: "store.append",
+                action: FaultAction::TornWrite { keep: 10 },
+                mode: FireMode::First(1),
+            }],
+        );
+        let server = Server::start(cfg.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let r = request(&addr, "POST", "/v1/sim", job_b).unwrap();
+        assert_eq!(r.status, 200, "body: {}", r.body_str());
+        // The append happens just after the response waker; poll the
+        // counter rather than racing it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let m = parse_json(
+                &request(&addr, "GET", "/v1/metrics", b"")
+                    .unwrap()
+                    .body_str(),
+            );
+            let errors = m
+                .get("store")
+                .unwrap()
+                .get("write_errors")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            if errors == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "write error never surfaced");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        faults::clear();
+        server.shutdown();
+    }
+
+    // Life 3: replay truncates the torn tail. A survives (cache hit,
+    // zero simulations); B is gone, re-simulates once, and its fresh
+    // append extends the recovered log.
+    {
+        let server = Server::start(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+        let ra = request(&addr, "POST", "/v1/sim", job_a).unwrap();
+        assert_eq!(ra.status, 200, "body: {}", ra.body_str());
+        assert_eq!(
+            parse_json(&ra.body_str()).get("cached").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(server.simulations_executed(), 0);
+        let rb = request(&addr, "POST", "/v1/sim", job_b).unwrap();
+        assert_eq!(rb.status, 200, "body: {}", rb.body_str());
+        assert_eq!(
+            parse_json(&rb.body_str()).get("cached").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(server.simulations_executed(), 1, "B re-simulates once");
+        server.shutdown();
+    }
+
+    // Both records are on disk again — the torn write cost one record
+    // for one process lifetime, nothing more.
+    let (_store, records) = ResultStore::open(&dir, false).unwrap();
+    assert_eq!(records.len(), 2, "recovered log holds A and re-run B");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,6 +46,9 @@ CLIENT OPTIONS:
     --background           submit async, print the job id and exit
     --job <id>             poll a background job instead of submitting
     --metrics              fetch /v1/metrics instead of submitting
+    --no-retry             fail immediately instead of retrying transient
+                           errors and 429 backpressure (default: 3 retries
+                           with jittered exponential backoff)
 
 MATRIX OPTIONS:
     --addr <host:port>     server address (default 127.0.0.1:7199)
@@ -57,6 +60,8 @@ MATRIX OPTIONS:
     --insts <n>            measured instructions per cell
     --warmup <n>           warmup instructions per cell
     --poll-ms <n>          progress poll interval (default 500)
+    --no-retry             fail immediately instead of retrying transient
+                           errors and 429 backpressure
 ";
 
 struct Args {
@@ -227,6 +232,7 @@ fn client_matrix(argv: &[String]) {
     let mut insts: Option<u64> = None;
     let mut warmup: Option<u64> = None;
     let mut poll_ms: u64 = 500;
+    let mut no_retry = false;
     let bail = |m: &str| -> ! {
         eprintln!("error: {m}\n\n{USAGE}");
         std::process::exit(2)
@@ -304,6 +310,7 @@ fn client_matrix(argv: &[String]) {
                     .unwrap_or_else(|_| bail("--poll-ms needs a number"));
                 i += 1;
             }
+            "--no-retry" => no_retry = true,
             other => bail(&format!("unknown matrix option {other}")),
         }
         i += 1;
@@ -339,13 +346,18 @@ fn client_matrix(argv: &[String]) {
     }
     let body = Json::Obj(fields).to_string().into_bytes();
 
-    let mut client = ucsim::serve::Client::new(&addr);
+    let policy = if no_retry {
+        ucsim::serve::RetryPolicy::none()
+    } else {
+        ucsim::serve::RetryPolicy::default()
+    };
+    let mut client = ucsim::serve::Client::with_retry(&addr, policy);
     let cannot = |e: std::io::Error| -> ! {
         eprintln!("cannot reach {addr}: {e}");
         std::process::exit(1)
     };
     let resp = client
-        .request("POST", "/v1/matrix", &body)
+        .request_retrying("POST", "/v1/matrix", &body)
         .unwrap_or_else(|e| cannot(e));
     if resp.status != 202 {
         print_error_and_exit(&resp);
@@ -362,7 +374,7 @@ fn client_matrix(argv: &[String]) {
     let mut last_done = u64::MAX;
     loop {
         let resp = client
-            .request("GET", &path, b"")
+            .request_retrying("GET", &path, b"")
             .unwrap_or_else(|e| cannot(e));
         if resp.status != 200 {
             print_error_and_exit(&resp);
@@ -381,15 +393,23 @@ fn client_matrix(argv: &[String]) {
                 println!("{pretty}");
                 return;
             }
-            "failed" => {
-                eprintln!("sweep failed:");
+            "partial" | "failed" => {
+                let failed = v.get("failed").and_then(Json::as_u64).unwrap_or(0);
+                eprintln!("sweep {status}: {failed}/{total} cells failed");
                 if let Some(cells) = v.get("cells").and_then(Json::as_arr) {
                     for c in cells {
-                        if let Some(err) = c.get("error").and_then(Json::as_str) {
+                        if let Some(err) = c.get("error") {
                             let label = c.get("label").and_then(Json::as_str).unwrap_or("?");
-                            eprintln!("  {label}: {err}");
+                            let code = err.get("code").and_then(Json::as_str).unwrap_or("unknown");
+                            let msg = err.get("message").and_then(Json::as_str).unwrap_or("");
+                            eprintln!("  {label}: [{code}] {msg}");
                         }
                     }
+                }
+                // A partial sweep still aggregated its surviving cells:
+                // print that table, but exit non-zero so scripts notice.
+                if let Some(agg) = v.get("sweep") {
+                    println!("{}", agg.to_pretty());
                 }
                 std::process::exit(1);
             }
@@ -465,6 +485,7 @@ fn client_main(argv: &[String]) {
     let mut background = false;
     let mut job: Option<u64> = None;
     let mut metrics = false;
+    let mut no_retry = false;
     let bail = |m: &str| -> ! {
         eprintln!("error: {m}\n\n{USAGE}");
         std::process::exit(2)
@@ -524,6 +545,7 @@ fn client_main(argv: &[String]) {
                 );
             }
             "--metrics" => metrics = true,
+            "--no-retry" => no_retry = true,
             other => bail(&format!("unknown client option {other}")),
         }
         i += 1;
@@ -554,10 +576,18 @@ fn client_main(argv: &[String]) {
         )
     };
 
-    let resp = ucsim::serve::request(&addr, method, &path, &body).unwrap_or_else(|e| {
-        eprintln!("cannot reach {addr}: {e}");
-        std::process::exit(1);
-    });
+    let policy = if no_retry {
+        ucsim::serve::RetryPolicy::none()
+    } else {
+        ucsim::serve::RetryPolicy::default()
+    };
+    let mut client = ucsim::serve::Client::with_retry(&addr, policy);
+    let resp = client
+        .request_retrying(method, &path, &body)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot reach {addr}: {e}");
+            std::process::exit(1);
+        });
     if resp.status != 200 && resp.status != 202 {
         print_error_and_exit(&resp);
     }

@@ -462,6 +462,119 @@ fn restart_serves_sweep_from_persistent_store() {
     let _ = std::fs::remove_dir_all(&data_dir);
 }
 
+/// A job that outlives the configured wall-clock deadline fails with a
+/// 504 `deadline_exceeded` envelope; the worker survives (no respawn)
+/// and keeps serving, and the late result is never treated as a job
+/// success.
+#[test]
+fn deadline_exceeded_fails_the_job_with_504() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        job_deadline: Some(Duration::from_millis(200)),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let t0 = Instant::now();
+    let r = request(
+        &addr,
+        "POST",
+        "/v1/sim",
+        br#"{"workload":"test-sleep:800","warmup":100,"insts":2000}"#,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(r.status, 504, "body: {}", r.body_str());
+    assert_eq!(envelope_code(&r.body_str()).0, "deadline_exceeded");
+    // The waiter woke when the deadline fired, not when the sleep ended.
+    assert!(
+        elapsed < Duration::from_millis(700),
+        "client should unblock at the deadline, took {elapsed:?}"
+    );
+
+    // The worker survived (cooperative cancellation, not a kill) and the
+    // pool keeps serving fast jobs.
+    let r2 = request(
+        &addr,
+        "POST",
+        "/v1/sim",
+        br#"{"workload":"test-sleep:10","warmup":100,"insts":2000}"#,
+    )
+    .unwrap();
+    assert_eq!(r2.status, 200, "body: {}", r2.body_str());
+
+    let m = parse_json(
+        &request(&addr, "GET", "/v1/metrics", b"")
+            .unwrap()
+            .body_str(),
+    );
+    let workers = m.get("workers").unwrap();
+    assert_eq!(
+        workers.get("jobs_deadline_exceeded").unwrap().as_u64(),
+        Some(1)
+    );
+    assert_eq!(workers.get("jobs_failed").unwrap().as_u64(), Some(1));
+    assert_eq!(workers.get("workers_respawned").unwrap().as_u64(), Some(0));
+    assert_eq!(workers.get("alive").unwrap().as_u64(), Some(1));
+    server.shutdown();
+}
+
+/// Shutdown with jobs still queued: after the drain timeout, queued jobs
+/// fail with a `shutting_down` envelope instead of hanging their
+/// waiters; the in-flight job still completes.
+#[test]
+fn shutdown_fails_queued_jobs_with_shutting_down() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        drain_timeout: Duration::from_millis(200),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let (running, queued) = std::thread::scope(|s| {
+        // Occupies the single worker for ~800 ms.
+        let a = {
+            let addr = addr.clone();
+            s.spawn(move || {
+                request(
+                    &addr,
+                    "POST",
+                    "/v1/sim",
+                    br#"{"workload":"test-sleep:800","warmup":100,"insts":2000}"#,
+                )
+                .unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        // Sits in the queue behind it, its client blocked on the result.
+        let b = {
+            let addr = addr.clone();
+            s.spawn(move || {
+                request(
+                    &addr,
+                    "POST",
+                    "/v1/sim",
+                    br#"{"workload":"test-sleep:900","warmup":100,"insts":2000}"#,
+                )
+                .unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    // The in-flight job drained normally.
+    assert_eq!(running.status, 200, "body: {}", running.body_str());
+    // The queued job was failed explicitly — a terminal envelope, not a
+    // hung connection.
+    assert_eq!(queued.status, 503, "body: {}", queued.body_str());
+    assert_eq!(envelope_code(&queued.body_str()).0, "shutting_down");
+}
+
 /// Two sequential requests ride one kept-alive connection, and the
 /// server honors `Connection: close` when asked.
 #[test]
