@@ -75,6 +75,12 @@ impl Histogram {
         self.total
     }
 
+    /// Sum of all recorded sample values (a Prometheus histogram's
+    /// `_sum` series).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of all recorded samples (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -275,6 +281,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counts(), &[1, 1]);
         assert_eq!(a.total(), 2);
+        assert_eq!(a.sum(), 20);
         assert_eq!(a.mean(), 10.0);
     }
 

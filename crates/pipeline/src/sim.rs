@@ -5,6 +5,7 @@ use ucsim_bpu::{PwBatchRef, PwGenerator};
 use ucsim_isa::{uop_kinds_into, MAX_UOPS_PER_INST};
 use ucsim_mem::{AccessKind, FetchDirectedPrefetcher, MemoryHierarchy};
 use ucsim_model::{mix64, Addr, CancelToken, DynInst, PwId, UopKind};
+use ucsim_obs::Stage;
 use ucsim_trace::{Program, WorkloadProfile};
 use ucsim_uopcache::{AccumulationBuffer, UopCache, UopCacheEntry};
 
@@ -175,7 +176,13 @@ impl Simulator {
                 pwgen.reset_stats();
                 measured = true;
             }
-            let Some(batch) = pwgen.advance() else { break };
+            // Stage timers feed the thread-local job profile (when one is
+            // active); they read wall clocks only and never touch
+            // simulated state, so reports stay byte-identical.
+            let timer = ucsim_obs::stage_start(Stage::Predict);
+            let advanced = pwgen.advance();
+            timer.stop();
+            let Some(batch) = advanced else { break };
             insts_done += batch.insts.len() as u64;
             st.process_batch(&batch);
         }
@@ -345,6 +352,12 @@ impl RunState {
     /// the accumulation-buffer depth, the decoder stalls. The F-PWAC
     /// forced move occupies the port longer (extra read + write).
     fn fill(&mut self, e: UopCacheEntry) {
+        let timer = ucsim_obs::stage_start(Stage::UcFill);
+        self.fill_inner(e);
+        timer.stop();
+    }
+
+    fn fill_inner(&mut self, e: UopCacheEntry) {
         self.energy.oc_fills += 1;
         let outcome = self.oc.fill(e);
         let cost = if outcome.placement == ucsim_uopcache::PlacementKind::Fpwac
@@ -468,7 +481,9 @@ impl RunState {
             for inst in insts {
                 self.deliver(inst, t, UopSource::LoopCache);
             }
+            let timer = ucsim_obs::stage_start(Stage::Retire);
             self.end_of_batch(batch);
+            timer.stop();
             return;
         }
 
@@ -503,7 +518,9 @@ impl RunState {
         while idx < insts.len() {
             let cursor = insts[idx].pc;
             self.energy.oc_lookups += 1;
-            if let Some(entry) = self.oc.lookup(cursor) {
+            let timer = ucsim_obs::stage_start(Stage::UcLookup);
+            let looked_up = self.oc.lookup(cursor);
+            if let Some(entry) = looked_up {
                 self.switch_to(Path::OpCache);
                 let t = self.fe_ready;
                 self.fe_ready += 1; // one entry per cycle
@@ -527,15 +544,21 @@ impl RunState {
                         });
                     }
                 }
+                timer.stop();
                 idx = j;
             } else {
+                timer.stop();
                 // IC path for the remainder of the window.
+                let timer = ucsim_obs::stage_start(Stage::Decode);
                 self.ic_path(&insts[idx..], batch, pw_id);
+                timer.stop();
                 idx = insts.len();
             }
         }
 
+        let timer = ucsim_obs::stage_start(Stage::Retire);
         self.end_of_batch(batch);
+        timer.stop();
     }
 
     fn ic_path(&mut self, insts: &[DynInst], batch: &PwBatchRef<'_>, pw_id: PwId) {
@@ -622,6 +645,19 @@ impl RunState {
             insts_done
         };
         let oc_stats = self.oc.stats().clone();
+        // Structure-counter deltas for the active job profile, if any
+        // (no-ops otherwise). Reads finished stats only.
+        ucsim_obs::counter_add(ucsim_obs::Counter::OcHits, oc_stats.hits);
+        ucsim_obs::counter_add(
+            ucsim_obs::Counter::OcMisses,
+            oc_stats.lookups - oc_stats.hits,
+        );
+        ucsim_obs::counter_add(ucsim_obs::Counter::OcEvictions, oc_stats.evicted_entries);
+        ucsim_obs::counter_add(
+            ucsim_obs::Counter::OcCompactions,
+            oc_stats.placement_counts.compacted(),
+        );
+        ucsim_obs::counter_add(ucsim_obs::Counter::PwsDispatched, bpu.pws);
         let entries_per_pw = self.oc.stats_mut().entries_per_pw_dist();
         let supply = (self.oc_uops + self.decoder_uops).max(1);
         SimReport {

@@ -87,7 +87,10 @@ pub enum PushError<T> {
 }
 
 struct QueueState<T> {
-    items: VecDeque<T>,
+    /// Each entry carries an observability token capturing the enqueue
+    /// time and the pushing thread's request scope (zero-sized unless
+    /// `ucsim-obs/enabled` is on somewhere in the build graph).
+    items: VecDeque<(T, ucsim_obs::QueueToken)>,
     closed: bool,
 }
 
@@ -133,7 +136,7 @@ impl<T> BoundedQueue<T> {
         if st.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        st.items.push_back(item);
+        st.items.push_back((item, ucsim_obs::QueueToken::capture()));
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -150,13 +153,14 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Closed`] once the queue is closed (also when it closes
     /// mid-wait); the item is handed back.
     pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        let token = ucsim_obs::QueueToken::capture();
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if st.closed {
                 return Err(PushError::Closed(item));
             }
             if st.items.len() < self.capacity {
-                st.items.push_back(item);
+                st.items.push_back((item, token));
                 drop(st);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -169,12 +173,21 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed **and** drained — the worker-loop
     /// termination signal.
     pub fn pop(&self) -> Option<T> {
+        self.pop_with_obs().map(|(item, _)| item)
+    }
+
+    /// Like [`pop`](Self::pop), but also hands back the item's
+    /// observability token so the consumer can report the queue wait and
+    /// inherit the enqueuing request's scope
+    /// (see [`ucsim_obs::QueueToken::on_dequeue`]). [`SupervisedPool`]
+    /// workers use this; plain consumers can keep calling `pop`.
+    pub fn pop_with_obs(&self) -> Option<(T, ucsim_obs::QueueToken)> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
-            if let Some(item) = st.items.pop_front() {
+            if let Some(entry) = st.items.pop_front() {
                 drop(st);
                 self.not_full.notify_one();
-                return Some(item);
+                return Some(entry);
             }
             if st.closed {
                 return None;
@@ -193,7 +206,7 @@ impl<T> BoundedQueue<T> {
         if item.is_some() {
             self.not_full.notify_one();
         }
-        item
+        item.map(|(item, _)| item)
     }
 
     /// Closes the queue: future pushes fail, and consumers drain what

@@ -157,6 +157,12 @@ impl SupervisedPool {
                                 WorkerExit::Panicked(i) => {
                                     generation += 1;
                                     control.counters.respawned.fetch_add(1, Ordering::AcqRel);
+                                    ucsim_obs::emit(
+                                        ucsim_obs::SpanKind::Supervise,
+                                        ucsim_obs::now_us(),
+                                        0,
+                                        i as u32,
+                                    );
                                     let h = spawn_worker(
                                         format!("{name}-{i}r{generation}"),
                                         i,
@@ -228,14 +234,26 @@ where
         .name(thread_name)
         .spawn(move || {
             let exit = loop {
-                let Some(item) = queue.pop() else {
+                let Some((item, token)) = queue.pop_with_obs() else {
                     break WorkerExit::Drained;
                 };
+                // Reports the queue wait and installs the enqueuing
+                // request's scope for the handler, so spans emitted
+                // below (and inside the handler) carry its id.
+                let _scope = token.on_dequeue(index as u32);
                 control.counters.in_flight.fetch_add(1, Ordering::AcqRel);
+                let span = ucsim_obs::span(ucsim_obs::SpanKind::Execute);
                 let result = catch_unwind(AssertUnwindSafe(|| handler(&item)));
+                span.finish(u32::from(result.is_err()));
                 control.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                 if let Err(payload) = result {
                     control.counters.panics.fetch_add(1, Ordering::AcqRel);
+                    ucsim_obs::emit(
+                        ucsim_obs::SpanKind::Supervise,
+                        ucsim_obs::now_us(),
+                        0,
+                        index as u32,
+                    );
                     on_panic(&item, &payload_to_string(&*payload));
                     break WorkerExit::Panicked(index);
                 }

@@ -139,9 +139,15 @@ pub fn test_sleep_ms(workload: &str) -> Option<u64> {
     workload.strip_prefix("test-sleep:")?.parse().ok()
 }
 
+/// True for the `test-panic` pseudo-workload (integration tests use it
+/// to exercise the worker-panic failure path deterministically).
+pub fn test_panic(workload: &str) -> bool {
+    workload == "test-panic"
+}
+
 /// True when `workload` names something the server can run.
 pub fn workload_known(workload: &str, test_workloads: bool) -> bool {
-    (test_workloads && test_sleep_ms(workload).is_some())
+    (test_workloads && (test_sleep_ms(workload).is_some() || test_panic(workload)))
         || WorkloadProfile::by_name(workload).is_some()
 }
 
@@ -267,12 +273,26 @@ impl ErrorCode {
 
 /// Builds the uniform error envelope body.
 pub fn error_envelope(code: ErrorCode, message: &str, retry_after: Option<u32>) -> Vec<u8> {
+    error_envelope_with_request(code, message, retry_after, None)
+}
+
+/// [`error_envelope`] with the originating request's correlation id, so
+/// failures can be tied back to the request that submitted the work.
+pub fn error_envelope_with_request(
+    code: ErrorCode,
+    message: &str,
+    retry_after: Option<u32>,
+    request_id: Option<&str>,
+) -> Vec<u8> {
     let mut fields = vec![
         ("code".to_owned(), Json::Str(code.as_str().to_owned())),
         ("message".to_owned(), Json::Str(message.to_owned())),
     ];
     if let Some(secs) = retry_after {
         fields.push(("retry_after".to_owned(), Json::Uint(u64::from(secs))));
+    }
+    if let Some(id) = request_id {
+        fields.push(("request_id".to_owned(), Json::Str(id.to_owned())));
     }
     Json::Obj(vec![("error".to_owned(), Json::Obj(fields))])
         .to_string()

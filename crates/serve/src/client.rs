@@ -127,6 +127,7 @@ pub struct Client {
     connects: u64,
     retry: RetryPolicy,
     jitter: SplitMix64,
+    request_id: Option<String>,
 }
 
 impl Client {
@@ -145,6 +146,7 @@ impl Client {
             connects: 0,
             retry,
             jitter,
+            request_id: None,
         }
     }
 
@@ -152,6 +154,13 @@ impl Client {
     /// by checking this stays at 1 across requests).
     pub fn connects(&self) -> u64 {
         self.connects
+    }
+
+    /// Sets an `X-Request-Id` to send on every subsequent request (the
+    /// server echoes it and threads it through job failure envelopes).
+    /// `None` clears it, letting the server mint its own per request.
+    pub fn set_request_id(&mut self, id: Option<String>) {
+        self.request_id = id;
     }
 
     /// Like [`Client::request`], but retries transient failures — I/O
@@ -219,8 +228,12 @@ impl Client {
             self.connects += 1;
         }
         let conn = self.conn.as_mut().expect("connected above");
+        let id_header = self
+            .request_id
+            .as_ref()
+            .map_or_else(String::new, |id| format!("x-request-id: {id}\r\n"));
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{id_header}\r\n",
             self.addr,
             body.len()
         );

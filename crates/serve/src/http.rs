@@ -35,6 +35,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Request correlation id: the client's `X-Request-Id` header, or a
+    /// server-generated id. Assigned at the connection edge (empty until
+    /// then) and echoed on every response.
+    pub request_id: String,
 }
 
 impl Request {
@@ -74,8 +78,10 @@ pub struct Response {
     pub status: u16,
     /// Extra headers beyond the standard framing set.
     pub headers: Vec<(&'static str, String)>,
-    /// The JSON body bytes.
+    /// The body bytes.
     pub body: Vec<u8>,
+    /// `Content-Type` header value for the body.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -85,6 +91,17 @@ impl Response {
             status,
             headers: Vec::new(),
             body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format).
+    pub fn text(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -163,12 +180,19 @@ impl HttpConn {
             }
         }
         // Phase 2: the request is arriving; parse it under a hard
-        // per-request timeout.
+        // per-request timeout. The parse span starts here (after the
+        // first byte) so idle keep-alive waits are not counted.
+        let parse_span = ucsim_obs::span(ucsim_obs::SpanKind::Parse);
         self.reader
             .get_ref()
             .set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
         match self.parse_request() {
-            Ok(out) => Ok(out),
+            Ok(out) => {
+                if matches!(out, ReadOutcome::Request(_)) {
+                    parse_span.finish(0);
+                }
+                Ok(out)
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -233,6 +257,7 @@ impl HttpConn {
             query,
             headers,
             body,
+            request_id: String::new(),
         }))
     }
 
@@ -247,8 +272,9 @@ impl HttpConn {
         let reason = reason_phrase(resp.status);
         let connection = if close { "close" } else { "keep-alive" };
         let mut head = format!(
-            "HTTP/1.1 {} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
+            "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             resp.status,
+            resp.content_type,
             resp.body.len()
         );
         for (k, v) in &resp.headers {
@@ -275,6 +301,7 @@ fn reason_phrase(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }

@@ -22,15 +22,27 @@ pub struct JobFailure {
     pub kind: FailureKind,
     /// Human-readable detail.
     pub message: String,
+    /// Correlation id of the request that submitted the job, when known.
+    /// Carried into the failure envelope so a client can tie a failed
+    /// job back to its originating request.
+    pub request_id: Option<String>,
 }
 
 impl JobFailure {
-    /// Convenience constructor.
+    /// Convenience constructor (no request id).
     pub fn new(kind: FailureKind, message: impl Into<String>) -> Self {
         JobFailure {
             kind,
             message: message.into(),
+            request_id: None,
         }
+    }
+
+    /// Attaches the originating request's correlation id.
+    #[must_use]
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Self {
+        self.request_id = Some(id.into());
+        self
     }
 }
 
@@ -67,23 +79,45 @@ pub struct JobCell {
     pub id: JobId,
     /// Content hash of the job's canonical spec.
     pub key_hash: u64,
+    /// Unix timestamp (seconds) when the job was accepted.
+    pub created_at: u64,
     state: Mutex<JobState>,
     /// The bare report payload (set just before [`JobCell::complete`]).
     /// Sweep aggregation reads this — the [`JobState::Done`] body is the
     /// full response envelope, not the raw report.
     payload: Mutex<Option<Arc<String>>>,
+    /// Per-job execution profile (stage-time histogram + counter
+    /// deltas), set by the worker that ran the simulation. `None` for
+    /// cache hits and jobs that never executed.
+    profile: Mutex<Option<Arc<ucsim_obs::JobProfile>>>,
     done: Condvar,
 }
 
 impl JobCell {
     fn new(id: JobId, key_hash: u64) -> Self {
+        let created_at = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
         JobCell {
             id,
             key_hash,
+            created_at,
             state: Mutex::new(JobState::Queued),
             payload: Mutex::new(None),
+            profile: Mutex::new(None),
             done: Condvar::new(),
         }
+    }
+
+    /// Attaches the per-job execution profile (worker side).
+    pub fn set_profile(&self, profile: Arc<ucsim_obs::JobProfile>) {
+        *self.profile.lock().expect("job lock") = Some(profile);
+    }
+
+    /// The per-job execution profile, if the job actually executed under
+    /// profiling.
+    pub fn profile(&self) -> Option<Arc<ucsim_obs::JobProfile>> {
+        self.profile.lock().expect("job lock").clone()
     }
 
     /// Current state snapshot.

@@ -42,6 +42,24 @@
 //!   └─────────────┘
 //! ```
 //!
+//! ## Observability
+//!
+//! The service is instrumented end to end with the zero-dependency
+//! `ucsim-obs` crate (compiled in via its `enabled` feature here, a
+//! no-op everywhere else). Every request gets an `X-Request-Id`
+//! (client-supplied or minted at the accept edge) that is echoed on the
+//! response, propagated through the queue into the worker that runs the
+//! job, and attached to failure envelopes. Introspection endpoints:
+//!
+//! - `GET /v1/metrics` — counters + latency histograms; JSON by
+//!   default, Prometheus text exposition when `Accept: text/plain`.
+//! - `GET /v1/jobs/:id/profile` — per-job stage-time histograms and
+//!   counter deltas captured while the job executed.
+//! - `GET /v1/trace?since=N` — recent span events drained from the
+//!   per-thread ring buffers, with a cursor for incremental polling.
+//! - `GET /v1/healthz` — queue depth, worker liveness, store health.
+//! - `GET /v1/version` — crate version, store format, feature flags.
+//!
 //! Determinism (DESIGN.md §6) is what makes the cache *and* the store
 //! sound: a simulation is a pure function of `(workload, seed,
 //! SimConfig)`, so the cache key is a stable FNV-1a hash of the request's
@@ -66,6 +84,7 @@ mod client;
 mod http;
 mod jobs;
 mod metrics;
+mod prom;
 mod router;
 mod server;
 mod signal;
@@ -78,7 +97,8 @@ pub use client::{request, Client, HttpResponse, RetryPolicy};
 pub use http::{HttpConn, ReadOutcome, Request, Response};
 pub use jobs::{JobCell, JobFailure, JobId, JobState, JobTable, Submit};
 pub use metrics::Metrics;
-pub use router::{Params, Route, Router};
+pub use prom::render_prometheus;
+pub use router::{LabelId, Params, Route, Router};
 pub use server::{Server, ServerConfig};
 pub use signal::{install_signal_handlers, request_shutdown, signalled};
 pub use store::{RecordKind, ResultStore, StoreRecord};

@@ -33,10 +33,16 @@ ENDPOINTS:
                         \"policies\"?, ...} -> 202 + sweep id
     GET  /v1/matrix/ID  sweep progress; aggregated table when done
     GET  /v1/jobs/ID    poll a background job
-    GET  /v1/metrics    queue/worker/cache/latency counters
+    GET  /v1/jobs/ID/profile  per-job stage timings + counter deltas
+    GET  /v1/metrics    queue/worker/cache/latency counters; JSON, or
+                        Prometheus text with 'Accept: text/plain'
+    GET  /v1/trace?since=N  recent span events from the trace rings
+    GET  /v1/healthz    liveness: queue depth, workers, store health
+    GET  /v1/version    crate version, store format, feature flags
 
 Connections are keep-alive; errors use the uniform envelope
-{\"error\":{\"code\",\"message\",\"retry_after\"?}}.
+{\"error\":{\"code\",\"message\",\"retry_after\"?,\"request_id\"?}}. Every
+response echoes an X-Request-Id (client-supplied or server-minted).
 ";
 
 fn main() -> ExitCode {

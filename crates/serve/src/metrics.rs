@@ -14,6 +14,7 @@ use ucsim_model::json::Json;
 use ucsim_model::Histogram;
 
 use crate::cache::CacheStats;
+use crate::router::LabelId;
 
 /// Histogram bucket upper bounds, in microseconds.
 const LATENCY_BOUNDS_US: &[u64] = &[
@@ -21,19 +22,18 @@ const LATENCY_BOUNDS_US: &[u64] = &[
     1_000_000, 5_000_000,
 ];
 
-/// Endpoints with dedicated latency histograms, in display order.
-pub const ENDPOINTS: &[&str] = &[
-    "POST /v1/sim",
-    "POST /v1/matrix",
-    "GET /v1/matrix",
-    "GET /v1/jobs",
-    "GET /v1/metrics",
-];
-
 /// Shared server counters. All methods take `&self`.
+///
+/// Latency histograms are keyed by the router's interned [`LabelId`]s:
+/// the label table is handed over once at construction, so the
+/// per-request [`observe`](Metrics::observe) path is a direct array
+/// index, not a string search.
 pub struct Metrics {
     started: Instant,
     workers: usize,
+    /// Endpoint labels, indexed by `LabelId` (owned copy of the
+    /// router's table).
+    labels: Vec<&'static str>,
     /// Workers currently simulating.
     busy_workers: AtomicUsize,
     /// Total microseconds workers spent simulating.
@@ -54,11 +54,20 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Creates counters for a pool of `workers` workers.
-    pub fn new(workers: usize) -> Self {
+    /// Creates counters for a pool of `workers` workers, with one
+    /// latency histogram per label in `labels` (the router's interned
+    /// label table, including the reserved `404`/`405` entries).
+    pub fn new(workers: usize, labels: Vec<&'static str>) -> Self {
+        let latency = Mutex::new(
+            labels
+                .iter()
+                .map(|_| Histogram::new(LATENCY_BOUNDS_US))
+                .collect(),
+        );
         Metrics {
             started: Instant::now(),
             workers,
+            labels,
             busy_workers: AtomicUsize::new(0),
             busy_us: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
@@ -67,12 +76,7 @@ impl Metrics {
             store_write_errors: AtomicU64::new(0),
             rejected_429: AtomicU64::new(0),
             requests: AtomicU64::new(0),
-            latency: Mutex::new(
-                ENDPOINTS
-                    .iter()
-                    .map(|_| Histogram::new(LATENCY_BOUNDS_US))
-                    .collect(),
-            ),
+            latency,
         }
     }
 
@@ -121,12 +125,13 @@ impl Metrics {
         self.rejected_429.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one served request on `endpoint` (an `ENDPOINTS` entry)
-    /// taking `us` microseconds.
-    pub fn observe(&self, endpoint: &str, us: u64) {
+    /// Records one served request on the endpoint named by the interned
+    /// `label`, taking `us` microseconds. Direct index — no per-request
+    /// label search.
+    pub fn observe(&self, label: LabelId, us: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
-            self.latency.lock().expect("latency lock")[i].record(us);
+        if let Some(h) = self.latency.lock().expect("latency lock").get_mut(label.0) {
+            h.record(us);
         }
     }
 
@@ -212,7 +217,7 @@ impl Metrics {
         let latency = {
             let hists = self.latency.lock().expect("latency lock");
             Json::Obj(
-                ENDPOINTS
+                self.labels
                     .iter()
                     .zip(hists.iter())
                     .map(|(name, h)| ((*name).to_owned(), histogram_json(h)))
@@ -245,6 +250,7 @@ fn histogram_json(h: &Histogram) -> Json {
             Json::Arr(h.counts().iter().map(|&c| Json::Uint(c)).collect()),
         ),
         ("total".to_owned(), Json::Uint(h.total())),
+        ("sum".to_owned(), Json::Uint(h.sum() as u64)),
         ("mean".to_owned(), Json::Float(h.mean())),
     ])
 }
@@ -253,9 +259,19 @@ fn histogram_json(h: &Histogram) -> Json {
 mod tests {
     use super::*;
 
+    const TEST_LABELS: &[&str] = &["POST /v1/sim", "GET /v1/metrics", "404", "405"];
+
+    fn metrics(workers: usize) -> Metrics {
+        Metrics::new(workers, TEST_LABELS.to_vec())
+    }
+
+    fn label(name: &str) -> LabelId {
+        LabelId(TEST_LABELS.iter().position(|l| *l == name).unwrap())
+    }
+
     #[test]
     fn worker_accounting_balances() {
-        let m = Metrics::new(2);
+        let m = metrics(2);
         m.worker_started();
         m.worker_finished(1000, false);
         m.worker_started();
@@ -274,7 +290,7 @@ mod tests {
 
     #[test]
     fn failure_counters_land_in_the_document() {
-        let m = Metrics::new(1);
+        let m = metrics(1);
         m.deadline_exceeded();
         m.deadline_exceeded();
         m.job_failed_unexecuted();
@@ -298,23 +314,25 @@ mod tests {
 
     #[test]
     fn latency_lands_in_the_right_endpoint() {
-        let m = Metrics::new(1);
-        m.observe("POST /v1/sim", 700);
-        m.observe("POST /v1/sim", 700);
-        m.observe("GET /v1/metrics", 10);
-        m.observe("GET /unknown", 10); // counted as a request, no histogram
+        let m = metrics(1);
+        m.observe(label("POST /v1/sim"), 700);
+        m.observe(label("POST /v1/sim"), 700);
+        m.observe(label("GET /v1/metrics"), 10);
+        // Out-of-range id: counted as a request, no histogram.
+        m.observe(LabelId(usize::MAX), 10);
         let j = m.to_json(0, 1, &CacheStats::default(), 1, 0);
         assert_eq!(j.get("requests").unwrap().as_u64(), Some(4));
         let lat = j.get("latency_us").unwrap();
         let sim = lat.get("POST /v1/sim").unwrap();
         assert_eq!(sim.get("total").unwrap().as_u64(), Some(2));
+        assert_eq!(sim.get("sum").unwrap().as_u64(), Some(1400));
         let met = lat.get("GET /v1/metrics").unwrap();
         assert_eq!(met.get("total").unwrap().as_u64(), Some(1));
     }
 
     #[test]
     fn metrics_document_shape() {
-        let m = Metrics::new(3);
+        let m = metrics(3);
         m.rejected();
         let stats = CacheStats {
             hits: 3,

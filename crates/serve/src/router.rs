@@ -37,39 +37,84 @@ pub struct Route<C> {
     pub handler: fn(&C, &Request, &Params) -> Response,
 }
 
+/// An interned metrics label: an index into the router's deduplicated
+/// label table, assigned once at router-build time so the per-request
+/// hot path records latency by direct array index instead of a linear
+/// string search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelId(pub usize);
+
 /// The route table for a context type `C` (the server's shared state).
 pub struct Router<C> {
-    routes: Vec<Route<C>>,
+    routes: Vec<(Route<C>, LabelId)>,
+    labels: Vec<&'static str>,
+    not_found: LabelId,
+    method_not_allowed: LabelId,
 }
 
 impl<C> Router<C> {
-    /// Builds a router from its table.
+    /// Builds a router from its table, interning every route's metrics
+    /// label (plus the reserved `404`/`405` labels) into a deduplicated
+    /// table.
     pub fn new(routes: Vec<Route<C>>) -> Router<C> {
-        Router { routes }
+        let mut labels: Vec<&'static str> = Vec::new();
+        let mut intern = |label: &'static str| -> LabelId {
+            if let Some(i) = labels.iter().position(|l| *l == label) {
+                LabelId(i)
+            } else {
+                labels.push(label);
+                LabelId(labels.len() - 1)
+            }
+        };
+        let routes = routes
+            .into_iter()
+            .map(|r| {
+                let id = intern(r.label);
+                (r, id)
+            })
+            .collect();
+        let not_found = intern("404");
+        let method_not_allowed = intern("405");
+        Router {
+            routes,
+            labels,
+            not_found,
+            method_not_allowed,
+        }
+    }
+
+    /// The deduplicated label table; `LabelId(i)` names `labels()[i]`.
+    pub fn labels(&self) -> &[&'static str] {
+        &self.labels
+    }
+
+    /// Resolves an interned label back to its string.
+    pub fn label_name(&self, id: LabelId) -> &'static str {
+        self.labels[id.0]
     }
 
     /// Dispatches one request: runs the matching handler, or builds the
-    /// centralized 404/405 error-envelope response. Returns the metrics
-    /// label alongside the response.
-    pub fn dispatch(&self, ctx: &C, req: &Request) -> (&'static str, Response) {
+    /// centralized 404/405 error-envelope response. Returns the interned
+    /// metrics label alongside the response.
+    pub fn dispatch(&self, ctx: &C, req: &Request) -> (LabelId, Response) {
         let mut path_matched = false;
-        for route in &self.routes {
+        for (route, id) in &self.routes {
             let Some(params) = match_pattern(route.pattern, &req.path) else {
                 continue;
             };
             if route.method == req.method {
-                return (route.label, (route.handler)(ctx, req, &params));
+                return (*id, (route.handler)(ctx, req, &params));
             }
             path_matched = true;
         }
         if path_matched {
             (
-                "405",
+                self.method_not_allowed,
                 api::error_response(ErrorCode::MethodNotAllowed, "method not allowed", None),
             )
         } else {
             (
-                "404",
+                self.not_found,
                 api::error_response(ErrorCode::NotFound, "not found", None),
             )
         }
@@ -112,6 +157,7 @@ mod tests {
             query: None,
             headers: Vec::new(),
             body: Vec::new(),
+            request_id: String::new(),
         }
     }
 
@@ -142,25 +188,25 @@ mod tests {
     fn literal_and_capture_segments_dispatch() {
         let r = test_router();
         let (label, resp) = r.dispatch(&7, &req("GET", "/v1/things/42"));
-        assert_eq!(label, "GET /v1/things");
+        assert_eq!(r.label_name(label), "GET /v1/things");
         assert_eq!(resp.status, 200);
         assert_eq!(
             String::from_utf8(resp.body).unwrap(),
             "{\"ctx\":7,\"id\":\"42\"}"
         );
         let (label, resp) = r.dispatch(&7, &req("POST", "/v1/things"));
-        assert_eq!((label, resp.status), ("POST /v1/things", 202));
+        assert_eq!((r.label_name(label), resp.status), ("POST /v1/things", 202));
     }
 
     #[test]
     fn unknown_path_is_404_wrong_method_is_405() {
         let r = test_router();
         let (label, resp) = r.dispatch(&0, &req("GET", "/nope"));
-        assert_eq!((label, resp.status), ("404", 404));
+        assert_eq!((r.label_name(label), resp.status), ("404", 404));
         assert!(String::from_utf8(resp.body).unwrap().contains("not_found"));
 
         let (label, resp) = r.dispatch(&0, &req("DELETE", "/v1/things"));
-        assert_eq!((label, resp.status), ("405", 405));
+        assert_eq!((r.label_name(label), resp.status), ("405", 405));
         assert!(String::from_utf8(resp.body)
             .unwrap()
             .contains("method_not_allowed"));
@@ -170,7 +216,30 @@ mod tests {
     fn empty_capture_does_not_match() {
         let r = test_router();
         let (label, _) = r.dispatch(&0, &req("GET", "/v1/things/"));
-        assert_eq!(label, "404");
+        assert_eq!(r.label_name(label), "404");
         assert!(match_pattern("/v1/things/:id", "/v1/things/a/b").is_none());
+    }
+
+    #[test]
+    fn labels_are_interned_and_deduplicated() {
+        let r = Router::<u32>::new(vec![
+            Route {
+                method: "GET",
+                pattern: "/a",
+                label: "shared",
+                handler: |_, _, _| Response::json(200, b"{}".to_vec()),
+            },
+            Route {
+                method: "POST",
+                pattern: "/b",
+                label: "shared",
+                handler: |_, _, _| Response::json(200, b"{}".to_vec()),
+            },
+        ]);
+        // One "shared" entry plus the reserved 404/405 labels.
+        assert_eq!(r.labels(), &["shared", "404", "405"]);
+        let (a, _) = r.dispatch(&0, &req("GET", "/a"));
+        let (b, _) = r.dispatch(&0, &req("POST", "/b"));
+        assert_eq!(a, b);
     }
 }

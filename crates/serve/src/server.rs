@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -101,6 +101,9 @@ struct Work {
     cell: Arc<jobs::JobCell>,
     spec: JobSpec,
     canonical: String,
+    /// Correlation id of the request that submitted this job; carried
+    /// into every failure envelope the job can produce.
+    request_id: String,
     /// Flipped by the watchdog on deadline expiry; the simulation loop
     /// polls it at PW-batch boundaries and bails out.
     cancel: CancelToken,
@@ -168,8 +171,12 @@ impl Server {
         };
 
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        // The router is built first so its interned label table seeds the
+        // metrics histograms — observe() is then a direct array index.
+        let router = routes();
+        let metrics = Metrics::new(cfg.workers.max(1), router.labels().to_vec());
         let inner = Arc::new(Inner {
-            router: routes(),
+            router,
             queue: Arc::clone(&queue),
             jobs: JobTable::new(cfg.retain_jobs),
             sweeps: SweepTable::new(cfg.retain_sweeps),
@@ -177,7 +184,7 @@ impl Server {
             failed: Mutex::new(HashMap::new()),
             store,
             traces: TraceStore::new(cfg.trace_budget_insts),
-            metrics: Metrics::new(cfg.workers.max(1)),
+            metrics,
             watchdog: Watchdog::new(),
             pool_monitor: OnceLock::new(),
             stopping: AtomicBool::new(false),
@@ -298,7 +305,8 @@ impl Server {
             let failure = JobFailure::new(
                 FailureKind::ShuttingDown,
                 "server shut down before the job ran",
-            );
+            )
+            .with_request_id(work.request_id.clone());
             if work.cell.fail(failure) {
                 self.inner.metrics.job_failed_unexecuted();
                 self.inner.jobs.finish(&work.cell);
@@ -344,10 +352,36 @@ fn routes() -> Router<Arc<Inner>> {
         },
         Route {
             method: "GET",
+            pattern: "/v1/jobs/:id/profile",
+            label: "GET /v1/jobs/profile",
+            handler: handle_job_profile,
+        },
+        Route {
+            method: "GET",
             pattern: "/v1/metrics",
             label: "GET /v1/metrics",
             handler: handle_metrics,
         },
+        Route {
+            method: "GET",
+            pattern: "/v1/trace",
+            label: "GET /v1/trace",
+            handler: handle_trace,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/healthz",
+            label: "GET /v1/healthz",
+            handler: handle_healthz,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/version",
+            label: "GET /v1/version",
+            handler: handle_version,
+        },
+        // Deprecated alias for `/v1/healthz` (kept one release; see
+        // DESIGN.md §4.1).
         Route {
             method: "GET",
             pattern: "/healthz",
@@ -375,13 +409,15 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
         let cell = Arc::clone(&work.cell);
         let cancel = work.cancel.clone();
         let wd_inner = Arc::clone(inner);
+        let request_id = work.request_id.clone();
         let ms = limit.as_millis();
         inner.watchdog.watch(Instant::now() + limit, move || {
             cancel.cancel();
             let failure = JobFailure::new(
                 FailureKind::DeadlineExceeded,
                 format!("job exceeded the {ms}ms deadline"),
-            );
+            )
+            .with_request_id(request_id.clone());
             if cell.fail(failure) {
                 wd_inner.metrics.deadline_exceeded();
             }
@@ -389,12 +425,18 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
     });
 
     faults::check("worker.pre_sim");
+    // Profile this job: the pipeline's stage timers and counter deltas
+    // accumulate into a thread-local profile between begin and end.
+    ucsim_obs::profile_begin();
     let result = run_spec(
         &work.spec,
         inner.cfg.enable_test_workloads,
         &inner.traces,
         &work.cancel,
     );
+    if let Some(profile) = ucsim_obs::profile_end() {
+        work.cell.set_profile(Arc::new(profile));
+    }
     let us = t0.elapsed().as_micros() as u64;
     match result {
         Ok(report) => {
@@ -416,7 +458,10 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
                 if let Some(store) = &inner.store {
                     // A failed append costs durability, not the response:
                     // the in-memory cache still holds the result.
-                    if let Err(e) = store.append(work.cell.key_hash, &work.canonical, &payload) {
+                    let span = ucsim_obs::span(ucsim_obs::SpanKind::StoreIo);
+                    let appended = store.append(work.cell.key_hash, &work.canonical, &payload);
+                    span.finish(u32::from(appended.is_err()));
+                    if let Err(e) = appended {
                         inner.metrics.store_write_error();
                         eprintln!(
                             "ucsim-serve: appending to {} failed: {e}",
@@ -433,8 +478,10 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
         }
         Err(RunError::Rejected(msg)) => {
             inner.metrics.worker_finished(us, true);
-            work.cell
-                .fail(JobFailure::new(FailureKind::SimulationFailed, msg));
+            work.cell.fail(
+                JobFailure::new(FailureKind::SimulationFailed, msg)
+                    .with_request_id(work.request_id.clone()),
+            );
         }
     }
     inner.jobs.finish(&work.cell);
@@ -448,11 +495,15 @@ fn job_panicked(inner: &Arc<Inner>, work: &Work, payload: &str) {
     let failure = JobFailure::new(
         FailureKind::SimulationFailed,
         format!("worker panicked: {payload}"),
-    );
+    )
+    .with_request_id(work.request_id.clone());
     inner.metrics.worker_panicked(0);
     if work.cell.fail(failure.clone()) {
         if let Some(store) = &inner.store {
-            if let Err(e) = store.append_failed(work.cell.key_hash, &work.canonical, &failure) {
+            let span = ucsim_obs::span(ucsim_obs::SpanKind::StoreIo);
+            let appended = store.append_failed(work.cell.key_hash, &work.canonical, &failure);
+            span.finish(u32::from(appended.is_err()));
+            if let Err(e) = appended {
                 inner.metrics.store_write_error();
                 eprintln!(
                     "ucsim-serve: appending failure to {} failed: {e}",
@@ -501,6 +552,16 @@ fn run_spec(
         }
         std::thread::sleep(Duration::from_millis(ms));
         WorkloadProfile::quick_test()
+    } else if api::test_panic(&spec.workload) {
+        if !test_workloads {
+            return Err(RunError::Rejected(format!(
+                "unknown workload: {}",
+                spec.workload
+            )));
+        }
+        // Deterministic worker panic: integration tests exercise the
+        // panic → supervise → failure-envelope path with this.
+        panic!("test-panic workload requested a worker panic");
     } else {
         WorkloadProfile::by_name(&spec.workload)
             .ok_or_else(|| RunError::Rejected(format!("unknown workload: {}", spec.workload)))?
@@ -518,10 +579,28 @@ fn run_spec(
         .map_err(|Cancelled| RunError::Cancelled)
 }
 
+/// Generates a server-side request id: process-start micros plus a
+/// monotone counter, both in hex. Unique per process and cheap — no
+/// dependency on a random source.
+fn next_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    static EPOCH_US: OnceLock<u64> = OnceLock::new();
+    let epoch = *EPOCH_US.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros() as u64)
+    });
+    format!(
+        "req-{epoch:x}-{:x}",
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     while !inner.stopping.load(Ordering::SeqCst) && !signal::signalled() {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                ucsim_obs::emit(ucsim_obs::SpanKind::Accept, ucsim_obs::now_us(), 0, 0);
                 inner.open_conns.fetch_add(1, Ordering::SeqCst);
                 let inner = Arc::clone(&inner);
                 let _ = std::thread::Builder::new()
@@ -547,7 +626,7 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
     let mut conn = HttpConn::new(stream);
     let stop = || inner.stopping.load(Ordering::SeqCst) || signal::signalled();
     loop {
-        let req = match conn.read_request(inner.cfg.keep_alive_idle, &stop) {
+        let mut req = match conn.read_request(inner.cfg.keep_alive_idle, &stop) {
             Ok(ReadOutcome::Request(req)) => req,
             Ok(ReadOutcome::Malformed(msg)) => {
                 let resp = api::error_response(ErrorCode::BadRequest, &msg, None);
@@ -556,11 +635,23 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
             }
             Ok(ReadOutcome::Closed | ReadOutcome::Stopped) | Err(_) => return,
         };
+        // Request-id edge: honor the client's `X-Request-Id` or mint one,
+        // scope this thread's trace events to it, and echo it back.
+        let request_id = req
+            .header("x-request-id")
+            .map(str::to_owned)
+            .filter(|id| !id.is_empty())
+            .unwrap_or_else(next_request_id);
+        req.request_id.clone_from(&request_id);
+        let _scope = ucsim_obs::request_scope(ucsim_obs::hash_id(&request_id));
         let t0 = Instant::now();
+        let span = ucsim_obs::span(ucsim_obs::SpanKind::Handle);
         let (label, resp) = inner.router.dispatch(inner, &req);
+        span.finish(u32::from(resp.status));
         inner
             .metrics
             .observe(label, t0.elapsed().as_micros() as u64);
+        let resp = resp.with_header("x-request-id", request_id);
         let close = req.wants_close() || stop();
         if conn.respond(&resp, close).is_err() || close {
             return;
@@ -620,6 +711,7 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
                 cell: Arc::clone(&cell),
                 spec,
                 canonical,
+                request_id: req.request_id.clone(),
                 cancel: CancelToken::new(),
             };
             match inner.queue.try_push(work) {
@@ -691,9 +783,15 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
     // (`push_wait`), so a sweep larger than the queue flows through it
     // instead of failing with 429s, and the 202 returns immediately.
     let feeder_inner = Arc::clone(inner);
+    let request_id = req.request_id.clone();
     let _ = std::thread::Builder::new()
         .name("sweep-feeder".to_owned())
-        .spawn(move || feed_sweep(&feeder_inner, &sweep));
+        .spawn(move || {
+            // The feeder inherits the submitting request's trace scope so
+            // queue-wait and execute events correlate to the POST.
+            let _scope = ucsim_obs::request_scope(ucsim_obs::hash_id(&request_id));
+            feed_sweep(&feeder_inner, &sweep, &request_id);
+        });
 
     let body = Json::Obj(vec![
         ("id".to_owned(), Json::Uint(id)),
@@ -706,8 +804,9 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
 }
 
 /// Resolves every cell of a sweep: cache hit, coalesced join, or a fresh
-/// job pushed through the bounded queue.
-fn feed_sweep(inner: &Inner, sweep: &Sweep) {
+/// job pushed through the bounded queue. Every cell's job carries the
+/// sweep's originating request id.
+fn feed_sweep(inner: &Inner, sweep: &Sweep, request_id: &str) {
     for (idx, cell) in sweep.cells().iter().enumerate() {
         let meta = &cell.meta;
         if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
@@ -731,12 +830,14 @@ fn feed_sweep(inner: &Inner, sweep: &Sweep) {
                     cell: job,
                     spec: meta.spec.clone(),
                     canonical: meta.canonical.clone(),
+                    request_id: request_id.to_owned(),
                     cancel: CancelToken::new(),
                 };
                 if let Err(PushError::Closed(w) | PushError::Full(w)) = inner.queue.push_wait(work)
                 {
                     let failure =
-                        JobFailure::new(FailureKind::ShuttingDown, "server shutting down");
+                        JobFailure::new(FailureKind::ShuttingDown, "server shutting down")
+                            .with_request_id(request_id);
                     w.cell.fail(failure.clone());
                     inner.jobs.abandon(&w.cell);
                     inner.metrics.job_failed_unexecuted();
@@ -765,55 +866,192 @@ fn handle_job_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Respon
         return api::error_response(ErrorCode::NotFound, "no such job", None);
     };
     let state = cell.state();
+    // Unified envelope (DESIGN.md §4.1): `state` is canonical, `status`
+    // is the deprecated alias kept for one release; likewise `result`
+    // (canonical) vs `response` (alias) below.
     let mut obj = vec![
         ("id".to_owned(), Json::Uint(id)),
         ("key".to_owned(), Json::Str(api::format_key(cell.key_hash))),
+        ("state".to_owned(), Json::Str(state.name().to_owned())),
         ("status".to_owned(), Json::Str(state.name().to_owned())),
+        ("created_at".to_owned(), Json::Uint(cell.created_at)),
     ];
     match state {
         JobState::Done(body) => {
-            // Splice the finished envelope in verbatim.
+            // Splice the finished envelope in verbatim, under both keys.
+            let envelope = std::str::from_utf8(&body).expect("envelope is utf-8");
             let mut out = Json::Obj(obj).to_string();
             out.pop(); // trailing '}'
+            out.push_str(",\"result\":");
+            out.push_str(envelope);
             out.push_str(",\"response\":");
-            out.push_str(std::str::from_utf8(&body).expect("envelope is utf-8"));
+            out.push_str(envelope);
             out.push('}');
             Response::json(200, out.into_bytes())
         }
         JobState::Failed(failure) => {
-            obj.push((
-                "error".to_owned(),
-                Json::Obj(vec![
-                    ("code".to_owned(), Json::Str(failure.kind.to_string())),
-                    ("message".to_owned(), Json::Str(failure.message)),
-                ]),
-            ));
+            let mut err = vec![
+                ("code".to_owned(), Json::Str(failure.kind.to_string())),
+                ("message".to_owned(), Json::Str(failure.message)),
+            ];
+            if let Some(rid) = failure.request_id {
+                err.push(("request_id".to_owned(), Json::Str(rid)));
+            }
+            obj.push(("error".to_owned(), Json::Obj(err)));
             Response::json(200, Json::Obj(obj).to_string().into_bytes())
         }
         _ => Response::json(200, Json::Obj(obj).to_string().into_bytes()),
     }
 }
 
-fn handle_metrics(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
+fn handle_job_profile(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+        return api::error_response(ErrorCode::BadRequest, "bad job id", None);
+    };
+    let Some(cell) = inner.jobs.get(id) else {
+        return api::error_response(ErrorCode::NotFound, "no such job", None);
+    };
+    let state = cell.state();
+    let profile = cell.profile().map_or(Json::Null, |p| p.to_json());
+    let body = Json::Obj(vec![
+        ("id".to_owned(), Json::Uint(id)),
+        ("state".to_owned(), Json::Str(state.name().to_owned())),
+        ("profile".to_owned(), profile),
+    ]);
+    Response::json(200, body.to_string().into_bytes())
+}
+
+fn handle_metrics(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
     let stats = inner.cache.stats();
     let (alive, respawned) = inner
         .pool_monitor
         .get()
         .map_or((0, 0), |m| (m.alive(), m.respawned()));
-    let body = inner
-        .metrics
-        .to_json(
-            inner.queue.len(),
-            inner.queue.capacity(),
-            &stats,
-            alive,
-            respawned,
-        )
-        .to_string()
-        .into_bytes();
-    Response::json(200, body)
+    let doc = inner.metrics.to_json(
+        inner.queue.len(),
+        inner.queue.capacity(),
+        &stats,
+        alive,
+        respawned,
+    );
+    // Content negotiation: Prometheus scrapers ask for text/plain; the
+    // exposition covers the same counters as the JSON document by
+    // construction (see `prom`).
+    if req
+        .header("accept")
+        .is_some_and(|a| a.contains("text/plain"))
+    {
+        Response::text(200, crate::prom::render_prometheus(&doc).into_bytes())
+    } else {
+        Response::json(200, doc.to_string().into_bytes())
+    }
 }
 
-fn handle_healthz(_inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
-    Response::json(200, b"{\"ok\":true}".to_vec())
+fn handle_trace(_inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    let mut since = 0u64;
+    let mut max = 4096usize;
+    if let Some(q) = &req.query {
+        for pair in q.split('&') {
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
+            match k {
+                "since" => since = v.parse().unwrap_or(0),
+                "max" => max = v.parse().unwrap_or(max),
+                _ => {}
+            }
+        }
+    }
+    let (events, next_since) = ucsim_obs::drain_since(since, max.min(65_536));
+    let events = events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("seq".to_owned(), Json::Uint(e.seq)),
+                ("kind".to_owned(), Json::Str(e.kind.name().to_owned())),
+                ("start_us".to_owned(), Json::Uint(e.start_us)),
+                ("dur_us".to_owned(), Json::Uint(e.dur_us)),
+                (
+                    "request_id".to_owned(),
+                    Json::Str(format!("{:016x}", e.request_id)),
+                ),
+                ("detail".to_owned(), Json::Uint(u64::from(e.detail))),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![
+        ("enabled".to_owned(), Json::Bool(ucsim_obs::ENABLED)),
+        ("events".to_owned(), Json::Arr(events)),
+        ("next_since".to_owned(), Json::Uint(next_since)),
+    ]);
+    Response::json(200, body.to_string().into_bytes())
+}
+
+fn handle_healthz(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
+    let alive = inner
+        .pool_monitor
+        .get()
+        .map_or(0, ucsim_pool::PoolMonitor::alive);
+    let (store_present, store_writable) = match &inner.store {
+        Some(s) => (true, s.writable()),
+        None => (false, true),
+    };
+    let ok = alive > 0 && store_writable && !inner.stopping.load(Ordering::SeqCst);
+    let body = Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(ok)),
+        (
+            "queue".to_owned(),
+            Json::Obj(vec![
+                ("depth".to_owned(), Json::Uint(inner.queue.len() as u64)),
+                (
+                    "capacity".to_owned(),
+                    Json::Uint(inner.queue.capacity() as u64),
+                ),
+            ]),
+        ),
+        (
+            "workers".to_owned(),
+            Json::Obj(vec![
+                ("alive".to_owned(), Json::Uint(alive as u64)),
+                ("count".to_owned(), Json::Uint(inner.cfg.workers as u64)),
+            ]),
+        ),
+        (
+            "store".to_owned(),
+            Json::Obj(vec![
+                ("present".to_owned(), Json::Bool(store_present)),
+                ("writable".to_owned(), Json::Bool(store_writable)),
+            ]),
+        ),
+    ]);
+    Response::json(if ok { 200 } else { 503 }, body.to_string().into_bytes())
+}
+
+fn handle_version(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
+    let body = Json::Obj(vec![
+        (
+            "version".to_owned(),
+            Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+        ),
+        ("store_format".to_owned(), Json::Str("UCSTOR02".to_owned())),
+        (
+            "features".to_owned(),
+            Json::Obj(vec![
+                ("observability".to_owned(), Json::Bool(ucsim_obs::ENABLED)),
+                (
+                    "fault_injection".to_owned(),
+                    Json::Bool(cfg!(feature = "fault-injection")),
+                ),
+                (
+                    "test_workloads".to_owned(),
+                    Json::Bool(inner.cfg.enable_test_workloads),
+                ),
+                (
+                    "durable_store".to_owned(),
+                    Json::Bool(inner.cfg.durable_store),
+                ),
+            ]),
+        ),
+    ]);
+    Response::json(200, body.to_string().into_bytes())
 }

@@ -33,6 +33,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use ucsim_model::json::Json;
@@ -90,20 +91,31 @@ impl StoreRecord {
         let v = Json::parse(&self.payload).ok()?;
         let kind = FailureKind::parse(v.get("code")?.as_str()?)?;
         let message = v.get("message")?.as_str()?.to_owned();
-        Some(JobFailure { kind, message })
+        let request_id = v
+            .get("request_id")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        Some(JobFailure {
+            kind,
+            message,
+            request_id,
+        })
     }
 }
 
 /// Encodes a failure as the `FAILED` record payload.
 pub fn failure_payload(failure: &JobFailure) -> String {
-    Json::Obj(vec![
+    let mut fields = vec![
         (
             "code".to_owned(),
             Json::Str(failure.kind.as_str().to_owned()),
         ),
         ("message".to_owned(), Json::Str(failure.message.clone())),
-    ])
-    .to_string()
+    ];
+    if let Some(id) = &failure.request_id {
+        fields.push(("request_id".to_owned(), Json::Str(id.clone())));
+    }
+    Json::Obj(fields).to_string()
 }
 
 /// The append-only result store. All methods take `&self`; a mutex
@@ -114,6 +126,9 @@ pub struct ResultStore {
     path: PathBuf,
     /// When set, every append is fsync'd (`--durable`).
     durable: bool,
+    /// Health flag for `/v1/healthz`: cleared when an append fails, set
+    /// again by the next successful append.
+    healthy: AtomicBool,
 }
 
 impl ResultStore {
@@ -167,6 +182,7 @@ impl ResultStore {
                 file: Mutex::new(file),
                 path,
                 durable,
+                healthy: AtomicBool::new(true),
             },
             records,
         ))
@@ -203,6 +219,18 @@ impl ResultStore {
         canonical: &str,
         payload: &str,
     ) -> io::Result<()> {
+        let result = self.append_record_inner(kind, key_hash, canonical, payload);
+        self.healthy.store(result.is_ok(), Ordering::Relaxed);
+        result
+    }
+
+    fn append_record_inner(
+        &self,
+        kind: u8,
+        key_hash: u64,
+        canonical: &str,
+        payload: &str,
+    ) -> io::Result<()> {
         let record = encode_record(kind, key_hash, canonical, payload);
         let mut file = self.file.lock().expect("store lock");
         // Named fault site: chaos tests inject hard I/O errors and torn
@@ -228,6 +256,12 @@ impl ResultStore {
             file.sync_data()?;
         }
         Ok(())
+    }
+
+    /// Whether the last append succeeded (`true` before any append).
+    /// `/v1/healthz` reports this as store writability.
+    pub fn writable(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
     }
 
     /// The log's path (for diagnostics).
@@ -511,6 +545,28 @@ mod tests {
         let err = ResultStore::open(&dir, false).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_reports_writable_after_successful_appends() {
+        let dir = temp_dir("writable");
+        let (store, _) = ResultStore::open(&dir, false).unwrap();
+        assert!(store.writable(), "fresh store is presumed writable");
+        store.append(1, "spec", "{}").unwrap();
+        assert!(store.writable());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_payload_round_trips_request_id() {
+        let f = JobFailure::new(FailureKind::SimulationFailed, "boom").with_request_id("req-12ab");
+        let rec = StoreRecord {
+            kind: RecordKind::Failed,
+            key_hash: 1,
+            canonical: "spec".to_owned(),
+            payload: failure_payload(&f),
+        };
+        assert_eq!(rec.failure(), Some(f));
     }
 
     #[test]

@@ -55,8 +55,9 @@ enum CellSlot {
     Pending,
     /// Riding a queued/running job.
     Waiting(Arc<JobCell>),
-    /// Finished; holds the bare report payload.
-    Done(Arc<String>),
+    /// Finished; holds the bare report payload and — when the cell
+    /// actually executed (not a cache hit) — its execution profile.
+    Done(Arc<String>, Option<Arc<ucsim_obs::JobProfile>>),
     /// Failed; holds the stable error code and message.
     Failed(JobFailure),
 }
@@ -69,12 +70,17 @@ pub struct SweepCell {
 }
 
 /// One `SweepCell::poll` observation:
-/// `(status_name, payload_if_done, failure_if_failed)`.
-type CellPoll = (&'static str, Option<Arc<String>>, Option<JobFailure>);
+/// `(status_name, payload_if_done, failure_if_failed, profile)`.
+type CellPoll = (
+    &'static str,
+    Option<Arc<String>>,
+    Option<JobFailure>,
+    Option<Arc<ucsim_obs::JobProfile>>,
+);
 
 impl SweepCell {
     /// Advances `Waiting` cells whose job has settled, then reports
-    /// `(status_name, payload_if_done, failure_if_failed)`.
+    /// `(status_name, payload_if_done, failure_if_failed, profile)`.
     fn poll(&self) -> CellPoll {
         let mut slot = self.slot.lock().expect("cell lock");
         if let CellSlot::Waiting(job) = &*slot {
@@ -83,17 +89,17 @@ impl SweepCell {
                     let payload = job
                         .payload()
                         .unwrap_or_else(|| Arc::new(String::from("null")));
-                    *slot = CellSlot::Done(payload);
+                    *slot = CellSlot::Done(payload, job.profile());
                 }
                 JobState::Failed(failure) => *slot = CellSlot::Failed(failure),
                 _ => {}
             }
         }
         match &*slot {
-            CellSlot::Pending => ("pending", None, None),
-            CellSlot::Waiting(job) => (job.state().name(), None, None),
-            CellSlot::Done(p) => ("done", Some(Arc::clone(p)), None),
-            CellSlot::Failed(failure) => ("failed", None, Some(failure.clone())),
+            CellSlot::Pending => ("pending", None, None, None),
+            CellSlot::Waiting(job) => (job.state().name(), None, None, None),
+            CellSlot::Done(p, prof) => ("done", Some(Arc::clone(p)), None, prof.clone()),
+            CellSlot::Failed(failure) => ("failed", None, Some(failure.clone()), None),
         }
     }
 }
@@ -102,6 +108,8 @@ impl SweepCell {
 pub struct Sweep {
     /// Sweep identifier, monotonically assigned per server.
     pub id: u64,
+    /// Unix seconds when the sweep was registered.
+    pub created_at: u64,
     cells: Vec<SweepCell>,
     /// Memoized final response body, built once every cell is done.
     final_body: Mutex<Option<Arc<Vec<u8>>>>,
@@ -111,6 +119,9 @@ impl Sweep {
     fn new(id: u64, metas: Vec<CellMeta>) -> Sweep {
         Sweep {
             id,
+            created_at: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
             cells: metas
                 .into_iter()
                 .map(|meta| SweepCell {
@@ -137,9 +148,10 @@ impl Sweep {
         *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Waiting(job);
     }
 
-    /// Marks cell `idx` as done with its payload (cache hit path).
+    /// Marks cell `idx` as done with its payload (cache hit path, so no
+    /// execution profile).
     pub fn fulfill(&self, idx: usize, payload: Arc<String>) {
-        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Done(payload);
+        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Done(payload, None);
     }
 
     /// Marks cell `idx` as failed with a stable error code and message.
@@ -161,8 +173,8 @@ impl Sweep {
             return body;
         }
         let polls: Vec<CellPoll> = self.cells.iter().map(SweepCell::poll).collect();
-        let done = polls.iter().filter(|(s, _, _)| *s == "done").count();
-        let failed = polls.iter().filter(|(s, _, _)| *s == "failed").count();
+        let done = polls.iter().filter(|(s, _, _, _)| *s == "done").count();
+        let failed = polls.iter().filter(|(s, _, _, _)| *s == "failed").count();
         let settled = done + failed == self.cells.len();
         let status = if !settled {
             "running"
@@ -178,7 +190,13 @@ impl Sweep {
             .cells
             .iter()
             .zip(&polls)
-            .map(|(cell, (state, _, err))| {
+            .map(|(cell, (state, _, err, _))| {
+                // `state` is the canonical lifecycle name; `status` is the
+                // pre-unification alias, kept one release (DESIGN.md §4.1).
+                // The only divergence: `pending` normalizes to `queued` in
+                // the canonical form (the feeder-lag distinction is an
+                // implementation detail, not a lifecycle state).
+                let canonical = if *state == "pending" { "queued" } else { state };
                 let mut obj = vec![
                     ("workload".to_owned(), Json::Str(cell.meta.workload.clone())),
                     ("label".to_owned(), Json::Str(cell.meta.label.clone())),
@@ -187,29 +205,48 @@ impl Sweep {
                         "key".to_owned(),
                         Json::Str(api::format_key(cell.meta.key_hash)),
                     ),
+                    ("state".to_owned(), Json::Str(canonical.to_owned())),
                     ("status".to_owned(), Json::Str((*state).to_owned())),
                 ];
                 if let Some(failure) = err {
-                    obj.push((
-                        "error".to_owned(),
-                        Json::Obj(vec![
-                            ("code".to_owned(), Json::Str(failure.kind.to_string())),
-                            ("message".to_owned(), Json::Str(failure.message.clone())),
-                        ]),
-                    ));
+                    let mut err_obj = vec![
+                        ("code".to_owned(), Json::Str(failure.kind.to_string())),
+                        ("message".to_owned(), Json::Str(failure.message.clone())),
+                    ];
+                    if let Some(rid) = &failure.request_id {
+                        err_obj.push(("request_id".to_owned(), Json::Str(rid.clone())));
+                    }
+                    obj.push(("error".to_owned(), Json::Obj(err_obj)));
                 }
                 Json::Obj(obj)
             })
             .collect();
 
-        let head = Json::Obj(vec![
+        // Aggregate the execution profiles of every cell that actually ran
+        // (cache hits carry none). Omitted entirely when nothing ran.
+        let mut agg_profile = ucsim_obs::JobProfile::default();
+        let mut profiled = false;
+        for (_, _, _, prof) in &polls {
+            if let Some(p) = prof {
+                agg_profile.merge(p);
+                profiled = true;
+            }
+        }
+
+        let mut head_obj = vec![
             ("id".to_owned(), Json::Uint(self.id)),
+            ("state".to_owned(), Json::Str(status.to_owned())),
             ("status".to_owned(), Json::Str(status.to_owned())),
+            ("created_at".to_owned(), Json::Uint(self.created_at)),
             ("total".to_owned(), Json::Uint(self.cells.len() as u64)),
             ("done".to_owned(), Json::Uint(done as u64)),
             ("failed".to_owned(), Json::Uint(failed as u64)),
-            ("cells".to_owned(), Json::Arr(cells_json)),
-        ]);
+        ];
+        if profiled {
+            head_obj.push(("profile".to_owned(), agg_profile.to_json()));
+        }
+        head_obj.push(("cells".to_owned(), Json::Arr(cells_json)));
+        let head = Json::Obj(head_obj);
 
         if !settled {
             return Arc::new(head.to_string().into_bytes());
@@ -220,7 +257,7 @@ impl Sweep {
         // byte-identical (canonical JSON, bit-exact f64 round-trips), so
         // served cells equal offline `run_matrix` output.
         let mut report_cells = Vec::with_capacity(done);
-        for (cell, (_, payload, _)) in self.cells.iter().zip(&polls) {
+        for (cell, (_, payload, _, _)) in self.cells.iter().zip(&polls) {
             let Some(payload) = payload.as_ref() else {
                 continue;
             };
@@ -248,9 +285,14 @@ impl Sweep {
         let mut out = head.to_string();
         if !report_cells.is_empty() {
             let aggregate = SweepReport::from_cells(report_cells);
+            let encoded = aggregate.to_json_string();
             out.truncate(out.len() - 1); // strip trailing '}'
+                                         // `report` is the canonical aggregate key; `sweep` is the
+                                         // pre-unification alias, kept one release (DESIGN.md §4.1).
+            out.push_str(",\"report\":");
+            out.push_str(&encoded);
             out.push_str(",\"sweep\":");
-            out.push_str(&aggregate.to_json_string());
+            out.push_str(&encoded);
             out.push('}');
         }
         let body = Arc::new(out.into_bytes());
@@ -483,6 +525,9 @@ mod tests {
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
         assert!(body.contains("\"status\":\"running\""));
         assert!(body.contains("\"pending\""));
+        // Canonical cell state normalizes `pending` to `queued` while the
+        // `status` alias keeps the old name.
+        assert!(body.contains("\"state\":\"queued\""), "{body}");
 
         // Complete the cell with a tiny (but decodable) report payload.
         let report = SimReport {
@@ -497,6 +542,11 @@ mod tests {
         let v = Json::parse(&body).unwrap();
         let agg = v.get("sweep").unwrap();
         assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
+        // Canonical `report` key mirrors the `sweep` alias byte-for-byte,
+        // and the lifecycle appears under both `state` and `status`.
+        assert_eq!(v.get("report").unwrap().to_string(), agg.to_string());
+        assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
+        assert!(v.get("created_at").unwrap().as_u64().is_some());
         // The memoized final body is stable.
         assert_eq!(sweep.status_body().as_slice(), body.as_bytes());
         assert_eq!(table.get(sweep.id).unwrap().id, sweep.id);

@@ -20,8 +20,9 @@ USAGE:
     ucsim client matrix [MATRIX OPTIONS]
                                       fan out a capacity x policy sweep and
                                       poll it to completion (one connection)
-    ucsim client job --id N [--addr A]
-                                      fetch one job's status/result
+    ucsim client job --id N [--profile] [--addr A]
+                                      fetch one job's status/result, or its
+                                      execution profile with --profile
 
 OPTIONS:
     --workload <name>      Table II workload (default bm-cc); use --list to see all
@@ -418,10 +419,12 @@ fn client_matrix(argv: &[String]) {
     }
 }
 
-/// The `ucsim client job` subcommand: fetch one job by id.
+/// The `ucsim client job` subcommand: fetch one job by id — its
+/// status/result envelope, or its execution profile with `--profile`.
 fn client_job(argv: &[String]) {
     let mut addr = "127.0.0.1:7199".to_owned();
     let mut id: Option<u64> = None;
+    let mut profile = false;
     let bail = |m: &str| -> ! {
         eprintln!("error: {m}\n\n{USAGE}");
         std::process::exit(2)
@@ -448,6 +451,7 @@ fn client_job(argv: &[String]) {
                         .unwrap_or_else(|| bail("--id needs a job id")),
                 );
             }
+            "--profile" => profile = true,
             other => bail(&format!("unknown job option {other}")),
         }
         i += 1;
@@ -455,11 +459,15 @@ fn client_job(argv: &[String]) {
     let Some(id) = id else {
         bail("job needs --id");
     };
-    let resp =
-        ucsim::serve::request(&addr, "GET", &format!("/v1/jobs/{id}"), b"").unwrap_or_else(|e| {
-            eprintln!("cannot reach {addr}: {e}");
-            std::process::exit(1);
-        });
+    let path = if profile {
+        format!("/v1/jobs/{id}/profile")
+    } else {
+        format!("/v1/jobs/{id}")
+    };
+    let resp = ucsim::serve::request(&addr, "GET", &path, b"").unwrap_or_else(|e| {
+        eprintln!("cannot reach {addr}: {e}");
+        std::process::exit(1);
+    });
     if resp.status != 200 {
         print_error_and_exit(&resp);
     }

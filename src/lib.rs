@@ -20,6 +20,8 @@
 //! * [`bpu`] — TAGE, BTB, RAS, prediction-window generation.
 //! * [`uopcache`] — the uop cache (baseline, CLASP, compaction).
 //! * [`pipeline`] — the simulator and its reports.
+//! * [`obs`] — tracing spans and per-stage profiling (no-op unless the
+//!   `enabled` feature is on; the serve layer turns it on).
 //! * [`serve`] — the HTTP job service (`ucsim-serve`) and its client.
 //!
 //! # Quickstart
@@ -49,6 +51,7 @@ pub use ucsim_bpu as bpu;
 pub use ucsim_isa as isa;
 pub use ucsim_mem as mem;
 pub use ucsim_model as model;
+pub use ucsim_obs as obs;
 pub use ucsim_pipeline as pipeline;
 pub use ucsim_serve as serve;
 pub use ucsim_trace as trace;
