@@ -1,13 +1,41 @@
 //! Capacity × optimization cross sweep (extension): how do CLASP and
 //! F-PWAC gains evolve as the uop cache grows? Generalizes the paper's
 //! Figure 22 (which checked only the 4K point) to the whole sweep.
+//!
+//! `--adaptive [--tolerance T]` regenerates the grid the plan-scheduler
+//! way: bisect the capacity axis per workload until the UPC knee is
+//! bracketed, then run the optimization ladder only at the knee — a
+//! fraction of the full cross for the same headline numbers.
 
-use ucsim_bench::{geomean, run_matrix, ExperimentTable, LabeledConfig, RunOpts};
-use ucsim_pipeline::SimConfig;
+use ucsim_bench::{geomean, run_matrix, ExperimentTable, LabeledConfig, MatrixCross, RunOpts};
+use ucsim_pipeline::{KneeBisector, SimConfig, Simulator};
+use ucsim_trace::{Program, WorkloadProfile};
 use ucsim_uopcache::{CompactionPolicy, UopCacheConfig};
 
 fn main() {
-    let opts = RunOpts::from_args();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let adaptive = args
+        .iter()
+        .position(|a| a == "--adaptive")
+        .map(|i| args.remove(i))
+        .is_some();
+    let mut tolerance = 0.05f64;
+    if let Some(i) = args.iter().position(|a| a == "--tolerance") {
+        args.remove(i);
+        if i >= args.len() {
+            panic!("--tolerance takes a number in [0, 1)");
+        }
+        tolerance = args.remove(i).parse().expect("--tolerance takes a number");
+    }
+    let opts = RunOpts::parse(&args);
+    if adaptive {
+        run_adaptive(&opts, tolerance);
+    } else {
+        run_full(&opts);
+    }
+}
+
+fn run_full(opts: &RunOpts) {
     let capacities = [2048usize, 4096, 8192, 16384];
     let mut configs = Vec::new();
     for &cap in &capacities {
@@ -26,7 +54,7 @@ fn main() {
         ));
     }
 
-    let results = run_matrix(&configs, &opts);
+    let results = run_matrix(&configs, opts);
     let cols: Vec<String> = capacities
         .iter()
         .flat_map(|&c| {
@@ -56,5 +84,72 @@ fn main() {
     }
     let g: Vec<f64> = ratios.iter().map(|v| (geomean(v) - 1.0) * 100.0).collect();
     t.row("G.Mean", &g);
+    t.emit();
+}
+
+/// Per workload: bisect the baseline-UPC capacity axis (2K..64K) to the
+/// knee, then run CLASP and F-PWAC only at the knee capacity. Reports the
+/// knee and the simulated-cell count against the full cross.
+fn run_adaptive(opts: &RunOpts, tolerance: f64) {
+    let caps = MatrixCross::table1_capacities();
+    let profiles: Vec<WorkloadProfile> = WorkloadProfile::table2()
+        .into_iter()
+        .filter(|p| opts.selects(p.name))
+        .collect();
+    let full_cells = caps.len() * 3;
+
+    let rows = ucsim_pool::run_indexed(profiles.len(), opts.threads, |idx| {
+        let profile = &profiles[idx];
+        let program = Program::generate(profile);
+        let run = |cache: UopCacheConfig| {
+            let cfg = SimConfig::table1()
+                .with_uop_cache(cache)
+                .with_insts(opts.warmup, opts.insts);
+            Simulator::new(cfg).run(profile, &program)
+        };
+
+        let mut bis = KneeBisector::new(caps.len(), tolerance);
+        let mut upc_at = vec![f64::NAN; caps.len()];
+        loop {
+            let probes = bis.next_probes();
+            if probes.is_empty() {
+                break;
+            }
+            for i in probes {
+                let upc = run(UopCacheConfig::baseline_with_capacity(caps[i])).upc;
+                upc_at[i] = upc;
+                bis.record(i, upc);
+            }
+        }
+        let knee = bis.knee().expect("bisection converges on a finite axis");
+        let base_upc = upc_at[knee];
+        let base = UopCacheConfig::baseline_with_capacity(caps[knee]);
+        let clasp = run(base.clone().with_clasp()).upc;
+        let fpwac = run(base.with_compaction(CompactionPolicy::Fpwac, 2)).upc;
+        let simulated = bis.probed() + 2;
+        [
+            (caps[knee] / 1024) as f64,
+            simulated as f64,
+            full_cells as f64,
+            (clasp / base_upc - 1.0) * 100.0,
+            (fpwac / base_upc - 1.0) * 100.0,
+        ]
+    });
+
+    let mut t = ExperimentTable::new(
+        "crosssweep_adaptive",
+        "Adaptive cross: UPC knee capacity per workload, cells simulated vs full cross, ladder gains at the knee",
+        &["knee_K", "simulated", "full", "clasp_%", "fpwac_%"],
+    );
+    let mut simulated_total = 0usize;
+    for (profile, row) in profiles.iter().zip(&rows) {
+        simulated_total += row[1] as usize;
+        t.row(profile.name, row);
+    }
+    let full_total = full_cells * profiles.len();
+    eprintln!(
+        "adaptive: simulated {simulated_total} of {full_total} cells ({:.0}%)",
+        100.0 * simulated_total as f64 / full_total.max(1) as f64
+    );
     t.emit();
 }

@@ -106,7 +106,13 @@ impl MatrixCross {
     /// single-capacity ladder is `baseline`/`CLASP`/…; a full cross
     /// combines both (`OC_4K:PWAC`).
     pub fn label(&self, capacity_uops: usize, policy: SweepPolicy) -> String {
-        let cap = format!("OC_{}K", capacity_uops / 1024);
+        // Sub-1K capacities keep the raw uop count: integer division
+        // would otherwise collapse 64..512 into one ambiguous "OC_0K".
+        let cap = if capacity_uops >= 1024 {
+            format!("OC_{}K", capacity_uops / 1024)
+        } else {
+            format!("OC_{capacity_uops}")
+        };
         if self.policies.len() == 1 && self.policies[0] == SweepPolicy::Baseline {
             cap
         } else if self.capacities.len() == 1 {
@@ -185,5 +191,16 @@ mod tests {
         };
         let labels: Vec<_> = ladder.expand().iter().map(|c| c.label.clone()).collect();
         assert_eq!(labels, ["baseline", "CLASP", "RAC", "PWAC", "F-PWAC"]);
+    }
+
+    #[test]
+    fn sub_1k_capacities_get_distinct_labels() {
+        let cross = MatrixCross {
+            capacities: vec![64, 512, 1024],
+            policies: vec![SweepPolicy::Baseline],
+            max_entries: 2,
+        };
+        let labels: Vec<_> = cross.expand().iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels, ["OC_64", "OC_512", "OC_1K"]);
     }
 }

@@ -36,8 +36,14 @@ impl RunOpts {
     /// Panics (with a usage message) on malformed arguments — these are
     /// developer-facing experiment binaries.
     pub fn from_args() -> Self {
-        let mut o = RunOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args)
+    }
+
+    /// Parses an explicit argument list. Binaries with extra flags strip
+    /// them first and hand the remainder here.
+    pub fn parse(args: &[String]) -> Self {
+        let mut o = RunOpts::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {

@@ -26,15 +26,21 @@ pub enum FailureKind {
     /// The persistent store rejected an append (disk error). The
     /// in-memory result is unaffected; durability was lost.
     StoreIo,
+    /// The job was cancelled by an explicit client request
+    /// (`DELETE /v1/jobs/:id`, `DELETE /v1/matrix/:id`) before it could
+    /// finish. Environmental: resubmitting the same spec may succeed, so
+    /// never persisted or negatively cached.
+    Cancelled,
 }
 
 impl FailureKind {
     /// Every kind, in wire order (stable for iteration in docs/tests).
-    pub const ALL: [FailureKind; 4] = [
+    pub const ALL: [FailureKind; 5] = [
         FailureKind::SimulationFailed,
         FailureKind::DeadlineExceeded,
         FailureKind::ShuttingDown,
         FailureKind::StoreIo,
+        FailureKind::Cancelled,
     ];
 
     /// The stable wire string.
@@ -44,6 +50,7 @@ impl FailureKind {
             FailureKind::DeadlineExceeded => "deadline_exceeded",
             FailureKind::ShuttingDown => "shutting_down",
             FailureKind::StoreIo => "store_io",
+            FailureKind::Cancelled => "cancelled",
         }
     }
 
@@ -84,5 +91,6 @@ mod tests {
         assert!(!FailureKind::DeadlineExceeded.is_deterministic());
         assert!(!FailureKind::ShuttingDown.is_deterministic());
         assert!(!FailureKind::StoreIo.is_deterministic());
+        assert!(!FailureKind::Cancelled.is_deterministic());
     }
 }

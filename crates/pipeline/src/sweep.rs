@@ -161,6 +161,179 @@ impl SweepReport {
     }
 }
 
+/// Adaptive bisection of a sweep's capacity axis toward the UPC *knee*.
+///
+/// The paper's capacity sweeps (Fig. 9 shape) spend most of their cells
+/// confirming the flat tail of the curve: past some capacity, UPC has
+/// already converged to within measurement noise of the maximum. The knee
+/// is where that happens — the smallest axis index `i` whose metric
+/// satisfies `metric(i) >= (1 - tolerance) * metric(n-1)`.
+///
+/// Because UPC is (weakly) monotone in µop-cache capacity, that predicate
+/// is monotone along the axis and the knee can be found by bisection:
+/// probe the two endpoints to fix the threshold, then repeatedly probe
+/// the midpoint of the open bracket. The driver owns simulation; this
+/// type only decides *which* indices to probe next:
+///
+/// ```text
+/// let mut b = KneeBisector::new(axis.len(), 0.05);
+/// while b.knee().is_none() {
+///     for i in b.next_probes() { b.record(i, simulate(axis[i])); }
+/// }
+/// ```
+///
+/// Worst case it probes `2 + ceil(log2(n-1))` of `n` points — 6 of 12 for
+/// the standard power-of-two capacity axis — while bracketing the same
+/// knee a full sweep would find by linear scan.
+#[derive(Debug)]
+pub struct KneeBisector {
+    n: usize,
+    tolerance: f64,
+    /// Recorded metrics by axis index.
+    metrics: Vec<Option<f64>>,
+    /// Open bracket: `lo` fails the threshold, `hi` satisfies it.
+    lo: Option<usize>,
+    hi: Option<usize>,
+    knee: Option<usize>,
+}
+
+impl KneeBisector {
+    /// A bisector over an axis of `n` ascending points, with relative
+    /// `tolerance` in `[0, 1)` (0.05 ⇒ the knee is where the metric first
+    /// reaches 95 % of its value at the largest point).
+    ///
+    /// # Panics
+    ///
+    /// If `n == 0` or `tolerance` is outside `[0, 1)`.
+    pub fn new(n: usize, tolerance: f64) -> Self {
+        assert!(n > 0, "axis must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&tolerance),
+            "tolerance must be in [0, 1)"
+        );
+        KneeBisector {
+            n,
+            tolerance,
+            metrics: vec![None; n],
+            lo: None,
+            hi: None,
+            knee: None,
+        }
+    }
+
+    /// The axis indices to simulate next: the two endpoints first, then
+    /// one midpoint per round. Empty once [`knee`](Self::knee) is some.
+    pub fn next_probes(&self) -> Vec<usize> {
+        if self.knee.is_some() {
+            return Vec::new();
+        }
+        let mut probes = Vec::new();
+        if self.metrics[self.n - 1].is_none() {
+            probes.push(self.n - 1);
+        }
+        if self.n > 1 && self.metrics[0].is_none() {
+            probes.insert(0, 0);
+        }
+        if !probes.is_empty() {
+            return probes;
+        }
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) if hi - lo > 1 => vec![lo + (hi - lo) / 2],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Records the metric simulated at axis index `idx` and advances the
+    /// bracket. Indices not suggested by [`next_probes`](Self::next_probes)
+    /// are accepted too (a full sweep can drive the same type).
+    ///
+    /// # Panics
+    ///
+    /// If `idx` is out of range.
+    pub fn record(&mut self, idx: usize, metric: f64) {
+        assert!(idx < self.n, "axis index {idx} out of range");
+        self.metrics[idx] = Some(metric);
+        self.advance();
+    }
+
+    fn threshold(&self) -> Option<f64> {
+        self.metrics[self.n - 1].map(|last| (1.0 - self.tolerance) * last)
+    }
+
+    fn advance(&mut self) {
+        if self.knee.is_some() {
+            return;
+        }
+        let Some(threshold) = self.threshold() else {
+            return;
+        };
+        if self.n == 1 {
+            self.knee = Some(0);
+            return;
+        }
+        let Some(first) = self.metrics[0] else {
+            return;
+        };
+        if first >= threshold {
+            self.knee = Some(0);
+            return;
+        }
+        let (mut lo, mut hi) = (self.lo.unwrap_or(0), self.hi.unwrap_or(self.n - 1));
+        // Fold in every recorded interior point (bisection only ever
+        // probes the bracket midpoint, but a full grid can feed us all).
+        for (i, m) in self.metrics.iter().enumerate() {
+            let Some(m) = *m else { continue };
+            if i > lo && i < hi {
+                if m >= threshold {
+                    hi = i;
+                } else {
+                    lo = i;
+                }
+            }
+        }
+        self.lo = Some(lo);
+        self.hi = Some(hi);
+        if hi - lo == 1 {
+            self.knee = Some(hi);
+        }
+    }
+
+    /// The knee's axis index once bracketed to adjacent points.
+    pub fn knee(&self) -> Option<usize> {
+        self.knee
+    }
+
+    /// The current open bracket `(lo, hi)`: the metric at `lo` is below
+    /// the threshold, at `hi` above. `None` until both endpoints are
+    /// recorded (or once the knee collapsed to index 0).
+    pub fn bracket(&self) -> Option<(usize, usize)> {
+        match (self.lo, self.hi) {
+            (Some(lo), Some(hi)) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Number of axis points recorded so far.
+    pub fn probed(&self) -> usize {
+        self.metrics.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// The axis indices recorded so far, ascending.
+    pub fn probed_indices(&self) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.metrics[i].is_some()).collect()
+    }
+
+    /// The knee a full linear scan of `metrics` would report under the
+    /// same rule: the smallest index within `tolerance` of the last
+    /// value. The adaptive bisection must agree with this on monotone
+    /// data — the equivalence the serve-layer tests assert.
+    pub fn linear_knee(metrics: &[f64], tolerance: f64) -> Option<usize> {
+        let last = *metrics.last()?;
+        let threshold = (1.0 - tolerance) * last;
+        metrics.iter().position(|&m| m >= threshold)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +383,104 @@ mod tests {
         let back = SweepReport::from_json_str(&text).unwrap();
         assert_eq!(back.to_json_string(), text);
         assert_eq!(back.cells[0].report.upc, 1.5);
+    }
+
+    /// Drives a bisector to completion over a fixed metric curve,
+    /// returning (knee, probes used).
+    fn bisect(metrics: &[f64], tolerance: f64) -> (usize, usize) {
+        let mut b = KneeBisector::new(metrics.len(), tolerance);
+        let mut guard = 0;
+        while b.knee().is_none() {
+            let probes = b.next_probes();
+            assert!(!probes.is_empty(), "stalled without a knee");
+            for i in probes {
+                b.record(i, metrics[i]);
+            }
+            guard += 1;
+            assert!(guard <= metrics.len(), "bisection failed to converge");
+        }
+        (b.knee().unwrap(), b.probed())
+    }
+
+    #[test]
+    fn bisection_matches_linear_scan_on_monotone_curves() {
+        // A saturating curve: knee sits where 95 % of the plateau is hit.
+        let curve = [0.5, 0.9, 1.3, 1.7, 1.9, 1.97, 1.99, 2.0];
+        let (knee, probes) = bisect(&curve, 0.05);
+        assert_eq!(
+            Some(knee),
+            KneeBisector::linear_knee(&curve, 0.05),
+            "bisection disagrees with full scan"
+        );
+        assert_eq!(knee, 4); // 1.9 >= 0.95 * 2.0 = 1.9
+        assert!(probes <= 2 + 3, "used {probes} probes for n=8");
+    }
+
+    #[test]
+    fn bisection_probe_budget_is_logarithmic() {
+        for n in [2usize, 3, 5, 12, 33, 100] {
+            for knee_at in [0, 1, n / 2, n - 1] {
+                let curve: Vec<f64> = (0..n)
+                    .map(|i| if i >= knee_at { 2.0 } else { 0.1 })
+                    .collect();
+                let (knee, probes) = bisect(&curve, 0.05);
+                assert_eq!(knee, knee_at, "n={n}");
+                let budget = 2 + (usize::BITS - (n - 1).leading_zeros()) as usize;
+                assert!(
+                    probes <= budget,
+                    "n={n} knee={knee_at}: {probes} > {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knee_at_first_point_needs_only_endpoints() {
+        let mut b = KneeBisector::new(12, 0.05);
+        assert_eq!(b.next_probes(), vec![0, 11]);
+        b.record(0, 1.99);
+        b.record(11, 2.0);
+        assert_eq!(b.knee(), Some(0));
+        assert_eq!(b.probed(), 2);
+        assert!(b.next_probes().is_empty());
+    }
+
+    #[test]
+    fn bracket_narrows_to_adjacent_indices() {
+        let mut b = KneeBisector::new(12, 0.05);
+        b.record(0, 0.1);
+        b.record(11, 2.0);
+        assert_eq!(b.bracket(), Some((0, 11)));
+        let mut rounds = 0;
+        while b.knee().is_none() {
+            for i in b.next_probes() {
+                b.record(i, if i >= 7 { 2.0 } else { 0.1 });
+            }
+            rounds += 1;
+            assert!(rounds < 12);
+        }
+        assert_eq!(b.knee(), Some(7));
+        let (lo, hi) = b.bracket().unwrap();
+        assert_eq!((lo, hi), (6, 7));
+    }
+
+    #[test]
+    fn single_point_axis_is_its_own_knee() {
+        let mut b = KneeBisector::new(1, 0.1);
+        assert_eq!(b.next_probes(), vec![0]);
+        b.record(0, 1.0);
+        assert_eq!(b.knee(), Some(0));
+    }
+
+    #[test]
+    fn full_grid_recordings_also_converge() {
+        // A full sweep feeding every point in order still lands the knee.
+        let curve = [0.2, 0.4, 1.92, 1.96, 2.0];
+        let mut b = KneeBisector::new(curve.len(), 0.05);
+        for (i, &m) in curve.iter().enumerate() {
+            b.record(i, m);
+        }
+        assert_eq!(b.knee(), Some(2));
+        assert_eq!(Some(2), KneeBisector::linear_knee(&curve, 0.05));
     }
 }

@@ -10,12 +10,16 @@
 //!   is built on this.
 //! * [`BoundedQueue`] — a blocking MPMC queue with a hard capacity and
 //!   non-blocking [`BoundedQueue::try_push`] for explicit backpressure.
-//!   `ucsim-serve`'s job queue (HTTP 429 when full) is built on this.
+//! * [`Scheduler`] — a priority + weighted-fair-share scheduler over
+//!   per-tenant queues with cancel-token preemption. `ucsim-serve`'s job
+//!   scheduling (HTTP 429 on the bounded interactive path, unbounded
+//!   pull-based sweep plans) is built on this.
 //! * [`WorkerPool`] — a fixed set of named worker threads draining a
 //!   [`BoundedQueue`] until it is closed.
 //! * [`SupervisedPool`] — a `WorkerPool` whose workers survive panicking
 //!   handlers: the panic is caught and reported, and a supervisor thread
-//!   respawns the worker so capacity never decays.
+//!   respawns the worker so capacity never decays. Drains any
+//!   [`WorkSource`] — a `BoundedQueue` or a `Scheduler`.
 //! * [`Watchdog`] — one timer thread enforcing wall-clock deadlines on
 //!   any number of in-flight jobs via disarm-on-drop guards.
 //! * [`faults`] — named-site deterministic fault injection, compiled to
@@ -27,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+mod sched;
 mod supervise;
 mod watchdog;
 
+pub use sched::{SchedStats, Scheduler, WorkSource};
 pub use supervise::{PoolMonitor, SupervisedPool};
 pub use watchdog::{WatchGuard, Watchdog};
 
@@ -140,33 +146,6 @@ impl<T> BoundedQueue<T> {
         drop(st);
         self.not_empty.notify_one();
         Ok(())
-    }
-
-    /// Enqueues `item`, blocking while the queue is at capacity. This is
-    /// the fan-out producer's entry point (a sweep feeder pushing dozens
-    /// of cells): unlike [`try_push`](Self::try_push) it waits for a
-    /// worker to free a slot instead of bouncing, so large batches flow
-    /// through a small queue without rejection.
-    ///
-    /// # Errors
-    ///
-    /// [`PushError::Closed`] once the queue is closed (also when it closes
-    /// mid-wait); the item is handed back.
-    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
-        let token = ucsim_obs::QueueToken::capture();
-        let mut st = self.state.lock().expect("queue lock");
-        loop {
-            if st.closed {
-                return Err(PushError::Closed(item));
-            }
-            if st.items.len() < self.capacity {
-                st.items.push_back((item, token));
-                drop(st);
-                self.not_empty.notify_one();
-                return Ok(());
-            }
-            st = self.not_full.wait(st).expect("queue lock");
-        }
     }
 
     /// Dequeues the next item, blocking while the queue is empty. Returns
@@ -413,29 +392,6 @@ mod tests {
         pool.join();
         assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
         assert!(q.is_empty());
-    }
-
-    #[test]
-    fn push_wait_blocks_until_a_slot_frees() {
-        let q = Arc::new(BoundedQueue::new(1));
-        q.try_push(1u64).unwrap();
-        let q2 = Arc::clone(&q);
-        let h = std::thread::spawn(move || q2.push_wait(2));
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(q.pop(), Some(1)); // frees the slot, wakes the pusher
-        h.join().unwrap().unwrap();
-        assert_eq!(q.pop(), Some(2));
-    }
-
-    #[test]
-    fn push_wait_wakes_on_close() {
-        let q = Arc::new(BoundedQueue::new(1));
-        q.try_push(1u64).unwrap();
-        let q2 = Arc::clone(&q);
-        let h = std::thread::spawn(move || q2.push_wait(2));
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        q.close();
-        assert_eq!(h.join().unwrap(), Err(PushError::Closed(2)));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::BoundedQueue;
+use crate::WorkSource;
 
 /// Shared counters a [`SupervisedPool`] exposes through [`PoolMonitor`].
 #[derive(Debug, Default)]
@@ -97,21 +97,24 @@ pub struct SupervisedPool {
 
 impl SupervisedPool {
     /// Spawns `workers` supervised threads named `{name}-{i}` (respawns
-    /// are `{name}-{i}r{generation}`) draining `queue`.
+    /// are `{name}-{i}r{generation}`) draining `queue` — any
+    /// [`WorkSource`]: a [`BoundedQueue`](crate::BoundedQueue) or a
+    /// [`Scheduler`](crate::Scheduler).
     ///
     /// `handler` runs each item by reference under `catch_unwind`. On a
     /// panic, `on_panic(item, payload)` runs on the dying worker thread
     /// with the panic payload rendered to a string — mark the job failed
     /// there; it must not panic itself.
-    pub fn spawn<T, F, P>(
+    pub fn spawn<T, Q, F, P>(
         name: &str,
         workers: usize,
-        queue: Arc<BoundedQueue<T>>,
+        queue: Arc<Q>,
         handler: Arc<F>,
         on_panic: Arc<P>,
     ) -> Self
     where
         T: Send + 'static,
+        Q: WorkSource<T> + 'static,
         F: Fn(&T) + Send + Sync + 'static,
         P: Fn(&T, &str) + Send + Sync + 'static,
     {
@@ -216,16 +219,17 @@ impl SupervisedPool {
 
 /// Spawns one worker thread. Split out so the initial spawn and the
 /// supervisor's respawn path are the same code.
-fn spawn_worker<T, F, P>(
+fn spawn_worker<T, Q, F, P>(
     thread_name: String,
     index: usize,
-    queue: Arc<BoundedQueue<T>>,
+    queue: Arc<Q>,
     handler: Arc<F>,
     on_panic: Arc<P>,
     control: Arc<Control>,
 ) -> JoinHandle<()>
 where
     T: Send + 'static,
+    Q: WorkSource<T> + 'static,
     F: Fn(&T) + Send + Sync + 'static,
     P: Fn(&T, &str) + Send + Sync + 'static,
 {
@@ -282,7 +286,7 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Progress;
+    use crate::{BoundedQueue, Progress};
     use std::sync::atomic::AtomicU64;
 
     /// Suppresses the default panic hook's backtrace spam for panics on

@@ -34,6 +34,11 @@ pub struct SimRequest {
     /// When `true` the server replies `202 Accepted` with a job id for
     /// `GET /v1/jobs/:id` polling instead of blocking until completion.
     pub background: Option<bool>,
+    /// Fair-share tenant the job is charged to; defaults to `"default"`.
+    /// Scheduling identity only — never part of the content address.
+    pub tenant: Option<String>,
+    /// Scheduling priority within the tenant (higher first; default 0).
+    pub priority: Option<u64>,
 }
 
 /// The canonical, fully-resolved identity of a simulation job.
@@ -120,6 +125,15 @@ pub struct MatrixRequest {
     pub warmup: Option<u64>,
     /// Measured instructions per cell.
     pub insts: Option<u64>,
+    /// Fair-share tenant the plan's cells are charged to; defaults to
+    /// `"default"`. Tenant weights are server configuration.
+    pub tenant: Option<String>,
+    /// Scheduling priority within the tenant (higher first); default 0.
+    pub priority: Option<u64>,
+    /// Plan mode: `"full"` (default — simulate the whole cross) or
+    /// `{"adaptive":{"axis":"capacity","tolerance":0.05}}` (bisect the
+    /// capacity axis to the UPC knee). Parsed by [`SweepMode::parse`].
+    pub mode: Option<Json>,
 }
 
 impl MatrixRequest {
@@ -130,6 +144,74 @@ impl MatrixRequest {
     /// Returns the JSON parse/decode error for malformed bodies.
     pub fn parse(body: &str) -> Result<Self, JsonError> {
         MatrixRequest::from_json_str(body)
+    }
+}
+
+/// How a sweep plan covers its grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepMode {
+    /// Simulate every cell of the capacity × policy cross.
+    Full,
+    /// Bisect the capacity axis until the UPC knee is bracketed within
+    /// `tolerance`, simulating only the probed capacities.
+    Adaptive {
+        /// The refined axis; only `"capacity"` is supported.
+        axis: String,
+        /// Relative knee tolerance in `[0, 1)` (0.05 ⇒ knee at 95 % of
+        /// the largest capacity's geomean UPC).
+        tolerance: f64,
+    },
+}
+
+impl SweepMode {
+    /// The default adaptive tolerance when the request omits it.
+    pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+    /// Parses the wire `mode` member: absent or `"full"` →
+    /// [`SweepMode::Full`]; `{"adaptive":{"axis"?,"tolerance"?}}` →
+    /// [`SweepMode::Adaptive`] with defaults `axis:"capacity"`,
+    /// `tolerance:0.05`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the `bad_request` envelope.
+    pub fn parse(mode: Option<&Json>) -> Result<SweepMode, String> {
+        let Some(mode) = mode else {
+            return Ok(SweepMode::Full);
+        };
+        if mode.as_str() == Some("full") {
+            return Ok(SweepMode::Full);
+        }
+        if let Some(adaptive) = mode.get("adaptive") {
+            let axis = match adaptive.get("axis") {
+                None => "capacity".to_owned(),
+                Some(a) => a
+                    .as_str()
+                    .ok_or("mode.adaptive.axis must be a string")?
+                    .to_owned(),
+            };
+            if axis != "capacity" {
+                return Err(format!(
+                    "mode.adaptive.axis {axis:?} unsupported; only \"capacity\" can be refined"
+                ));
+            }
+            let tolerance = match adaptive.get("tolerance") {
+                None => Self::DEFAULT_TOLERANCE,
+                Some(t) => t
+                    .as_f64()
+                    .ok_or("mode.adaptive.tolerance must be a number")?,
+            };
+            if !(0.0..1.0).contains(&tolerance) {
+                return Err(format!(
+                    "mode.adaptive.tolerance {tolerance} out of range [0, 1)"
+                ));
+            }
+            return Ok(SweepMode::Adaptive { axis, tolerance });
+        }
+        if mode.get("full").is_some() {
+            return Ok(SweepMode::Full);
+        }
+        Err("mode must be \"full\" or {\"adaptive\":{…}}".to_owned())
     }
 }
 
@@ -226,6 +308,8 @@ pub enum ErrorCode {
     /// The job was still queued when the server began shutting down; it
     /// was failed rather than silently dropped.
     ShuttingDown,
+    /// The job or sweep was cancelled by an explicit `DELETE` request.
+    Cancelled,
     /// An unexpected server-side error.
     Internal,
 }
@@ -243,6 +327,7 @@ impl ErrorCode {
             ErrorCode::SimulationFailed => FailureKind::SimulationFailed.as_str(),
             ErrorCode::DeadlineExceeded => FailureKind::DeadlineExceeded.as_str(),
             ErrorCode::ShuttingDown => FailureKind::ShuttingDown.as_str(),
+            ErrorCode::Cancelled => FailureKind::Cancelled.as_str(),
             ErrorCode::Internal => "internal",
         }
     }
@@ -255,6 +340,7 @@ impl ErrorCode {
             ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::Draining | ErrorCode::ShuttingDown => 503,
+            ErrorCode::Cancelled => 409,
             ErrorCode::DeadlineExceeded => 504,
             ErrorCode::SimulationFailed | ErrorCode::Internal => 500,
         }
@@ -267,6 +353,7 @@ impl ErrorCode {
             FailureKind::DeadlineExceeded => ErrorCode::DeadlineExceeded,
             FailureKind::ShuttingDown => ErrorCode::ShuttingDown,
             FailureKind::StoreIo => ErrorCode::Internal,
+            FailureKind::Cancelled => ErrorCode::Cancelled,
         }
     }
 }
@@ -386,6 +473,53 @@ mod tests {
     }
 
     #[test]
+    fn matrix_request_carries_plan_fields() {
+        let r = MatrixRequest::parse(
+            r#"{"workloads":["redis"],"tenant":"team-a","priority":3,"mode":"full"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("team-a"));
+        assert_eq!(r.priority, Some(3));
+        assert_eq!(SweepMode::parse(r.mode.as_ref()), Ok(SweepMode::Full));
+
+        let r = MatrixRequest::parse(r#"{"workloads":["redis"]}"#).unwrap();
+        assert!(r.tenant.is_none() && r.priority.is_none());
+        assert_eq!(SweepMode::parse(r.mode.as_ref()), Ok(SweepMode::Full));
+    }
+
+    #[test]
+    fn sweep_mode_parses_adaptive_with_defaults_and_rejects_junk() {
+        let m = Json::parse(r#"{"adaptive":{}}"#).unwrap();
+        assert_eq!(
+            SweepMode::parse(Some(&m)),
+            Ok(SweepMode::Adaptive {
+                axis: "capacity".to_owned(),
+                tolerance: SweepMode::DEFAULT_TOLERANCE,
+            })
+        );
+
+        let m = Json::parse(r#"{"adaptive":{"axis":"capacity","tolerance":0.1}}"#).unwrap();
+        assert_eq!(
+            SweepMode::parse(Some(&m)),
+            Ok(SweepMode::Adaptive {
+                axis: "capacity".to_owned(),
+                tolerance: 0.1,
+            })
+        );
+
+        // Unsupported axis, out-of-range tolerance, unknown shape.
+        let m = Json::parse(r#"{"adaptive":{"axis":"policy"}}"#).unwrap();
+        assert!(SweepMode::parse(Some(&m)).is_err());
+        let m = Json::parse(r#"{"adaptive":{"tolerance":1.5}}"#).unwrap();
+        assert!(SweepMode::parse(Some(&m)).is_err());
+        let m = Json::parse(r#""bogus""#).unwrap();
+        assert!(SweepMode::parse(Some(&m)).is_err());
+        // Object spelling of full is accepted.
+        let m = Json::parse(r#"{"full":{}}"#).unwrap();
+        assert_eq!(SweepMode::parse(Some(&m)), Ok(SweepMode::Full));
+    }
+
+    #[test]
     fn error_envelope_has_stable_shape() {
         let body = String::from_utf8(error_envelope(
             ErrorCode::QueueFull,
@@ -415,6 +549,7 @@ mod tests {
             (FailureKind::DeadlineExceeded, "deadline_exceeded", 504),
             (FailureKind::ShuttingDown, "shutting_down", 503),
             (FailureKind::StoreIo, "internal", 500),
+            (FailureKind::Cancelled, "cancelled", 409),
         ];
         for (kind, code, status) in cases {
             let e = ErrorCode::from_failure(kind);

@@ -392,7 +392,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut client = Client::with_retry(&addr, policy);
-        let resp = client.request_retrying("GET", "/healthz", b"").unwrap();
+        let resp = client.request_retrying("GET", "/v1/healthz", b"").unwrap();
         assert_eq!(resp.status, 200);
         // One connection per attempt (each answer said `connection: close`).
         assert_eq!(client.connects(), 3);
@@ -413,7 +413,7 @@ mod tests {
             .unwrap();
         });
         let mut client = Client::with_retry(&addr, RetryPolicy::none());
-        let resp = client.request_retrying("GET", "/healthz", b"").unwrap();
+        let resp = client.request_retrying("GET", "/v1/healthz", b"").unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(client.connects(), 1);
         h.join().unwrap();

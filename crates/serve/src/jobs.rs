@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
-use ucsim_model::FailureKind;
+use ucsim_model::{CancelToken, FailureKind};
 
 /// Job identifier, monotonically assigned per server.
 pub type JobId = u64;
@@ -90,6 +90,10 @@ pub struct JobCell {
     /// deltas), set by the worker that ran the simulation. `None` for
     /// cache hits and jobs that never executed.
     profile: Mutex<Option<Arc<ucsim_obs::JobProfile>>>,
+    /// Cooperative cancellation flag for this job. The worker polls it
+    /// mid-simulation, the scheduler drops still-queued entries whose
+    /// flag is set, and `DELETE /v1/jobs/:id` flips it.
+    cancel: CancelToken,
     done: Condvar,
 }
 
@@ -105,8 +109,14 @@ impl JobCell {
             state: Mutex::new(JobState::Queued),
             payload: Mutex::new(None),
             profile: Mutex::new(None),
+            cancel: CancelToken::new(),
             done: Condvar::new(),
         }
+    }
+
+    /// The job's cancellation token (cloning shares the flag).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Attaches the per-job execution profile (worker side).
@@ -289,6 +299,15 @@ impl JobTable {
             .map(Arc::clone)
     }
 
+    /// Every registered job (in flight + retained), ascending by id —
+    /// the `GET /v1/jobs` listing; state filtering is the handler's.
+    pub fn snapshot(&self) -> Vec<Arc<JobCell>> {
+        let t = self.inner.lock().expect("job table lock");
+        let mut cells: Vec<Arc<JobCell>> = t.jobs.values().map(Arc::clone).collect();
+        cells.sort_by_key(|c| c.id);
+        cells
+    }
+
     /// Number of jobs currently registered (in flight + retained).
     pub fn len(&self) -> usize {
         self.inner.lock().expect("job table lock").jobs.len()
@@ -360,6 +379,33 @@ mod tests {
         assert!(t.get(ids[1]).is_none());
         assert!(t.get(ids[2]).is_some());
         assert!(t.get(ids[3]).is_some());
+    }
+
+    #[test]
+    fn snapshot_lists_every_job_in_id_order() {
+        let t = JobTable::new(16);
+        let Submit::New(a) = t.submit(1) else {
+            panic!()
+        };
+        let Submit::New(b) = t.submit(2) else {
+            panic!()
+        };
+        a.complete(Arc::new(vec![]));
+        t.finish(&a);
+        let ids: Vec<JobId> = t.snapshot().iter().map(|c| c.id).collect();
+        assert_eq!(ids, [a.id, b.id]);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_per_cell() {
+        let t = JobTable::new(4);
+        let Submit::New(c) = t.submit(1) else {
+            panic!()
+        };
+        let token = c.cancel_token();
+        assert!(!token.is_cancelled());
+        c.cancel_token().cancel();
+        assert!(token.is_cancelled());
     }
 
     #[test]

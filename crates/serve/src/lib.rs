@@ -15,17 +15,17 @@
 //! ## Architecture
 //!
 //! ```text
-//!   POST /v1/sim   POST /v1/matrix   GET /v1/{jobs,matrix}/:id  /v1/metrics
-//!        │               │                      │                   │
-//!   ┌────▼───────────────▼──────────────────────▼───────────────────▼──┐
-//!   │ accept loop → keep-alive handler thread → typed route table      │
-//!   └────┬───────────────┬─────────────────────────────────────────────┘
-//!        │               │ expand capacity × policy cross, one
-//!        │               │ content-addressed cell per config
-//!        │          ┌────▼────────┐
-//!        │          │ sweep table │ feeder resolves each cell ↓
-//!        │          └────┬────────┘
-//!        │ canonicalize → content hash
+//!   POST /v1/sim   POST/DELETE /v1/matrix   GET /v1/{jobs,matrix}[/:id]
+//!        │               │                      │
+//!   ┌────▼───────────────▼──────────────────────▼───────────────────────┐
+//!   │ accept loop → keep-alive handler thread → typed route table       │
+//!   └────┬───────────────┬──────────────────────────────────────────────┘
+//!        │               │ expand capacity × policy cross into a *plan*:
+//!        │               │ one content-addressed cell per config
+//!        │          ┌────▼────────┐ full plans resolve every cell at POST;
+//!        │          │ sweep table │ adaptive plans bisect the capacity
+//!        │          └────┬────────┘ axis wave by wave (knee refinement)
+//!        │ canonicalize → content hash   ↓ store hit: cell skipped
 //!   ┌────▼────────┐  hit   ┌──────────────────────────────────────────┐
 //!   │ result cache├───────►│ respond immediately, cached: true        │
 //!   └────┬────────┘        └──────────────────────────────────────────┘
@@ -34,9 +34,10 @@
 //!   │  job table  │            │ persistent store│ append on completion
 //!   └────┬────────┘            │  (results.log)  │
 //!        │ new key             └─────────────────┘
-//!   ┌────▼────────┐ full: HTTP 429 + Retry-After (backpressure)
-//!   │bounded queue│ (sweep feeders block on a free slot instead)
-//!   └────┬────────┘
+//!   ┌────▼────────┐ direct jobs: bounded path, HTTP 429 + Retry-After
+//!   │  fair-share │ plan cells: unbounded path under the plan's tenant
+//!   │  scheduler  │ (weighted fair queueing, priorities, preemption of
+//!   └────┬────────┘  cancelled entries)
 //!   ┌────▼────────┐ fixed worker pool (ucsim-pool) runs the
 //!   │   workers   │ simulation once, fills cache + store, wakes waiters
 //!   └─────────────┘
@@ -91,7 +92,7 @@ mod signal;
 mod store;
 mod sweep;
 
-pub use api::{ErrorCode, JobSpec, MatrixRequest, SimRequest};
+pub use api::{ErrorCode, JobSpec, MatrixRequest, SimRequest, SweepMode};
 pub use cache::{CacheStats, ResultCache};
 pub use client::{request, Client, HttpResponse, RetryPolicy};
 pub use http::{HttpConn, ReadOutcome, Request, Response};
@@ -102,4 +103,6 @@ pub use router::{LabelId, Params, Route, Router};
 pub use server::{Server, ServerConfig};
 pub use signal::{install_signal_handlers, request_shutdown, signalled};
 pub use store::{RecordKind, ResultStore, StoreRecord};
-pub use sweep::{CellMeta, Sweep, SweepTable};
+pub use sweep::{
+    expand_request, CellMeta, Frontier, PlanAxes, PlanOptions, Sweep, SweepTable, MAX_SWEEP_CELLS,
+};

@@ -24,15 +24,28 @@ OPTIONS:
                       deadline_exceeded       [default: none]
     --drain-timeout S seconds shutdown waits for open connections
                       before failing queued jobs [default: 30]
+    --tenant-weight TENANT=W
+                      fair-share weight for TENANT (repeatable); tenants
+                      not listed default to weight 1
     --help            show this help
 
 ENDPOINTS:
     POST /v1/sim        submit a job: {\"workload\", \"config\"?, \"seed\"?,
-                        \"background\"?} -> report envelope (or 202 + id)
-    POST /v1/matrix     fan out a sweep: {\"workloads\", \"capacities\"?,
-                        \"policies\"?, ...} -> 202 + sweep id
-    GET  /v1/matrix/ID  sweep progress; aggregated table when done
+                        \"background\"?, \"tenant\"?, \"priority\"?}
+                        -> report envelope (or 202 + id)
+    POST /v1/matrix     submit a sweep plan: {\"workloads\", \"capacities\"?,
+                        \"policies\"?, \"tenant\"?, \"priority\"?,
+                        \"mode\"?: \"full\" | {\"adaptive\": {\"axis\",
+                        \"tolerance\"?}}, ...} -> 202 + sweep id
+    GET  /v1/matrix     list sweeps (filter with ?state=running|done|...)
+    GET  /v1/matrix/ID  plan progress: planned/skipped_from_store/
+                        simulated/failed counts, the adaptive refinement
+                        frontier, and the aggregated table when done
+    DELETE /v1/matrix/ID  cancel a running sweep (envelope code
+                        'cancelled'; queued cells are preempted)
+    GET  /v1/jobs       list jobs (filter with ?state=queued|running|...)
     GET  /v1/jobs/ID    poll a background job
+    DELETE /v1/jobs/ID  cancel a queued/running job
     GET  /v1/jobs/ID/profile  per-job stage timings + counter deltas
     GET  /v1/metrics    queue/worker/cache/latency counters; JSON, or
                         Prometheus text with 'Accept: text/plain'
@@ -89,6 +102,17 @@ fn main() -> ExitCode {
                 Some(v) => cfg.drain_timeout = std::time::Duration::from_secs(v),
                 None => return bail("--drain-timeout needs a number of seconds"),
             },
+            "--tenant-weight" => {
+                let parsed = args.next().and_then(|v| {
+                    let (name, w) = v.split_once('=')?;
+                    let w: u64 = w.parse().ok().filter(|&w| w > 0)?;
+                    Some((name.to_owned(), w))
+                });
+                match parsed {
+                    Some(pair) => cfg.tenant_weights.push(pair),
+                    None => return bail("--tenant-weight needs TENANT=WEIGHT with WEIGHT >= 1"),
+                }
+            }
             other => return bail(&format!("unknown option: {other}")),
         }
     }

@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use ucsim_model::json::Json;
 use ucsim_model::Histogram;
+use ucsim_pool::SchedStats;
 
 use crate::cache::CacheStats;
 use crate::router::LabelId;
@@ -48,6 +49,9 @@ pub struct Metrics {
     store_write_errors: AtomicU64,
     /// Requests rejected with 429.
     rejected_429: AtomicU64,
+    /// Jobs cancelled by explicit client `DELETE` (cells of cancelled
+    /// sweeps included).
+    jobs_cancelled: AtomicU64,
     /// HTTP requests served, any endpoint/status.
     requests: AtomicU64,
     latency: Mutex<Vec<Histogram>>,
@@ -75,6 +79,7 @@ impl Metrics {
             jobs_deadline_exceeded: AtomicU64::new(0),
             store_write_errors: AtomicU64::new(0),
             rejected_429: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             latency,
         }
@@ -125,6 +130,11 @@ impl Metrics {
         self.rejected_429.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` jobs cancelled by explicit client `DELETE`.
+    pub fn record_cancelled(&self, n: u64) {
+        self.jobs_cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one served request on the endpoint named by the interned
     /// `label`, taking `us` microseconds. Direct index — no per-request
     /// label search.
@@ -140,12 +150,13 @@ impl Metrics {
         self.jobs_executed.load(Ordering::Relaxed)
     }
 
-    /// Builds the `GET /v1/metrics` document. `workers_alive` and
+    /// Builds the `GET /v1/metrics` document. `sched` is the fair-share
+    /// scheduler's point-in-time statistics, `workers_alive` and
     /// `workers_respawned` come from the supervised pool's monitor (the
-    /// pool owns those counters; metrics only reports them).
+    /// pool and scheduler own those counters; metrics only reports them).
     pub fn to_json(
         &self,
-        queue_depth: usize,
+        sched: &SchedStats,
         queue_capacity: usize,
         cache: &CacheStats,
         workers_alive: usize,
@@ -167,12 +178,48 @@ impl Metrics {
         };
 
         let queue = Json::Obj(vec![
-            ("depth".to_owned(), Json::Uint(queue_depth as u64)),
+            ("depth".to_owned(), Json::Uint(sched.depth as u64)),
             ("capacity".to_owned(), Json::Uint(queue_capacity as u64)),
             (
                 "rejected_429".to_owned(),
                 Json::Uint(self.rejected_429.load(Ordering::Relaxed)),
             ),
+        ]);
+        // Scalar scheduler counters plus a *bounded* queue-wait breakdown:
+        // the Prometheus exposition renders every numeric leaf generically,
+        // so per-tenant breakdowns (unbounded label cardinality) stay out
+        // of this document, and the per-priority wait series is capped at
+        // the eight busiest priorities.
+        let mut waits: Vec<(u64, u64, u64)> = sched.wait_by_priority.clone();
+        waits.sort_by_key(|&(_, pops, _)| std::cmp::Reverse(pops));
+        waits.truncate(8);
+        waits.sort_by_key(|&(priority, ..)| priority);
+        let wait_by_priority = Json::Obj(
+            waits
+                .into_iter()
+                .map(|(priority, pops, wait_us)| {
+                    (
+                        format!("p{priority}"),
+                        Json::Obj(vec![
+                            ("pops".to_owned(), Json::Uint(pops)),
+                            ("wait_us".to_owned(), Json::Uint(wait_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let scheduler = Json::Obj(vec![
+            ("served".to_owned(), Json::Uint(sched.served)),
+            ("preempted".to_owned(), Json::Uint(sched.preempted)),
+            (
+                "tenants_active".to_owned(),
+                Json::Uint(sched.tenants.len() as u64),
+            ),
+            (
+                "jobs_cancelled".to_owned(),
+                Json::Uint(self.jobs_cancelled.load(Ordering::Relaxed)),
+            ),
+            ("wait_by_priority".to_owned(), wait_by_priority),
         ]);
         let workers = Json::Obj(vec![
             ("count".to_owned(), Json::Uint(self.workers as u64)),
@@ -231,6 +278,7 @@ impl Metrics {
                 Json::Uint(self.requests.load(Ordering::Relaxed)),
             ),
             ("queue".to_owned(), queue),
+            ("scheduler".to_owned(), scheduler),
             ("workers".to_owned(), workers),
             ("store".to_owned(), store),
             ("cache".to_owned(), cache_json),
@@ -261,12 +309,37 @@ mod tests {
 
     const TEST_LABELS: &[&str] = &["POST /v1/sim", "GET /v1/metrics", "404", "405"];
 
+    fn sched(depth: usize) -> SchedStats {
+        SchedStats {
+            depth,
+            served: 0,
+            preempted: 0,
+            tenants: Vec::new(),
+            wait_by_priority: Vec::new(),
+        }
+    }
+
     fn metrics(workers: usize) -> Metrics {
         Metrics::new(workers, TEST_LABELS.to_vec())
     }
 
     fn label(name: &str) -> LabelId {
         LabelId(TEST_LABELS.iter().position(|l| *l == name).unwrap())
+    }
+
+    #[test]
+    fn wait_by_priority_is_bounded_and_keyed() {
+        let m = metrics(1);
+        let mut s = sched(0);
+        // Ten distinct priorities; the busiest eight survive the cap.
+        s.wait_by_priority = (0..10u64).map(|p| (p, p + 1, p * 100)).collect();
+        let j = m.to_json(&s, 1, &CacheStats::default(), 1, 0);
+        let waits = j.get("scheduler").unwrap().get("wait_by_priority").unwrap();
+        assert!(waits.get("p0").is_none(), "fewest pops, capped out");
+        assert!(waits.get("p1").is_none());
+        let p9 = waits.get("p9").unwrap();
+        assert_eq!(p9.get("pops").unwrap().as_u64(), Some(10));
+        assert_eq!(p9.get("wait_us").unwrap().as_u64(), Some(900));
     }
 
     #[test]
@@ -279,7 +352,7 @@ mod tests {
         m.worker_started();
         m.worker_panicked(200);
         assert_eq!(m.executed(), 3);
-        let j = m.to_json(0, 4, &CacheStats::default(), 2, 1);
+        let j = m.to_json(&sched(0), 4, &CacheStats::default(), 2, 1);
         let workers = j.get("workers").unwrap();
         assert_eq!(workers.get("busy").unwrap().as_u64(), Some(0));
         assert_eq!(workers.get("alive").unwrap().as_u64(), Some(2));
@@ -295,7 +368,7 @@ mod tests {
         m.deadline_exceeded();
         m.job_failed_unexecuted();
         m.store_write_error();
-        let j = m.to_json(0, 1, &CacheStats::default(), 1, 0);
+        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0);
         let workers = j.get("workers").unwrap();
         assert_eq!(
             workers.get("jobs_deadline_exceeded").unwrap().as_u64(),
@@ -320,7 +393,7 @@ mod tests {
         m.observe(label("GET /v1/metrics"), 10);
         // Out-of-range id: counted as a request, no histogram.
         m.observe(LabelId(usize::MAX), 10);
-        let j = m.to_json(0, 1, &CacheStats::default(), 1, 0);
+        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0);
         assert_eq!(j.get("requests").unwrap().as_u64(), Some(4));
         let lat = j.get("latency_us").unwrap();
         let sim = lat.get("POST /v1/sim").unwrap();
@@ -339,7 +412,7 @@ mod tests {
             misses: 1,
             ..CacheStats::default()
         };
-        let j = m.to_json(2, 8, &stats, 3, 0);
+        let j = m.to_json(&sched(2), 8, &stats, 3, 0);
         let q = j.get("queue").unwrap();
         assert_eq!(q.get("depth").unwrap().as_u64(), Some(2));
         assert_eq!(q.get("capacity").unwrap().as_u64(), Some(8));

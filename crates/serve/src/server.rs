@@ -1,7 +1,8 @@
 //! The server proper: accept loop, the typed route table, keep-alive
-//! connection handling, the bounded job queue, the supervised worker
-//! pool, per-job deadlines, sweep fan-out, the persistent result store,
-//! and graceful shutdown.
+//! connection handling, the fair-share scheduler feeding the supervised
+//! worker pool, per-job deadlines, sweep *plans* (store-aware full
+//! expansion and adaptive knee refinement), uniform cancellation, the
+//! persistent result store, and graceful shutdown.
 
 use std::collections::HashMap;
 use std::io;
@@ -13,19 +14,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ucsim_model::json::Json;
-use ucsim_model::{CancelToken, FailureKind};
-use ucsim_pipeline::{Cancelled, SimReport, Simulator};
-use ucsim_pool::{faults, BoundedQueue, PoolMonitor, PushError, SupervisedPool, Watchdog};
+use ucsim_model::{CancelToken, FailureKind, FromJson};
+use ucsim_pipeline::{Cancelled, KneeBisector, SimReport, Simulator};
+use ucsim_pool::{faults, PoolMonitor, PushError, Scheduler, SupervisedPool, Watchdog};
 use ucsim_trace::{Program, TraceStore, WorkloadProfile};
 
-use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest};
+use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest, SweepMode};
 use crate::cache::ResultCache;
 use crate::http::{HttpConn, ReadOutcome, Request, Response};
 use crate::jobs::{JobFailure, JobState, JobTable, Submit};
 use crate::metrics::Metrics;
 use crate::router::{Params, Route, Router};
 use crate::store::{RecordKind, ResultStore};
-use crate::sweep::{self, Sweep, SweepTable};
+use crate::sweep::{self, Frontier, PlanAxes, PlanOptions, Sweep, SweepTable};
 use crate::{jobs, signal};
 
 /// Poll interval of the accept loop (checks the shutdown flag between
@@ -73,6 +74,9 @@ pub struct ServerConfig {
     /// Fsync the persistent store after every appended record (slower,
     /// but survives power loss, not just process death).
     pub durable_store: bool,
+    /// Fair-share weights per tenant (`(name, weight)`); tenants not
+    /// listed here are created on first use with weight 1.
+    pub tenant_weights: Vec<(String, u64)>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +96,7 @@ impl Default for ServerConfig {
             job_deadline: None,
             drain_timeout: Duration::from_secs(30),
             durable_store: false,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -104,16 +109,18 @@ struct Work {
     /// Correlation id of the request that submitted this job; carried
     /// into every failure envelope the job can produce.
     request_id: String,
-    /// Flipped by the watchdog on deadline expiry; the simulation loop
-    /// polls it at PW-batch boundaries and bails out.
+    /// The job's shared cancel token (the same one the scheduler entry
+    /// holds): flipped by the watchdog on deadline expiry or by a client
+    /// `DELETE`; the simulation loop polls it at PW-batch boundaries and
+    /// bails out, and the scheduler preempts still-queued entries.
     cancel: CancelToken,
 }
 
-/// Shared state every connection handler, worker, and sweep feeder sees.
+/// Shared state every connection handler, worker, and plan driver sees.
 struct Inner {
     cfg: ServerConfig,
     router: Router<Arc<Inner>>,
-    queue: Arc<BoundedQueue<Work>>,
+    queue: Arc<Scheduler<Work>>,
     jobs: JobTable,
     sweeps: SweepTable,
     cache: ResultCache,
@@ -170,7 +177,10 @@ impl Server {
             None => (None, Vec::new()),
         };
 
-        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let queue = Arc::new(Scheduler::new(cfg.queue_capacity));
+        for (tenant, weight) in &cfg.tenant_weights {
+            queue.set_weight(tenant, *weight);
+        }
         // The router is built first so its interned label table seeds the
         // metrics histograms — observe() is then a direct array index.
         let router = routes();
@@ -291,9 +301,11 @@ impl Server {
         }
         // No new connections now; kept-alive handlers notice the stopping
         // flag at their next idle poll (≤ 200 ms). Existing handlers may
-        // still enqueue; wait for them to finish before closing the queue
-        // so their jobs are either queued (and will drain) or rejected
-        // consistently. Blocked sweep feeders wake on close with `Closed`.
+        // still enqueue; wait for them to finish before closing the
+        // scheduler so their jobs are either queued (and will drain) or
+        // rejected consistently. Adaptive drivers check the stopping flag
+        // between waves, and waves in flight fail below, so their waits
+        // return.
         let deadline = Instant::now() + self.inner.cfg.drain_timeout;
         while self.inner.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
@@ -340,15 +352,39 @@ fn routes() -> Router<Arc<Inner>> {
         },
         Route {
             method: "GET",
-            pattern: "/v1/matrix/:id",
+            pattern: "/v1/matrix",
             label: "GET /v1/matrix",
+            handler: handle_matrix_list,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/matrix/:id",
+            label: "GET /v1/matrix/:id",
             handler: handle_matrix_get,
+        },
+        Route {
+            method: "DELETE",
+            pattern: "/v1/matrix/:id",
+            label: "DELETE /v1/matrix/:id",
+            handler: handle_matrix_delete,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/jobs",
+            label: "GET /v1/jobs",
+            handler: handle_jobs_list,
         },
         Route {
             method: "GET",
             pattern: "/v1/jobs/:id",
-            label: "GET /v1/jobs",
+            label: "GET /v1/jobs/:id",
             handler: handle_job_get,
+        },
+        Route {
+            method: "DELETE",
+            pattern: "/v1/jobs/:id",
+            label: "DELETE /v1/jobs/:id",
+            handler: handle_job_delete,
         },
         Route {
             method: "GET",
@@ -380,14 +416,8 @@ fn routes() -> Router<Arc<Inner>> {
             label: "GET /v1/version",
             handler: handle_version,
         },
-        // Deprecated alias for `/v1/healthz` (kept one release; see
-        // DESIGN.md §4.1).
-        Route {
-            method: "GET",
-            pattern: "/healthz",
-            label: "GET /healthz",
-            handler: handle_healthz,
-        },
+        // The bare `/healthz` alias was deprecated in v1.0 and removed in
+        // v1.1 (DESIGN.md §4.1); only `/v1/healthz` answers now.
     ])
 }
 
@@ -450,11 +480,14 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
                 work.canonical.clone(),
                 Arc::clone(&payload),
             );
+            // Publish the bare payload *before* completing: complete()
+            // wakes waiters (including sweep cells), and they must find
+            // the payload already in place.
+            work.cell.set_payload(Arc::clone(&payload));
             if work
                 .cell
                 .complete(Arc::new(api::envelope(work.cell.key_hash, false, &payload)))
             {
-                work.cell.set_payload(Arc::clone(&payload));
                 if let Some(store) = &inner.store {
                     // A failed append costs durability, not the response:
                     // the in-memory cache still holds the result.
@@ -707,14 +740,25 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
             cell
         }
         Submit::New(cell) => {
+            let cancel = cell.cancel_token();
             let work = Work {
                 cell: Arc::clone(&cell),
                 spec,
                 canonical,
                 request_id: req.request_id.clone(),
-                cancel: CancelToken::new(),
+                cancel: cancel.clone(),
             };
-            match inner.queue.try_push(work) {
+            // Direct jobs ride the *bounded* path of the scheduler (the
+            // tenant defaults to "default"): admission control for
+            // interactive clients stays a 429 + Retry-After, while plan
+            // cells use the unbounded path and never push jobs past
+            // capacity into a rejection.
+            match inner.queue.try_submit(
+                sim_req.tenant.as_deref().unwrap_or("default"),
+                sim_req.priority.unwrap_or(0),
+                cancel,
+                work,
+            ) {
                 Ok(()) => cell,
                 Err(PushError::Full(_)) => {
                     inner.jobs.abandon(&cell);
@@ -771,31 +815,56 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
             return api::error_response(ErrorCode::BadRequest, &format!("bad request: {e}"), None)
         }
     };
-    let metas = match sweep::expand_request(&matrix_req, inner.cfg.enable_test_workloads) {
+    let mode = match SweepMode::parse(matrix_req.mode.as_ref()) {
         Ok(m) => m,
+        Err(msg) => return api::error_response(ErrorCode::BadRequest, &msg, None),
+    };
+    let axes = match PlanAxes::resolve(&matrix_req, inner.cfg.enable_test_workloads) {
+        Ok(a) => a,
         Err((code, msg)) => return api::error_response(code, &msg, None),
     };
-    let total = metas.len();
-    let sweep = inner.sweeps.create(metas);
+    let opts = PlanOptions {
+        tenant: matrix_req
+            .tenant
+            .clone()
+            .unwrap_or_else(|| "default".to_owned()),
+        priority: matrix_req.priority.unwrap_or(0),
+        adaptive: matches!(mode, SweepMode::Adaptive { .. }),
+    };
+    let sweep = inner.sweeps.create(opts);
     let id = sweep.id;
-
-    // Fan the cells out from a feeder thread: it blocks on queue slots
-    // (`push_wait`), so a sweep larger than the queue flows through it
-    // instead of failing with 429s, and the 202 returns immediately.
-    let feeder_inner = Arc::clone(inner);
     let request_id = req.request_id.clone();
-    let _ = std::thread::Builder::new()
-        .name("sweep-feeder".to_owned())
-        .spawn(move || {
-            // The feeder inherits the submitting request's trace scope so
-            // queue-wait and execute events correlate to the POST.
-            let _scope = ucsim_obs::request_scope(ucsim_obs::hash_id(&request_id));
-            feed_sweep(&feeder_inner, &sweep, &request_id);
-        });
+
+    match mode {
+        SweepMode::Full => {
+            // Materialize the whole cross up front and resolve every cell
+            // against the store right here — cheap (no simulation), so the
+            // 202 still returns promptly and `planned` is exact from the
+            // first poll.
+            let metas = axes.full_metas();
+            let start = sweep.push_cells(metas.clone());
+            resolve_cells(inner, &sweep, &metas, start, &request_id);
+            sweep.mark_materialized();
+        }
+        SweepMode::Adaptive { tolerance, .. } => {
+            // Adaptive plans materialize capacity waves as the bisector
+            // asks for them; a detached driver owns that loop.
+            let driver_inner = Arc::clone(inner);
+            let driver_sweep = Arc::clone(&sweep);
+            let _ = std::thread::Builder::new()
+                .name("plan-driver".to_owned())
+                .spawn(move || {
+                    // The driver inherits the submitting request's trace
+                    // scope so wave enqueues correlate to the POST.
+                    let _scope = ucsim_obs::request_scope(ucsim_obs::hash_id(&request_id));
+                    drive_adaptive(&driver_inner, &driver_sweep, &axes, tolerance, &request_id);
+                });
+        }
+    }
 
     let body = Json::Obj(vec![
         ("id".to_owned(), Json::Uint(id)),
-        ("total".to_owned(), Json::Uint(total as u64)),
+        ("planned".to_owned(), Json::Uint(sweep.total() as u64)),
         ("poll".to_owned(), Json::Str(format!("/v1/matrix/{id}"))),
     ])
     .to_string()
@@ -803,18 +872,25 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
     Response::json(202, body)
 }
 
-/// Resolves every cell of a sweep: cache hit, coalesced join, or a fresh
-/// job pushed through the bounded queue. Every cell's job carries the
-/// sweep's originating request id.
-fn feed_sweep(inner: &Inner, sweep: &Sweep, request_id: &str) {
-    for (idx, cell) in sweep.cells().iter().enumerate() {
-        let meta = &cell.meta;
+/// Resolves the plan cells `start..start + metas.len()` exactly once
+/// each: a store/cache hit fulfills the cell without simulating (counted
+/// in `skipped_from_store`), a known-deterministic failure settles it
+/// immediately, and anything else joins or creates a job — fresh jobs go
+/// to the scheduler's *unbounded* path under the plan's tenant and
+/// priority, so an overcommitted sweep queues instead of erroring.
+fn resolve_cells(
+    inner: &Inner,
+    sweep: &Sweep,
+    metas: &[sweep::CellMeta],
+    start: usize,
+    request_id: &str,
+) {
+    for (offset, meta) in metas.iter().enumerate() {
+        let idx = start + offset;
         if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
-            sweep.fulfill(idx, payload);
+            sweep.fulfill_from_store(idx, payload);
             continue;
         }
-        // A known-deterministic failure settles the cell immediately —
-        // the sweep completes as `partial` instead of re-panicking.
         if let Some(failure) = inner.failed_for(meta.key_hash, &meta.canonical) {
             sweep.fail(idx, failure);
             continue;
@@ -826,14 +902,18 @@ fn feed_sweep(inner: &Inner, sweep: &Sweep, request_id: &str) {
             }
             Submit::New(job) => {
                 sweep.attach(idx, Arc::clone(&job));
+                let cancel = job.cancel_token();
                 let work = Work {
-                    cell: job,
+                    cell: Arc::clone(&job),
                     spec: meta.spec.clone(),
                     canonical: meta.canonical.clone(),
                     request_id: request_id.to_owned(),
-                    cancel: CancelToken::new(),
+                    cancel: cancel.clone(),
                 };
-                if let Err(PushError::Closed(w) | PushError::Full(w)) = inner.queue.push_wait(work)
+                if let Err(PushError::Closed(w) | PushError::Full(w)) =
+                    inner
+                        .queue
+                        .enqueue(&sweep.tenant, sweep.priority, cancel, work)
                 {
                     let failure =
                         JobFailure::new(FailureKind::ShuttingDown, "server shutting down")
@@ -846,6 +926,187 @@ fn feed_sweep(inner: &Inner, sweep: &Sweep, request_id: &str) {
             }
         }
     }
+}
+
+/// The adaptive-plan driver: bisects the capacity axis until the UPC
+/// knee is bracketed to adjacent axis points, materializing one wave of
+/// cells (every workload × policy at one capacity) per probe. Runs
+/// detached; terminates when the bisector converges, the plan is
+/// cancelled, a whole wave fails, or the server drains (shutdown fails
+/// queued cells, so waits always return).
+fn drive_adaptive(
+    inner: &Arc<Inner>,
+    sweep: &Arc<Sweep>,
+    axes: &PlanAxes,
+    tolerance: f64,
+    request_id: &str,
+) {
+    let capacities: Vec<u64> = axes.capacities().iter().map(|&c| c as u64).collect();
+    let mut bisector = KneeBisector::new(capacities.len(), tolerance);
+    let publish = |b: &KneeBisector| {
+        sweep.set_frontier(Frontier {
+            axis: "capacity".to_owned(),
+            tolerance,
+            capacities: capacities.clone(),
+            probed: b.probed_indices().iter().map(|&i| capacities[i]).collect(),
+            bracket: b.bracket().map(|(lo, hi)| (capacities[lo], capacities[hi])),
+            knee: b.knee().map(|i| capacities[i]),
+        });
+    };
+    publish(&bisector);
+    loop {
+        let probes = bisector.next_probes();
+        if probes.is_empty() {
+            break;
+        }
+        if sweep.is_cancelled() || inner.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        for cap_idx in probes {
+            let metas = axes.capacity_metas(cap_idx);
+            let start = sweep.push_cells(metas.clone());
+            resolve_cells(inner, sweep, &metas, start, request_id);
+            // Wait the wave out, then fold its UPCs into one knee metric.
+            let cells = sweep.cells();
+            let mut upcs = Vec::with_capacity(metas.len());
+            for cell in &cells[start..start + metas.len()] {
+                let (payload, _failure) = cell.wait_settled();
+                if let Some(payload) = payload {
+                    if let Ok(report) = SimReport::from_json_str(&payload) {
+                        if report.upc > 0.0 {
+                            upcs.push(report.upc);
+                        }
+                    }
+                }
+            }
+            if upcs.is_empty() {
+                // The whole wave failed: no metric to steer by. Leave the
+                // failed cells in place and stop refining.
+                sweep.mark_materialized();
+                publish(&bisector);
+                return;
+            }
+            let geomean = (upcs.iter().map(|u| u.ln()).sum::<f64>() / upcs.len() as f64).exp();
+            bisector.record(cap_idx, geomean);
+            publish(&bisector);
+        }
+    }
+    sweep.mark_materialized();
+    publish(&bisector);
+}
+
+fn handle_matrix_list(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    let filter = state_filter(req);
+    let sweeps: Vec<Json> = inner
+        .sweeps
+        .list()
+        .into_iter()
+        .filter_map(|s| {
+            let state = s.state_name();
+            if filter.as_deref().is_some_and(|f| f != state) {
+                return None;
+            }
+            Some(Json::Obj(vec![
+                ("id".to_owned(), Json::Uint(s.id)),
+                ("state".to_owned(), Json::Str(state.to_owned())),
+                ("created_at".to_owned(), Json::Uint(s.created_at)),
+                ("tenant".to_owned(), Json::Str(s.tenant.clone())),
+                ("priority".to_owned(), Json::Uint(s.priority)),
+                (
+                    "mode".to_owned(),
+                    Json::Str(if s.adaptive { "adaptive" } else { "full" }.to_owned()),
+                ),
+                ("planned".to_owned(), Json::Uint(s.total() as u64)),
+            ]))
+        })
+        .collect();
+    let body = Json::Obj(vec![("sweeps".to_owned(), Json::Arr(sweeps))]);
+    Response::json(200, body.to_string().into_bytes())
+}
+
+fn handle_matrix_delete(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+        return api::error_response(ErrorCode::BadRequest, "bad sweep id", None);
+    };
+    let Some(sweep) = inner.sweeps.get(id) else {
+        return api::error_response(ErrorCode::NotFound, "no such sweep", None);
+    };
+    if sweep.state_name() != "running" {
+        return api::error_response(
+            ErrorCode::BadRequest,
+            &format!("sweep {id} already settled; nothing to cancel"),
+            None,
+        );
+    }
+    // Fail every unsettled cell (first-wins) and flip the cancel tokens:
+    // the scheduler preempts still-queued entries before they reach a
+    // worker, running simulations bail at the next cancellation check,
+    // and the adaptive driver stops materializing waves.
+    let flipped = sweep.cancel();
+    for job in &flipped {
+        inner.jobs.finish(job);
+    }
+    inner.metrics.record_cancelled(flipped.len() as u64);
+    api::error_response(
+        ErrorCode::Cancelled,
+        &format!("sweep {id} cancelled; {} cells preempted", flipped.len()),
+        None,
+    )
+}
+
+fn handle_jobs_list(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    let filter = state_filter(req);
+    let jobs: Vec<Json> = inner
+        .jobs
+        .snapshot()
+        .into_iter()
+        .filter_map(|cell| {
+            let state = cell.state();
+            if filter.as_deref().is_some_and(|f| f != state.name()) {
+                return None;
+            }
+            Some(Json::Obj(vec![
+                ("id".to_owned(), Json::Uint(cell.id)),
+                ("key".to_owned(), Json::Str(api::format_key(cell.key_hash))),
+                ("state".to_owned(), Json::Str(state.name().to_owned())),
+                ("created_at".to_owned(), Json::Uint(cell.created_at)),
+            ]))
+        })
+        .collect();
+    let body = Json::Obj(vec![("jobs".to_owned(), Json::Arr(jobs))]);
+    Response::json(200, body.to_string().into_bytes())
+}
+
+fn handle_job_delete(inner: &Arc<Inner>, req: &Request, params: &Params) -> Response {
+    let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+        return api::error_response(ErrorCode::BadRequest, "bad job id", None);
+    };
+    let Some(cell) = inner.jobs.get(id) else {
+        return api::error_response(ErrorCode::NotFound, "no such job", None);
+    };
+    let failure = JobFailure::new(FailureKind::Cancelled, format!("job {id} cancelled"))
+        .with_request_id(&req.request_id);
+    if !cell.fail(failure) {
+        return api::error_response(
+            ErrorCode::BadRequest,
+            &format!("job {id} already settled; nothing to cancel"),
+            None,
+        );
+    }
+    cell.cancel_token().cancel();
+    inner.jobs.finish(&cell);
+    inner.metrics.record_cancelled(1);
+    api::error_response(ErrorCode::Cancelled, &format!("job {id} cancelled"), None)
+}
+
+/// Extracts the optional `?state=` filter of the listing endpoints.
+fn state_filter(req: &Request) -> Option<String> {
+    let q = req.query.as_ref()?;
+    q.split('&').find_map(|pair| {
+        pair.split_once('=')
+            .filter(|(k, _)| *k == "state")
+            .map(|(_, v)| v.to_owned())
+    })
 }
 
 fn handle_matrix_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
@@ -866,25 +1127,21 @@ fn handle_job_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Respon
         return api::error_response(ErrorCode::NotFound, "no such job", None);
     };
     let state = cell.state();
-    // Unified envelope (DESIGN.md §4.1): `state` is canonical, `status`
-    // is the deprecated alias kept for one release; likewise `result`
-    // (canonical) vs `response` (alias) below.
+    // Unified v1.1 envelope (DESIGN.md §4.1): `state` and `result` are
+    // canonical; the one-release `status`/`response` aliases are gone.
     let mut obj = vec![
         ("id".to_owned(), Json::Uint(id)),
         ("key".to_owned(), Json::Str(api::format_key(cell.key_hash))),
         ("state".to_owned(), Json::Str(state.name().to_owned())),
-        ("status".to_owned(), Json::Str(state.name().to_owned())),
         ("created_at".to_owned(), Json::Uint(cell.created_at)),
     ];
     match state {
         JobState::Done(body) => {
-            // Splice the finished envelope in verbatim, under both keys.
+            // Splice the finished envelope in verbatim.
             let envelope = std::str::from_utf8(&body).expect("envelope is utf-8");
             let mut out = Json::Obj(obj).to_string();
             out.pop(); // trailing '}'
             out.push_str(",\"result\":");
-            out.push_str(envelope);
-            out.push_str(",\"response\":");
             out.push_str(envelope);
             out.push('}');
             Response::json(200, out.into_bytes())
@@ -928,7 +1185,7 @@ fn handle_metrics(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Respon
         .get()
         .map_or((0, 0), |m| (m.alive(), m.respawned()));
     let doc = inner.metrics.to_json(
-        inner.queue.len(),
+        &inner.queue.stats(),
         inner.queue.capacity(),
         &stats,
         alive,
@@ -1033,6 +1290,10 @@ fn handle_version(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
             "version".to_owned(),
             Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
         ),
+        // Wire-contract version: v1.1 removed the v1.0 deprecated aliases
+        // (`status`, `response`, `sweep`, bare `/healthz`) and added
+        // plans, cancellation, and the listing endpoints.
+        ("api".to_owned(), Json::Str("v1.1".to_owned())),
         ("store_format".to_owned(), Json::Str("UCSTOR02".to_owned())),
         (
             "features".to_owned(),

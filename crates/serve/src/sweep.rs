@@ -1,26 +1,36 @@
-//! Sweep lifecycle for `POST /v1/matrix`: request expansion into
-//! per-cell job specs, per-sweep progress tracking, and final
-//! aggregation into a [`SweepReport`].
+//! Sweep *plans* for `POST /v1/matrix`: request expansion into per-cell
+//! job specs, store-aware cell resolution, per-plan progress counters,
+//! adaptive-refinement frontier tracking, and final aggregation into a
+//! [`SweepReport`].
 //!
-//! A sweep is a set of content-addressed cells fanned through the same
-//! worker pool as single jobs. Each cell independently resolves from the
-//! result cache, joins an in-flight job for the same key, or queues a
+//! A plan is a set of content-addressed cells scheduled through the same
+//! fair-share scheduler as single jobs. At materialization time each cell
+//! independently resolves from the result cache/store (counted as
+//! *skipped*), joins an in-flight job for the same key, or enqueues a
 //! fresh simulation — so overlapping sweeps, repeated sweeps, and
-//! restarts (via the persistent store) all dedup cell-by-cell.
+//! restarts (via the persistent store) all dedup cell-by-cell, and a
+//! re-submitted completed sweep simulates zero cells.
+//!
+//! Full-mode plans materialize every cell of the capacity × policy cross
+//! up front. Adaptive plans materialize one capacity *wave* at a time,
+//! driven by a [`KneeBisector`](ucsim_pipeline::KneeBisector) until the
+//! UPC knee is bracketed; the probed frontier is reported by
+//! `GET /v1/matrix/:id`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ucsim_bench::{MatrixCross, SweepPolicy};
 use ucsim_model::json::Json;
 use ucsim_model::{FromJson, ToJson};
-use ucsim_pipeline::{SimReport, SweepCellReport, SweepReport};
+use ucsim_pipeline::{LabeledConfig, SimReport, SweepCellReport, SweepReport};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest};
 use crate::jobs::{JobCell, JobFailure, JobState};
 
 /// Hard ceiling on cells per sweep (guards against a typo'd cross
-/// exploding the queue).
+/// exploding the scheduler; the unbounded plan path relies on it).
 pub const MAX_SWEEP_CELLS: usize = 1024;
 
 /// Immutable identity of one sweep cell.
@@ -51,8 +61,9 @@ impl CellMeta {
 
 /// Where a cell currently stands.
 enum CellSlot {
-    /// Not yet handed to the queue (the feeder is still working).
-    Pending,
+    /// Materialized but not yet resolved against store/job table (a
+    /// momentary state inside plan construction).
+    Planned,
     /// Riding a queued/running job.
     Waiting(Arc<JobCell>),
     /// Finished; holds the bare report payload and — when the cell
@@ -70,7 +81,7 @@ pub struct SweepCell {
 }
 
 /// One `SweepCell::poll` observation:
-/// `(status_name, payload_if_done, failure_if_failed, profile)`.
+/// `(state_name, payload_if_done, failure_if_failed, profile)`.
 type CellPoll = (
     &'static str,
     Option<Arc<String>>,
@@ -80,7 +91,7 @@ type CellPoll = (
 
 impl SweepCell {
     /// Advances `Waiting` cells whose job has settled, then reports
-    /// `(status_name, payload_if_done, failure_if_failed, profile)`.
+    /// `(state_name, payload_if_done, failure_if_failed, profile)`.
     fn poll(&self) -> CellPoll {
         let mut slot = self.slot.lock().expect("cell lock");
         if let CellSlot::Waiting(job) = &*slot {
@@ -96,74 +107,271 @@ impl SweepCell {
             }
         }
         match &*slot {
-            CellSlot::Pending => ("pending", None, None, None),
+            CellSlot::Planned => ("queued", None, None, None),
             CellSlot::Waiting(job) => (job.state().name(), None, None, None),
             CellSlot::Done(p, prof) => ("done", Some(Arc::clone(p)), None, prof.clone()),
             CellSlot::Failed(failure) => ("failed", None, Some(failure.clone()), None),
         }
     }
+
+    /// Blocks until the cell settles (its job completes/fails, or it was
+    /// fulfilled/failed directly) and returns the final poll. The
+    /// adaptive-plan driver waits on whole waves with this.
+    pub fn wait_settled(&self) -> (Option<Arc<String>>, Option<JobFailure>) {
+        loop {
+            let job = match &*self.slot.lock().expect("cell lock") {
+                CellSlot::Waiting(job) => Some(Arc::clone(job)),
+                _ => None,
+            };
+            if let Some(job) = job {
+                let _ = job.wait();
+            }
+            let (state, payload, failure, _) = self.poll();
+            if state == "done" || state == "failed" {
+                return (payload, failure);
+            }
+            // Still `Planned` (materialized but mid-resolution): back off
+            // until the resolver attaches or settles it.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
 }
 
-/// A sweep in flight (or finished).
+/// The refinement frontier of an adaptive plan, for `GET /v1/matrix/:id`.
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    /// The refined axis (`"capacity"`).
+    pub axis: String,
+    /// Relative knee tolerance.
+    pub tolerance: f64,
+    /// The full capacity axis, ascending (uops).
+    pub capacities: Vec<u64>,
+    /// Capacities probed (simulated or resolved from store) so far.
+    pub probed: Vec<u64>,
+    /// Current open bracket `(below, at-or-above)` in uops.
+    pub bracket: Option<(u64, u64)>,
+    /// The knee capacity once bracketed to adjacent axis points.
+    pub knee: Option<u64>,
+}
+
+impl Frontier {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("axis".to_owned(), Json::Str(self.axis.clone())),
+            ("tolerance".to_owned(), Json::Float(self.tolerance)),
+            (
+                "capacities".to_owned(),
+                Json::Arr(self.capacities.iter().map(|&c| Json::Uint(c)).collect()),
+            ),
+            (
+                "probed".to_owned(),
+                Json::Arr(self.probed.iter().map(|&c| Json::Uint(c)).collect()),
+            ),
+        ];
+        if let Some((lo, hi)) = self.bracket {
+            obj.push((
+                "bracket".to_owned(),
+                Json::Arr(vec![Json::Uint(lo), Json::Uint(hi)]),
+            ));
+        }
+        if let Some(knee) = self.knee {
+            obj.push(("knee".to_owned(), Json::Uint(knee)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Creation-time options of a plan.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Fair-share tenant the plan's cells are charged to.
+    pub tenant: String,
+    /// Scheduling priority within the tenant (higher first).
+    pub priority: u64,
+    /// True for adaptive-refinement plans (cells arrive in waves).
+    pub adaptive: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            tenant: "default".to_owned(),
+            priority: 0,
+            adaptive: false,
+        }
+    }
+}
+
+/// A sweep plan in flight (or finished).
 pub struct Sweep {
     /// Sweep identifier, monotonically assigned per server.
     pub id: u64,
     /// Unix seconds when the sweep was registered.
     pub created_at: u64,
-    cells: Vec<SweepCell>,
-    /// Memoized final response body, built once every cell is done.
+    /// Fair-share tenant the plan's cells are charged to.
+    pub tenant: String,
+    /// Scheduling priority within the tenant (higher first).
+    pub priority: u64,
+    /// True for adaptive plans.
+    pub adaptive: bool,
+    cells: Mutex<Vec<Arc<SweepCell>>>,
+    /// Cells resolved from the result cache/store at materialization —
+    /// never simulated by this plan.
+    skipped_from_store: AtomicU64,
+    /// True once no further cells will be materialized (immediately for
+    /// full plans; when the driver finishes for adaptive ones).
+    materialized: AtomicBool,
+    cancelled: AtomicBool,
+    frontier: Mutex<Option<Frontier>>,
+    /// Memoized final response body, built once the plan settles.
     final_body: Mutex<Option<Arc<Vec<u8>>>>,
 }
 
 impl Sweep {
-    fn new(id: u64, metas: Vec<CellMeta>) -> Sweep {
+    fn new(id: u64, opts: PlanOptions) -> Sweep {
         Sweep {
             id,
             created_at: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
-            cells: metas
-                .into_iter()
-                .map(|meta| SweepCell {
-                    meta,
-                    slot: Mutex::new(CellSlot::Pending),
-                })
-                .collect(),
+            tenant: opts.tenant,
+            priority: opts.priority,
+            adaptive: opts.adaptive,
+            cells: Mutex::new(Vec::new()),
+            skipped_from_store: AtomicU64::new(0),
+            materialized: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            frontier: Mutex::new(None),
             final_body: Mutex::new(None),
         }
     }
 
-    /// The cells, in submission order.
-    pub fn cells(&self) -> &[SweepCell] {
-        &self.cells
+    /// Appends a wave of cells, returning the index of the first. The
+    /// caller resolves each appended cell (attach / fulfill / fail).
+    pub fn push_cells(&self, metas: Vec<CellMeta>) -> usize {
+        let mut cells = self.cells.lock().expect("sweep lock");
+        let start = cells.len();
+        cells.extend(metas.into_iter().map(|meta| {
+            Arc::new(SweepCell {
+                meta,
+                slot: Mutex::new(CellSlot::Planned),
+            })
+        }));
+        start
     }
 
-    /// Number of cells.
+    /// A snapshot of the cells, in materialization order.
+    pub fn cells(&self) -> Vec<Arc<SweepCell>> {
+        self.cells.lock().expect("sweep lock").clone()
+    }
+
+    /// Number of cells materialized so far.
     pub fn total(&self) -> usize {
-        self.cells.len()
+        self.cells.lock().expect("sweep lock").len()
+    }
+
+    /// Resolves cell `idx` from `Planned` to `slot`; a no-op when the
+    /// cell already resolved (e.g. a concurrent cancel beat us to it).
+    /// Returns whether the resolution applied.
+    fn resolve(&self, idx: usize, slot: CellSlot) -> bool {
+        let cell = Arc::clone(&self.cells.lock().expect("sweep lock")[idx]);
+        let mut guard = cell.slot.lock().expect("cell lock");
+        if matches!(*guard, CellSlot::Planned) {
+            *guard = slot;
+            true
+        } else {
+            false
+        }
     }
 
     /// Marks cell `idx` as riding `job`.
     pub fn attach(&self, idx: usize, job: Arc<JobCell>) {
-        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Waiting(job);
+        self.resolve(idx, CellSlot::Waiting(job));
     }
 
-    /// Marks cell `idx` as done with its payload (cache hit path, so no
-    /// execution profile).
+    /// Marks cell `idx` as done with its payload (a fresh cache hit made
+    /// by another in-flight job, so no execution profile).
     pub fn fulfill(&self, idx: usize, payload: Arc<String>) {
-        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Done(payload, None);
+        self.resolve(idx, CellSlot::Done(payload, None));
+    }
+
+    /// Marks cell `idx` as resolved from the result cache/store at
+    /// materialization: done without simulating, counted in
+    /// `skipped_from_store`.
+    pub fn fulfill_from_store(&self, idx: usize, payload: Arc<String>) {
+        if self.resolve(idx, CellSlot::Done(payload, None)) {
+            self.skipped_from_store.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Marks cell `idx` as failed with a stable error code and message.
     pub fn fail(&self, idx: usize, failure: JobFailure) {
-        *self.cells[idx].slot.lock().expect("cell lock") = CellSlot::Failed(failure);
+        self.resolve(idx, CellSlot::Failed(failure));
     }
 
-    /// Builds the `GET /v1/matrix/:id` response body: progress counters,
-    /// per-cell status, and — once every cell has settled — the
-    /// aggregated [`SweepReport`] over the cells that succeeded.
+    /// Declares the plan fully materialized: no further cells will be
+    /// appended, so the plan settles once every present cell does.
+    pub fn mark_materialized(&self) {
+        self.materialized.store(true, Ordering::Release);
+    }
+
+    /// Publishes the adaptive driver's current refinement frontier.
+    pub fn set_frontier(&self, frontier: Frontier) {
+        *self.frontier.lock().expect("sweep lock") = Some(frontier);
+    }
+
+    /// True once [`cancel`](Self::cancel) ran.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Cancels the plan: every unsettled cell fails with the stable
+    /// `cancelled` code, its job's cancel token flips (the scheduler
+    /// preempts still-queued entries; running simulations bail
+    /// cooperatively), and adaptive drivers stop materializing waves.
     ///
-    /// The terminal status is `"done"` when every cell succeeded,
+    /// Returns the jobs whose tokens were flipped, so the caller can
+    /// release their content keys in the job table. Idempotent.
+    pub fn cancel(&self) -> Vec<Arc<JobCell>> {
+        self.cancelled.store(true, Ordering::Release);
+        let mut flipped = Vec::new();
+        for cell in self.cells() {
+            let job = {
+                let mut slot = cell.slot.lock().expect("cell lock");
+                match &*slot {
+                    CellSlot::Planned => {
+                        // Mid-materialization: settle it here; the
+                        // resolver's later attach/fulfill will no-op.
+                        *slot = CellSlot::Failed(JobFailure::new(
+                            ucsim_model::FailureKind::Cancelled,
+                            format!("sweep {} cancelled", self.id),
+                        ));
+                        None
+                    }
+                    CellSlot::Waiting(job) => Some(Arc::clone(job)),
+                    _ => None,
+                }
+            };
+            let Some(job) = job else { continue };
+            if job.fail(JobFailure::new(
+                ucsim_model::FailureKind::Cancelled,
+                format!("sweep {} cancelled", self.id),
+            )) {
+                job.cancel_token().cancel();
+                flipped.push(job);
+            }
+        }
+        self.mark_materialized();
+        flipped
+    }
+
+    /// Builds the `GET /v1/matrix/:id` response body: plan counters
+    /// (`planned` / `skipped_from_store` / `simulated` / `failed`),
+    /// per-cell state, the adaptive frontier when present, and — once the
+    /// plan settles — the aggregated [`SweepReport`] over the cells that
+    /// succeeded.
+    ///
+    /// The terminal state is `"done"` when every cell succeeded,
     /// `"partial"` when some succeeded and some failed, and `"failed"`
     /// when every cell failed. Failed cells carry a nested
     /// `"error": {"code", "message"}` object with a stable code; a sweep
@@ -172,11 +380,13 @@ impl Sweep {
         if let Some(body) = self.final_body.lock().expect("sweep lock").clone() {
             return body;
         }
-        let polls: Vec<CellPoll> = self.cells.iter().map(SweepCell::poll).collect();
+        let cells = self.cells();
+        let polls: Vec<CellPoll> = cells.iter().map(|c| c.poll()).collect();
         let done = polls.iter().filter(|(s, _, _, _)| *s == "done").count();
         let failed = polls.iter().filter(|(s, _, _, _)| *s == "failed").count();
-        let settled = done + failed == self.cells.len();
-        let status = if !settled {
+        let materialized = self.materialized.load(Ordering::Acquire);
+        let settled = materialized && done + failed == cells.len();
+        let state = if !settled {
             "running"
         } else if failed == 0 {
             "done"
@@ -185,18 +395,13 @@ impl Sweep {
         } else {
             "partial"
         };
+        let skipped = self.skipped_from_store.load(Ordering::Acquire);
+        let simulated = (done as u64).saturating_sub(skipped);
 
-        let cells_json: Vec<Json> = self
-            .cells
+        let cells_json: Vec<Json> = cells
             .iter()
             .zip(&polls)
             .map(|(cell, (state, _, err, _))| {
-                // `state` is the canonical lifecycle name; `status` is the
-                // pre-unification alias, kept one release (DESIGN.md §4.1).
-                // The only divergence: `pending` normalizes to `queued` in
-                // the canonical form (the feeder-lag distinction is an
-                // implementation detail, not a lifecycle state).
-                let canonical = if *state == "pending" { "queued" } else { state };
                 let mut obj = vec![
                     ("workload".to_owned(), Json::Str(cell.meta.workload.clone())),
                     ("label".to_owned(), Json::Str(cell.meta.label.clone())),
@@ -205,8 +410,7 @@ impl Sweep {
                         "key".to_owned(),
                         Json::Str(api::format_key(cell.meta.key_hash)),
                     ),
-                    ("state".to_owned(), Json::Str(canonical.to_owned())),
-                    ("status".to_owned(), Json::Str((*state).to_owned())),
+                    ("state".to_owned(), Json::Str((*state).to_owned())),
                 ];
                 if let Some(failure) = err {
                     let mut err_obj = vec![
@@ -235,13 +439,24 @@ impl Sweep {
 
         let mut head_obj = vec![
             ("id".to_owned(), Json::Uint(self.id)),
-            ("state".to_owned(), Json::Str(status.to_owned())),
-            ("status".to_owned(), Json::Str(status.to_owned())),
+            ("state".to_owned(), Json::Str(state.to_owned())),
             ("created_at".to_owned(), Json::Uint(self.created_at)),
-            ("total".to_owned(), Json::Uint(self.cells.len() as u64)),
+            ("tenant".to_owned(), Json::Str(self.tenant.clone())),
+            ("priority".to_owned(), Json::Uint(self.priority)),
+            (
+                "mode".to_owned(),
+                Json::Str(if self.adaptive { "adaptive" } else { "full" }.to_owned()),
+            ),
+            ("total".to_owned(), Json::Uint(cells.len() as u64)),
+            ("planned".to_owned(), Json::Uint(cells.len() as u64)),
+            ("skipped_from_store".to_owned(), Json::Uint(skipped)),
+            ("simulated".to_owned(), Json::Uint(simulated)),
             ("done".to_owned(), Json::Uint(done as u64)),
             ("failed".to_owned(), Json::Uint(failed as u64)),
         ];
+        if let Some(frontier) = self.frontier.lock().expect("sweep lock").as_ref() {
+            head_obj.push(("frontier".to_owned(), frontier.to_json()));
+        }
         if profiled {
             head_obj.push(("profile".to_owned(), agg_profile.to_json()));
         }
@@ -257,7 +472,7 @@ impl Sweep {
         // byte-identical (canonical JSON, bit-exact f64 round-trips), so
         // served cells equal offline `run_matrix` output.
         let mut report_cells = Vec::with_capacity(done);
-        for (cell, (_, payload, _, _)) in self.cells.iter().zip(&polls) {
+        for (cell, (_, payload, _, _)) in cells.iter().zip(&polls) {
             let Some(payload) = payload.as_ref() else {
                 continue;
             };
@@ -287,17 +502,31 @@ impl Sweep {
             let aggregate = SweepReport::from_cells(report_cells);
             let encoded = aggregate.to_json_string();
             out.truncate(out.len() - 1); // strip trailing '}'
-                                         // `report` is the canonical aggregate key; `sweep` is the
-                                         // pre-unification alias, kept one release (DESIGN.md §4.1).
             out.push_str(",\"report\":");
-            out.push_str(&encoded);
-            out.push_str(",\"sweep\":");
             out.push_str(&encoded);
             out.push('}');
         }
         let body = Arc::new(out.into_bytes());
         *self.final_body.lock().expect("sweep lock") = Some(Arc::clone(&body));
         body
+    }
+
+    /// The plan's lifecycle name as `status_body` would report it, for
+    /// `GET /v1/matrix` state filtering without building full bodies.
+    pub fn state_name(&self) -> &'static str {
+        let cells = self.cells();
+        let polls: Vec<CellPoll> = cells.iter().map(|c| c.poll()).collect();
+        let done = polls.iter().filter(|(s, _, _, _)| *s == "done").count();
+        let failed = polls.iter().filter(|(s, _, _, _)| *s == "failed").count();
+        if !(self.materialized.load(Ordering::Acquire) && done + failed == cells.len()) {
+            "running"
+        } else if failed == 0 {
+            "done"
+        } else if done == 0 {
+            "failed"
+        } else {
+            "partial"
+        }
     }
 }
 
@@ -326,12 +555,14 @@ impl SweepTable {
         }
     }
 
-    /// Registers a new sweep over `metas`.
-    pub fn create(&self, metas: Vec<CellMeta>) -> Arc<Sweep> {
+    /// Registers a new plan. The caller materializes cells with
+    /// [`Sweep::push_cells`] and resolves them; full-mode plans should
+    /// then [`Sweep::mark_materialized`] immediately.
+    pub fn create(&self, opts: PlanOptions) -> Arc<Sweep> {
         let mut t = self.inner.lock().expect("sweep table lock");
         let id = t.next_id;
         t.next_id += 1;
-        let sweep = Arc::new(Sweep::new(id, metas));
+        let sweep = Arc::new(Sweep::new(id, opts));
         t.sweeps.insert(id, Arc::clone(&sweep));
         t.order.push(id);
         while t.order.len() > self.retain {
@@ -350,11 +581,167 @@ impl SweepTable {
             .get(&id)
             .map(Arc::clone)
     }
+
+    /// Every retained sweep, ascending by id — the `GET /v1/matrix`
+    /// listing; state filtering is the handler's.
+    pub fn list(&self) -> Vec<Arc<Sweep>> {
+        let t = self.inner.lock().expect("sweep table lock");
+        let mut sweeps: Vec<Arc<Sweep>> = t.sweeps.values().map(Arc::clone).collect();
+        sweeps.sort_by_key(|s| s.id);
+        sweeps
+    }
 }
 
-/// Expands a [`MatrixRequest`] into per-cell metas: workload-major, then
-/// the capacity × policy cross in [`MatrixCross::expand`] order — the
-/// exact cell order `run_matrix` produces offline.
+/// The validated axes of a matrix request, able to expand the full cross
+/// or a single-capacity wave with labels identical to the full cross.
+pub struct PlanAxes {
+    workloads: Vec<String>,
+    capacities: Vec<usize>,
+    /// The full cross's labeled configurations, capacity-major (the
+    /// order [`MatrixCross::expand`] produces).
+    configs: Vec<LabeledConfig>,
+    policies_per_capacity: usize,
+    seed: Option<u64>,
+    warmup: Option<u64>,
+    insts: Option<u64>,
+}
+
+impl PlanAxes {
+    /// Validates a [`MatrixRequest`]'s axes, resolving defaults (Table I
+    /// capacities, baseline policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns the envelope error code and message for invalid axes.
+    pub fn resolve(
+        req: &MatrixRequest,
+        test_workloads: bool,
+    ) -> Result<PlanAxes, (ErrorCode, String)> {
+        if req.workloads.is_empty() {
+            return Err((
+                ErrorCode::BadRequest,
+                "workloads must name at least one workload".to_owned(),
+            ));
+        }
+        for w in &req.workloads {
+            if !api::workload_known(w, test_workloads) {
+                return Err((ErrorCode::UnknownWorkload, format!("unknown workload: {w}")));
+            }
+        }
+        let capacities: Vec<usize> = match &req.capacities {
+            Some(caps) if caps.is_empty() => {
+                return Err((
+                    ErrorCode::BadRequest,
+                    "capacities must not be empty".to_owned(),
+                ))
+            }
+            Some(caps) => caps.iter().map(|&c| c as usize).collect(),
+            None => MatrixCross::table1_capacities(),
+        };
+        let policies: Vec<SweepPolicy> = match &req.policies {
+            Some(names) if names.is_empty() => {
+                return Err((
+                    ErrorCode::BadRequest,
+                    "policies must not be empty".to_owned(),
+                ))
+            }
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    SweepPolicy::parse(n)
+                        .ok_or_else(|| (ErrorCode::BadRequest, format!("unknown policy: {n}")))
+                })
+                .collect::<Result<_, _>>()?,
+            None => vec![SweepPolicy::Baseline],
+        };
+        let cross = MatrixCross {
+            capacities,
+            policies,
+            max_entries: req.max_entries.unwrap_or(2),
+        };
+        let total = req.workloads.len() * cross.len();
+        if total > MAX_SWEEP_CELLS {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("sweep would expand to {total} cells (max {MAX_SWEEP_CELLS})"),
+            ));
+        }
+        let policies_per_capacity = cross.policies.len();
+        let capacities = cross.capacities.clone();
+        let configs = cross.expand();
+        Ok(PlanAxes {
+            workloads: req.workloads.clone(),
+            capacities,
+            configs,
+            policies_per_capacity,
+            seed: req.seed,
+            warmup: req.warmup,
+            insts: req.insts,
+        })
+    }
+
+    /// The capacity axis, ascending request order (uops).
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    fn build_meta(&self, workload: &str, lc: &LabeledConfig) -> CellMeta {
+        let seed = self.seed.unwrap_or_else(|| api::default_seed(workload));
+        let mut config = lc.config.clone();
+        if let Some(w) = self.warmup {
+            config.warmup_insts = w;
+        }
+        if let Some(n) = self.insts {
+            config.measure_insts = n;
+        }
+        let spec = JobSpec {
+            workload: workload.to_owned(),
+            seed,
+            config,
+        };
+        let canonical = spec.canonical();
+        let key_hash = api::content_hash(&canonical);
+        CellMeta {
+            workload: workload.to_owned(),
+            label: lc.label.clone(),
+            seed,
+            spec,
+            canonical,
+            key_hash,
+        }
+    }
+
+    /// Expands the full cross: workload-major, then the capacity × policy
+    /// cross in [`MatrixCross::expand`] order — the exact cell order
+    /// `run_matrix` produces offline.
+    pub fn full_metas(&self) -> Vec<CellMeta> {
+        let mut metas = Vec::with_capacity(self.workloads.len() * self.configs.len());
+        for workload in &self.workloads {
+            for lc in &self.configs {
+                metas.push(self.build_meta(workload, lc));
+            }
+        }
+        metas
+    }
+
+    /// Expands one capacity *wave*: every workload × policy at capacity
+    /// index `cap_idx`, with the same labels (and therefore the same
+    /// content addresses) those cells have in [`full_metas`](Self::full_metas).
+    pub fn capacity_metas(&self, cap_idx: usize) -> Vec<CellMeta> {
+        let start = cap_idx * self.policies_per_capacity;
+        let slice = &self.configs[start..start + self.policies_per_capacity];
+        let mut metas = Vec::with_capacity(self.workloads.len() * slice.len());
+        for workload in &self.workloads {
+            for lc in slice {
+                metas.push(self.build_meta(workload, lc));
+            }
+        }
+        metas
+    }
+}
+
+/// Expands a [`MatrixRequest`] into the full cross's per-cell metas (see
+/// [`PlanAxes::full_metas`]).
 ///
 /// # Errors
 ///
@@ -363,86 +750,7 @@ pub fn expand_request(
     req: &MatrixRequest,
     test_workloads: bool,
 ) -> Result<Vec<CellMeta>, (ErrorCode, String)> {
-    if req.workloads.is_empty() {
-        return Err((
-            ErrorCode::BadRequest,
-            "workloads must name at least one workload".to_owned(),
-        ));
-    }
-    for w in &req.workloads {
-        if !api::workload_known(w, test_workloads) {
-            return Err((ErrorCode::UnknownWorkload, format!("unknown workload: {w}")));
-        }
-    }
-    let capacities: Vec<usize> = match &req.capacities {
-        Some(caps) if caps.is_empty() => {
-            return Err((
-                ErrorCode::BadRequest,
-                "capacities must not be empty".to_owned(),
-            ))
-        }
-        Some(caps) => caps.iter().map(|&c| c as usize).collect(),
-        None => MatrixCross::table1_capacities(),
-    };
-    let policies: Vec<SweepPolicy> = match &req.policies {
-        Some(names) if names.is_empty() => {
-            return Err((
-                ErrorCode::BadRequest,
-                "policies must not be empty".to_owned(),
-            ))
-        }
-        Some(names) => names
-            .iter()
-            .map(|n| {
-                SweepPolicy::parse(n)
-                    .ok_or_else(|| (ErrorCode::BadRequest, format!("unknown policy: {n}")))
-            })
-            .collect::<Result<_, _>>()?,
-        None => vec![SweepPolicy::Baseline],
-    };
-    let cross = MatrixCross {
-        capacities,
-        policies,
-        max_entries: req.max_entries.unwrap_or(2),
-    };
-    let total = req.workloads.len() * cross.len();
-    if total > MAX_SWEEP_CELLS {
-        return Err((
-            ErrorCode::BadRequest,
-            format!("sweep would expand to {total} cells (max {MAX_SWEEP_CELLS})"),
-        ));
-    }
-
-    let configs = cross.expand();
-    let mut metas = Vec::with_capacity(total);
-    for workload in &req.workloads {
-        let seed = req.seed.unwrap_or_else(|| api::default_seed(workload));
-        for lc in &configs {
-            let mut config = lc.config.clone();
-            if let Some(w) = req.warmup {
-                config.warmup_insts = w;
-            }
-            if let Some(n) = req.insts {
-                config.measure_insts = n;
-            }
-            let spec = JobSpec {
-                workload: workload.clone(),
-                seed,
-                config,
-            };
-            let canonical = spec.canonical();
-            let key_hash = api::content_hash(&canonical);
-            metas.push(CellMeta {
-                workload: workload.clone(),
-                label: lc.label.clone(),
-                seed,
-                spec,
-                canonical,
-                key_hash,
-            });
-        }
-    }
-    Ok(metas)
+    Ok(PlanAxes::resolve(req, test_workloads)?.full_metas())
 }
 
 #[cfg(test)]
@@ -451,6 +759,15 @@ mod tests {
 
     fn parse(body: &str) -> MatrixRequest {
         MatrixRequest::parse(body).unwrap()
+    }
+
+    /// Creates a full-mode plan over `metas` the way the POST handler
+    /// does: push, resolve nothing (tests fulfill/fail directly), seal.
+    fn create_full(table: &SweepTable, metas: Vec<CellMeta>) -> Arc<Sweep> {
+        let sweep = table.create(PlanOptions::default());
+        sweep.push_cells(metas);
+        sweep.mark_materialized();
+        sweep
     }
 
     #[test]
@@ -472,6 +789,30 @@ mod tests {
         assert_eq!(keys.len(), 8);
         assert_eq!(metas[0].spec.config.warmup_insts, 100);
         assert_eq!(metas[0].spec.config.measure_insts, 2000);
+    }
+
+    #[test]
+    fn capacity_waves_match_the_full_cross_cell_for_cell() {
+        let req = parse(
+            r#"{"workloads":["redis","bm-cc"],"capacities":[2048,4096,8192],"policies":["baseline","clasp"]}"#,
+        );
+        let axes = PlanAxes::resolve(&req, false).unwrap();
+        let full = axes.full_metas();
+        // Wave k must reproduce exactly the full-cross cells at capacity
+        // k — same labels, same content addresses — so adaptive plans
+        // stay byte-identical to full ones on every cell they simulate.
+        for (k, _) in axes.capacities().iter().enumerate() {
+            let wave = axes.capacity_metas(k);
+            assert_eq!(wave.len(), 4); // 2 workloads × 2 policies
+            for m in &wave {
+                let twin = full
+                    .iter()
+                    .find(|f| f.key_hash == m.key_hash)
+                    .unwrap_or_else(|| panic!("wave cell {} missing from full cross", m.label));
+                assert_eq!(twin.label, m.label);
+                assert_eq!(twin.canonical, m.canonical);
+            }
+        }
     }
 
     #[test]
@@ -520,33 +861,47 @@ mod tests {
         let req = parse(r#"{"workloads":["redis"],"capacities":[2048],"policies":["baseline"]}"#);
         let metas = expand_request(&req, false).unwrap();
         let table = SweepTable::new(8);
-        let sweep = table.create(metas);
+        let sweep = table.create(PlanOptions::default());
+        sweep.push_cells(metas);
+        sweep.mark_materialized();
         assert_eq!(sweep.total(), 1);
+        let cell_meta = sweep.cells()[0].meta.clone();
+        let jobs = crate::jobs::JobTable::new(4);
+        let crate::jobs::Submit::New(job) = jobs.submit(cell_meta.key_hash) else {
+            panic!()
+        };
+        sweep.attach(0, Arc::clone(&job));
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
-        assert!(body.contains("\"status\":\"running\""));
-        assert!(body.contains("\"pending\""));
-        // Canonical cell state normalizes `pending` to `queued` while the
-        // `status` alias keeps the old name.
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("running"));
         assert!(body.contains("\"state\":\"queued\""), "{body}");
+        // v1.1: the pre-unification aliases are gone for good.
+        assert!(v.get("status").is_none(), "status alias removed in v1.1");
+        assert!(!body.contains("\"pending\""), "{body}");
 
-        // Complete the cell with a tiny (but decodable) report payload.
+        // Settle the cell through its job, as a worker would: complete
+        // the envelope and publish the bare report payload.
         let report = SimReport {
             workload: "redis".to_owned(),
             upc: 2.5,
             ..SimReport::default()
         };
-        sweep.fulfill(0, Arc::new(report.to_json_string()));
+        assert!(job.complete(Arc::new(b"{}".to_vec())));
+        job.set_payload(Arc::new(report.to_json_string()));
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
-        assert!(body.contains("\"status\":\"done\""), "{body}");
-        assert!(body.contains("\"sweep\":"), "{body}");
         let v = Json::parse(&body).unwrap();
-        let agg = v.get("sweep").unwrap();
-        assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
-        // Canonical `report` key mirrors the `sweep` alias byte-for-byte,
-        // and the lifecycle appears under both `state` and `status`.
-        assert_eq!(v.get("report").unwrap().to_string(), agg.to_string());
         assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
+        assert!(v.get("status").is_none() && v.get("sweep").is_none());
+        let agg = v.get("report").unwrap();
+        assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
         assert!(v.get("created_at").unwrap().as_u64().is_some());
+        // Plan counters: one cell, simulated-not-skipped.
+        assert_eq!(v.get("planned").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("skipped_from_store").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("simulated").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("default"));
+        assert_eq!(v.get("priority").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("full"));
         // The memoized final body is stable.
         assert_eq!(sweep.status_body().as_slice(), body.as_bytes());
         assert_eq!(table.get(sweep.id).unwrap().id, sweep.id);
@@ -554,19 +909,38 @@ mod tests {
     }
 
     #[test]
+    fn store_resolved_cells_count_as_skipped_not_simulated() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048,4096]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let sweep = create_full(&SweepTable::new(8), metas);
+        let report = SimReport {
+            workload: "redis".to_owned(),
+            upc: 2.5,
+            ..SimReport::default()
+        };
+        sweep.fulfill_from_store(0, Arc::new(report.to_json_string()));
+        sweep.fulfill(1, Arc::new(report.to_json_string()));
+        let v = Json::parse(core::str::from_utf8(&sweep.status_body()).unwrap()).unwrap();
+        assert_eq!(v.get("planned").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("skipped_from_store").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("simulated").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
+    }
+
+    #[test]
     fn an_all_failed_sweep_reports_failed_with_stable_codes() {
         let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
         let metas = expand_request(&req, false).unwrap();
-        let sweep = SweepTable::new(8).create(metas);
+        let sweep = create_full(&SweepTable::new(8), metas);
         sweep.fail(
             0,
             JobFailure::new(ucsim_model::FailureKind::SimulationFailed, "boom"),
         );
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
         let v = Json::parse(&body).unwrap();
-        assert_eq!(v.get("status").unwrap().as_str(), Some("failed"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("failed"));
         assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
-        assert!(v.get("sweep").is_none());
+        assert!(v.get("report").is_none());
         let cell = &v.get("cells").unwrap().as_arr().unwrap()[0];
         let err = cell.get("error").unwrap();
         assert_eq!(err.get("code").unwrap().as_str(), Some("simulation_failed"));
@@ -579,7 +953,7 @@ mod tests {
     fn a_mixed_sweep_is_partial_and_aggregates_the_survivors() {
         let req = parse(r#"{"workloads":["redis"],"capacities":[2048,4096]}"#);
         let metas = expand_request(&req, false).unwrap();
-        let sweep = SweepTable::new(8).create(metas);
+        let sweep = create_full(&SweepTable::new(8), metas);
         let report = SimReport {
             workload: "redis".to_owned(),
             upc: 2.5,
@@ -592,11 +966,11 @@ mod tests {
         );
         let body = String::from_utf8(sweep.status_body().to_vec()).unwrap();
         let v = Json::parse(&body).unwrap();
-        assert_eq!(v.get("status").unwrap().as_str(), Some("partial"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("partial"));
         assert_eq!(v.get("done").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));
         // The aggregate covers only the surviving cell.
-        let agg = v.get("sweep").unwrap();
+        let agg = v.get("report").unwrap();
         assert_eq!(agg.get("geomean_upc").unwrap().as_arr().unwrap().len(), 1);
         let cells = v.get("cells").unwrap().as_arr().unwrap();
         let err = cells[1].get("error").unwrap();
@@ -606,11 +980,103 @@ mod tests {
     }
 
     #[test]
+    fn cancel_fails_unsettled_cells_and_flips_their_tokens() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048,4096]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let sweep = create_full(&SweepTable::new(8), metas);
+        let jobs = crate::jobs::JobTable::new(8);
+        let report = SimReport {
+            workload: "redis".to_owned(),
+            upc: 2.5,
+            ..SimReport::default()
+        };
+        // Cell 0 already done; cell 1 still riding a queued job.
+        sweep.fulfill(0, Arc::new(report.to_json_string()));
+        let crate::jobs::Submit::New(job) = jobs.submit(sweep.cells()[1].meta.key_hash) else {
+            panic!()
+        };
+        sweep.attach(1, Arc::clone(&job));
+
+        let flipped = sweep.cancel();
+        assert!(sweep.is_cancelled());
+        assert_eq!(flipped.len(), 1);
+        assert!(job.cancel_token().is_cancelled());
+        let v = Json::parse(core::str::from_utf8(&sweep.status_body()).unwrap()).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("partial"));
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        let err = cells[1].get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("cancelled"));
+        // Idempotent: a second cancel flips nothing new.
+        assert!(sweep.cancel().is_empty());
+    }
+
+    #[test]
+    fn frontier_renders_in_the_status_body() {
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048,4096]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let table = SweepTable::new(8);
+        let sweep = table.create(PlanOptions {
+            tenant: "team-a".to_owned(),
+            priority: 2,
+            adaptive: true,
+        });
+        sweep.push_cells(metas);
+        sweep.set_frontier(Frontier {
+            axis: "capacity".to_owned(),
+            tolerance: 0.05,
+            capacities: vec![2048, 4096],
+            probed: vec![2048, 4096],
+            bracket: Some((2048, 4096)),
+            knee: Some(4096),
+        });
+        let v = Json::parse(core::str::from_utf8(&sweep.status_body()).unwrap()).unwrap();
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("adaptive"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("running"));
+        let f = v.get("frontier").unwrap();
+        assert_eq!(f.get("axis").unwrap().as_str(), Some("capacity"));
+        assert_eq!(f.get("knee").unwrap().as_u64(), Some(4096));
+        assert_eq!(f.get("bracket").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("team-a"));
+        assert_eq!(v.get("priority").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn an_unmaterialized_plan_never_reports_settled() {
+        // An adaptive plan whose present cells have all settled is still
+        // "running" until the driver seals it — more waves may come.
+        let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        let sweep = SweepTable::new(8).create(PlanOptions {
+            adaptive: true,
+            ..PlanOptions::default()
+        });
+        sweep.push_cells(metas);
+        let report = SimReport {
+            workload: "redis".to_owned(),
+            upc: 1.0,
+            ..SimReport::default()
+        };
+        sweep.fulfill(0, Arc::new(report.to_json_string()));
+        assert_eq!(sweep.state_name(), "running");
+        sweep.mark_materialized();
+        assert_eq!(sweep.state_name(), "done");
+    }
+
+    #[test]
+    fn list_returns_sweeps_in_id_order() {
+        let table = SweepTable::new(8);
+        let a = table.create(PlanOptions::default());
+        let b = table.create(PlanOptions::default());
+        let ids: Vec<u64> = table.list().iter().map(|s| s.id).collect();
+        assert_eq!(ids, [a.id, b.id]);
+    }
+
+    #[test]
     fn retention_prunes_oldest_sweeps() {
         let table = SweepTable::new(2);
         let req = parse(r#"{"workloads":["redis"],"capacities":[2048]}"#);
         let ids: Vec<u64> = (0..3)
-            .map(|_| table.create(expand_request(&req, false).unwrap()).id)
+            .map(|_| create_full(&table, expand_request(&req, false).unwrap()).id)
             .collect();
         assert!(table.get(ids[0]).is_none());
         assert!(table.get(ids[1]).is_some());

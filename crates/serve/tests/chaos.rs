@@ -62,7 +62,7 @@ fn poll_settled(client: &mut Client, id: u64) -> Json {
         let r = client.request("GET", &path, b"").unwrap();
         assert_eq!(r.status, 200, "body: {}", r.body_str());
         let v = parse_json(&r.body_str());
-        if v.get("status").unwrap().as_str() != Some("running") {
+        if v.get("state").unwrap().as_str() != Some("running") {
             return v;
         }
         assert!(Instant::now() < deadline, "sweep never settled");
@@ -160,7 +160,7 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
     let r = client.request("POST", "/v1/matrix", SWEEP_BODY).unwrap();
     assert_eq!(r.status, 202, "body: {}", r.body_str());
     let accepted = parse_json(&r.body_str());
-    assert_eq!(accepted.get("total").unwrap().as_u64(), Some(TOTAL_CELLS));
+    assert_eq!(accepted.get("planned").unwrap().as_u64(), Some(TOTAL_CELLS));
     let id = accepted.get("id").unwrap().as_u64().unwrap();
 
     let doc = poll_settled(&mut client, id);
@@ -185,7 +185,7 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
     );
 
     // The sweep settled partial — it never hangs — with exact accounting.
-    assert_eq!(doc.get("status").unwrap().as_str(), Some("partial"));
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("partial"));
     let done_n = doc.get("done").unwrap().as_u64().unwrap();
     let failed_n = doc.get("failed").unwrap().as_u64().unwrap();
     assert_eq!(done_n + failed_n, TOTAL_CELLS);
@@ -196,7 +196,7 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
     let mut deadline_cells = 0u64;
     let mut panic_cells = 0u64;
     for cell in cells {
-        match cell.get("status").unwrap().as_str().unwrap() {
+        match cell.get("state").unwrap().as_str().unwrap() {
             "done" => assert!(cell.get("error").is_none()),
             "failed" => {
                 let err = cell.get("error").unwrap();
@@ -227,7 +227,7 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
 
     // Surviving cells are byte-identical (canonical JSON) to the direct
     // `run_configs_on_trace` oracle.
-    let agg = doc.get("sweep").expect("partial sweep still aggregates");
+    let agg = doc.get("report").expect("partial sweep still aggregates");
     let agg_cells = agg.get("cells").unwrap().as_arr().unwrap();
     assert_eq!(agg_cells.len() as u64, done_n);
     for cell in agg_cells {
@@ -291,11 +291,11 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
         2,
         "only the deadline cells re-simulate after a restart"
     );
-    assert_eq!(doc.get("status").unwrap().as_str(), Some("partial"));
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("partial"));
     assert_eq!(doc.get("done").unwrap().as_u64(), Some(done_n + 2));
     assert_eq!(doc.get("failed").unwrap().as_u64(), Some(panic_cells));
     for cell in doc.get("cells").unwrap().as_arr().unwrap() {
-        if cell.get("status").unwrap().as_str() == Some("failed") {
+        if cell.get("state").unwrap().as_str() == Some("failed") {
             let err = cell.get("error").unwrap();
             assert_eq!(err.get("code").unwrap().as_str(), Some("simulation_failed"));
         }

@@ -18,11 +18,12 @@ USAGE:
     ucsim [OPTIONS]
     ucsim client [CLIENT OPTIONS]     submit a job to a ucsim-serve instance
     ucsim client matrix [MATRIX OPTIONS]
-                                      fan out a capacity x policy sweep and
+                                      submit a capacity x policy sweep plan and
                                       poll it to completion (one connection)
-    ucsim client job --id N [--profile] [--addr A]
-                                      fetch one job's status/result, or its
-                                      execution profile with --profile
+    ucsim client job --id N [--profile|--cancel] [--addr A]
+                                      fetch one job's state/result, its
+                                      execution profile with --profile, or
+                                      cancel it with --cancel
 
 OPTIONS:
     --workload <name>      Table II workload (default bm-cc); use --list to see all
@@ -60,6 +61,13 @@ MATRIX OPTIONS:
     --seed <n>             seed for every cell (default: per-workload)
     --insts <n>            measured instructions per cell
     --warmup <n>           warmup instructions per cell
+    --tenant <name>        fair-share tenant the plan is charged to
+    --priority <n>         scheduling priority within the tenant (higher first)
+    --adaptive             refine the capacity axis adaptively: bisect until
+                           the UPC knee is bracketed instead of simulating
+                           the full cross
+    --tolerance <f>        relative knee tolerance for --adaptive (default 0.05)
+    --cancel <id>          cancel a running sweep instead of submitting
     --poll-ms <n>          progress poll interval (default 500)
     --no-retry             fail immediately instead of retrying transient
                            errors and 429 backpressure
@@ -234,6 +242,11 @@ fn client_matrix(argv: &[String]) {
     let mut warmup: Option<u64> = None;
     let mut poll_ms: u64 = 500;
     let mut no_retry = false;
+    let mut tenant: Option<String> = None;
+    let mut priority: Option<u64> = None;
+    let mut adaptive = false;
+    let mut tolerance: Option<f64> = None;
+    let mut cancel_id: Option<u64> = None;
     let bail = |m: &str| -> ! {
         eprintln!("error: {m}\n\n{USAGE}");
         std::process::exit(2)
@@ -251,6 +264,35 @@ fn client_matrix(argv: &[String]) {
             }
             "--addr" => {
                 addr = need(i).clone();
+                i += 1;
+            }
+            "--tenant" => {
+                tenant = Some(need(i).clone());
+                i += 1;
+            }
+            "--priority" => {
+                priority = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--priority needs a number")),
+                );
+                i += 1;
+            }
+            "--adaptive" => adaptive = true,
+            "--tolerance" => {
+                tolerance = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--tolerance needs a number in [0,1)")),
+                );
+                i += 1;
+            }
+            "--cancel" => {
+                cancel_id = Some(
+                    need(i)
+                        .parse()
+                        .unwrap_or_else(|_| bail("--cancel needs a sweep id")),
+                );
                 i += 1;
             }
             "--workloads" => {
@@ -317,6 +359,32 @@ fn client_matrix(argv: &[String]) {
         i += 1;
     }
 
+    if let Some(id) = cancel_id {
+        let resp = ucsim::serve::request(&addr, "DELETE", &format!("/v1/matrix/{id}"), b"")
+            .unwrap_or_else(|e| {
+                eprintln!("cannot reach {addr}: {e}");
+                std::process::exit(1);
+            });
+        // A successful cancel answers with the standard error envelope
+        // carrying the stable `cancelled` code.
+        let v = Json::parse(&resp.body_str()).unwrap_or(Json::Null);
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        if code == "cancelled" {
+            let msg = v
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            eprintln!("{msg}");
+            return;
+        }
+        print_error_and_exit(&resp);
+    }
+
     let mut fields = vec![(
         "workloads".to_owned(),
         Json::Arr(workloads.into_iter().map(Json::Str).collect()),
@@ -345,6 +413,22 @@ fn client_matrix(argv: &[String]) {
     if let Some(n) = insts {
         fields.push(("insts".to_owned(), Json::Uint(n)));
     }
+    if let Some(t) = tenant {
+        fields.push(("tenant".to_owned(), Json::Str(t)));
+    }
+    if let Some(p) = priority {
+        fields.push(("priority".to_owned(), Json::Uint(p)));
+    }
+    if adaptive {
+        let mut inner = vec![("axis".to_owned(), Json::Str("capacity".to_owned()))];
+        if let Some(t) = tolerance {
+            inner.push(("tolerance".to_owned(), Json::Float(t)));
+        }
+        fields.push((
+            "mode".to_owned(),
+            Json::Obj(vec![("adaptive".to_owned(), Json::Obj(inner))]),
+        ));
+    }
     let body = Json::Obj(fields).to_string().into_bytes();
 
     let policy = if no_retry {
@@ -368,8 +452,8 @@ fn client_matrix(argv: &[String]) {
         eprintln!("malformed accept response: {}", resp.body_str());
         std::process::exit(1);
     };
-    let total = accepted.get("total").and_then(Json::as_u64).unwrap_or(0);
-    eprintln!("sweep {id} accepted: {total} cells");
+    let planned = accepted.get("planned").and_then(Json::as_u64).unwrap_or(0);
+    eprintln!("sweep {id} accepted: {planned} cells planned");
 
     let path = format!("/v1/matrix/{id}");
     let mut last_done = u64::MAX;
@@ -382,21 +466,31 @@ fn client_matrix(argv: &[String]) {
         }
         let text = resp.body_str();
         let v = Json::parse(&text).unwrap_or(Json::Null);
-        let status = v.get("status").and_then(Json::as_str).unwrap_or("?");
+        let state = v.get("state").and_then(Json::as_str).unwrap_or("?");
         let done = v.get("done").and_then(Json::as_u64).unwrap_or(0);
+        // Adaptive plans grow: report against the current planned count.
+        let planned = v.get("planned").and_then(Json::as_u64).unwrap_or(planned);
         if done != last_done {
-            eprintln!("  {done}/{total} cells done");
+            eprintln!("  {done}/{planned} cells done");
             last_done = done;
         }
-        match status {
+        match state {
             "done" => {
-                let pretty = v.get("sweep").map_or_else(|| text.clone(), Json::to_pretty);
+                let skipped = v
+                    .get("skipped_from_store")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                let simulated = v.get("simulated").and_then(Json::as_u64).unwrap_or(0);
+                eprintln!("sweep done: {simulated} cells simulated, {skipped} resolved from store");
+                let pretty = v
+                    .get("report")
+                    .map_or_else(|| text.clone(), Json::to_pretty);
                 println!("{pretty}");
                 return;
             }
             "partial" | "failed" => {
                 let failed = v.get("failed").and_then(Json::as_u64).unwrap_or(0);
-                eprintln!("sweep {status}: {failed}/{total} cells failed");
+                eprintln!("sweep {state}: {failed}/{planned} cells failed");
                 if let Some(cells) = v.get("cells").and_then(Json::as_arr) {
                     for c in cells {
                         if let Some(err) = c.get("error") {
@@ -409,7 +503,7 @@ fn client_matrix(argv: &[String]) {
                 }
                 // A partial sweep still aggregated its surviving cells:
                 // print that table, but exit non-zero so scripts notice.
-                if let Some(agg) = v.get("sweep") {
+                if let Some(agg) = v.get("report") {
                     println!("{}", agg.to_pretty());
                 }
                 std::process::exit(1);
@@ -420,11 +514,13 @@ fn client_matrix(argv: &[String]) {
 }
 
 /// The `ucsim client job` subcommand: fetch one job by id — its
-/// status/result envelope, or its execution profile with `--profile`.
+/// state/result envelope, its execution profile with `--profile` — or
+/// cancel it with `--cancel`.
 fn client_job(argv: &[String]) {
     let mut addr = "127.0.0.1:7199".to_owned();
     let mut id: Option<u64> = None;
     let mut profile = false;
+    let mut cancel = false;
     let bail = |m: &str| -> ! {
         eprintln!("error: {m}\n\n{USAGE}");
         std::process::exit(2)
@@ -452,6 +548,7 @@ fn client_job(argv: &[String]) {
                 );
             }
             "--profile" => profile = true,
+            "--cancel" => cancel = true,
             other => bail(&format!("unknown job option {other}")),
         }
         i += 1;
@@ -459,6 +556,30 @@ fn client_job(argv: &[String]) {
     let Some(id) = id else {
         bail("job needs --id");
     };
+    if cancel {
+        let resp = ucsim::serve::request(&addr, "DELETE", &format!("/v1/jobs/{id}"), b"")
+            .unwrap_or_else(|e| {
+                eprintln!("cannot reach {addr}: {e}");
+                std::process::exit(1);
+            });
+        // Mirrors `matrix --cancel`: success is the standard error
+        // envelope with the stable `cancelled` code.
+        let v = Json::parse(&resp.body_str()).unwrap_or(Json::Null);
+        let err = v.get("error");
+        if err
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .is_some_and(|c| c == "cancelled")
+        {
+            let msg = err
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            eprintln!("{msg}");
+            return;
+        }
+        print_error_and_exit(&resp);
+    }
     let path = if profile {
         format!("/v1/jobs/{id}/profile")
     } else {

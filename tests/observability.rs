@@ -242,8 +242,8 @@ fn request_ids_echo_and_reach_failure_envelopes() {
         let r = request(&addr, "GET", &format!("/v1/jobs/{id}"), b"").unwrap();
         assert_eq!(r.status, 200);
         let v = parse_json(&r.body_str());
-        // Canonical `state` and alias `status` agree.
-        assert_eq!(v.get("state").unwrap(), v.get("status").unwrap());
+        // The one-release `status` alias is gone in v1.1.
+        assert!(v.get("status").is_none(), "v1.1 dropped the status alias");
         match v.get("state").unwrap().as_str().unwrap() {
             "failed" => break v.get("error").expect("failed job has an error").clone(),
             "done" => panic!("test-panic job finished without failing"),
@@ -313,9 +313,10 @@ fn job_profile_reports_stage_timings_and_counters() {
         let v = parse_json(&r.body_str());
         match v.get("state").unwrap().as_str().unwrap() {
             "done" => {
-                // The unified envelope: canonical `result` and the
-                // deprecated `response` alias hold the same document.
-                assert_eq!(v.get("result").unwrap(), v.get("response").unwrap());
+                // v1.1: canonical `result` only — the `response` alias
+                // from the v1 deprecation cycle no longer renders.
+                assert!(v.get("result").is_some());
+                assert!(v.get("response").is_none(), "response alias removed");
                 assert!(v.get("created_at").unwrap().as_u64().is_some());
                 break;
             }
@@ -358,7 +359,7 @@ fn job_profile_reports_stage_timings_and_counters() {
 }
 
 /// `/v1/healthz` reports queue/worker/store state and `/v1/version`
-/// reports build identity; the legacy `/healthz` alias still answers.
+/// reports build identity; the legacy `/healthz` alias is gone in v1.1.
 #[test]
 fn healthz_and_version_describe_the_server() {
     let server = Server::start(test_config()).unwrap();
@@ -377,13 +378,10 @@ fn healthz_and_version_describe_the_server() {
     assert_eq!(store.get("present").unwrap().as_bool(), Some(false));
     assert_eq!(store.get("writable").unwrap().as_bool(), Some(true));
 
-    // Deprecated alias (DESIGN.md §4.1): same handler, same answer.
+    // The deprecated alias completed its one-release cycle (DESIGN.md
+    // §4.1) and was removed with the v1.1 contract.
     let legacy = request(&addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!(legacy.status, 200);
-    assert_eq!(
-        parse_json(&legacy.body_str()).get("ok").unwrap().as_bool(),
-        Some(true)
-    );
+    assert_eq!(legacy.status, 404);
 
     let r = request(&addr, "GET", "/v1/version", b"").unwrap();
     assert_eq!(r.status, 200);
@@ -392,6 +390,7 @@ fn healthz_and_version_describe_the_server() {
         v.get("version").unwrap().as_str(),
         Some(env!("CARGO_PKG_VERSION"))
     );
+    assert_eq!(v.get("api").unwrap().as_str(), Some("v1.1"));
     assert_eq!(v.get("store_format").unwrap().as_str(), Some("UCSTOR02"));
     let features = v.get("features").unwrap();
     assert_eq!(features.get("observability").unwrap().as_bool(), Some(true));

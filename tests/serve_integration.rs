@@ -47,7 +47,7 @@ fn poll_sweep(client: &mut Client, id: u64) -> Json {
         let r = client.request("GET", &path, b"").unwrap();
         assert_eq!(r.status, 200, "body: {}", r.body_str());
         let v = parse_json(&r.body_str());
-        match v.get("status").unwrap().as_str().unwrap() {
+        match v.get("state").unwrap().as_str().unwrap() {
             "done" => return v,
             "failed" => panic!("sweep failed: {}", r.body_str()),
             _ => {
@@ -224,9 +224,9 @@ fn full_queue_returns_429_with_retry_after() {
         let r = request(&addr, "GET", &format!("/v1/jobs/{a_id}"), b"").unwrap();
         assert_eq!(r.status, 200);
         let j = parse_json(&r.body_str());
-        match j.get("status").unwrap().as_str().unwrap() {
+        match j.get("state").unwrap().as_str().unwrap() {
             "done" => {
-                let resp = j.get("response").expect("done job embeds its response");
+                let resp = j.get("result").expect("done job embeds its result");
                 assert_eq!(resp.get("cached").unwrap().as_bool(), Some(false));
                 assert!(resp.get("report").is_some());
                 break;
@@ -289,7 +289,11 @@ fn error_paths_answer_without_side_effects() {
     assert_eq!(r.status, 405);
     assert_eq!(envelope_code(&r.body_str()).0, "method_not_allowed");
 
+    // The bare /healthz alias was removed in v1.1; only /v1/healthz lives.
     let r = request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(envelope_code(&r.body_str()).0, "not_found");
+    let r = request(&addr, "GET", "/v1/healthz", b"").unwrap();
     assert_eq!(r.status, 200);
 
     assert_eq!(server.simulations_executed(), 0);
@@ -355,11 +359,12 @@ fn matrix_sweep_matches_direct_simulator_runs() {
     assert_eq!(r.status, 202, "body: {}", r.body_str());
     let accepted = parse_json(&r.body_str());
     let id = accepted.get("id").unwrap().as_u64().unwrap();
-    assert_eq!(accepted.get("total").unwrap().as_u64(), Some(4));
+    assert_eq!(accepted.get("planned").unwrap().as_u64(), Some(4));
 
     let v = poll_sweep(&mut client, id);
     assert_eq!(v.get("done").unwrap().as_u64(), Some(4));
-    let sweep = v.get("sweep").expect("done sweep embeds the aggregate");
+    assert_eq!(v.get("simulated").unwrap().as_u64(), Some(4));
+    let sweep = v.get("report").expect("done sweep embeds the aggregate");
     assert_eq!(
         sweep.get("labels").unwrap().to_string(),
         r#"["OC_2K:baseline","OC_2K:CLASP","OC_4K:baseline","OC_4K:CLASP"]"#
@@ -423,7 +428,7 @@ fn restart_serves_sweep_from_persistent_store() {
         assert_eq!(server.simulations_executed(), 2);
         drop(client);
         server.shutdown();
-        v.get("sweep").unwrap().to_string()
+        v.get("report").unwrap().to_string()
     };
 
     // Second life: same data dir. The same sweep completes without a
@@ -440,11 +445,15 @@ fn restart_serves_sweep_from_persistent_store() {
         .unwrap();
     let v = poll_sweep(&mut client, id);
     assert_eq!(
-        v.get("sweep").unwrap().to_string(),
+        v.get("report").unwrap().to_string(),
         first_sweep,
         "restarted sweep must be byte-identical"
     );
     assert_eq!(server.simulations_executed(), 0, "no re-simulation");
+    // Store-aware resume: the plan resolved every cell from the store.
+    assert_eq!(v.get("planned").unwrap().as_u64(), Some(2));
+    assert_eq!(v.get("skipped_from_store").unwrap().as_u64(), Some(2));
+    assert_eq!(v.get("simulated").unwrap().as_u64(), Some(0));
 
     // The cache counters confirm both cells came from the replayed store.
     let m = parse_json(
@@ -583,7 +592,7 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
     let addr = server.local_addr().to_string();
     let mut client = Client::new(&addr);
 
-    let a = client.request("GET", "/healthz", b"").unwrap();
+    let a = client.request("GET", "/v1/healthz", b"").unwrap();
     assert_eq!(a.status, 200);
     assert_eq!(a.header("connection"), Some("keep-alive"));
 
