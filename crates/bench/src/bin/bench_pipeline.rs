@@ -21,7 +21,7 @@ use criterion::{Criterion, Throughput};
 use ucsim_bench::{optimization_ladder, LabeledConfig, RunOpts};
 use ucsim_model::json::Json;
 use ucsim_model::ToJson;
-use ucsim_pipeline::{run_configs_on_trace, SimConfig, Simulator};
+use ucsim_pipeline::{run_configs_on_trace_threads, SimConfig, Simulator};
 use ucsim_trace::{record_workload, Program, WorkloadProfile};
 
 /// Where the tracked results land (repository root under `cargo run`).
@@ -49,8 +49,9 @@ fn main() {
     let doc = Json::Obj(vec![
         (
             "schema".to_owned(),
-            Json::Str("ucsim-bench-pipeline/v1".to_owned()),
+            Json::Str("ucsim-bench-pipeline/v2".to_owned()),
         ),
+        ("env".to_owned(), env_metadata(&opts)),
         ("warmup_insts".to_owned(), Json::Uint(opts.warmup)),
         ("measure_insts".to_owned(), Json::Uint(opts.insts)),
         (
@@ -62,6 +63,31 @@ fn main() {
     ]);
     std::fs::write(OUT_PATH, format!("{doc}\n")).expect("write BENCH_pipeline.json");
     println!("wrote {OUT_PATH}");
+}
+
+/// Provenance of a tracked result: which commit produced it, on how many
+/// CPUs, with how many intra-cell workers. Numbers from different
+/// machines are not comparable; the metadata makes that visible in the
+/// checked-in file instead of leaving reviewers to guess.
+fn env_metadata(opts: &RunOpts) -> Json {
+    let commit = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
+    Json::Obj(vec![
+        ("commit".to_owned(), Json::Str(commit)),
+        ("cpus".to_owned(), Json::Uint(cpus)),
+        (
+            "cell_threads".to_owned(),
+            Json::Uint(opts.cell_threads as u64),
+        ),
+    ])
 }
 
 /// The paper's headline configurations, each measured as whole-run
@@ -173,7 +199,12 @@ fn sweep_speedup(opts: &RunOpts) -> Json {
             let t1 = Instant::now();
             let prog = Program::generate(p);
             let trace = record_workload(p, &prog, opts.warmup + opts.insts);
-            replayed.push(run_configs_on_trace(p.name, &trace, &ladder));
+            replayed.push(run_configs_on_trace_threads(
+                p.name,
+                &trace,
+                &ladder,
+                opts.cell_threads,
+            ));
             pass_replay += t1.elapsed().as_secs_f64();
         }
         regen_s = regen_s.min(pass_regen);

@@ -462,6 +462,7 @@ mod tests {
             insts: 12_000,
             workload_filter: vec!["redis".into()],
             threads: 2,
+            cell_threads: 1,
         }
     }
 

@@ -30,13 +30,27 @@ struct BtbBranch {
     target: Addr,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct BtbEntry {
     /// 32-byte block number this entry covers.
     block: u64,
-    /// Up to two branches, kept in program order.
-    branches: Vec<BtbBranch>,
+    /// Up to two branches, kept in program order; only the first
+    /// `n_branches` slots are live. Inline storage: entries are created
+    /// and evicted continuously in steady state, so they must not own
+    /// heap memory.
+    branches: [BtbBranch; BRANCHES_PER_ENTRY],
+    n_branches: u8,
     lru: u64,
+}
+
+impl BtbEntry {
+    fn branches(&self) -> &[BtbBranch] {
+        &self.branches[..self.n_branches as usize]
+    }
+
+    fn branches_mut(&mut self) -> &mut [BtbBranch] {
+        &mut self.branches[..self.n_branches as usize]
+    }
 }
 
 /// Counters for one BTB level pair.
@@ -101,9 +115,12 @@ impl Btb {
         assert!(l1_ways > 0 && l2_ways > 0, "BTB needs at least one way");
         let l1_sets = 1usize << l1_set_bits;
         let l2_sets = 1usize << l2_set_bits;
+        // Set vectors are pre-sized to their way count: entries churn
+        // continuously once the predictor warms, and growing a cold set
+        // mid-run would be a steady-state allocation.
         Btb {
-            l1: vec![Vec::new(); l1_sets],
-            l2: vec![Vec::new(); l2_sets],
+            l1: (0..l1_sets).map(|_| Vec::with_capacity(l1_ways)).collect(),
+            l2: (0..l2_sets).map(|_| Vec::with_capacity(l2_ways)).collect(),
             l1_sets,
             l2_sets,
             l1_ways,
@@ -143,7 +160,7 @@ impl Btb {
         let l1_set = (block as usize) & (self.l1_sets - 1);
         if let Some(e) = self.l1[l1_set].iter_mut().find(|e| e.block == block) {
             e.lru = clock;
-            if let Some(b) = e.branches.iter().find(|b| b.pc == pc) {
+            if let Some(b) = e.branches().iter().find(|b| b.pc == pc) {
                 self.stats.l1_hits += 1;
                 return (BtbOutcome::L1Hit, Some(b.target));
             }
@@ -155,7 +172,7 @@ impl Btb {
             .find(|e| e.block == block)
             .and_then(|e| {
                 e.lru = clock;
-                e.branches.iter().find(|b| b.pc == pc).copied()
+                e.branches().iter().find(|b| b.pc == pc).copied()
             });
         if let Some(b) = found {
             self.stats.l2_hits += 1;
@@ -173,7 +190,7 @@ impl Btb {
         let block = Self::block_of(pc);
         let l1_set = (block as usize) & (self.l1_sets - 1);
         if let Some(e) = self.l1[l1_set].iter().find(|e| e.block == block) {
-            if let Some(b) = e.branches.iter().find(|b| b.pc == pc) {
+            if let Some(b) = e.branches().iter().find(|b| b.pc == pc) {
                 return Some(b.target);
             }
         }
@@ -181,7 +198,7 @@ impl Btb {
         self.l2[l2_set]
             .iter()
             .find(|e| e.block == block)
-            .and_then(|e| e.branches.iter().find(|b| b.pc == pc))
+            .and_then(|e| e.branches().iter().find(|b| b.pc == pc))
             .map(|b| b.target)
     }
 
@@ -218,22 +235,24 @@ impl Btb {
     fn insert_into(set: &mut Vec<BtbEntry>, b: BtbBranch, block: u64, ways: usize, clock: u64) {
         if let Some(e) = set.iter_mut().find(|e| e.block == block) {
             e.lru = clock;
-            if let Some(slot) = e.branches.iter_mut().find(|x| x.pc == b.pc) {
+            if let Some(slot) = e.branches_mut().iter_mut().find(|x| x.pc == b.pc) {
                 slot.target = b.target;
                 slot.kind = b.kind;
-            } else if e.branches.len() < BRANCHES_PER_ENTRY {
-                e.branches.push(b);
-                e.branches.sort_by_key(|x| x.pc);
+            } else if (e.n_branches as usize) < BRANCHES_PER_ENTRY {
+                e.branches[e.n_branches as usize] = b;
+                e.n_branches += 1;
+                e.branches_mut().sort_by_key(|x| x.pc);
             } else {
                 // Two branches per entry (Table I): displace the later one.
                 e.branches[BRANCHES_PER_ENTRY - 1] = b;
-                e.branches.sort_by_key(|x| x.pc);
+                e.branches_mut().sort_by_key(|x| x.pc);
             }
             return;
         }
         let entry = BtbEntry {
             block,
-            branches: vec![b],
+            branches: [b; BRANCHES_PER_ENTRY],
+            n_branches: 1,
             lru: clock,
         };
         if set.len() < ways {

@@ -43,6 +43,6 @@ mod tage;
 
 pub use btb::{BranchKind, Btb, BtbStats};
 pub use config::BpuConfig;
-pub use pwgen::{BpuStats, Mispredict, PwBatchRef, PwGenerator};
+pub use pwgen::{BpuStats, Mispredict, PwBatchRef, PwGenerator, PwSpan, SlicePwGen};
 pub use ras::ReturnAddressStack;
 pub use tage::{Tage, TageConfig, TageStats};

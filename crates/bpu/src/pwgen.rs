@@ -62,6 +62,34 @@ impl BpuStats {
     }
 }
 
+/// All predictor state plus the per-window event flags, shared by the
+/// iterator-driven [`PwGenerator`] and the slice-driven [`SlicePwGen`] so
+/// both walk the exact same state machine.
+#[derive(Debug)]
+struct PredictorCore {
+    cfg: BpuConfig,
+    tage: Tage,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    stats: BpuStats,
+    /// Taken branch discovered only at decode (BTB miss), this window.
+    decode_redirect: bool,
+    /// BTB L2→L1 promotion bubble, this window.
+    btb_promote: bool,
+}
+
+/// How one instruction step affects the window being built.
+enum StepOutcome {
+    /// Keep extending the window.
+    Continue,
+    /// The window ends at this instruction.
+    End {
+        termination: PwTermination,
+        ends_taken: bool,
+        mispredict: Option<Mispredict>,
+    },
+}
+
 /// The generator. Wraps the trace iterator and all predictor state.
 ///
 /// # Example
@@ -86,15 +114,11 @@ impl BpuStats {
 /// ```
 #[derive(Debug)]
 pub struct PwGenerator<I: Iterator<Item = DynInst>> {
-    cfg: BpuConfig,
-    tage: Tage,
-    btb: Btb,
-    ras: ReturnAddressStack,
+    core: PredictorCore,
     src: I,
     pending: Option<DynInst>,
     seq: u64,
     next_pw_id: u64,
-    stats: BpuStats,
     batch: BatchStorage,
 }
 
@@ -123,10 +147,9 @@ pub struct PwBatchRef<'a> {
     pub btb_promote: bool,
 }
 
-impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
-    /// Creates a generator over the given correct-path instruction stream.
-    pub fn new(cfg: BpuConfig, src: I) -> Self {
-        PwGenerator {
+impl PredictorCore {
+    fn new(cfg: BpuConfig) -> Self {
+        PredictorCore {
             tage: Tage::new(cfg.tage.clone()),
             btb: Btb::new(
                 cfg.btb_l1_set_bits,
@@ -136,11 +159,83 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
             ),
             ras: ReturnAddressStack::new(cfg.ras_depth),
             cfg,
+            stats: BpuStats::default(),
+            decode_redirect: false,
+            btb_promote: false,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BpuStats::default();
+        self.tage.reset_stats();
+        self.btb.reset_stats();
+    }
+
+    /// One instruction's effect on the window being built: branch
+    /// prediction/training if it is a branch, then the I-cache line
+    /// boundary check. `pw_line_end` is the line boundary the window may
+    /// not cross; `nt_count` counts correctly-predicted not-taken
+    /// branches in this window.
+    #[inline]
+    fn step(&mut self, cur: &DynInst, pw_line_end: Addr, nt_count: &mut u32) -> StepOutcome {
+        self.stats.insts += 1;
+        if let Some(exec) = cur.branch {
+            if exec.taken {
+                self.stats.taken_branches += 1;
+            }
+            match self.process_branch(cur, exec.taken, exec.target, nt_count) {
+                BranchVerdict::Continue => {
+                    // Correctly-predicted not-taken branch: PW goes on
+                    // unless the NT budget is exhausted.
+                    if *nt_count >= self.cfg.max_not_taken_per_pw {
+                        return StepOutcome::End {
+                            termination: PwTermination::MaxNotTakenBranches,
+                            ends_taken: false,
+                            mispredict: None,
+                        };
+                    }
+                }
+                BranchVerdict::PredictedTaken => {
+                    return StepOutcome::End {
+                        termination: PwTermination::TakenBranch,
+                        ends_taken: true,
+                        mispredict: None,
+                    };
+                }
+                BranchVerdict::Mispredicted {
+                    believed_taken,
+                    kind,
+                } => {
+                    return StepOutcome::End {
+                        termination: PwTermination::Redirect,
+                        ends_taken: believed_taken,
+                        mispredict: Some(kind),
+                    };
+                }
+            }
+        }
+        // I-cache line boundary check (paper Figure 2): the PW never
+        // proceeds past the end of the line it started in.
+        if cur.end().get() >= pw_line_end.get() {
+            return StepOutcome::End {
+                termination: PwTermination::IcacheLineEnd,
+                ends_taken: false,
+                mispredict: None,
+            };
+        }
+        StepOutcome::Continue
+    }
+}
+
+impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
+    /// Creates a generator over the given correct-path instruction stream.
+    pub fn new(cfg: BpuConfig, src: I) -> Self {
+        PwGenerator {
+            core: PredictorCore::new(cfg),
             src,
             pending: None,
             seq: 0,
             next_pw_id: 0,
-            stats: BpuStats::default(),
             batch: BatchStorage {
                 insts: Vec::with_capacity(32),
                 pw: PredictionWindow {
@@ -161,24 +256,22 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> BpuStats {
-        self.stats
+        self.core.stats
     }
 
     /// Resets counters (not predictor state) at the warmup boundary.
     pub fn reset_stats(&mut self) {
-        self.stats = BpuStats::default();
-        self.tage.reset_stats();
-        self.btb.reset_stats();
+        self.core.reset_stats();
     }
 
     /// Underlying TAGE statistics.
     pub fn tage_stats(&self) -> crate::TageStats {
-        self.tage.stats()
+        self.core.tage.stats()
     }
 
     /// Underlying BTB statistics.
     pub fn btb_stats(&self) -> crate::BtbStats {
-        self.btb.stats()
+        self.core.btb.stats()
     }
 
     fn take_next(&mut self) -> Option<DynInst> {
@@ -189,62 +282,32 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
     pub fn advance(&mut self) -> Option<PwBatchRef<'_>> {
         let first = self.take_next()?;
         self.batch.insts.clear();
-        self.batch.mispredict = None;
-        self.batch.decode_redirect = false;
-        self.batch.btb_promote = false;
+        self.core.decode_redirect = false;
+        self.core.btb_promote = false;
 
         let pw_line_end = first.pc.line().end();
         let first_seq = self.seq;
-        let mut termination = PwTermination::IcacheLineEnd;
+        let termination;
         let mut ends_taken = false;
+        let mut mispredict = None;
         let mut nt_count = 0u32;
         let mut cur = first;
 
         loop {
-            self.stats.insts += 1;
             self.seq += 1;
             self.batch.insts.push(cur);
-
-            let mut done = false;
-            if let Some(exec) = cur.branch {
-                if exec.taken {
-                    self.stats.taken_branches += 1;
+            match self.core.step(&cur, pw_line_end, &mut nt_count) {
+                StepOutcome::Continue => {}
+                StepOutcome::End {
+                    termination: t,
+                    ends_taken: et,
+                    mispredict: m,
+                } => {
+                    termination = t;
+                    ends_taken = et;
+                    mispredict = m;
+                    break;
                 }
-                match self.process_branch(&cur, exec.taken, exec.target, &mut nt_count) {
-                    BranchVerdict::Continue => {
-                        // Correctly-predicted not-taken branch: PW goes on
-                        // unless the NT budget is exhausted.
-                        if nt_count >= self.cfg.max_not_taken_per_pw {
-                            termination = PwTermination::MaxNotTakenBranches;
-                            done = true;
-                        }
-                    }
-                    BranchVerdict::PredictedTaken => {
-                        termination = PwTermination::TakenBranch;
-                        ends_taken = true;
-                        done = true;
-                    }
-                    BranchVerdict::Mispredicted {
-                        believed_taken,
-                        kind,
-                    } => {
-                        termination = PwTermination::Redirect;
-                        ends_taken = believed_taken;
-                        self.batch.mispredict = Some(kind);
-                        done = true;
-                    }
-                }
-            }
-
-            // I-cache line boundary check (paper Figure 2): the PW never
-            // proceeds past the end of the line it started in.
-            if !done && cur.end().get() >= pw_line_end.get() {
-                termination = PwTermination::IcacheLineEnd;
-                done = true;
-            }
-
-            if done {
-                break;
             }
             match self.take_next() {
                 Some(next) => {
@@ -263,6 +326,9 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
         }
 
         let last = *self.batch.insts.last().expect("at least one inst");
+        self.batch.mispredict = mispredict;
+        self.batch.decode_redirect = self.core.decode_redirect;
+        self.batch.btb_promote = self.core.btb_promote;
         self.batch.pw = PredictionWindow {
             id: PwId(self.next_pw_id),
             start: first.pc,
@@ -273,7 +339,7 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
             ends_in_taken_branch: ends_taken,
         };
         self.next_pw_id += 1;
-        self.stats.pws += 1;
+        self.core.stats.pws += 1;
 
         Some(PwBatchRef {
             pw: self.batch.pw,
@@ -283,7 +349,165 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
             btb_promote: self.batch.btb_promote,
         })
     }
+}
 
+/// A prediction window described as an index range into a shared
+/// instruction slice — the zero-copy counterpart of [`PwBatchRef`].
+///
+/// Produced by [`SlicePwGen::advance`]; `&insts[start..end]` are the
+/// instructions the window covers, in fetch order.
+#[derive(Debug, Clone, Copy)]
+pub struct PwSpan {
+    /// The window descriptor.
+    pub pw: PredictionWindow,
+    /// Index of the first covered instruction.
+    pub start: usize,
+    /// One past the last covered instruction.
+    pub end: usize,
+    /// Misprediction on the final branch, if any.
+    pub mispredict: Option<Mispredict>,
+    /// Taken branch discovered only at decode (BTB miss in both levels).
+    pub decode_redirect: bool,
+    /// BTB L2→L1 promotion bubble.
+    pub btb_promote: bool,
+}
+
+/// Slice-driven PW generator: the same predictor state machine as
+/// [`PwGenerator`], but over a borrowed `&[DynInst]` with index-range
+/// output. This is the hot-path variant — no per-instruction copies into
+/// batch storage, and downstream consumers index the shared slice
+/// directly.
+///
+/// Byte-identical to [`PwGenerator`] over the same instructions: both
+/// drive the same private `PredictorCore::step` state machine, so
+/// predictor training, stats, and window boundaries are exactly the
+/// same.
+#[derive(Debug)]
+pub struct SlicePwGen<'a> {
+    core: PredictorCore,
+    insts: &'a [DynInst],
+    pos: usize,
+    next_pw_id: u64,
+}
+
+impl<'a> SlicePwGen<'a> {
+    /// Creates a generator over the given correct-path instruction slice.
+    pub fn new(cfg: BpuConfig, insts: &'a [DynInst]) -> Self {
+        SlicePwGen {
+            core: PredictorCore::new(cfg),
+            insts,
+            pos: 0,
+            next_pw_id: 0,
+        }
+    }
+
+    /// The underlying instruction slice (windows index into it).
+    pub fn insts(&self) -> &'a [DynInst] {
+        self.insts
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> BpuStats {
+        self.core.stats
+    }
+
+    /// Resets counters (not predictor state) at the warmup boundary.
+    pub fn reset_stats(&mut self) {
+        self.core.reset_stats();
+    }
+
+    /// Underlying TAGE statistics.
+    pub fn tage_stats(&self) -> crate::TageStats {
+        self.core.tage.stats()
+    }
+
+    /// Underlying BTB statistics.
+    pub fn btb_stats(&self) -> crate::BtbStats {
+        self.core.btb.stats()
+    }
+
+    /// Borrowed-batch view of `span` (for consumers written against
+    /// [`PwBatchRef`]).
+    pub fn batch_for(&self, span: &PwSpan) -> PwBatchRef<'a> {
+        PwBatchRef {
+            pw: span.pw,
+            insts: &self.insts[span.start..span.end],
+            mispredict: span.mispredict,
+            decode_redirect: span.decode_redirect,
+            btb_promote: span.btb_promote,
+        }
+    }
+
+    /// Produces the next prediction window, or `None` at slice end.
+    pub fn advance(&mut self) -> Option<PwSpan> {
+        let first = *self.insts.get(self.pos)?;
+        self.core.decode_redirect = false;
+        self.core.btb_promote = false;
+
+        let start = self.pos;
+        let pw_line_end = first.pc.line().end();
+        let termination;
+        let mut ends_taken = false;
+        let mut mispredict = None;
+        let mut nt_count = 0u32;
+        let mut cur = first;
+
+        loop {
+            self.pos += 1;
+            match self.core.step(&cur, pw_line_end, &mut nt_count) {
+                StepOutcome::Continue => {}
+                StepOutcome::End {
+                    termination: t,
+                    ends_taken: et,
+                    mispredict: m,
+                } => {
+                    termination = t;
+                    ends_taken = et;
+                    mispredict = m;
+                    break;
+                }
+            }
+            match self.insts.get(self.pos) {
+                Some(&next) => {
+                    debug_assert_eq!(
+                        next.pc,
+                        cur.end(),
+                        "non-branch instructions must be sequential"
+                    );
+                    cur = next;
+                }
+                None => {
+                    termination = PwTermination::Redirect;
+                    break;
+                }
+            }
+        }
+
+        let end = self.pos;
+        let pw = PredictionWindow {
+            id: PwId(self.next_pw_id),
+            start: first.pc,
+            end: cur.end(),
+            first_seq: start as u64,
+            inst_count: (end - start) as u32,
+            termination,
+            ends_in_taken_branch: ends_taken,
+        };
+        self.next_pw_id += 1;
+        self.core.stats.pws += 1;
+
+        Some(PwSpan {
+            pw,
+            start,
+            end,
+            mispredict,
+            decode_redirect: self.core.decode_redirect,
+            btb_promote: self.core.btb_promote,
+        })
+    }
+}
+
+impl PredictorCore {
     fn process_branch(
         &mut self,
         inst: &DynInst,
@@ -312,9 +536,9 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
                     match btb_outcome {
                         BtbOutcome::Miss => {
                             self.stats.decode_redirects += 1;
-                            self.batch.decode_redirect = true;
+                            self.decode_redirect = true;
                         }
-                        BtbOutcome::L2Hit => self.batch.btb_promote = true,
+                        BtbOutcome::L2Hit => self.btb_promote = true,
                         BtbOutcome::L1Hit => {}
                     }
                     BranchVerdict::PredictedTaken
@@ -330,9 +554,9 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
                     BtbOutcome::Miss => {
                         // Direct target is computed at decode: bubble only.
                         self.stats.decode_redirects += 1;
-                        self.batch.decode_redirect = true;
+                        self.decode_redirect = true;
                     }
-                    BtbOutcome::L2Hit => self.batch.btb_promote = true,
+                    BtbOutcome::L2Hit => self.btb_promote = true,
                     BtbOutcome::L1Hit => {}
                 }
                 BranchVerdict::PredictedTaken
@@ -344,9 +568,9 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
                 match btb_outcome {
                     BtbOutcome::Miss => {
                         self.stats.decode_redirects += 1;
-                        self.batch.decode_redirect = true;
+                        self.decode_redirect = true;
                     }
-                    BtbOutcome::L2Hit => self.batch.btb_promote = true,
+                    BtbOutcome::L2Hit => self.btb_promote = true,
                     BtbOutcome::L1Hit => {}
                 }
                 BranchVerdict::PredictedTaken
@@ -370,7 +594,7 @@ impl<I: Iterator<Item = DynInst>> PwGenerator<I> {
                 match predicted {
                     Some(t) if t == actual_target => {
                         if btb_outcome == BtbOutcome::L2Hit {
-                            self.batch.btb_promote = true;
+                            self.btb_promote = true;
                         }
                         BranchVerdict::PredictedTaken
                     }
@@ -636,6 +860,67 @@ mod tests {
             ..Default::default()
         };
         assert!((s.mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_generator_matches_iterator_generator() {
+        // A stressful mix: lines crossed, trained + cold branches, calls,
+        // returns, indirect jumps, NT-budget loops.
+        let mut insts = Vec::new();
+        for round in 0..40u64 {
+            insts.push(alu(0x1000, 4));
+            insts.push(jcc(0x1004, round % 3 == 0, 0x2000));
+            if round % 3 == 0 {
+                insts.push(alu(0x2000, 4));
+                insts.push(jmp(0x2004, 0x1008));
+            } else {
+                insts.push(alu(0x1006, 2));
+            }
+            insts.push(DynInst::branch(
+                Addr::new(0x1008),
+                5,
+                InstClass::Call,
+                BranchExec {
+                    taken: true,
+                    target: Addr::new(0x4000),
+                },
+            ));
+            insts.push(alu(0x4000, 12));
+            insts.push(DynInst::branch(
+                Addr::new(0x400c),
+                1,
+                InstClass::Ret,
+                BranchExec {
+                    taken: true,
+                    target: Addr::new(0x100d),
+                },
+            ));
+            insts.push(jmp(0x100d, 0x1000));
+        }
+
+        let mut by_iter = gen(insts.clone());
+        let mut by_slice = SlicePwGen::new(BpuConfig::default(), &insts);
+        loop {
+            match (by_iter.advance(), by_slice.advance()) {
+                (None, None) => break,
+                (Some(a), Some(span)) => {
+                    assert_eq!(a.pw, span.pw);
+                    assert_eq!(a.mispredict, span.mispredict);
+                    assert_eq!(a.decode_redirect, span.decode_redirect);
+                    assert_eq!(a.btb_promote, span.btb_promote);
+                    assert_eq!(a.insts, &insts[span.start..span.end]);
+                    let b = by_slice.batch_for(&span);
+                    assert_eq!(a.insts, b.insts);
+                }
+                (a, b) => panic!("window count diverged: {a:?} vs {b:?}"),
+            }
+        }
+        let (si, ss) = (by_iter.stats(), by_slice.stats());
+        assert_eq!(si.insts, ss.insts);
+        assert_eq!(si.pws, ss.pws);
+        assert_eq!(si.direction_mispredicts, ss.direction_mispredicts);
+        assert_eq!(si.target_mispredicts, ss.target_mispredicts);
+        assert_eq!(si.decode_redirects, ss.decode_redirects);
     }
 
     #[test]

@@ -25,6 +25,60 @@ struct OpenEntry {
     pc_lines: u32,
 }
 
+/// Entries completed by one [`AccumulationBuffer::push`]: at most two
+/// (a close forced before the instruction is accepted, plus a
+/// predicted-taken close after it), stored inline so the per-instruction
+/// accumulate path never touches the heap.
+#[derive(Debug, Default)]
+pub struct ClosedEntries {
+    entries: [Option<UopCacheEntry>; 2],
+}
+
+impl ClosedEntries {
+    /// Records a close result, if any. Panics (debug) past two closes —
+    /// the push state machine cannot produce more.
+    fn add(&mut self, e: Option<UopCacheEntry>) {
+        if e.is_none() {
+            return;
+        }
+        let slot = self
+            .entries
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("at most two entries close per push");
+        *slot = e;
+    }
+}
+
+impl ClosedEntries {
+    /// Number of completed entries (0, 1, or 2).
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True when the push completed no entry.
+    pub fn is_empty(&self) -> bool {
+        self.entries[0].is_none()
+    }
+}
+
+impl std::ops::Index<usize> for ClosedEntries {
+    type Output = UopCacheEntry;
+
+    fn index(&self, i: usize) -> &UopCacheEntry {
+        self.entries[i].as_ref().expect("index past closed entries")
+    }
+}
+
+impl IntoIterator for ClosedEntries {
+    type Item = UopCacheEntry;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<UopCacheEntry>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter().flatten()
+    }
+}
+
 /// Accumulates decoded instructions into uop cache entries.
 ///
 /// # Example
@@ -86,13 +140,8 @@ impl AccumulationBuffer {
     /// (which terminates the entry). Returns zero, one, or (for an
     /// oversized follower) one completed entry; completed entries should
     /// be filled into the [`crate::UopCache`].
-    pub fn push(
-        &mut self,
-        inst: &DynInst,
-        pw_id: PwId,
-        predicted_taken: bool,
-    ) -> Vec<UopCacheEntry> {
-        let mut out = Vec::new();
+    pub fn push(&mut self, inst: &DynInst, pw_id: PwId, predicted_taken: bool) -> ClosedEntries {
+        let mut out = ClosedEntries::default();
         let u = (inst.uops as u32).max(1);
         let d = inst.imm_disp as u32;
         let mc = u32::from(inst.microcoded);
@@ -101,7 +150,7 @@ impl AccumulationBuffer {
         // redirects, but a non-sequential push must never extend an entry.
         if let Some(open) = &self.open {
             if inst.pc != open.end {
-                out.extend(self.close(EntryTermination::Flush));
+                out.add(self.close(EntryTermination::Flush));
             }
         }
 
@@ -110,7 +159,7 @@ impl AccumulationBuffer {
         if self.cfg.terminate_at_pw_end {
             if let Some(open) = &self.open {
                 if open.last_pw != pw_id {
-                    out.extend(self.close(EntryTermination::PwBoundary));
+                    out.add(self.close(EntryTermination::PwBoundary));
                 }
             }
         }
@@ -118,7 +167,7 @@ impl AccumulationBuffer {
         // Would the instruction violate a constraint of the open entry?
         if let Some(open) = &self.open {
             if let Some(reason) = self.violation(open, inst.pc, u, d, mc) {
-                out.extend(self.close(reason));
+                out.add(self.close(reason));
             }
         }
 
@@ -156,7 +205,7 @@ impl AccumulationBuffer {
             .max((inst.pc.line().number() - open.start.line().number() + 1) as u32);
 
         if predicted_taken {
-            out.extend(self.close(EntryTermination::TakenBranch));
+            out.add(self.close(EntryTermination::TakenBranch));
         }
         out
     }

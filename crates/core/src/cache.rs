@@ -9,12 +9,15 @@ use crate::{
 };
 
 /// Result of a fill operation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FillOutcome {
     /// How the entry was placed.
     pub placement: PlacementKind,
-    /// Entries displaced from the cache by this fill.
-    pub evicted: Vec<UopCacheEntry>,
+    /// Number of entries displaced from the cache by this fill. A count
+    /// rather than the entries themselves: no caller consumes the
+    /// displaced entries, and returning them would allocate on every
+    /// conflicting fill — i.e. continuously once the cache warms up.
+    pub evicted: usize,
     /// True if the fill was dropped because an identical-start entry is
     /// already resident.
     pub duplicate: bool,
@@ -47,6 +50,14 @@ struct SetState {
     lines: Vec<UopCacheLine>,
     repl: ReplacementState,
     summary: SetSummary,
+    /// SoA lookup index over every resident entry in the set: packed
+    /// start addresses plus parallel `(way, slot)` locations. The hot
+    /// lookup scans this contiguous array instead of chasing one heap
+    /// pointer per way; it is rebuilt wherever the summary is (fills and
+    /// invalidations mutate sets orders of magnitude less often than
+    /// lookups probe them).
+    starts: Vec<u64>,
+    locs: Vec<(u8, u8)>,
 }
 
 impl SetState {
@@ -59,10 +70,16 @@ impl SetState {
             min_start: u64::MAX,
             max_end: 0,
         };
-        for e in self.lines.iter().flat_map(|l| l.entries()) {
-            s.entries += 1;
-            s.min_start = s.min_start.min(e.start.get());
-            s.max_end = s.max_end.max(e.end.get());
+        self.starts.clear();
+        self.locs.clear();
+        for (way, l) in self.lines.iter().enumerate() {
+            for (slot, e) in l.entries().enumerate() {
+                s.entries += 1;
+                s.min_start = s.min_start.min(e.start.get());
+                s.max_end = s.max_end.max(e.end.get());
+                self.starts.push(e.start.get());
+                self.locs.push((way as u8, slot as u8));
+            }
         }
         self.summary = s;
     }
@@ -107,6 +124,11 @@ pub struct UopCache {
     valid_scratch: Vec<bool>,
     /// Reusable recency-order scratch for compacting fills.
     order_scratch: Vec<usize>,
+    /// Reusable scratch for F-PWAC forced moves (foreign entries pulled
+    /// out of the PW line before rewriting them to the victim line).
+    foreign_scratch: Vec<UopCacheEntry>,
+    /// Reusable scratch of set indices probed by an SMC invalidation.
+    probe_scratch: Vec<usize>,
 }
 
 impl std::fmt::Debug for UopCache {
@@ -128,9 +150,13 @@ impl UopCache {
         cfg.validate();
         let sets = (0..cfg.sets)
             .map(|_| SetState {
-                lines: vec![UopCacheLine::new(); cfg.ways],
+                lines: (0..cfg.ways)
+                    .map(|_| UopCacheLine::with_entry_capacity(cfg.max_entries_per_line as usize))
+                    .collect(),
                 repl: ReplacementState::new(cfg.replacement, cfg.ways),
                 summary: SetSummary::default(),
+                starts: Vec::with_capacity(cfg.ways * cfg.max_entries_per_line as usize),
+                locs: Vec::with_capacity(cfg.ways * cfg.max_entries_per_line as usize),
             })
             .collect();
         UopCache {
@@ -139,6 +165,8 @@ impl UopCache {
             set_mask: cfg.sets - 1,
             valid_scratch: Vec::with_capacity(cfg.ways),
             order_scratch: Vec::with_capacity(cfg.ways),
+            foreign_scratch: Vec::with_capacity(cfg.max_entries_per_line as usize),
+            probe_scratch: Vec::with_capacity(cfg.clasp_max_lines as usize + 1),
             cfg,
         }
     }
@@ -167,13 +195,18 @@ impl UopCache {
     pub fn lookup(&mut self, addr: Addr) -> Option<UopCacheEntry> {
         let si = self.set_of(addr);
         let set = &mut self.sets[si];
-        for (way, line) in set.lines.iter().enumerate() {
-            if let Some(e) = line.entry_with_start(addr) {
-                let e = *e;
-                set.repl.on_hit(way);
-                self.stats.note_lookup(true, e.uops as u64);
-                return Some(e);
-            }
+        debug_assert_eq!(
+            set.starts.iter().any(|&s| s == addr.get()),
+            set.lines.iter().any(|l| l.entry_with_start(addr).is_some()),
+            "set start index out of sync with line contents"
+        );
+        if let Some(p) = set.starts.iter().position(|&s| s == addr.get()) {
+            let (way, slot) = set.locs[p];
+            let e = *set.lines[way as usize].entry_at(slot as usize);
+            debug_assert_eq!(e.start, addr);
+            set.repl.on_hit(way as usize);
+            self.stats.note_lookup(true, e.uops as u64);
+            return Some(e);
         }
         // Interior-coverage diagnostic: only scan the set when the
         // summary says some resident entry could actually cover `addr`
@@ -228,7 +261,7 @@ impl UopCache {
             self.stats.note_duplicate_fill();
             return FillOutcome {
                 placement: PlacementKind::NewLine,
-                evicted: Vec::new(),
+                evicted: 0,
                 duplicate: true,
             };
         }
@@ -241,7 +274,7 @@ impl UopCache {
         };
         self.sets[si].refresh_summary();
         self.stats
-            .note_fill(&entry, outcome.placement, outcome.evicted.len());
+            .note_fill(&entry, outcome.placement, outcome.evicted);
         outcome
     }
 
@@ -300,7 +333,7 @@ impl UopCache {
                     self.sets[si].repl.on_fill(way);
                     return FillOutcome {
                         placement: PlacementKind::Pwac,
-                        evicted: Vec::new(),
+                        evicted: 0,
                         duplicate: false,
                     };
                 }
@@ -328,7 +361,7 @@ impl UopCache {
             self.sets[si].repl.on_fill(way);
             return FillOutcome {
                 placement: PlacementKind::Rac,
-                evicted: Vec::new(),
+                evicted: 0,
                 duplicate: false,
             };
         }
@@ -361,12 +394,16 @@ impl UopCache {
             return None;
         }
 
-        // Split the line: same-PW entries stay, foreigners move out.
-        let foreign = self.sets[si].lines[pw_way].remove_matching(|e| e.first_pw != pw);
+        // Split the line: same-PW entries stay, foreigners move out
+        // through the reusable scratch buffer (forced moves recur in
+        // steady state, so this path must not allocate).
+        let mut foreign = std::mem::take(&mut self.foreign_scratch);
+        foreign.clear();
+        self.sets[si].lines[pw_way].remove_matching_into(|e| e.first_pw != pw, &mut foreign);
         self.sets[si].lines[pw_way].insert(entry, PlacementKind::Fpwac);
         self.sets[si].repl.on_fill(pw_way);
 
-        let mut evicted = Vec::new();
+        let mut evicted = 0;
         if !foreign.is_empty() {
             // Foreign entries are rewritten to the current LRU line (paper:
             // "written to the LRU line after the victim entries are
@@ -375,11 +412,12 @@ impl UopCache {
             debug_assert_ne!(vway, pw_way, "pw line just became MRU");
             let set = &mut self.sets[si];
             evicted = set.lines[vway].evict_all();
-            for f in foreign {
+            for f in foreign.drain(..) {
                 set.lines[vway].insert(f, PlacementKind::Rac);
             }
             set.repl.on_fill(vway);
         }
+        self.foreign_scratch = foreign;
         self.stats.note_forced_move();
         Some(FillOutcome {
             placement: PlacementKind::Fpwac,
@@ -402,7 +440,8 @@ impl UopCache {
         } else {
             1
         };
-        let mut probe_sets = Vec::new();
+        let mut probe_sets = std::mem::take(&mut self.probe_scratch);
+        probe_sets.clear();
         for back in 0..=depth {
             let l = LineAddr::from_line_number(line.number().saturating_sub(back));
             let si = (l.number() as usize) & self.set_mask;
@@ -410,15 +449,16 @@ impl UopCache {
                 probe_sets.push(si);
             }
         }
-        for si in probe_sets {
+        for &si in &probe_sets {
             let before = removed;
             for l in &mut self.sets[si].lines {
-                removed += l.remove_matching(|e| e.overlaps_line(line)).len();
+                removed += l.remove_matching_count(|e| e.overlaps_line(line));
             }
             if removed != before {
                 self.sets[si].refresh_summary();
             }
         }
+        self.probe_scratch = probe_sets;
         self.stats.note_invalidation(removed as u64);
         removed
     }
@@ -430,6 +470,8 @@ impl UopCache {
                 l.evict_all();
             }
             set.summary = SetSummary::default();
+            set.starts.clear();
+            set.locs.clear();
         }
     }
 

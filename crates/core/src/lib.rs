@@ -57,7 +57,7 @@ mod entry;
 mod line;
 mod stats;
 
-pub use builder::AccumulationBuffer;
+pub use builder::{AccumulationBuffer, ClosedEntries};
 pub use cache::{FillOutcome, UopCache};
 pub use config::{CompactionPolicy, PlacementKind, UopCacheConfig};
 pub use entry::UopCacheEntry;

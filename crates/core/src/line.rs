@@ -22,6 +22,14 @@ impl UopCacheLine {
         UopCacheLine::default()
     }
 
+    /// An empty line with entry storage pre-sized to the per-line entry
+    /// bound, so steady-state fills never grow the backing vector.
+    pub fn with_entry_capacity(max_entries: usize) -> Self {
+        UopCacheLine {
+            entries: Vec::with_capacity(max_entries),
+        }
+    }
+
     /// True when the line holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -63,6 +71,15 @@ impl UopCacheLine {
         self.entries.push((entry, placement));
     }
 
+    /// The resident entry at slot `i` (insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn entry_at(&self, i: usize) -> &UopCacheEntry {
+        &self.entries[i].0
+    }
+
     /// The resident entry starting exactly at `addr`, if any.
     pub fn entry_with_start(&self, addr: Addr) -> Option<&UopCacheEntry> {
         self.entries
@@ -81,27 +98,44 @@ impl UopCacheLine {
         self.entries.iter().map(|(e, p)| (e, *p))
     }
 
-    /// Removes and returns all entries (whole-line eviction — the paper's
-    /// fill-time victim semantics).
-    pub fn evict_all(&mut self) -> Vec<UopCacheEntry> {
-        self.entries.drain(..).map(|(e, _)| e).collect()
+    /// Removes all entries (whole-line eviction — the paper's fill-time
+    /// victim semantics), returning how many were resident. Allocation
+    /// free: evictions happen on every conflicting fill in steady state,
+    /// and no caller needs the displaced entries themselves.
+    pub fn evict_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
     }
 
-    /// Removes entries matching `pred`, returning them.
-    pub fn remove_matching<F: FnMut(&UopCacheEntry) -> bool>(
+    /// Removes entries matching `pred`, appending them to `out` (a
+    /// caller-owned scratch buffer, so the steady-state fill path never
+    /// allocates) and returning how many were removed.
+    pub fn remove_matching_into<F: FnMut(&UopCacheEntry) -> bool>(
         &mut self,
         mut pred: F,
-    ) -> Vec<UopCacheEntry> {
-        let mut removed = Vec::new();
+        out: &mut Vec<UopCacheEntry>,
+    ) -> usize {
+        let before = out.len();
         self.entries.retain(|(e, _)| {
             if pred(e) {
-                removed.push(*e);
+                out.push(*e);
                 false
             } else {
                 true
             }
         });
-        removed
+        out.len() - before
+    }
+
+    /// Removes entries matching `pred`, returning only the count.
+    pub fn remove_matching_count<F: FnMut(&UopCacheEntry) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(e, _)| !pred(e));
+        before - self.entries.len()
     }
 
     /// True if any resident entry was created by the given PW (the PW-ID
@@ -181,8 +215,7 @@ mod tests {
         let mut line = UopCacheLine::new();
         line.insert(entry(0x100, 2), PlacementKind::NewLine);
         line.insert(entry(0x200, 2), PlacementKind::Pwac);
-        let evicted = line.evict_all();
-        assert_eq!(evicted.len(), 2);
+        assert_eq!(line.evict_all(), 2);
         assert!(line.is_empty());
     }
 
@@ -194,7 +227,11 @@ mod tests {
         other.pw_id = PwId(9);
         other.first_pw = PwId(9);
         line.insert(other, PlacementKind::Rac);
-        let removed = line.remove_matching(|e| e.pw_id == PwId(9));
+        let mut removed = Vec::new();
+        assert_eq!(
+            line.remove_matching_into(|e| e.pw_id == PwId(9), &mut removed),
+            1
+        );
         assert_eq!(removed.len(), 1);
         assert_eq!(line.entry_count(), 1);
         assert!(line.has_pw(PwId(1)));

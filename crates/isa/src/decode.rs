@@ -142,6 +142,75 @@ pub fn uop_kinds_into(
     len
 }
 
+/// Number of [`InstClass`] variants (the table below is indexed by the
+/// class discriminant).
+const N_CLASSES: usize = 13;
+
+/// One precomputed expansion: `kinds[..len as usize]` is the uop sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct UopTemplate {
+    /// Number of valid kinds.
+    pub len: u8,
+    /// The expansion, padded with `Nop` past `len`.
+    pub kinds: [UopKind; MAX_UOPS_PER_INST as usize],
+}
+
+/// Every `(class, uop-count)` expansion precomputed from
+/// [`uop_kinds_into`]. The expansion is a pure function of the class and
+/// the clamped count, so the simulator's decode→dispatch path reads a
+/// template row instead of re-deriving the sequence per instruction.
+#[derive(Debug)]
+pub struct UopKindTable {
+    rows: [[UopTemplate; MAX_UOPS_PER_INST as usize]; N_CLASSES],
+}
+
+impl UopKindTable {
+    /// The process-wide table, built on first use.
+    pub fn get() -> &'static UopKindTable {
+        static TABLE: std::sync::OnceLock<UopKindTable> = std::sync::OnceLock::new();
+        TABLE.get_or_init(UopKindTable::build)
+    }
+
+    fn build() -> UopKindTable {
+        const ALL: [InstClass; N_CLASSES] = [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::IntDiv,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::CondBranch,
+            InstClass::JumpDirect,
+            InstClass::JumpIndirect,
+            InstClass::Call,
+            InstClass::Ret,
+            InstClass::Fp,
+            InstClass::Simd,
+            InstClass::Nop,
+        ];
+        let empty = UopTemplate {
+            len: 0,
+            kinds: [UopKind::Nop; MAX_UOPS_PER_INST as usize],
+        };
+        let mut rows = [[empty; MAX_UOPS_PER_INST as usize]; N_CLASSES];
+        for class in ALL {
+            for n in 1..=MAX_UOPS_PER_INST {
+                let mut kinds = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
+                let len = uop_kinds_into(class, n, &mut kinds) as u8;
+                rows[class as usize][n as usize - 1] = UopTemplate { len, kinds };
+            }
+        }
+        UopKindTable { rows }
+    }
+
+    /// The expansion template for `class` with `n` uops (`n` clamped to
+    /// `1..=MAX_UOPS_PER_INST` exactly like [`uop_kinds_for`]).
+    #[inline]
+    pub fn template(&self, class: InstClass, n: u8) -> &UopTemplate {
+        let n = n.clamp(1, MAX_UOPS_PER_INST) as usize;
+        &self.rows[class as usize][n - 1]
+    }
+}
+
 /// Expands a dynamic instruction into its uop sequence.
 ///
 /// `seq` is the dynamic sequence number of the instruction (stamped into
@@ -287,6 +356,34 @@ mod into_tests {
                 let mut buf = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
                 let len = uop_kinds_into(class, n, &mut buf);
                 assert_eq!(&buf[..len], expected.as_slice(), "{class} n={n}");
+            }
+        }
+    }
+
+    /// The precomputed table must agree with the derivation it caches.
+    #[test]
+    fn table_matches_uop_kinds_for() {
+        let table = UopKindTable::get();
+        let classes = [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::IntDiv,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::CondBranch,
+            InstClass::JumpDirect,
+            InstClass::JumpIndirect,
+            InstClass::Call,
+            InstClass::Ret,
+            InstClass::Fp,
+            InstClass::Simd,
+            InstClass::Nop,
+        ];
+        for class in classes {
+            for n in 0..=10u8 {
+                let expected = uop_kinds_for(class, n);
+                let t = table.template(class, n);
+                assert_eq!(&t.kinds[..t.len as usize], expected.as_slice());
             }
         }
     }

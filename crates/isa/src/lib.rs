@@ -38,7 +38,9 @@ mod mix;
 mod static_inst;
 mod synth;
 
-pub use decode::{expand_uops, uop_kinds_for, uop_kinds_into, MAX_UOPS_PER_INST};
+pub use decode::{
+    expand_uops, uop_kinds_for, uop_kinds_into, UopKindTable, UopTemplate, MAX_UOPS_PER_INST,
+};
 pub use lengths::{sample_len, typical_len};
 pub use mix::InstMix;
 pub use static_inst::StaticInst;

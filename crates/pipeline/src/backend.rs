@@ -70,6 +70,13 @@ pub struct AdmitOutcome {
 #[derive(Debug)]
 pub struct Backend {
     cfg: BackendConfig,
+    /// Integer form of `cfg.dep_prob`: a uop with hash `h` depends on a
+    /// predecessor iff `(h >> 32) < dep_threshold`. Computed by binary
+    /// search over the exact per-uop float expression at construction, so
+    /// the comparison is bit-identical to the historical
+    /// `(h >> 32) as f64 / u32::MAX as f64 < dep_prob` — without paying a
+    /// float divide on every admitted uop.
+    dep_threshold: u64,
     seq: u64,
     dispatch_ring: Vec<u64>,
     retire_ring: Vec<u64>,
@@ -99,6 +106,7 @@ impl Backend {
             dispatch_ring: vec![0; cfg.uop_queue_size],
             retire_ring: vec![0; cfg.rob_size],
             complete_ring: [0; DEP_WINDOW],
+            dep_threshold: dep_threshold_for(cfg.dep_prob),
             cfg,
             seq: 0,
             disp_slot: 0,
@@ -118,6 +126,7 @@ impl Backend {
     /// `identity` seeds the synthetic dependence draw (stable across
     /// configurations); `mem_latency` overrides the execution latency for
     /// loads (data-cache access time), 0 means "use the class latency".
+    #[inline]
     pub fn admit(
         &mut self,
         delivery: u64,
@@ -156,11 +165,12 @@ impl Backend {
         self.disp_slot = if dslot + 1 == q { 0 } else { dslot + 1 };
         self.dispatched += 1;
 
-        // Execution: synthetic dataflow + class latency.
+        // Execution: synthetic dataflow + class latency. The threshold
+        // compare is the integer form of the historical
+        // `(h >> 32) as f64 / u32::MAX as f64 < dep_prob` draw.
         let mut estart = dtime + 1;
         let h = mix64(identity);
-        let dep_draw = (h >> 32) as f64 / u32::MAX as f64;
-        if dep_draw < self.cfg.dep_prob {
+        if (h >> 32) < self.dep_threshold {
             let back = 1 + (h as usize % (DEP_WINDOW - 1));
             if seq >= back as u64 {
                 let dep_done = self.complete_ring[(seq as usize - back) % DEP_WINDOW];
@@ -190,6 +200,7 @@ impl Backend {
         }
     }
 
+    #[inline]
     fn take_dispatch_slot(&mut self, ready: u64) -> u64 {
         if ready > self.disp_cycle {
             self.disp_cycle = ready;
@@ -207,6 +218,7 @@ impl Backend {
         }
     }
 
+    #[inline]
     fn take_retire_slot(&mut self, ready: u64) -> u64 {
         if ready > self.ret_cycle {
             self.ret_cycle = ready;
@@ -242,6 +254,25 @@ impl Backend {
     pub fn counters(&self) -> (u64, u64) {
         (self.dispatched, self.busy_dispatch_cycles)
     }
+}
+
+/// Smallest `v` in `[0, 2^32]` whose draw `v as f64 / u32::MAX as f64`
+/// reaches `dep_prob`; the draw is monotone in `v`, so
+/// `v < dep_threshold_for(p)` ⟺ `draw(v) < p` for every 32-bit `v`.
+fn dep_threshold_for(dep_prob: f64) -> u64 {
+    let draw = |v: u64| v as f64 / u32::MAX as f64;
+    // Invariant: draws below `lo` are < dep_prob, draws at or above `hi`
+    // are ≥ dep_prob. `mid` stays < 2^32, the domain of `h >> 32`.
+    let (mut lo, mut hi) = (0u64, 1u64 << 32);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if draw(mid) >= dep_prob {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -357,6 +388,30 @@ mod tests {
         });
         let miss = be2.admit(0, UopKind::Load, 0, 160);
         assert!(miss.completed > hit.completed + 100);
+    }
+
+    #[test]
+    fn dep_threshold_matches_float_draw() {
+        // The integer threshold must agree with the historical float draw
+        // for every probability, including the exact draw values
+        // themselves and the 0/1 endpoints.
+        let probs = [0.0, 0.1, 0.35, 0.5, 0.999, 1.0, 1.5, -0.25];
+        for &p in &probs {
+            let thr = dep_threshold_for(p);
+            for v in [
+                0u64,
+                1,
+                (u32::MAX / 3) as u64,
+                (u32::MAX / 2) as u64,
+                u32::MAX as u64 - 1,
+                u32::MAX as u64,
+                thr.saturating_sub(1),
+                thr.min(u32::MAX as u64),
+            ] {
+                let float_dep = (v as f64 / u32::MAX as f64) < p;
+                assert_eq!(v < thr, float_dep, "p={p} v={v} thr={thr}");
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! for any configuration whose front end [`PwTrace::matches`] the
 //! recording; mismatched configurations must fall back to a full run.
 
-use ucsim_bpu::{BpuStats, Mispredict, PwBatchRef, PwGenerator};
-use ucsim_model::{PredictionWindow, ToJson};
+use ucsim_bpu::{BpuStats, Mispredict, PwBatchRef, SlicePwGen};
+use ucsim_isa::UopKindTable;
+use ucsim_model::{mix64, PredictionWindow, ToJson};
 use ucsim_trace::SharedTrace;
 
 use crate::sim::RunState;
@@ -57,7 +58,9 @@ impl PwTrace {
     /// statistics.
     pub fn record(trace: &SharedTrace, cfg: &SimConfig) -> PwTrace {
         let total = cfg.warmup_insts + cfg.measure_insts;
-        let mut pwgen = PwGenerator::new(cfg.bpu.clone(), trace.iter().take(total as usize));
+        let insts = trace.insts();
+        let insts = &insts[..(total as usize).min(insts.len())];
+        let mut pwgen = SlicePwGen::new(cfg.bpu.clone(), insts);
         let mut batches = Vec::new();
         let mut insts_done: u64 = 0;
         let mut measured = false;
@@ -66,14 +69,14 @@ impl PwTrace {
                 pwgen.reset_stats();
                 measured = true;
             }
-            let Some(b) = pwgen.advance() else { break };
-            insts_done += b.insts.len() as u64;
+            let Some(span) = pwgen.advance() else { break };
+            insts_done += (span.end - span.start) as u64;
             batches.push(RecordedBatch {
-                pw: b.pw,
-                end: insts_done as usize,
-                mispredict: b.mispredict,
-                decode_redirect: b.decode_redirect,
-                btb_promote: b.btb_promote,
+                pw: span.pw,
+                end: span.end,
+                mispredict: span.mispredict,
+                decode_redirect: span.decode_redirect,
+                btb_promote: span.btb_promote,
             });
         }
         PwTrace {
@@ -145,6 +148,116 @@ impl PwTrace {
         }
         st.finish(name, insts_done, self.bpu, cfg)
     }
+
+    /// [`Self::replay`] with PW-granular intra-cell parallelism:
+    /// byte-identical output, with `threads` workers offloading the
+    /// parallelizable share of the hot loop.
+    ///
+    /// The pipeline itself is a sequential dependency chain (every batch
+    /// reads the uop cache, memory hierarchy and back end state its
+    /// predecessor left behind), so it cannot be split without changing
+    /// results. What *is* pure is the per-uop identity hash: a function
+    /// of `(uop_seq, pc, slot)` only, and `uop_seq` is a prefix sum of
+    /// per-instruction template lengths over the recorded trace. Workers
+    /// therefore precompute the hash stream in batch-aligned chunks
+    /// (two parallel passes: per-chunk uop counts, then the hashes from
+    /// each chunk's prefix-sum base), and the sequential consumer stages
+    /// each chunk into the pipeline, which consumes one staged hash per
+    /// uop instead of mixing inline. Debug builds assert every staged
+    /// hash against the inline computation.
+    ///
+    /// `threads <= 1` (or a recording too small to chunk) falls back to
+    /// the plain sequential [`Self::replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` does not [`Self::matches`] the recording, or on an
+    /// invalid uop-cache configuration.
+    pub fn replay_parallel(&self, name: &str, cfg: &SimConfig, threads: usize) -> SimReport {
+        let n_chunks = (threads * 4).min(self.batches.len());
+        if threads <= 1 || n_chunks < 2 {
+            return self.replay(name, cfg);
+        }
+        assert!(
+            self.matches(cfg),
+            "config front end or run length differs from the recording"
+        );
+        cfg.uop_cache.validate();
+        let insts = self.trace.insts();
+
+        // Batch-aligned chunk bounds as instruction indices: chunk `k`
+        // covers `insts[bounds[k]..bounds[k + 1]]`. Batch ends strictly
+        // increase, so the bounds do too.
+        let mut bounds = Vec::with_capacity(n_chunks + 1);
+        bounds.push(0usize);
+        for k in 1..=n_chunks {
+            let b_end = k * self.batches.len() / n_chunks;
+            bounds.push(self.batches[b_end - 1].end);
+        }
+
+        let kinds = UopKindTable::get();
+        // Pass 1: per-chunk uop counts, prefix-summed into per-chunk
+        // `uop_seq` bases.
+        let counts = ucsim_pool::run_indexed(n_chunks, threads, |k| {
+            insts[bounds[k]..bounds[k + 1]]
+                .iter()
+                .map(|i| kinds.template(i.class, i.uops).len as u64)
+                .sum::<u64>()
+        });
+        let mut bases = Vec::with_capacity(n_chunks);
+        let mut acc = 0u64;
+        for c in &counts {
+            bases.push(acc);
+            acc += c;
+        }
+        // Pass 2: the identity-hash stream of each chunk.
+        let mut chunks = ucsim_pool::run_indexed(n_chunks, threads, |k| {
+            let mut seq = bases[k];
+            let mut v = Vec::with_capacity(counts[k] as usize);
+            for inst in &insts[bounds[k]..bounds[k + 1]] {
+                let tpl = kinds.template(inst.class, inst.uops);
+                for slot in 0..tpl.len as u64 {
+                    v.push(mix64(seq ^ inst.pc.get().rotate_left(23) ^ (slot << 57)));
+                    seq += 1;
+                }
+            }
+            v
+        });
+
+        // Sequential consume — the `replay` loop plus chunk staging at
+        // each chunk's first batch.
+        let mut st = RunState::new(cfg);
+        let mut insts_done: u64 = 0;
+        let mut measured = false;
+        let mut start = 0usize;
+        let mut chunk = 0usize;
+        for rb in &self.batches {
+            if !measured && insts_done >= cfg.warmup_insts {
+                st.begin_measurement();
+                measured = true;
+            }
+            if chunk < n_chunks && start == bounds[chunk] {
+                st.stage_hashes(&mut chunks[chunk]);
+                chunk += 1;
+            }
+            let batch = PwBatchRef {
+                pw: rb.pw,
+                insts: &insts[start..rb.end],
+                mispredict: rb.mispredict,
+                decode_redirect: rb.decode_redirect,
+                btb_promote: rb.btb_promote,
+            };
+            insts_done += (rb.end - start) as u64;
+            st.process_batch_on(&batch, 0);
+            start = rb.end;
+        }
+        debug_assert!(st.staged_fully_consumed(), "hash chunks misaligned");
+        if !measured {
+            insts_done = 0;
+            st.mark_unmeasured();
+        }
+        st.finish(name, insts_done, self.bpu, cfg)
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +287,22 @@ mod tests {
             let direct = Simulator::new((*c).clone()).run_trace("quick-test", &trace);
             let replayed = pwt.replay("quick-test", c);
             assert_eq!(replayed.to_json_string(), direct.to_json_string());
+        }
+    }
+
+    #[test]
+    fn parallel_replay_is_byte_identical() {
+        let cfg = SimConfig::table1().with_insts(2_000, 10_000);
+        let trace = quick_trace(12_000);
+        let pwt = PwTrace::record(&trace, &cfg);
+        let sequential = pwt.replay("quick-test", &cfg);
+        for threads in [1, 2, 4] {
+            let parallel = pwt.replay_parallel("quick-test", &cfg, threads);
+            assert_eq!(
+                parallel.to_json_string(),
+                sequential.to_json_string(),
+                "cell-threads={threads} must not change the report"
+            );
         }
     }
 

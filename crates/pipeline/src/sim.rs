@@ -1,10 +1,10 @@
 //! The front-end simulator: PW stream → uop supply (uop cache / decoder /
 //! loop cache) → back end, with all the paper's metrics.
 
-use ucsim_bpu::{PwBatchRef, PwGenerator};
-use ucsim_isa::{uop_kinds_into, MAX_UOPS_PER_INST};
+use ucsim_bpu::{PwBatchRef, PwGenerator, SlicePwGen};
+use ucsim_isa::UopKindTable;
 use ucsim_mem::{AccessKind, FetchDirectedPrefetcher, MemoryHierarchy};
-use ucsim_model::{mix64, Addr, CancelToken, DynInst, PwId, UopKind};
+use ucsim_model::{mix64, Addr, CancelToken, DynInst, PwId};
 use ucsim_obs::Stage;
 use ucsim_trace::{Program, WorkloadProfile};
 use ucsim_uopcache::{AccumulationBuffer, UopCache, UopCacheEntry};
@@ -107,8 +107,11 @@ impl Simulator {
     /// is there (the measurement window degrades exactly as a short walk
     /// would).
     pub fn run_trace(&self, name: &str, trace: &ucsim_trace::Trace) -> SimReport {
-        let total = self.cfg.warmup_insts + self.cfg.measure_insts;
-        self.run_stream(name, trace.iter().take(total as usize))
+        let never = CancelToken::new();
+        match self.run_trace_cancellable(name, trace, &never) {
+            Ok(report) => report,
+            Err(Cancelled) => unreachable!("token is never cancelled"),
+        }
     }
 
     /// [`Simulator::run_trace`] with cooperative cancellation: identical
@@ -119,8 +122,66 @@ impl Simulator {
         trace: &ucsim_trace::Trace,
         cancel: &CancelToken,
     ) -> Result<SimReport, Cancelled> {
-        let total = self.cfg.warmup_insts + self.cfg.measure_insts;
-        self.run_stream_cancellable(name, trace.iter().take(total as usize), cancel)
+        let total = (self.cfg.warmup_insts + self.cfg.measure_insts) as usize;
+        let insts = trace.insts();
+        self.run_slice_cancellable(name, &insts[..total.min(insts.len())], cancel)
+    }
+
+    /// Runs a borrowed instruction slice through the slice-driven hot
+    /// path: [`SlicePwGen`] walks the slice by index and the pipeline
+    /// consumes index-range batches, so no instruction is ever copied
+    /// into per-window storage. Byte-identical to
+    /// [`Simulator::run_stream`] over the same instructions (the
+    /// iterator-driven path is kept as the reference implementation and
+    /// the equivalence is asserted in the test suite).
+    pub fn run_slice(&self, name: &str, insts: &[DynInst]) -> SimReport {
+        let never = CancelToken::new();
+        match self.run_slice_cancellable(name, insts, &never) {
+            Ok(report) => report,
+            Err(Cancelled) => unreachable!("token is never cancelled"),
+        }
+    }
+
+    /// [`Simulator::run_slice`] with cooperative cancellation, polled at
+    /// the same PW-batch cadence as [`Simulator::run_stream_cancellable`].
+    pub fn run_slice_cancellable(
+        &self,
+        name: &str,
+        insts: &[DynInst],
+        cancel: &CancelToken,
+    ) -> Result<SimReport, Cancelled> {
+        let mut pwgen = SlicePwGen::new(self.cfg.bpu.clone(), insts);
+        let mut st = RunState::new(&self.cfg);
+
+        let mut insts_done: u64 = 0;
+        let mut measured = false;
+        let mut check_in: u32 = 0;
+        loop {
+            if check_in == 0 {
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                check_in = CANCEL_CHECK_BATCHES;
+            }
+            check_in -= 1;
+            if !measured && insts_done >= self.cfg.warmup_insts {
+                st.begin_measurement();
+                pwgen.reset_stats();
+                measured = true;
+            }
+            let timer = ucsim_obs::stage_start(Stage::Predict);
+            let advanced = pwgen.advance();
+            timer.stop();
+            let Some(span) = advanced else { break };
+            insts_done += (span.end - span.start) as u64;
+            st.process_batch(&pwgen.batch_for(&span));
+        }
+        if !measured {
+            insts_done = 0;
+            st.measure_insts_base = 0;
+        }
+        let bpu = pwgen.stats();
+        Ok(st.finish(name, insts_done, bpu, &self.cfg))
     }
 
     /// Runs an arbitrary architecturally-correct instruction stream (e.g.
@@ -227,6 +288,15 @@ pub(crate) struct RunState {
     fill_stall_cycles: u64,
     // Global uop counter (config-independent identity for dep hashing).
     uop_seq: u64,
+    // Precomputed class × uop-count → uop-kind templates: one table
+    // lookup per instruction instead of re-deriving the kinds.
+    kinds: &'static UopKindTable,
+    // Identity hashes staged by a parallel pre-pass (see
+    // `PwTrace::replay_parallel`). While `staged_pos <
+    // staged_hashes.len()`, `deliver` consumes one staged hash per uop
+    // instead of mixing it inline; empty outside parallel replay.
+    staged_hashes: Vec<u64>,
+    staged_pos: usize,
     // Measurement baselines.
     cycle_base: u64,
     uops_base: u64,
@@ -288,6 +358,9 @@ impl RunState {
             fill_busy_until: 0,
             fill_stall_cycles: 0,
             uop_seq: 0,
+            kinds: UopKindTable::get(),
+            staged_hashes: Vec::new(),
+            staged_pos: 0,
             cycle_base: 0,
             uops_base: 0,
             busy_base: 0,
@@ -360,13 +433,12 @@ impl RunState {
     fn fill_inner(&mut self, e: UopCacheEntry) {
         self.energy.oc_fills += 1;
         let outcome = self.oc.fill(e);
-        let cost = if outcome.placement == ucsim_uopcache::PlacementKind::Fpwac
-            && !outcome.evicted.is_empty()
-        {
-            self.fill_port_cost + self.forced_move_cost
-        } else {
-            self.fill_port_cost
-        };
+        let cost =
+            if outcome.placement == ucsim_uopcache::PlacementKind::Fpwac && outcome.evicted > 0 {
+                self.fill_port_cost + self.forced_move_cost
+            } else {
+                self.fill_port_cost
+            };
         let start = self.fill_busy_until.max(self.fe_ready);
         self.fill_busy_until = start + cost;
         // Backlog beyond the accumulation buffer stalls the front end.
@@ -383,10 +455,28 @@ impl RunState {
     /// (self-modifying code) and trigger invalidation probes.
     const CODE_CEILING: u64 = 0x1_0000_0000;
 
-    /// Delivers all uops of one instruction to the back end.
-    fn deliver(&mut self, inst: &DynInst, delivery: u64, source: UopSource) {
-        let mut buf = [UopKind::Nop; MAX_UOPS_PER_INST as usize];
-        let n = uop_kinds_into(inst.class, inst.uops, &mut buf);
+    /// Delivers all uops of one instruction to the back end, deferring
+    /// the `fe_ready` back-pressure fold to the caller.
+    ///
+    /// `run_max` carries the largest queue-entry time seen so far in the
+    /// current delivery run (0 at run start). Folding it into `fe_ready`
+    /// once per *run* instead of once per instruction is what lets
+    /// [`RunState::deliver_run`] batch whole uop-cache-entry and
+    /// loop-cache runs; the fold is a monotone `max`, so deferring it is
+    /// exact — except across a fill, which reads `fe_ready`. The one
+    /// mid-run fill site is the SMC drain below, and it folds `run_max`
+    /// in first, so a batched run and a per-instruction loop see
+    /// byte-identical state everywhere it matters. Returns the uop count.
+    #[inline]
+    fn deliver_one(
+        &mut self,
+        inst: &DynInst,
+        delivery: u64,
+        source: UopSource,
+        run_max: &mut u64,
+    ) -> u32 {
+        let tpl = self.kinds.template(inst.class, inst.uops);
+        let n = tpl.len as usize;
         let mem_lat = inst
             .mem_addr
             .map(|a| self.mem.access(AccessKind::Data, a.line()))
@@ -397,6 +487,10 @@ impl RunState {
         if inst.class == ucsim_model::InstClass::Store {
             if let Some(a) = inst.mem_addr {
                 if a.get() < Self::CODE_CEILING {
+                    // The fill below reads `fe_ready`: settle the deferred
+                    // back-pressure from earlier instructions in this run
+                    // first (see the method comment).
+                    self.fe_ready = self.fe_ready.max(*run_max);
                     self.smc_probes += 1;
                     self.smc_invalidated += self.oc.invalidate_icache_line(a.line()) as u64;
                     self.mem.invalidate_inst(a.line());
@@ -408,9 +502,19 @@ impl RunState {
             }
         }
         let mut max_entered = delivery;
-        for (slot, kind) in buf[..n].iter().enumerate() {
-            let identity =
-                mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57);
+        for (slot, kind) in tpl.kinds[..n].iter().enumerate() {
+            let identity = if self.staged_pos < self.staged_hashes.len() {
+                let h = self.staged_hashes[self.staged_pos];
+                self.staged_pos += 1;
+                debug_assert_eq!(
+                    h,
+                    mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57),
+                    "staged identity hash diverged from inline computation"
+                );
+                h
+            } else {
+                mix64(self.uop_seq ^ inst.pc.get().rotate_left(23) ^ (slot as u64) << 57)
+            };
             self.uop_seq += 1;
             let lat = if kind.is_load() { mem_lat } else { 0 };
             let out = self.backend.admit(delivery, *kind, identity, lat);
@@ -434,13 +538,61 @@ impl RunState {
                 self.last_branch_fetch_to_resolve = exec_path + front_depth;
             }
         }
+        *run_max = (*run_max).max(max_entered);
+        n as u32
+    }
+
+    /// Delivers all uops of one instruction to the back end.
+    fn deliver(&mut self, inst: &DynInst, delivery: u64, source: UopSource) {
+        let mut run_max = 0u64;
+        let n = self.deliver_one(inst, delivery, source, &mut run_max);
         // Queue back-pressure stalls the front end.
-        self.fe_ready = self.fe_ready.max(max_entered);
+        self.fe_ready = self.fe_ready.max(run_max);
         match source {
             UopSource::OpCache => self.oc_uops += n as u64,
             UopSource::Decoder => self.decoder_uops += n as u64,
             UopSource::LoopCache => self.loop_uops += n as u64,
         }
+    }
+
+    /// Delivers a run of instructions that share one delivery cycle (a
+    /// uop-cache entry's coverage, a loop-cache window, a carry-over)
+    /// with the per-instruction counter bumps and `fe_ready` folds
+    /// batched into per-run deltas.
+    fn deliver_run(&mut self, insts: &[DynInst], delivery: u64, source: UopSource) {
+        let mut run_max = 0u64;
+        let mut uops: u64 = 0;
+        for inst in insts {
+            uops += self.deliver_one(inst, delivery, source, &mut run_max) as u64;
+        }
+        self.fe_ready = self.fe_ready.max(run_max);
+        match source {
+            UopSource::OpCache => self.oc_uops += uops,
+            UopSource::Decoder => self.decoder_uops += uops,
+            UopSource::LoopCache => self.loop_uops += uops,
+        }
+    }
+
+    /// Installs a chunk of precomputed uop identity hashes, reclaiming
+    /// the previous (fully consumed) chunk's buffer through the swap.
+    /// `deliver` consumes them in uop order; the hashes are a pure
+    /// function of `(uop_seq, pc, slot)`, so a worker thread can compute
+    /// a chunk ahead of the sequential consumer (debug builds assert
+    /// each staged hash against the inline computation).
+    pub(crate) fn stage_hashes(&mut self, chunk: &mut Vec<u64>) {
+        debug_assert!(
+            self.staged_fully_consumed(),
+            "staged a new hash chunk while {} hashes were still pending",
+            self.staged_hashes.len() - self.staged_pos
+        );
+        std::mem::swap(&mut self.staged_hashes, chunk);
+        self.staged_pos = 0;
+    }
+
+    /// Whether every staged hash has been consumed (chunk-boundary
+    /// invariant of the parallel replay).
+    pub(crate) fn staged_fully_consumed(&self) -> bool {
+        self.staged_pos == self.staged_hashes.len()
     }
 
     pub(crate) fn process_batch_on(&mut self, batch: &PwBatchRef<'_>, tid: usize) {
@@ -459,32 +611,32 @@ impl RunState {
             .observe_pw(batch.pw.start.line(), &mut self.mem);
 
         // --- Loop cache: serve a captured tight loop without touching the
-        // OC or the decoder.
-        let taken_target = if batch.pw.ends_in_taken_branch && batch.mispredict.is_none() {
-            insts.last().and_then(|i| i.branch).map(|b| b.target)
-        } else {
-            None
-        };
-        let window_uops: u32 = insts.iter().map(|i| i.uops as u32).sum();
-        if self.loop_cache.enabled()
-            && batch.mispredict.is_none()
-            && self.loop_cache.observe_window(
+        // OC or the decoder. The window summary (uop total, taken target)
+        // is only computed when a loop cache exists — it feeds nothing
+        // else, and summing uops per window is pure hot-loop tax when the
+        // structure is configured off.
+        if self.loop_cache.enabled() && batch.mispredict.is_none() {
+            let taken_target = if batch.pw.ends_in_taken_branch {
+                insts.last().and_then(|i| i.branch).map(|b| b.target)
+            } else {
+                None
+            };
+            let window_uops: u32 = insts.iter().map(|i| i.uops as u32).sum();
+            if self.loop_cache.observe_window(
                 batch.pw.start,
                 batch.pw.end,
                 window_uops,
                 taken_target,
-            )
-        {
-            self.switch_to(Path::LoopCache);
-            let t = self.fe_ready;
-            self.fe_ready += 1;
-            for inst in insts {
-                self.deliver(inst, t, UopSource::LoopCache);
+            ) {
+                self.switch_to(Path::LoopCache);
+                let t = self.fe_ready;
+                self.fe_ready += 1;
+                self.deliver_run(insts, t, UopSource::LoopCache);
+                let timer = ucsim_obs::stage_start(Stage::Retire);
+                self.end_of_batch(batch);
+                timer.stop();
+                return;
             }
-            let timer = ucsim_obs::stage_start(Stage::Retire);
-            self.end_of_batch(batch);
-            timer.stop();
-            return;
         }
 
         // --- Main fetch walk.
@@ -495,10 +647,9 @@ impl RunState {
         if let Some(c) = self.threads[self.cur].carry {
             if insts[0].pc == c.expect {
                 while idx < insts.len() && insts[idx].pc.get() < c.until.get() {
-                    let inst = insts[idx];
-                    self.deliver(&inst, c.time, UopSource::OpCache);
                     idx += 1;
                 }
+                self.deliver_run(&insts[..idx], c.time, UopSource::OpCache);
                 if idx < insts.len() {
                     self.threads[self.cur].carry = None;
                 } else {
@@ -526,10 +677,9 @@ impl RunState {
                 self.fe_ready += 1; // one entry per cycle
                 let mut j = idx;
                 while j < insts.len() && insts[j].pc.get() < entry.end.get() {
-                    let inst = insts[j];
-                    self.deliver(&inst, t, UopSource::OpCache);
                     j += 1;
                 }
+                self.deliver_run(&insts[idx..j], t, UopSource::OpCache);
                 if j >= insts.len() {
                     let last = insts[insts.len() - 1];
                     if entry.end.get() > last.end().get()

@@ -9,7 +9,7 @@
 //! I-cache hierarchy, fetch engine and back end, fetching alternate
 //! prediction windows round-robin.
 
-use ucsim_bpu::{BpuStats, PwGenerator};
+use ucsim_bpu::{BpuStats, PwGenerator, SlicePwGen};
 use ucsim_trace::{record_workload, Program, ReplayIter, SharedTrace, WorkloadProfile};
 
 use crate::sim::RunState;
@@ -81,7 +81,67 @@ impl SmtSimulator {
     /// Runs two recorded workload traces on the shared front end —
     /// byte-identical to [`SmtSimulator::run`] on the workloads the
     /// traces were recorded from.
+    ///
+    /// Hot path: both threads are driven by the slice-based
+    /// [`SlicePwGen`] over the recordings, so no instruction is copied
+    /// into per-window storage (the iterator-driven reference
+    /// implementation survives as [`SmtSimulator::run_traces_streamed`]
+    /// and the equivalence is asserted in the test suite).
     pub fn run_traces(&self, a: (&str, &SharedTrace), b: (&str, &SharedTrace)) -> SimReport {
+        let per_thread = (self.cfg.warmup_insts + self.cfg.measure_insts) as usize;
+        let insts_a = a.1.insts();
+        let insts_a = &insts_a[..per_thread.min(insts_a.len())];
+        let insts_b = b.1.insts();
+        let insts_b = &insts_b[..per_thread.min(insts_b.len())];
+        let mut gen_a = SlicePwGen::new(self.cfg.bpu.clone(), insts_a);
+        let mut gen_b = SlicePwGen::new(self.cfg.bpu.clone(), insts_b);
+        let mut st = RunState::with_threads(&self.cfg, 2);
+
+        let mut insts_done: u64 = 0;
+        let warmup_total = 2 * self.cfg.warmup_insts;
+        let mut measured = false;
+        let (mut done_a, mut done_b) = (false, false);
+        while !(done_a && done_b) {
+            if !measured && insts_done >= warmup_total {
+                st.begin_measurement();
+                gen_a.reset_stats();
+                gen_b.reset_stats();
+                measured = true;
+            }
+            if !done_a {
+                match gen_a.advance() {
+                    Some(span) => {
+                        insts_done += (span.end - span.start) as u64;
+                        st.process_batch_on(&gen_a.batch_for(&span), 0);
+                    }
+                    None => done_a = true,
+                }
+            }
+            if !done_b {
+                match gen_b.advance() {
+                    Some(span) => {
+                        insts_done += (span.end - span.start) as u64;
+                        st.process_batch_on(&gen_b.batch_for(&span), 1);
+                    }
+                    None => done_b = true,
+                }
+            }
+        }
+
+        let bpu = combine(gen_a.stats(), gen_b.stats());
+        let name = format!("smt:{}+{}", a.0, b.0);
+        st.finish(&name, insts_done, bpu, &self.cfg)
+    }
+
+    /// The iterator-driven reference implementation of
+    /// [`SmtSimulator::run_traces`]. Kept (hidden) so the equivalence
+    /// tests can pin the slice-based hot path to it byte-for-byte.
+    #[doc(hidden)]
+    pub fn run_traces_streamed(
+        &self,
+        a: (&str, &SharedTrace),
+        b: (&str, &SharedTrace),
+    ) -> SimReport {
         let mut gen_a = self.thread_feed(a.1);
         let mut gen_b = self.thread_feed(b.1);
         let mut st = RunState::with_threads(&self.cfg, 2);
@@ -165,6 +225,20 @@ mod tests {
         assert!(r.insts >= 95_000, "both threads measured: {}", r.insts);
         assert_eq!(r.oc_uops + r.decoder_uops + r.loop_uops, r.uops);
         assert!(r.upc > 0.3);
+    }
+
+    #[test]
+    fn smt_slice_path_matches_streamed_reference() {
+        use ucsim_model::ToJson;
+        let (a, pa, b, pb) = pair();
+        let cfg = SimConfig::table1().with_insts(5_000, 50_000);
+        let per_thread = cfg.warmup_insts + cfg.measure_insts;
+        let ta = record_workload(&a, &pa, per_thread);
+        let tb = record_workload(&b, &pb, per_thread);
+        let sim = SmtSimulator::new(cfg);
+        let fast = sim.run_traces((a.name, &ta), (b.name, &tb));
+        let reference = sim.run_traces_streamed((a.name, &ta), (b.name, &tb));
+        assert_eq!(fast.to_json_string(), reference.to_json_string());
     }
 
     #[test]

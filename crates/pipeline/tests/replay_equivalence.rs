@@ -1,0 +1,96 @@
+//! Byte-identity of every hot-path variant against the legacy
+//! per-instruction streamed reference.
+//!
+//! The slice-driven `run_trace`, the recorded `PwTrace::replay`, and the
+//! PW-parallel `replay_parallel` all restructure the decode→dispatch hot
+//! loop (SoA batches, deferred stat folds, staged hash precompute). None
+//! of that is allowed to change a single reported byte: each path must
+//! produce canonical JSON identical to `Simulator::run`, which still
+//! walks the program one instruction at a time.
+
+use ucsim_model::ToJson;
+use ucsim_pipeline::{
+    run_configs_on_trace_threads, LabeledConfig, PwTrace, SimConfig, Simulator, SmtSimulator,
+};
+use ucsim_trace::{record_workload, Program, WorkloadProfile};
+
+/// Short but non-trivial budget: long enough to cross the warmup
+/// boundary, fill the uop cache, and exercise evictions.
+fn cfg() -> SimConfig {
+    SimConfig::table1().with_insts(2_000, 10_000)
+}
+
+/// All synthetic workloads: every slice/batched/parallel path must match
+/// the streamed per-instruction reference byte for byte.
+#[test]
+fn all_workloads_all_paths_byte_identical() {
+    let cfg = cfg();
+    let total = cfg.warmup_insts + cfg.measure_insts;
+    for profile in WorkloadProfile::table2() {
+        let program = Program::generate(&profile);
+        let trace = record_workload(&profile, &program, total);
+
+        let sim = Simulator::new(cfg.clone());
+        let legacy = sim.run(&profile, &program).to_json_string();
+        let sliced = sim.run_trace(profile.name, &trace).to_json_string();
+        assert_eq!(legacy, sliced, "{}: slice path diverged", profile.name);
+
+        let pwt = PwTrace::record(&trace, &cfg);
+        let replayed = pwt.replay(profile.name, &cfg).to_json_string();
+        assert_eq!(legacy, replayed, "{}: replay diverged", profile.name);
+
+        for threads in [1usize, 4] {
+            let par = pwt
+                .replay_parallel(profile.name, &cfg, threads)
+                .to_json_string();
+            assert_eq!(
+                legacy, par,
+                "{}: parallel replay ({threads} threads) diverged",
+                profile.name
+            );
+        }
+    }
+}
+
+/// The SMT slice-driven scheduler must match the streamed legacy
+/// round-robin on a dual-stream run of two different workloads.
+#[test]
+fn smt_dual_stream_byte_identical() {
+    let cfg = cfg();
+    let total = cfg.warmup_insts + cfg.measure_insts;
+    let per_thread = total / 2;
+    let pa = WorkloadProfile::by_name("redis").expect("known workload");
+    let pb = WorkloadProfile::by_name("bm-pb").expect("known workload");
+    let ta = record_workload(&pa, &Program::generate(&pa), per_thread);
+    let tb = record_workload(&pb, &Program::generate(&pb), per_thread);
+
+    let smt = SmtSimulator::new(cfg);
+    let sliced = smt.run_traces((pa.name, &ta), (pb.name, &tb));
+    let streamed = smt.run_traces_streamed((pa.name, &ta), (pb.name, &tb));
+    assert_eq!(sliced.to_json_string(), streamed.to_json_string());
+}
+
+/// The sweep entry point with intra-cell parallelism enabled must report
+/// exactly what the sequential sweep reports, cell for cell.
+#[test]
+fn sweep_cell_threads_byte_identical() {
+    let cfg = cfg();
+    let total = cfg.warmup_insts + cfg.measure_insts;
+    let profile = WorkloadProfile::by_name("jvm").expect("known workload");
+    let trace = record_workload(&profile, &Program::generate(&profile), total);
+    let configs = vec![
+        LabeledConfig::new("table1", cfg.clone()),
+        LabeledConfig::new("8-wide", {
+            let mut wide = cfg.clone();
+            wide.core.dispatch_width = 8;
+            wide
+        }),
+    ];
+
+    let seq = run_configs_on_trace_threads(profile.name, &trace, &configs, 1);
+    let par = run_configs_on_trace_threads(profile.name, &trace, &configs, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+}

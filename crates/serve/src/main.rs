@@ -27,6 +27,8 @@ OPTIONS:
     --tenant-weight TENANT=W
                       fair-share weight for TENANT (repeatable); tenants
                       not listed default to weight 1
+    --cell-threads N  intra-cell hash-precompute workers per job
+                      (byte-identical reports)  [default: 1]
     --help            show this help
 
 ENDPOINTS:
@@ -113,6 +115,10 @@ fn main() -> ExitCode {
                     None => return bail("--tenant-weight needs TENANT=WEIGHT with WEIGHT >= 1"),
                 }
             }
+            "--cell-threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => cfg.cell_threads = v,
+                _ => return bail("--cell-threads needs a number >= 1"),
+            },
             other => return bail(&format!("unknown option: {other}")),
         }
     }

@@ -77,6 +77,14 @@ pub struct ServerConfig {
     /// Fair-share weights per tenant (`(name, weight)`); tenants not
     /// listed here are created on first use with weight 1.
     pub tenant_weights: Vec<(String, u64)>,
+    /// Intra-cell parallelism: with `cell_threads > 1`, each job records
+    /// its prediction-window stream and replays it with that many
+    /// hash-precompute workers (`PwTrace::replay_parallel`). Served
+    /// reports are byte-identical either way; the trade-off is coarser
+    /// cancellation (the deadline token is checked between phases, not
+    /// every few batches), so late jobs may run to completion — their
+    /// results are still correct and still cached.
+    pub cell_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +105,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(30),
             durable_store: false,
             tenant_weights: Vec::new(),
+            cell_threads: 1,
         }
     }
 }
@@ -463,6 +472,7 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
         inner.cfg.enable_test_workloads,
         &inner.traces,
         &work.cancel,
+        inner.cfg.cell_threads,
     );
     if let Some(profile) = ucsim_obs::profile_end() {
         work.cell.set_profile(Arc::new(profile));
@@ -575,6 +585,7 @@ fn run_spec(
     test_workloads: bool,
     traces: &TraceStore,
     cancel: &CancelToken,
+    cell_threads: usize,
 ) -> Result<SimReport, RunError> {
     let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
         if !test_workloads {
@@ -607,6 +618,17 @@ fn run_spec(
         let insts: Vec<_> = program.walk(&profile).take(total as usize).collect();
         insts.into_iter()
     });
+    if cell_threads > 1 {
+        // PW-parallel path: record the prediction-window stream, then
+        // replay it with intra-cell hash-precompute workers. Reports are
+        // byte-identical to the sequential path; cancellation is checked
+        // between the two phases only (see `ServerConfig::cell_threads`).
+        let pwt = ucsim_pipeline::PwTrace::record(&trace, &spec.config);
+        if cancel.is_cancelled() {
+            return Err(RunError::Cancelled);
+        }
+        return Ok(pwt.replay_parallel(profile.name, &spec.config, cell_threads));
+    }
     Simulator::new(spec.config.clone())
         .run_trace_cancellable(profile.name, &trace, cancel)
         .map_err(|Cancelled| RunError::Cancelled)
