@@ -15,6 +15,13 @@
 //! quantity chaos tests assert on — is a pure function of `(seed, rules,
 //! N)`.
 //!
+//! Rules may optionally carry a `target` — a dynamic instance label such
+//! as a peer's `host:port` — checked by the `*_at` site markers. A rule
+//! with `target: None` fires at every instance of its site; a targeted
+//! rule fires only when the site reports a matching target. Cluster chaos
+//! tests use this to partition *one* node of an in-process cluster (the
+//! harness is process-global, so all nodes share it).
+//!
 //! Sites currently instrumented (see DESIGN.md §4.2):
 //!
 //! | site              | faults honored            | placed at                       |
@@ -22,6 +29,9 @@
 //! | `worker.pre_sim`  | [`FaultAction::DelayMs`]  | after a job is marked running   |
 //! | `worker.simulate` | [`FaultAction::Panic`]    | immediately before simulation   |
 //! | `store.append`    | [`FaultAction::IoError`], [`FaultAction::TornWrite`] | the `results.log` write path |
+//! | `peer.connect`    | [`FaultAction::IoError`]  | peer transport, before connect (connect refused; target = peer addr) |
+//! | `peer.request`    | [`FaultAction::DelayMs`]  | peer transport, before the request is written (response delay; target = peer addr) |
+//! | `peer.recv`       | [`FaultAction::IoError`], [`FaultAction::TornWrite`] | peer transport, while reading the response (mid-body drop; target = peer addr) |
 
 /// What an installed rule does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +84,9 @@ pub struct FaultRule {
     pub action: FaultAction,
     /// When it fires.
     pub mode: FireMode,
+    /// Restricts the rule to one site instance (e.g. a peer address seen
+    /// by the `*_at` markers). `None` fires at every instance.
+    pub target: Option<String>,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -125,19 +138,29 @@ mod armed {
     }
 
     /// Installs a rule set, replacing any previous one. Each rule's RNG is
-    /// seeded from `seed ^ fnv1a(site)` so distinct sites draw independent
+    /// seeded from `seed ^ fnv1a(site)` (targeted rules additionally fold
+    /// in `fnv1a(target)`) so distinct rules draw independent
     /// deterministic streams.
     pub fn install(seed: u64, rules: Vec<FaultRule>) {
         let armed = rules
             .into_iter()
             .map(|rule| ArmedRule {
-                rng: SplitMix64::new(seed ^ fnv1a(rule.site)),
+                rng: SplitMix64::new(
+                    seed ^ fnv1a(rule.site) ^ rule.target.as_deref().map_or(0, fnv1a),
+                ),
                 rule,
                 hits: 0,
                 fired: 0,
             })
             .collect();
         *state().lock().expect("faults lock") = Some(Harness { rules: armed });
+    }
+
+    /// Whether `rule` applies to this hit: the site must match, and a
+    /// targeted rule additionally requires the site to report the same
+    /// target instance.
+    fn applies(rule: &FaultRule, site: &str, target: Option<&str>) -> bool {
+        rule.site == site && rule.target.as_deref().is_none_or(|t| Some(t) == target)
     }
 
     /// Disarms every site. Subsequent checks are no-ops.
@@ -149,11 +172,25 @@ mod armed {
     /// *after* releasing the harness lock, so an injected panic never
     /// poisons the injection state.
     pub fn check(site: &str) {
+        check_impl(site, None);
+    }
+
+    /// Like [`check`], for a specific site instance: untargeted rules and
+    /// rules targeting exactly `target` fire.
+    pub fn check_at(site: &str, target: &str) {
+        check_impl(site, Some(target));
+    }
+
+    fn check_impl(site: &str, target: Option<&str>) {
         let mut action: Option<FaultAction> = None;
         {
             let mut guard = state().lock().expect("faults lock");
             if let Some(h) = guard.as_mut() {
-                for r in h.rules.iter_mut().filter(|r| r.rule.site == site) {
+                for r in h
+                    .rules
+                    .iter_mut()
+                    .filter(|r| applies(&r.rule, site, target))
+                {
                     let a = r.rule.action;
                     match a {
                         FaultAction::Panic | FaultAction::DelayMs(_) if r.draw() => {
@@ -177,9 +214,23 @@ mod armed {
     /// Evaluates `site` against I/O rules, returning the fault the write
     /// path must emulate, if one fired.
     pub fn take_io(site: &str) -> Option<IoFault> {
+        take_io_impl(site, None)
+    }
+
+    /// Like [`take_io`], for a specific site instance: untargeted rules
+    /// and rules targeting exactly `target` fire.
+    pub fn take_io_at(site: &str, target: &str) -> Option<IoFault> {
+        take_io_impl(site, Some(target))
+    }
+
+    fn take_io_impl(site: &str, target: Option<&str>) -> Option<IoFault> {
         let mut guard = state().lock().expect("faults lock");
         let h = guard.as_mut()?;
-        for r in h.rules.iter_mut().filter(|r| r.rule.site == site) {
+        for r in h
+            .rules
+            .iter_mut()
+            .filter(|r| applies(&r.rule, site, target))
+        {
             let a = r.rule.action;
             match a {
                 FaultAction::IoError if r.draw() => return Some(IoFault::Error),
@@ -224,17 +275,31 @@ mod armed {
 }
 
 #[cfg(feature = "fault-injection")]
-pub use armed::{check, clear, fired, hits, install, take_io};
+pub use armed::{check, check_at, clear, fired, hits, install, take_io, take_io_at};
 
 /// No-op site marker (the `fault-injection` feature is disabled).
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
 pub fn check(_site: &str) {}
 
+/// No-op targeted site marker (the `fault-injection` feature is
+/// disabled).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn check_at(_site: &str, _target: &str) {}
+
 /// No-op I/O site marker (the `fault-injection` feature is disabled).
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
 pub fn take_io(_site: &str) -> Option<IoFault> {
+    None
+}
+
+/// No-op targeted I/O site marker (the `fault-injection` feature is
+/// disabled).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn take_io_at(_site: &str, _target: &str) -> Option<IoFault> {
     None
 }
 
@@ -257,6 +322,7 @@ mod tests {
                 site: "t.prob",
                 action: FaultAction::DelayMs(0),
                 mode: FireMode::Prob(0.3),
+                target: None,
             }]
         };
         install(7, rules());
@@ -284,11 +350,13 @@ mod tests {
                     site: "t.first",
                     action: FaultAction::IoError,
                     mode: FireMode::First(2),
+                    target: None,
                 },
                 FaultRule {
                     site: "t.nth",
                     action: FaultAction::TornWrite { keep: 3 },
                     mode: FireMode::EveryNth(3),
+                    target: None,
                 },
             ],
         );
@@ -313,6 +381,7 @@ mod tests {
                 site: "t.panic",
                 action: FaultAction::Panic,
                 mode: FireMode::First(1),
+                target: None,
             }],
         );
         let r = std::panic::catch_unwind(|| check("t.panic"));
@@ -336,5 +405,65 @@ mod tests {
         check("t.nothing");
         assert_eq!(take_io("t.nothing"), None);
         assert_eq!(fired("t.nothing"), 0);
+    }
+
+    #[test]
+    fn targeted_rules_fire_only_for_their_instance() {
+        let _g = serial();
+        install(
+            5,
+            vec![FaultRule {
+                site: "t.peer",
+                action: FaultAction::IoError,
+                mode: FireMode::First(10),
+                target: Some("10.0.0.2:7199".to_owned()),
+            }],
+        );
+        // A different instance of the same site: the rule stays silent.
+        assert_eq!(take_io_at("t.peer", "10.0.0.3:7199"), None);
+        // The untargeted marker never matches a targeted rule.
+        assert_eq!(take_io("t.peer"), None);
+        // The matching instance fires.
+        assert_eq!(take_io_at("t.peer", "10.0.0.2:7199"), Some(IoFault::Error));
+        assert_eq!(fired("t.peer"), 1);
+        clear();
+    }
+
+    #[test]
+    fn untargeted_rules_fire_at_every_instance() {
+        let _g = serial();
+        install(
+            5,
+            vec![FaultRule {
+                site: "t.any",
+                action: FaultAction::IoError,
+                mode: FireMode::First(10),
+                target: None,
+            }],
+        );
+        assert_eq!(take_io_at("t.any", "a:1"), Some(IoFault::Error));
+        assert_eq!(take_io_at("t.any", "b:2"), Some(IoFault::Error));
+        assert_eq!(take_io("t.any"), Some(IoFault::Error));
+        assert_eq!(fired("t.any"), 3);
+        clear();
+    }
+
+    #[test]
+    fn targeted_delay_rules_follow_the_same_filter() {
+        let _g = serial();
+        install(
+            9,
+            vec![FaultRule {
+                site: "t.delay",
+                action: FaultAction::DelayMs(0),
+                mode: FireMode::First(1),
+                target: Some("x:1".to_owned()),
+            }],
+        );
+        check_at("t.delay", "y:2"); // no match: draw not consumed
+        assert_eq!(fired("t.delay"), 0);
+        check_at("t.delay", "x:1");
+        assert_eq!(fired("t.delay"), 1);
+        clear();
     }
 }

@@ -121,10 +121,19 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<
 /// the connection stays usable. If the server closed the connection in
 /// the meantime (idle timeout, restart), the next request transparently
 /// reconnects once.
+///
+/// With extra peers configured ([`Client::add_peer`], the `--peer` CLI
+/// flag), [`Client::request_retrying`] *fails over*: a connect/read
+/// error or a 5xx answer rotates to the next address before the next
+/// attempt, so a cluster stays usable while any one member is up. A 429
+/// still retries the same node — it is backpressure, not failure.
 pub struct Client {
-    addr: String,
+    /// Candidate addresses; `addrs[active]` is the one in use.
+    addrs: Vec<String>,
+    active: usize,
     conn: Option<BufReader<TcpStream>>,
     connects: u64,
+    failovers: u64,
     retry: RetryPolicy,
     jitter: SplitMix64,
     request_id: Option<String>,
@@ -141,19 +150,49 @@ impl Client {
     pub fn with_retry(addr: &str, retry: RetryPolicy) -> Client {
         let jitter = SplitMix64::new(retry.jitter_seed);
         Client {
-            addr: addr.to_owned(),
+            addrs: vec![addr.to_owned()],
+            active: 0,
             conn: None,
             connects: 0,
+            failovers: 0,
             retry,
             jitter,
             request_id: None,
         }
     }
 
+    /// Adds a failover peer address (idempotent; the primary and
+    /// duplicates are ignored).
+    pub fn add_peer(&mut self, addr: &str) {
+        if !self.addrs.iter().any(|a| a == addr) {
+            self.addrs.push(addr.to_owned());
+        }
+    }
+
+    /// The address requests currently go to.
+    pub fn addr(&self) -> &str {
+        &self.addrs[self.active]
+    }
+
     /// TCP connections established so far (tests assert keep-alive reuse
     /// by checking this stays at 1 across requests).
     pub fn connects(&self) -> u64 {
         self.connects
+    }
+
+    /// Failovers to another peer so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Rotates to the next configured address and drops the cached
+    /// connection. No-op with a single address.
+    fn fail_over(&mut self) {
+        if self.addrs.len() > 1 {
+            self.active = (self.active + 1) % self.addrs.len();
+            self.conn = None;
+            self.failovers += 1;
+        }
     }
 
     /// Sets an `X-Request-Id` to send on every subsequent request (the
@@ -181,12 +220,21 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             let outcome = self.request(method, path, body);
+            let multi = self.addrs.len() > 1;
+            // With peers configured, a 5xx becomes worth retrying — on
+            // the *next* peer. Single-address behavior is unchanged
+            // (5xx is a terminal answer there).
             let retriable = match &outcome {
-                Ok(resp) => resp.status == 429,
+                Ok(resp) => resp.status == 429 || (multi && resp.status >= 500),
                 Err(_) => true,
             };
             if !retriable || attempt >= self.retry.max_retries {
                 return outcome;
+            }
+            match &outcome {
+                Err(_) => self.fail_over(),
+                Ok(resp) if resp.status >= 500 => self.fail_over(),
+                Ok(_) => {}
             }
             let delay = match &outcome {
                 Ok(resp) => resp
@@ -224,19 +272,20 @@ impl Client {
 
     fn try_request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
         if self.conn.is_none() {
-            self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+            let addr = self.addrs[self.active].clone();
+            self.conn = Some(BufReader::new(TcpStream::connect(&addr)?));
             self.connects += 1;
         }
-        let conn = self.conn.as_mut().expect("connected above");
         let id_header = self
             .request_id
             .as_ref()
             .map_or_else(String::new, |id| format!("x-request-id: {id}\r\n"));
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{id_header}\r\n",
-            self.addr,
+            self.addrs[self.active],
             body.len()
         );
+        let conn = self.conn.as_mut().expect("connected above");
         let result = (|| {
             let stream = conn.get_mut();
             stream.write_all(head.as_bytes())?;
@@ -310,7 +359,9 @@ fn read_framed_response(r: &mut BufReader<TcpStream>) -> io::Result<HttpResponse
     })
 }
 
-fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+/// Parses a full `Connection: close` response (head + body). Shared with
+/// the peer transport (`crate::peer`), which frames the same way.
+pub(crate) fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
     let split = find_head_end(raw).ok_or_else(|| bad("no header terminator"))?;
     let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head not utf-8"))?;
@@ -397,6 +448,50 @@ mod tests {
         // One connection per attempt (each answer said `connection: close`).
         assert_eq!(client.connects(), 3);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn failover_rotates_past_a_dead_primary_and_a_5xx() {
+        use std::net::TcpListener;
+        // Primary: bound then dropped, so connects are refused.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        // Second peer answers 503 — with peers configured that is a
+        // failover trigger, not a terminal answer.
+        let draining = TcpListener::bind("127.0.0.1:0").unwrap();
+        let draining_addr = draining.local_addr().unwrap().to_string();
+        let h1 = std::thread::spawn(move || {
+            let (mut s, _) = draining.accept().unwrap();
+            read_request_head(&mut s);
+            s.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+            )
+            .unwrap();
+        });
+        // Third peer is healthy.
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = live.local_addr().unwrap().to_string();
+        let h2 = std::thread::spawn(move || {
+            let (mut s, _) = live.accept().unwrap();
+            read_request_head(&mut s);
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok")
+                .unwrap();
+        });
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut client = Client::with_retry(&dead_addr, policy);
+        client.add_peer(&draining_addr);
+        client.add_peer(&live_addr);
+        let resp = client.request_retrying("GET", "/v1/healthz", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.failovers(), 2);
+        assert_eq!(client.addr(), live_addr);
+        h1.join().unwrap();
+        h2.join().unwrap();
     }
 
     #[test]

@@ -85,6 +85,7 @@ mod client;
 mod http;
 mod jobs;
 mod metrics;
+mod peer;
 mod prom;
 mod router;
 mod server;
@@ -98,6 +99,7 @@ pub use client::{request, Client, HttpResponse, RetryPolicy};
 pub use http::{HttpConn, ReadOutcome, Request, Response};
 pub use jobs::{JobCell, JobFailure, JobId, JobState, JobTable, Submit};
 pub use metrics::Metrics;
+pub use peer::{Peer, PeerSet, PeerState, DOWN_AFTER_FAILURES};
 pub use prom::render_prometheus;
 pub use router::{LabelId, Params, Route, Router};
 pub use server::{Server, ServerConfig};

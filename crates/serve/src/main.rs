@@ -29,6 +29,21 @@ OPTIONS:
                       not listed default to weight 1
     --cell-threads N  intra-cell hash-precompute workers per job
                       (byte-identical reports)  [default: 1]
+    --peer HOST:PORT  cluster member (repeatable). Any non-empty list
+                      turns on peer mode: consistent-hash job routing,
+                      scatter-gather sweeps, health probing, and (with
+                      --data-dir) store anti-entropy. Every node may be
+                      given the identical list; its own --advertise
+                      address is filtered out.
+    --advertise HOST:PORT
+                      the address other members reach this node at
+                      [default: the resolved bind address]
+    --peer-deadline-ms N
+                      connect/read deadline for forwarded peer requests
+                      [default: 30000]
+    --anti-entropy-ms N
+                      interval between store delta pulls per peer
+                      [default: 5000]
     --help            show this help
 
 ENDPOINTS:
@@ -52,7 +67,10 @@ ENDPOINTS:
     GET  /v1/metrics    queue/worker/cache/latency counters; JSON, or
                         Prometheus text with 'Accept: text/plain'
     GET  /v1/trace?since=N  recent span events from the trace rings
-    GET  /v1/healthz    liveness: queue depth, workers, store health
+    GET  /v1/store?since=N  a page of verified store records (peer
+                        anti-entropy pulls; needs --data-dir)
+    GET  /v1/healthz    liveness: queue depth, workers, store health,
+                        and per-peer breaker state in peer mode
     GET  /v1/version    crate version, store format, feature flags
 
 Connections are keep-alive; errors use the uniform envelope
@@ -118,6 +136,26 @@ fn main() -> ExitCode {
             "--cell-threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(v) if v >= 1 => cfg.cell_threads = v,
                 _ => return bail("--cell-threads needs a number >= 1"),
+            },
+            "--peer" => match args.next() {
+                Some(v) if v.contains(':') => cfg.peers.push(v),
+                _ => return bail("--peer needs HOST:PORT"),
+            },
+            "--advertise" => match args.next() {
+                Some(v) if v.contains(':') => cfg.advertise = Some(v),
+                _ => return bail("--advertise needs HOST:PORT"),
+            },
+            "--peer-deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => {
+                    cfg.peer_deadline = std::time::Duration::from_millis(v);
+                }
+                _ => return bail("--peer-deadline-ms needs a positive number"),
+            },
+            "--anti-entropy-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => {
+                    cfg.anti_entropy_interval = std::time::Duration::from_millis(v);
+                }
+                _ => return bail("--anti-entropy-ms needs a positive number"),
             },
             other => return bail(&format!("unknown option: {other}")),
         }

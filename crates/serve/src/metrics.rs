@@ -154,6 +154,8 @@ impl Metrics {
     /// scheduler's point-in-time statistics, `workers_alive` and
     /// `workers_respawned` come from the supervised pool's monitor (the
     /// pool and scheduler own those counters; metrics only reports them).
+    /// `peers` is the peer-mode counter section ([`crate::PeerSet`]
+    /// owns those counters); `None` on a standalone node omits it.
     pub fn to_json(
         &self,
         sched: &SchedStats,
@@ -161,6 +163,7 @@ impl Metrics {
         cache: &CacheStats,
         workers_alive: usize,
         workers_respawned: u64,
+        peers: Option<Json>,
     ) -> Json {
         let uptime_us = self.started.elapsed().as_micros() as u64;
         let busy_us = self.busy_us.load(Ordering::Relaxed);
@@ -271,7 +274,7 @@ impl Metrics {
                     .collect(),
             )
         };
-        Json::Obj(vec![
+        let mut fields = vec![
             ("uptime_us".to_owned(), Json::Uint(uptime_us)),
             (
                 "requests".to_owned(),
@@ -283,7 +286,11 @@ impl Metrics {
             ("store".to_owned(), store),
             ("cache".to_owned(), cache_json),
             ("latency_us".to_owned(), latency),
-        ])
+        ];
+        if let Some(peers) = peers {
+            fields.push(("peers".to_owned(), peers));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -333,7 +340,7 @@ mod tests {
         let mut s = sched(0);
         // Ten distinct priorities; the busiest eight survive the cap.
         s.wait_by_priority = (0..10u64).map(|p| (p, p + 1, p * 100)).collect();
-        let j = m.to_json(&s, 1, &CacheStats::default(), 1, 0);
+        let j = m.to_json(&s, 1, &CacheStats::default(), 1, 0, None);
         let waits = j.get("scheduler").unwrap().get("wait_by_priority").unwrap();
         assert!(waits.get("p0").is_none(), "fewest pops, capped out");
         assert!(waits.get("p1").is_none());
@@ -352,7 +359,7 @@ mod tests {
         m.worker_started();
         m.worker_panicked(200);
         assert_eq!(m.executed(), 3);
-        let j = m.to_json(&sched(0), 4, &CacheStats::default(), 2, 1);
+        let j = m.to_json(&sched(0), 4, &CacheStats::default(), 2, 1, None);
         let workers = j.get("workers").unwrap();
         assert_eq!(workers.get("busy").unwrap().as_u64(), Some(0));
         assert_eq!(workers.get("alive").unwrap().as_u64(), Some(2));
@@ -368,7 +375,7 @@ mod tests {
         m.deadline_exceeded();
         m.job_failed_unexecuted();
         m.store_write_error();
-        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0);
+        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0, None);
         let workers = j.get("workers").unwrap();
         assert_eq!(
             workers.get("jobs_deadline_exceeded").unwrap().as_u64(),
@@ -393,7 +400,7 @@ mod tests {
         m.observe(label("GET /v1/metrics"), 10);
         // Out-of-range id: counted as a request, no histogram.
         m.observe(LabelId(usize::MAX), 10);
-        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0);
+        let j = m.to_json(&sched(0), 1, &CacheStats::default(), 1, 0, None);
         assert_eq!(j.get("requests").unwrap().as_u64(), Some(4));
         let lat = j.get("latency_us").unwrap();
         let sim = lat.get("POST /v1/sim").unwrap();
@@ -412,7 +419,7 @@ mod tests {
             misses: 1,
             ..CacheStats::default()
         };
-        let j = m.to_json(&sched(2), 8, &stats, 3, 0);
+        let j = m.to_json(&sched(2), 8, &stats, 3, 0, None);
         let q = j.get("queue").unwrap();
         assert_eq!(q.get("depth").unwrap().as_u64(), Some(2));
         assert_eq!(q.get("capacity").unwrap().as_u64(), Some(8));

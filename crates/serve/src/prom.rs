@@ -32,6 +32,13 @@ const COUNTER_LEAVES: &[&str] = &[
     "insertions",
     "evictions",
     "uptime_us",
+    // Peer-mode (federation) counters; configured/up/degraded/down in
+    // the same section are point-in-time gauges and stay off this list.
+    "forwarded",
+    "failed_over",
+    "probes",
+    "pull_rounds",
+    "pull_records",
 ];
 
 /// Renders the metrics JSON document in Prometheus text format.

@@ -4,7 +4,7 @@
 //! expansion and adaptive knee refinement), uniform cancellation, the
 //! persistent result store, and graceful shutdown.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -24,6 +24,7 @@ use crate::cache::ResultCache;
 use crate::http::{HttpConn, ReadOutcome, Request, Response};
 use crate::jobs::{JobFailure, JobState, JobTable, Submit};
 use crate::metrics::Metrics;
+use crate::peer::PeerSet;
 use crate::router::{Params, Route, Router};
 use crate::store::{RecordKind, ResultStore};
 use crate::sweep::{self, Frontier, PlanAxes, PlanOptions, Sweep, SweepTable};
@@ -85,6 +86,24 @@ pub struct ServerConfig {
     /// every few batches), so late jobs may run to completion — their
     /// results are still correct and still cached.
     pub cell_threads: usize,
+    /// Cluster members (`host:port`, repeatable `--peer`). Non-empty
+    /// turns on peer mode: rendezvous routing of jobs, scatter-gather
+    /// sweeps, health probing, and (with a store) anti-entropy. Every
+    /// node can be given the identical list — its own advertised address
+    /// is filtered out.
+    pub peers: Vec<String>,
+    /// The address other members reach *this* node at (`--advertise`).
+    /// Defaults to the resolved bind address, which is only right when
+    /// binding a concrete host and port.
+    pub advertise: Option<String>,
+    /// How often the anti-entropy loop pulls each peer's store delta.
+    pub anti_entropy_interval: Duration,
+    /// Max records per anti-entropy pull request.
+    pub anti_entropy_batch: usize,
+    /// Connect/read/write deadline for forwarded peer requests. Must
+    /// comfortably exceed the longest simulation a forwarded job can
+    /// run, or the coordinator fails over and re-simulates elsewhere.
+    pub peer_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +125,11 @@ impl Default for ServerConfig {
             durable_store: false,
             tenant_weights: Vec::new(),
             cell_threads: 1,
+            peers: Vec::new(),
+            advertise: None,
+            anti_entropy_interval: Duration::from_secs(5),
+            anti_entropy_batch: 256,
+            peer_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -144,6 +168,12 @@ struct Inner {
     watchdog: Watchdog,
     /// Health view of the supervised pool (set once at startup).
     pool_monitor: OnceLock<PoolMonitor>,
+    /// Cluster view in peer mode (`--peer`); `None` on a standalone node.
+    peers: Option<PeerSet>,
+    /// Content keys with a terminal record in the local store, so the
+    /// anti-entropy loop skips records it already holds instead of
+    /// appending duplicates. Seeded from replay, maintained on append.
+    known_keys: Mutex<HashSet<u64>>,
     stopping: AtomicBool,
     open_conns: AtomicUsize,
 }
@@ -190,6 +220,22 @@ impl Server {
         for (tenant, weight) in &cfg.tenant_weights {
             queue.set_weight(tenant, *weight);
         }
+        // Peer mode: the advertised address defaults to the resolved bind
+        // address (which has the real port even when binding port 0).
+        let peers = if cfg.peers.is_empty() {
+            None
+        } else {
+            let advertise = cfg
+                .advertise
+                .clone()
+                .unwrap_or_else(|| local_addr.to_string());
+            Some(PeerSet::new(
+                advertise,
+                cfg.peers.clone(),
+                cfg.peer_deadline,
+            ))
+        };
+
         // The router is built first so its interned label table seeds the
         // metrics histograms — observe() is then a direct array index.
         let router = routes();
@@ -206,6 +252,8 @@ impl Server {
             metrics,
             watchdog: Watchdog::new(),
             pool_monitor: OnceLock::new(),
+            peers,
+            known_keys: Mutex::new(HashSet::new()),
             stopping: AtomicBool::new(false),
             open_conns: AtomicUsize::new(0),
             cfg,
@@ -214,6 +262,10 @@ impl Server {
         // Warm the caches from the store: a restarted server answers every
         // previously computed job (and whole sweeps) without simulating,
         // and every deterministic failure without re-panicking a worker.
+        {
+            let mut known = inner.known_keys.lock().expect("known keys lock");
+            known.extend(replayed.iter().map(|r| r.key_hash));
+        }
         for rec in replayed {
             match rec.kind {
                 RecordKind::Result => {
@@ -254,6 +306,29 @@ impl Server {
             .name("http-accept".to_owned())
             .spawn(move || accept_loop(listener, accept_inner))
             .expect("spawn accept thread");
+
+        if inner.peers.is_some() {
+            // Health probes: a fast tick; the per-peer schedule inside
+            // probe_due() keeps the real probe rate low. Detached — exits
+            // within one tick of the stopping flag.
+            let probe_inner = Arc::clone(&inner);
+            let _ = std::thread::Builder::new()
+                .name("peer-probe".to_owned())
+                .spawn(move || {
+                    while !probe_inner.stopping.load(Ordering::SeqCst) {
+                        if let Some(ps) = &probe_inner.peers {
+                            ps.probe_due();
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                });
+            if inner.store.is_some() {
+                let pull_inner = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name("anti-entropy".to_owned())
+                    .spawn(move || anti_entropy_loop(&pull_inner));
+            }
+        }
 
         Ok(Server {
             inner,
@@ -415,6 +490,12 @@ fn routes() -> Router<Arc<Inner>> {
         },
         Route {
             method: "GET",
+            pattern: "/v1/store",
+            label: "GET /v1/store",
+            handler: handle_store,
+        },
+        Route {
+            method: "GET",
             pattern: "/v1/healthz",
             label: "GET /v1/healthz",
             handler: handle_healthz,
@@ -504,12 +585,21 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
                     let span = ucsim_obs::span(ucsim_obs::SpanKind::StoreIo);
                     let appended = store.append(work.cell.key_hash, &work.canonical, &payload);
                     span.finish(u32::from(appended.is_err()));
-                    if let Err(e) = appended {
-                        inner.metrics.store_write_error();
-                        eprintln!(
-                            "ucsim-serve: appending to {} failed: {e}",
-                            store.path().display()
-                        );
+                    match appended {
+                        Ok(()) => {
+                            inner
+                                .known_keys
+                                .lock()
+                                .expect("known keys lock")
+                                .insert(work.cell.key_hash);
+                        }
+                        Err(e) => {
+                            inner.metrics.store_write_error();
+                            eprintln!(
+                                "ucsim-serve: appending to {} failed: {e}",
+                                store.path().display()
+                            );
+                        }
                     }
                 }
             }
@@ -546,12 +636,21 @@ fn job_panicked(inner: &Arc<Inner>, work: &Work, payload: &str) {
             let span = ucsim_obs::span(ucsim_obs::SpanKind::StoreIo);
             let appended = store.append_failed(work.cell.key_hash, &work.canonical, &failure);
             span.finish(u32::from(appended.is_err()));
-            if let Err(e) = appended {
-                inner.metrics.store_write_error();
-                eprintln!(
-                    "ucsim-serve: appending failure to {} failed: {e}",
-                    store.path().display()
-                );
+            match appended {
+                Ok(()) => {
+                    inner
+                        .known_keys
+                        .lock()
+                        .expect("known keys lock")
+                        .insert(work.cell.key_hash);
+                }
+                Err(e) => {
+                    inner.metrics.store_write_error();
+                    eprintln!(
+                        "ucsim-serve: appending failure to {} failed: {e}",
+                        store.path().display()
+                    );
+                }
             }
         }
         inner
@@ -722,23 +821,50 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
         Ok(b) => b,
         Err(msg) => return api::error_response(ErrorCode::BadRequest, &msg, None),
     };
-    let sim_req = match SimRequest::parse(body) {
-        Ok(r) => r,
-        Err(e) => {
-            return api::error_response(ErrorCode::BadRequest, &format!("bad request: {e}"), None)
+    // Forwarded peer traffic (`x-ucsim-forwarded`) carries the sender's
+    // fully-resolved canonical spec; parse it verbatim so this node's
+    // content hash matches the sender's exactly — and never re-route it
+    // (no forwarding loops: the owner executes locally).
+    let forwarded = req.header("x-ucsim-forwarded").is_some();
+    let (spec, background, tenant, priority) = if forwarded {
+        match JobSpec::from_json_str(body) {
+            Ok(spec) => (spec, false, None, None),
+            Err(e) => {
+                return api::error_response(
+                    ErrorCode::BadRequest,
+                    &format!("bad forwarded spec: {e}"),
+                    None,
+                )
+            }
         }
+    } else {
+        let sim_req = match SimRequest::parse(body) {
+            Ok(r) => r,
+            Err(e) => {
+                return api::error_response(
+                    ErrorCode::BadRequest,
+                    &format!("bad request: {e}"),
+                    None,
+                )
+            }
+        };
+        let spec = sim_req.resolve(api::default_seed(&sim_req.workload));
+        (
+            spec,
+            sim_req.background.unwrap_or(false),
+            sim_req.tenant,
+            sim_req.priority,
+        )
     };
-    if !api::workload_known(&sim_req.workload, inner.cfg.enable_test_workloads) {
+    if !api::workload_known(&spec.workload, inner.cfg.enable_test_workloads) {
         return api::error_response(
             ErrorCode::UnknownWorkload,
-            &format!("unknown workload: {}", sim_req.workload),
+            &format!("unknown workload: {}", spec.workload),
             None,
         );
     }
-    let spec = sim_req.resolve(api::default_seed(&sim_req.workload));
     let canonical = spec.canonical();
     let hash = api::content_hash(&canonical);
-    let background = sim_req.background.unwrap_or(false);
 
     // 1. Resident cache entry: answer without touching the queue.
     if let Some(payload) = inner.cache.get(hash, &canonical) {
@@ -753,6 +879,19 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
             &failure.message,
             None,
         );
+    }
+
+    // 1c. Peer mode: route the job to its rendezvous owner. Foreground
+    // requests we don't own are forwarded down the owner chain (with
+    // failover); if every remote owner is unreachable, graceful
+    // degradation executes the job right here. Background jobs stay
+    // local so their `/v1/jobs/:id` poll URL stays valid.
+    if !forwarded && !background {
+        if let Some(ps) = &inner.peers {
+            if let Some(resp) = route_sim(inner, ps, hash, &canonical, &req.request_id) {
+                return resp;
+            }
+        }
     }
 
     // 2. Coalesce onto an in-flight job for the same key, or create one.
@@ -776,8 +915,8 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
             // cells use the unbounded path and never push jobs past
             // capacity into a rejection.
             match inner.queue.try_submit(
-                sim_req.tenant.as_deref().unwrap_or("default"),
-                sim_req.priority.unwrap_or(0),
+                tenant.as_deref().unwrap_or("default"),
+                priority.unwrap_or(0),
                 cancel,
                 work,
             ) {
@@ -823,6 +962,60 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
     }
 }
 
+/// Walks the rendezvous owner chain for `hash` and forwards the job to
+/// the first reachable remote owner. Returns `None` when this node
+/// should execute locally: it is the primary owner, or every remote
+/// owner is down/unreachable (graceful degradation — a partitioned node
+/// still answers what it can). A successful forward caches the peer's
+/// report locally so repeat requests stay node-local.
+fn route_sim(
+    inner: &Inner,
+    ps: &PeerSet,
+    hash: u64,
+    canonical: &str,
+    request_id: &str,
+) -> Option<Response> {
+    for owner in ps.owner_chain(hash) {
+        // `None` in the chain is this node: execute locally.
+        let peer = owner?;
+        if !peer.available() {
+            peer.note_failed_over();
+            continue;
+        }
+        let headers = [("x-ucsim-forwarded", "1"), ("x-request-id", request_id)];
+        match ps.forward(peer, "POST", "/v1/sim", &headers, canonical.as_bytes()) {
+            Ok(resp) if resp.status == 200 => {
+                // Cache the owner's report so the next hit for this key
+                // is answered here without another network round trip.
+                if let Ok(body) = std::str::from_utf8(&resp.body) {
+                    if let Ok(env) = Json::parse(body) {
+                        if let Some(report) = env.get("report") {
+                            inner.cache.put(
+                                hash,
+                                canonical.to_owned(),
+                                Arc::new(report.to_string()),
+                            );
+                        }
+                    }
+                }
+                return Some(Response::json(200, resp.body));
+            }
+            Ok(resp) if resp.status == 503 => {
+                // The owner is draining; fail over to the next owner.
+                peer.note_failed_over();
+            }
+            Ok(resp) => {
+                // Any other definitive answer (4xx, deterministic 5xx)
+                // is relayed verbatim — retrying elsewhere would just
+                // recompute the same deterministic failure.
+                return Some(Response::json(resp.status, resp.body));
+            }
+            Err(_) => peer.note_failed_over(),
+        }
+    }
+    None
+}
+
 fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
     if inner.stopping.load(Ordering::SeqCst) {
         return api::error_response(ErrorCode::Draining, "server shutting down", None);
@@ -865,7 +1058,15 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
             // first poll.
             let metas = axes.full_metas();
             let start = sweep.push_cells(metas.clone());
-            resolve_cells(inner, &sweep, &metas, start, &request_id);
+            match &inner.peers {
+                // Peer mode: scatter cells to their rendezvous owners
+                // and gather the partial results; adaptive plans below
+                // stay coordinator-local (the bisector is sequential).
+                Some(ps) if !ps.peers().is_empty() => {
+                    scatter_cells(inner, &sweep, &metas, start, &request_id);
+                }
+                _ => resolve_cells(inner, &sweep, &metas, start, &request_id),
+            }
             sweep.mark_materialized();
         }
         SweepMode::Adaptive { tolerance, .. } => {
@@ -908,46 +1109,349 @@ fn resolve_cells(
     request_id: &str,
 ) {
     for (offset, meta) in metas.iter().enumerate() {
-        let idx = start + offset;
-        if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
-            sweep.fulfill_from_store(idx, payload);
-            continue;
+        resolve_cell(inner, sweep, start + offset, meta, request_id);
+    }
+}
+
+/// Resolves one plan cell locally (the per-cell body of
+/// [`resolve_cells`], shared with the scatter-gather fallback path).
+fn resolve_cell(
+    inner: &Inner,
+    sweep: &Sweep,
+    idx: usize,
+    meta: &sweep::CellMeta,
+    request_id: &str,
+) {
+    if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
+        sweep.fulfill_from_store(idx, payload);
+        return;
+    }
+    if let Some(failure) = inner.failed_for(meta.key_hash, &meta.canonical) {
+        sweep.fail(idx, failure);
+        return;
+    }
+    match inner.jobs.submit(meta.key_hash) {
+        Submit::Joined(job) => {
+            inner.cache.record_coalesced();
+            sweep.attach(idx, job);
         }
-        if let Some(failure) = inner.failed_for(meta.key_hash, &meta.canonical) {
-            sweep.fail(idx, failure);
-            continue;
-        }
-        match inner.jobs.submit(meta.key_hash) {
-            Submit::Joined(job) => {
-                inner.cache.record_coalesced();
-                sweep.attach(idx, job);
-            }
-            Submit::New(job) => {
-                sweep.attach(idx, Arc::clone(&job));
-                let cancel = job.cancel_token();
-                let work = Work {
-                    cell: Arc::clone(&job),
-                    spec: meta.spec.clone(),
-                    canonical: meta.canonical.clone(),
-                    request_id: request_id.to_owned(),
-                    cancel: cancel.clone(),
-                };
-                if let Err(PushError::Closed(w) | PushError::Full(w)) =
-                    inner
-                        .queue
-                        .enqueue(&sweep.tenant, sweep.priority, cancel, work)
-                {
-                    let failure =
-                        JobFailure::new(FailureKind::ShuttingDown, "server shutting down")
-                            .with_request_id(request_id);
-                    w.cell.fail(failure.clone());
-                    inner.jobs.abandon(&w.cell);
-                    inner.metrics.job_failed_unexecuted();
-                    sweep.fail(idx, failure);
-                }
+        Submit::New(job) => {
+            sweep.attach(idx, Arc::clone(&job));
+            let cancel = job.cancel_token();
+            let work = Work {
+                cell: Arc::clone(&job),
+                spec: meta.spec.clone(),
+                canonical: meta.canonical.clone(),
+                request_id: request_id.to_owned(),
+                cancel: cancel.clone(),
+            };
+            if let Err(PushError::Closed(w) | PushError::Full(w)) =
+                inner
+                    .queue
+                    .enqueue(&sweep.tenant, sweep.priority, cancel, work)
+            {
+                let failure = JobFailure::new(FailureKind::ShuttingDown, "server shutting down")
+                    .with_request_id(request_id);
+                w.cell.fail(failure.clone());
+                inner.jobs.abandon(&w.cell);
+                inner.metrics.job_failed_unexecuted();
+                sweep.fail(idx, failure);
             }
         }
     }
+}
+
+/// Per-gather-group fan-out width: how many cells a single peer is asked
+/// to simulate concurrently during a scatter-gather sweep.
+const GATHER_WORKERS: usize = 4;
+
+/// Scatter-gather resolution of a full-cross plan in peer mode: cells
+/// are partitioned by their rendezvous primary owner; locally-owned
+/// cells resolve exactly as in [`resolve_cells`], and each remote
+/// group is driven by a detached gather thread that forwards cells down
+/// the owner chain with bounded per-peer concurrency, failing over to
+/// secondary owners and finally to local execution, so a dead or
+/// partitioned peer can delay a sweep but never wedge it. First-wins
+/// resolution in [`Sweep`] guarantees no cell is counted twice even if
+/// a retried forward races a local fallback.
+fn scatter_cells(
+    inner: &Arc<Inner>,
+    sweep: &Arc<Sweep>,
+    metas: &[sweep::CellMeta],
+    start: usize,
+    request_id: &str,
+) {
+    let ps = inner.peers.as_ref().expect("scatter_cells requires peers");
+    let mut local = Vec::new();
+    let mut remote: HashMap<String, Vec<usize>> = HashMap::new();
+    for (offset, meta) in metas.iter().enumerate() {
+        let idx = start + offset;
+        match ps.owner_chain(meta.key_hash).first() {
+            Some(Some(peer)) => remote.entry(peer.addr().to_owned()).or_default().push(idx),
+            _ => local.push(idx),
+        }
+    }
+    for idx in local {
+        resolve_cell(inner, sweep, idx, &metas[idx - start], request_id);
+    }
+    for (addr, indices) in remote {
+        let queue = Arc::new(Mutex::new(indices.into_iter().collect::<VecDeque<_>>()));
+        let workers = GATHER_WORKERS.min(queue.lock().expect("gather queue").len());
+        for _ in 0..workers {
+            let inner = Arc::clone(inner);
+            let sweep = Arc::clone(sweep);
+            let metas = metas.to_vec();
+            let queue = Arc::clone(&queue);
+            let request_id = request_id.to_owned();
+            let addr = addr.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("sweep-gather-{addr}"))
+                .spawn(move || {
+                    let _scope = ucsim_obs::request_scope(ucsim_obs::hash_id(&request_id));
+                    loop {
+                        let idx = match queue.lock().expect("gather queue").pop_front() {
+                            Some(i) => i,
+                            None => break,
+                        };
+                        gather_cell(&inner, &sweep, idx, &metas[idx - start], &request_id);
+                    }
+                });
+        }
+    }
+}
+
+/// Resolves one remotely-owned sweep cell: forward it down the owner
+/// chain, fall back to local execution when every owner is unreachable.
+fn gather_cell(
+    inner: &Arc<Inner>,
+    sweep: &Arc<Sweep>,
+    idx: usize,
+    meta: &sweep::CellMeta,
+    request_id: &str,
+) {
+    if sweep.is_cancelled() {
+        // cancel() already failed every Planned cell; nothing to do.
+        return;
+    }
+    // A result may have landed since partitioning (anti-entropy pull,
+    // a direct request for the same key): settle from cache first.
+    if let Some(payload) = inner.cache.get(meta.key_hash, &meta.canonical) {
+        sweep.fulfill_from_store(idx, payload);
+        return;
+    }
+    if let Some(failure) = inner.failed_for(meta.key_hash, &meta.canonical) {
+        sweep.fail(idx, failure);
+        return;
+    }
+    let ps = inner.peers.as_ref().expect("gather_cell requires peers");
+    let headers = [("x-ucsim-forwarded", "1"), ("x-request-id", request_id)];
+    for owner in ps.owner_chain(meta.key_hash) {
+        let peer = match owner {
+            None => break, // self in the chain: execute locally below
+            Some(p) => p,
+        };
+        if !peer.available() {
+            peer.note_failed_over();
+            continue;
+        }
+        match ps.forward(peer, "POST", "/v1/sim", &headers, meta.canonical.as_bytes()) {
+            Ok(resp) if resp.status == 200 => {
+                let Ok(body) = std::str::from_utf8(&resp.body) else {
+                    peer.note_failed_over();
+                    continue;
+                };
+                let Ok(env) = Json::parse(body) else {
+                    peer.note_failed_over();
+                    continue;
+                };
+                let Some(report) = env.get("report") else {
+                    peer.note_failed_over();
+                    continue;
+                };
+                let peer_cached = env.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                let payload = Arc::new(report.to_string());
+                inner
+                    .cache
+                    .put(meta.key_hash, meta.canonical.clone(), Arc::clone(&payload));
+                sweep.fulfill_remote(idx, payload, peer_cached);
+                return;
+            }
+            Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                // Transient overload or drain: try the next owner.
+                peer.note_failed_over();
+            }
+            Ok(resp) => {
+                // Definitive failure (bad spec, deterministic sim
+                // failure): settle the cell with the peer's error.
+                let failure = peer_error_failure(&resp, request_id);
+                sweep.fail(idx, failure);
+                return;
+            }
+            Err(_) => peer.note_failed_over(),
+        }
+    }
+    // Graceful degradation: every remote owner refused or is down.
+    resolve_cell(inner, sweep, idx, meta, request_id);
+}
+
+/// Maps a peer's definitive error response back to a [`JobFailure`],
+/// preserving the stable failure code when the envelope carries one.
+fn peer_error_failure(resp: &crate::client::HttpResponse, request_id: &str) -> JobFailure {
+    let parsed = std::str::from_utf8(&resp.body)
+        .ok()
+        .and_then(|b| Json::parse(b).ok());
+    let error = parsed.as_ref().and_then(|env| env.get("error").cloned());
+    let kind = error
+        .as_ref()
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .and_then(FailureKind::parse)
+        .unwrap_or(FailureKind::SimulationFailed);
+    let message = error
+        .as_ref()
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .map_or_else(
+            || format!("peer answered status {}", resp.status),
+            str::to_owned,
+        );
+    JobFailure::new(kind, &message).with_request_id(request_id)
+}
+
+/// The anti-entropy pull loop (peer mode with a store): periodically
+/// pulls each live peer's store delta via `GET /v1/store?since=…` and
+/// replays unknown records through the local append path — results land
+/// in the store *and* the cache, deterministic failures in the store
+/// and the negative cache — so any node can answer any known job after
+/// a crash, not just the keys it owns. Cursors are per-peer byte
+/// offsets into the remote log; the remote's `read_since` stops before
+/// a corrupt tail, so torn records are truncated there and never
+/// replicate.
+fn anti_entropy_loop(inner: &Arc<Inner>) {
+    let (Some(ps), Some(store)) = (&inner.peers, &inner.store) else {
+        return;
+    };
+    while !inner.stopping.load(Ordering::SeqCst) {
+        for peer in ps.peers() {
+            if inner.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            if !peer.available() {
+                continue;
+            }
+            let mut pulled = 0u64;
+            loop {
+                let path = format!(
+                    "/v1/store?since={}&max={}",
+                    peer.pull_cursor(),
+                    inner.cfg.anti_entropy_batch
+                );
+                let Ok(resp) = ps.fetch(peer, &path) else {
+                    break;
+                };
+                if resp.status != 200 {
+                    break;
+                }
+                let Some(doc) = std::str::from_utf8(&resp.body)
+                    .ok()
+                    .and_then(|b| Json::parse(b).ok())
+                else {
+                    break;
+                };
+                let records = doc.get("records").and_then(Json::as_arr).unwrap_or(&[]);
+                for rec in records {
+                    apply_pull_record(inner, store, rec);
+                }
+                pulled += records.len() as u64;
+                let next = doc.get("next").and_then(Json::as_u64).unwrap_or(0);
+                if next > peer.pull_cursor() {
+                    peer.set_pull_cursor(next);
+                } else if !records.is_empty() {
+                    break; // no cursor progress despite records: bail out
+                }
+                if doc.get("eof").and_then(Json::as_bool).unwrap_or(true) {
+                    break;
+                }
+            }
+            ps.note_pull_round(pulled);
+        }
+        // Interruptible sleep so shutdown isn't held up by the interval.
+        let deadline = Instant::now() + inner.cfg.anti_entropy_interval;
+        while Instant::now() < deadline && !inner.stopping.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+}
+
+/// Replays one record pulled from a peer into the local store, cache,
+/// and negative caches. Keys already terminal locally are skipped, so
+/// repeated pulls and overlapping peers stay idempotent; malformed
+/// records are dropped (the source log is checksummed, so these only
+/// arise from a peer speaking a different wire version).
+fn apply_pull_record(inner: &Inner, store: &ResultStore, rec: &Json) {
+    let Some(key) = rec
+        .get("key")
+        .and_then(Json::as_str)
+        .and_then(|k| u64::from_str_radix(k, 16).ok())
+    else {
+        return;
+    };
+    let (Some(kind), Some(canonical), Some(payload)) = (
+        rec.get("kind").and_then(Json::as_str),
+        rec.get("canonical").and_then(Json::as_str),
+        rec.get("payload").and_then(Json::as_str),
+    ) else {
+        return;
+    };
+    if inner
+        .known_keys
+        .lock()
+        .expect("known keys lock")
+        .contains(&key)
+    {
+        return;
+    }
+    match kind {
+        "result" => {
+            if store.append(key, canonical, payload).is_err() {
+                return;
+            }
+            inner
+                .cache
+                .put(key, canonical.to_owned(), Arc::new(payload.to_owned()));
+        }
+        "failed" => {
+            // Route the payload through the same decoder replay uses;
+            // non-deterministic kinds never replicate (same rule as the
+            // local append path).
+            let record = crate::store::StoreRecord {
+                kind: RecordKind::Failed,
+                key_hash: key,
+                canonical: canonical.to_owned(),
+                payload: payload.to_owned(),
+            };
+            let Some(failure) = record.failure() else {
+                return;
+            };
+            if !failure.kind.is_deterministic() {
+                return;
+            }
+            if store.append_failed(key, canonical, &failure).is_err() {
+                return;
+            }
+            inner
+                .failed
+                .lock()
+                .expect("failed cache lock")
+                .insert(key, (canonical.to_owned(), failure));
+        }
+        _ => return,
+    }
+    inner
+        .known_keys
+        .lock()
+        .expect("known keys lock")
+        .insert(key);
 }
 
 /// The adaptive-plan driver: bisects the capacity axis until the UPC
@@ -1212,6 +1716,7 @@ fn handle_metrics(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Respon
         &stats,
         alive,
         respawned,
+        inner.peers.as_ref().map(PeerSet::metrics_json),
     );
     // Content negotiation: Prometheus scrapers ask for text/plain; the
     // exposition covers the same counters as the JSON document by
@@ -1266,6 +1771,74 @@ fn handle_trace(_inner: &Arc<Inner>, req: &Request, _params: &Params) -> Respons
     Response::json(200, body.to_string().into_bytes())
 }
 
+/// `GET /v1/store?since=N&max=M` — a page of verified store records
+/// starting at byte offset `since`, for peer anti-entropy pulls (and
+/// offline log inspection). `next` is the cursor for the following
+/// page; `eof` is true when the page reaches the end of the verified
+/// log, so pollers know to back off. Torn tail records are excluded —
+/// the reader stops at the first checksum mismatch, exactly like
+/// startup replay.
+fn handle_store(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    let Some(store) = &inner.store else {
+        return api::error_response(
+            ErrorCode::NotFound,
+            "no persistent store (start with --data-dir)",
+            None,
+        );
+    };
+    let mut since = 0u64;
+    let mut max = 1024usize;
+    if let Some(q) = &req.query {
+        for pair in q.split('&') {
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
+            match k {
+                "since" => since = v.parse().unwrap_or(0),
+                "max" => max = v.parse().unwrap_or(max),
+                _ => {}
+            }
+        }
+    }
+    match store.read_since(since, max.min(4096)) {
+        Ok((records, next, eof)) => {
+            let records = records
+                .into_iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        (
+                            "kind".to_owned(),
+                            Json::Str(
+                                match r.kind {
+                                    RecordKind::Result => "result",
+                                    RecordKind::Failed => "failed",
+                                }
+                                .to_owned(),
+                            ),
+                        ),
+                        ("key".to_owned(), Json::Str(api::format_key(r.key_hash))),
+                        ("canonical".to_owned(), Json::Str(r.canonical)),
+                        ("payload".to_owned(), Json::Str(r.payload)),
+                    ])
+                })
+                .collect();
+            let body = Json::Obj(vec![
+                ("format".to_owned(), Json::Str("UCSTOR02".to_owned())),
+                ("since".to_owned(), Json::Uint(since)),
+                ("next".to_owned(), Json::Uint(next)),
+                ("eof".to_owned(), Json::Bool(eof)),
+                ("records".to_owned(), Json::Arr(records)),
+            ]);
+            Response::json(200, body.to_string().into_bytes())
+        }
+        Err(e) => api::error_response(
+            ErrorCode::Internal,
+            &format!("store read failed: {e}"),
+            None,
+        ),
+    }
+}
+
 fn handle_healthz(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Response {
     let alive = inner
         .pool_monitor
@@ -1276,7 +1849,7 @@ fn handle_healthz(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
         None => (false, true),
     };
     let ok = alive > 0 && store_writable && !inner.stopping.load(Ordering::SeqCst);
-    let body = Json::Obj(vec![
+    let mut fields = vec![
         ("ok".to_owned(), Json::Bool(ok)),
         (
             "queue".to_owned(),
@@ -1302,7 +1875,15 @@ fn handle_healthz(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
                 ("writable".to_owned(), Json::Bool(store_writable)),
             ]),
         ),
-    ]);
+    ];
+    // Peer mode: per-member breaker state plus the cluster-level
+    // "ok"/"degraded" signal. Local `ok` is deliberately unaffected — a
+    // node that can serve what it owns stays healthy even when the
+    // cluster around it is partitioned.
+    if let Some(ps) = &inner.peers {
+        fields.push(("peers".to_owned(), ps.healthz_json()));
+    }
+    let body = Json::Obj(fields);
     Response::json(if ok { 200 } else { 503 }, body.to_string().into_bytes())
 }
 
@@ -1333,6 +1914,7 @@ fn handle_version(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
                     "durable_store".to_owned(),
                     Json::Bool(inner.cfg.durable_store),
                 ),
+                ("cluster".to_owned(), Json::Bool(inner.peers.is_some())),
             ]),
         ),
     ]);

@@ -258,6 +258,47 @@ impl ResultStore {
         Ok(())
     }
 
+    /// Reads up to `max_records` verified records starting at byte offset
+    /// `since` (an offset of 0 is normalized to the first record, just
+    /// past the magic). Returns the records, the byte offset the *next*
+    /// pull should use, and whether the verified end of the log was
+    /// reached. The cursor never advances past a short, corrupt, or
+    /// still-being-written record, so a puller that keeps its returned
+    /// offset resumes exactly where verification stopped — the anti-
+    /// entropy loop (DESIGN.md §10) relies on this to never replicate a
+    /// torn tail.
+    ///
+    /// Reads use a fresh handle on the log path so concurrent appends via
+    /// `self.file` are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read errors on the log file.
+    pub fn read_since(
+        &self,
+        since: u64,
+        max_records: usize,
+    ) -> io::Result<(Vec<StoreRecord>, u64, bool)> {
+        let start = since.max(MAGIC.len() as u64);
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(start))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (all, valid) = replay(&raw);
+        let mut records = all;
+        let eof_at_cap = records.len() <= max_records;
+        records.truncate(max_records);
+        let mut next = start;
+        for r in &records {
+            next += (RECORD_HEADER_BYTES + r.canonical.len() + r.payload.len()) as u64;
+        }
+        // `valid` counts from MAGIC.len(); recompute the absolute offset of
+        // the verified end to decide eof when nothing was capped away.
+        let verified_end = start + (valid - MAGIC.len() as u64);
+        let eof = eof_at_cap && next >= verified_end;
+        Ok((records, next, eof))
+    }
+
     /// Whether the last append succeeded (`true` before any append).
     /// `/v1/healthz` reports this as store writability.
     pub fn writable(&self) -> bool {
@@ -567,6 +608,54 @@ mod tests {
             payload: failure_payload(&f),
         };
         assert_eq!(rec.failure(), Some(f));
+    }
+
+    #[test]
+    fn read_since_pages_through_the_log() {
+        let dir = temp_dir("read-since");
+        let (store, _) = ResultStore::open(&dir, false).unwrap();
+        for i in 0..5u64 {
+            store
+                .append(i, &format!("spec-{i}"), &format!("{{\"n\":{i}}}"))
+                .unwrap();
+        }
+        let (page1, next1, eof1) = store.read_since(0, 2).unwrap();
+        assert_eq!(page1.len(), 2);
+        assert_eq!(page1[0].key_hash, 0);
+        assert!(!eof1, "three records remain");
+        let (page2, next2, eof2) = store.read_since(next1, 10).unwrap();
+        assert_eq!(page2.len(), 3);
+        assert_eq!(page2[0].key_hash, 2);
+        assert!(eof2);
+        let (page3, next3, eof3) = store.read_since(next2, 10).unwrap();
+        assert!(page3.is_empty());
+        assert_eq!(next3, next2, "cursor is stable at eof");
+        assert!(eof3);
+        // New appends become visible from the saved cursor.
+        store.append(9, "spec-9", "{}").unwrap();
+        let (page4, _, eof4) = store.read_since(next3, 10).unwrap();
+        assert_eq!(page4.len(), 1);
+        assert_eq!(page4[0].key_hash, 9);
+        assert!(eof4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_since_stops_before_a_corrupt_tail() {
+        let dir = temp_dir("read-since-corrupt");
+        let (store, _) = ResultStore::open(&dir, false).unwrap();
+        store.append(1, "good", "{\"ok\":true}").unwrap();
+        let (_, clean_end, _) = store.read_since(0, 10).unwrap();
+        // A torn half-record at the tail, as a crash mid-append leaves it.
+        {
+            let mut f = OpenOptions::new().append(true).open(store.path()).unwrap();
+            f.write_all(&[KIND_RESULT, 0xde, 0xad]).unwrap();
+        }
+        let (records, next, eof) = store.read_since(0, 10).unwrap();
+        assert_eq!(records.len(), 1, "only the verified prefix is served");
+        assert_eq!(next, clean_end, "cursor never passes the corruption");
+        assert!(eof, "verified end reached");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

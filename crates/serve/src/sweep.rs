@@ -218,6 +218,9 @@ pub struct Sweep {
     /// Cells resolved from the result cache/store at materialization —
     /// never simulated by this plan.
     skipped_from_store: AtomicU64,
+    /// Cells fulfilled by a peer node (scatter-gather federation); they
+    /// still count as simulated unless the peer answered from its cache.
+    remote_done: AtomicU64,
     /// True once no further cells will be materialized (immediately for
     /// full plans; when the driver finishes for adaptive ones).
     materialized: AtomicBool,
@@ -239,6 +242,7 @@ impl Sweep {
             adaptive: opts.adaptive,
             cells: Mutex::new(Vec::new()),
             skipped_from_store: AtomicU64::new(0),
+            remote_done: AtomicU64::new(0),
             materialized: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
             frontier: Mutex::new(None),
@@ -301,6 +305,19 @@ impl Sweep {
     pub fn fulfill_from_store(&self, idx: usize, payload: Arc<String>) {
         if self.resolve(idx, CellSlot::Done(payload, None)) {
             self.skipped_from_store.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Marks cell `idx` as done with a payload simulated by a peer node
+    /// (scatter-gather): counted in `remote_done`, and in
+    /// `skipped_from_store` too when the peer answered from its cache —
+    /// nobody simulated anything for it this time.
+    pub fn fulfill_remote(&self, idx: usize, payload: Arc<String>, peer_cached: bool) {
+        if self.resolve(idx, CellSlot::Done(payload, None)) {
+            self.remote_done.fetch_add(1, Ordering::AcqRel);
+            if peer_cached {
+                self.skipped_from_store.fetch_add(1, Ordering::AcqRel);
+            }
         }
     }
 
@@ -450,6 +467,10 @@ impl Sweep {
             ("total".to_owned(), Json::Uint(cells.len() as u64)),
             ("planned".to_owned(), Json::Uint(cells.len() as u64)),
             ("skipped_from_store".to_owned(), Json::Uint(skipped)),
+            (
+                "remote_done".to_owned(),
+                Json::Uint(self.remote_done.load(Ordering::Acquire)),
+            ),
             ("simulated".to_owned(), Json::Uint(simulated)),
             ("done".to_owned(), Json::Uint(done as u64)),
             ("failed".to_owned(), Json::Uint(failed as u64)),

@@ -145,11 +145,13 @@ fn chaos_sweep_settles_partial_with_stable_codes_and_replays() {
                 site: "worker.simulate",
                 action: FaultAction::Panic,
                 mode: FireMode::Prob(0.15),
+                target: None,
             },
             FaultRule {
                 site: "worker.pre_sim",
                 action: FaultAction::DelayMs(1500),
                 mode: FireMode::First(2),
+                target: None,
             },
         ],
     );
@@ -347,6 +349,7 @@ fn torn_store_write_costs_one_record_never_the_log() {
                 site: "store.append",
                 action: FaultAction::TornWrite { keep: 10 },
                 mode: FireMode::First(1),
+                target: None,
             }],
         );
         let server = Server::start(cfg.clone()).unwrap();

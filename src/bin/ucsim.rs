@@ -41,6 +41,9 @@ OPTIONS:
 
 CLIENT OPTIONS:
     --addr <host:port>     server address (default 127.0.0.1:7199)
+    --peer <host:port>     failover address (repeatable): a connect error
+                           or 5xx rotates to the next peer instead of
+                           retrying the same node
     --workload <name>      workload to submit (default bm-cc)
     --seed <n>             generation seed (default: the workload's own)
     --insts <n>            measured instructions
@@ -607,6 +610,7 @@ fn client_main(argv: &[String]) {
         _ => {}
     }
     let mut addr = "127.0.0.1:7199".to_owned();
+    let mut peers: Vec<String> = Vec::new();
     let mut workload = "bm-cc".to_owned();
     let mut seed: Option<u64> = None;
     let mut insts: Option<u64> = None;
@@ -632,6 +636,14 @@ fn client_main(argv: &[String]) {
                     .get(i)
                     .unwrap_or_else(|| bail("--addr needs host:port"))
                     .clone();
+            }
+            "--peer" => {
+                i += 1;
+                peers.push(
+                    argv.get(i)
+                        .unwrap_or_else(|| bail("--peer needs host:port"))
+                        .clone(),
+                );
             }
             "--workload" => {
                 i += 1;
@@ -711,6 +723,9 @@ fn client_main(argv: &[String]) {
         ucsim::serve::RetryPolicy::default()
     };
     let mut client = ucsim::serve::Client::with_retry(&addr, policy);
+    for peer in &peers {
+        client.add_peer(peer);
+    }
     let resp = client
         .request_retrying(method, &path, &body)
         .unwrap_or_else(|e| {
