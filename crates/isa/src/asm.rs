@@ -1,0 +1,811 @@
+//! ucasm — a tiny text ISA for the synthetic CISC model.
+//!
+//! ucasm lets a user *construct* the fragmentation pathologies the paper
+//! studies instead of sampling them from a profile: every instruction's
+//! byte length, uop count and immediate/displacement footprint is
+//! explicit, so a 20-line program can place a basic block exactly across
+//! an I-cache-line boundary and watch CLASP/compaction react.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program  := { func }
+//! func     := ".func" NAME { line } ".end"
+//! line     := [LABEL ":"] [ inst | term ]        ; "; …" comments
+//! inst     := CLASS [LEN] [uops=N] [imm=N] [ucode]
+//! CLASS    := alu | mul | div | load | store | fp | simd | nop
+//! term     := jcc  LABEL [LEN] [p=F | trip=F]    ; conditional branch
+//!           | jmp  LABEL [LEN]                   ; direct jump
+//!           | jmpi LABEL{,LABEL} [LEN]           ; indirect jump (switch)
+//!           | call  FUNC [LEN]                   ; direct call
+//!           | calli FUNC{,FUNC} [LEN]            ; indirect call (dispatch)
+//!           | ret [LEN]
+//! ```
+//!
+//! `LEN` is the instruction's byte length (1–15, default
+//! [`typical_len`] for the class); `uops=` its uop expansion (1–8);
+//! `imm=` the number of 32-bit immediate/displacement fields (0–2);
+//! `ucode` marks it microcode-sequenced. A `jcc` whose target label is
+//! at or before the current block is a loop back-edge and takes
+//! `trip=<mean>` (geometric mean trip count, default 4); a forward `jcc`
+//! takes `p=<taken-probability>` (default 0.5). Labels are
+//! function-local; `call`/`calli` name functions.
+//!
+//! # Structural rules
+//!
+//! The first function is the entry and must loop forever: it may not
+//! contain `ret` (there is no frame to return past — the dynamic walker
+//! treats the entry as the top of the call stack). Every function's last
+//! block must end in a terminator (control may not fall off the end),
+//! and straight-line code falls through to the next block exactly as the
+//! synthetic generator lays it out.
+//!
+//! ```
+//! use ucsim_isa::assemble;
+//!
+//! let prog = assemble(
+//!     ".func main\n\
+//!      top: alu 3\n\
+//!           load 4 imm=1\n\
+//!           jcc top trip=8\n\
+//!           jmp top\n\
+//!      .end\n",
+//! )
+//! .unwrap();
+//! assert_eq!(prog.funcs.len(), 1);
+//! assert_eq!(prog.static_insts(), 4);
+//! ```
+
+use std::collections::HashMap;
+
+use ucsim_model::InstClass;
+
+use crate::decode::MAX_UOPS_PER_INST;
+use crate::lengths::typical_len;
+use crate::static_inst::StaticInst;
+
+/// Hard cap on functions per program (sanity bound for uploads).
+pub const MAX_ASM_FUNCS: usize = 4096;
+/// Hard cap on total static instructions per program.
+pub const MAX_ASM_INSTS: usize = 1 << 20;
+
+/// An assembly error, carrying the 1-based source line it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Control-flow semantics of an assembled block terminator.
+///
+/// Block targets are *function-local* block indices; call targets are
+/// global function indices. The trace-crate loader rebases block targets
+/// into the global arena when laying the program out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmTermKind {
+    /// Forward conditional branch taken with probability `p_taken`.
+    CondForward {
+        /// Function-local index of the taken-path block.
+        target: usize,
+        /// Per-execution taken probability.
+        p_taken: f64,
+    },
+    /// Loop back-edge with geometric mean trip count `trip_mean`.
+    CondLoop {
+        /// Function-local index of the loop head (at or before this block).
+        target: usize,
+        /// Mean trips per loop activation.
+        trip_mean: f64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Function-local index of the target block.
+        target: usize,
+    },
+    /// Indirect jump choosing among `targets` per execution.
+    IndirectJump {
+        /// Candidate function-local block indices.
+        targets: Vec<usize>,
+    },
+    /// Direct call; execution resumes at the fall-through block.
+    Call {
+        /// Global index of the callee function.
+        callee: usize,
+    },
+    /// Indirect call through a table of functions (dispatcher-style).
+    IndirectCall {
+        /// Candidate global function indices.
+        callees: Vec<usize>,
+    },
+    /// Return to the caller.
+    Ret,
+}
+
+/// A block terminator: the branch instruction plus its semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmTerm {
+    /// The branch instruction (class/len/uops/imm).
+    pub inst: StaticInst,
+    /// What it does.
+    pub kind: AsmTermKind,
+}
+
+/// One assembled basic block: straight-line body, optional terminator
+/// (`None` = fall-through into the next block of the function).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AsmBlock {
+    /// Straight-line (non-branch) instructions.
+    pub body: Vec<StaticInst>,
+    /// Terminating branch, if any.
+    pub term: Option<AsmTerm>,
+}
+
+/// An assembled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmFunc {
+    /// Function name (from `.func NAME`).
+    pub name: String,
+    /// Blocks in source order; index 0 is the entry.
+    pub blocks: Vec<AsmBlock>,
+}
+
+/// A fully assembled, structurally validated ucasm program.
+///
+/// Function 0 is the entry. All cross-references (labels, function
+/// names) are resolved to indices; the trace-crate loader turns this
+/// into a laid-out `Program` with concrete addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmProgram {
+    /// Functions; index 0 is the entry.
+    pub funcs: Vec<AsmFunc>,
+}
+
+impl AsmProgram {
+    /// Total static instructions (bodies + terminators).
+    pub fn static_insts(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(|b| b.body.len() + usize::from(b.term.is_some()))
+            .sum()
+    }
+
+    /// Total static uops across all instructions.
+    pub fn static_uops(&self) -> u64 {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| {
+                b.body
+                    .iter()
+                    .chain(b.term.as_ref().map(|t| &t.inst))
+                    .map(|i| u64::from(i.uops))
+            })
+            .sum()
+    }
+}
+
+/// Instruction-class mnemonics for straight-line code.
+fn body_class(mnemonic: &str) -> Option<InstClass> {
+    Some(match mnemonic {
+        "alu" => InstClass::IntAlu,
+        "mul" => InstClass::IntMul,
+        "div" => InstClass::IntDiv,
+        "load" => InstClass::Load,
+        "store" => InstClass::Store,
+        "fp" => InstClass::Fp,
+        "simd" => InstClass::Simd,
+        "nop" => InstClass::Nop,
+        _ => return None,
+    })
+}
+
+/// Terminator mnemonics and the branch class their instruction carries.
+fn term_class(mnemonic: &str) -> Option<InstClass> {
+    Some(match mnemonic {
+        "jcc" => InstClass::CondBranch,
+        "jmp" => InstClass::JumpDirect,
+        "jmpi" => InstClass::JumpIndirect,
+        "call" | "calli" => InstClass::Call,
+        "ret" => InstClass::Ret,
+        _ => return None,
+    })
+}
+
+/// Unresolved terminator, as parsed (targets still names).
+#[derive(Debug)]
+enum PendingTerm {
+    Cond {
+        label: String,
+        p: Option<f64>,
+        trip: Option<f64>,
+        line: usize,
+    },
+    Jump {
+        label: String,
+        line: usize,
+    },
+    IndirectJump {
+        labels: Vec<String>,
+        line: usize,
+    },
+    Call {
+        func: String,
+        line: usize,
+    },
+    IndirectCall {
+        funcs: Vec<String>,
+        line: usize,
+    },
+    Ret,
+}
+
+#[derive(Debug, Default)]
+struct PendingBlock {
+    body: Vec<StaticInst>,
+    term: Option<(StaticInst, PendingTerm)>,
+}
+
+#[derive(Debug)]
+struct PendingFunc {
+    name: String,
+    name_line: usize,
+    blocks: Vec<PendingBlock>,
+    /// label → block index.
+    labels: HashMap<String, usize>,
+}
+
+/// Options parsed from an instruction's operand list.
+#[derive(Debug, Default)]
+struct Opts {
+    len: Option<u8>,
+    uops: Option<u8>,
+    imm: Option<u8>,
+    ucode: bool,
+    p: Option<f64>,
+    trip: Option<f64>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, key: &str, raw: &str) -> Result<T, AsmError> {
+    raw.parse()
+        .map_err(|_| err(line, format!("bad {key} value {raw:?}")))
+}
+
+/// Parses trailing operands shared by all mnemonics: an optional bare
+/// length, `key=value` options, and the `ucode` flag.
+fn parse_opts(line: usize, tokens: &[&str]) -> Result<Opts, AsmError> {
+    let mut opts = Opts::default();
+    for tok in tokens {
+        if let Some((key, value)) = tok.split_once('=') {
+            match key {
+                "len" => opts.len = Some(parse_num(line, "len", value)?),
+                "uops" => opts.uops = Some(parse_num(line, "uops", value)?),
+                "imm" => opts.imm = Some(parse_num(line, "imm", value)?),
+                "p" => opts.p = Some(parse_num(line, "p", value)?),
+                "trip" => opts.trip = Some(parse_num(line, "trip", value)?),
+                _ => return Err(err(line, format!("unknown option {key:?}"))),
+            }
+        } else if *tok == "ucode" {
+            opts.ucode = true;
+        } else if tok.chars().all(|c| c.is_ascii_digit()) {
+            if opts.len.is_some() {
+                return Err(err(line, format!("duplicate length operand {tok:?}")));
+            }
+            opts.len = Some(parse_num(line, "len", tok)?);
+        } else {
+            return Err(err(line, format!("unexpected operand {tok:?}")));
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds the [`StaticInst`] for a mnemonic from its parsed options.
+fn build_inst(line: usize, class: InstClass, opts: &Opts) -> Result<StaticInst, AsmError> {
+    let len = opts.len.unwrap_or_else(|| typical_len(class));
+    if !(1..=15).contains(&len) {
+        return Err(err(line, format!("length {len} out of range 1..=15")));
+    }
+    let uops = opts.uops.unwrap_or(1);
+    if !(1..=MAX_UOPS_PER_INST).contains(&uops) {
+        return Err(err(
+            line,
+            format!("uops {uops} out of range 1..={MAX_UOPS_PER_INST}"),
+        ));
+    }
+    let imm = opts.imm.unwrap_or(0);
+    if imm > 2 {
+        return Err(err(line, format!("imm {imm} out of range 0..=2")));
+    }
+    Ok(StaticInst::new(class, len)
+        .with_uops(uops)
+        .with_imm_disp(imm)
+        .with_microcoded(opts.ucode))
+}
+
+/// Splits a comma-separated target list (`a,b,c` — whitespace already
+/// stripped by tokenization).
+fn split_targets(line: usize, raw: &str) -> Result<Vec<String>, AsmError> {
+    let targets: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if targets.is_empty() {
+        return Err(err(line, "empty target list"));
+    }
+    Ok(targets)
+}
+
+/// Assembles ucasm source into a structurally validated [`AsmProgram`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: syntax errors, range
+/// violations, unresolved labels/functions, a terminator-less final
+/// block, or a `ret` in the entry function.
+pub fn assemble(src: &str) -> Result<AsmProgram, AsmError> {
+    let mut funcs: Vec<PendingFunc> = Vec::new();
+    let mut current: Option<PendingFunc> = None;
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw_line;
+        if let Some(cut) = text.find(';') {
+            text = &text[..cut];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix(".func") {
+            if current.is_some() {
+                return Err(err(line, "nested .func (missing .end?)"));
+            }
+            let name = rest.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line, format!("bad function name {name:?}")));
+            }
+            if funcs.iter().any(|f| f.name == name) {
+                return Err(err(line, format!("duplicate function {name:?}")));
+            }
+            if funcs.len() >= MAX_ASM_FUNCS {
+                return Err(err(line, format!("more than {MAX_ASM_FUNCS} functions")));
+            }
+            current = Some(PendingFunc {
+                name: name.to_owned(),
+                name_line: line,
+                blocks: vec![PendingBlock::default()],
+                labels: HashMap::new(),
+            });
+            continue;
+        }
+        if text == ".end" {
+            let func = current
+                .take()
+                .ok_or_else(|| err(line, ".end outside a function"))?;
+            if func.blocks.len() == 1
+                && func.blocks[0].body.is_empty()
+                && func.blocks[0].term.is_none()
+            {
+                return Err(err(line, format!("function {:?} is empty", func.name)));
+            }
+            funcs.push(func);
+            continue;
+        }
+        let func = current
+            .as_mut()
+            .ok_or_else(|| err(line, "instruction outside .func/.end"))?;
+
+        // Leading labels? Each binds to a fresh block unless the current
+        // one is still empty (so several labels can share one block).
+        while let Some((label, rest)) = text.split_once(':') {
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            let last = func.blocks.last().expect("at least one block");
+            if !last.body.is_empty() || last.term.is_some() {
+                func.blocks.push(PendingBlock::default());
+            }
+            let block = func.blocks.len() - 1;
+            if func.labels.insert(label.to_owned(), block).is_some() {
+                return Err(err(line, format!("duplicate label {label:?}")));
+            }
+            text = rest.trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let mnemonic = tokens[0];
+
+        if let Some(class) = body_class(mnemonic) {
+            let opts = parse_opts(line, &tokens[1..])?;
+            if opts.p.is_some() || opts.trip.is_some() {
+                return Err(err(line, format!("{mnemonic} takes no p=/trip= options")));
+            }
+            let inst = build_inst(line, class, &opts)?;
+            let last = func.blocks.last_mut().expect("at least one block");
+            if last.term.is_some() {
+                func.blocks.push(PendingBlock {
+                    body: vec![inst],
+                    term: None,
+                });
+            } else {
+                last.body.push(inst);
+            }
+            continue;
+        }
+
+        let Some(class) = term_class(mnemonic) else {
+            return Err(err(line, format!("unknown mnemonic {mnemonic:?}")));
+        };
+        let (target_raw, rest) = if mnemonic == "ret" {
+            ("", &tokens[1..])
+        } else {
+            let t = tokens
+                .get(1)
+                .ok_or_else(|| err(line, format!("{mnemonic} needs a target")))?;
+            (*t, &tokens[2..])
+        };
+        let opts = parse_opts(line, rest)?;
+        if (opts.p.is_some() || opts.trip.is_some()) && mnemonic != "jcc" {
+            return Err(err(line, format!("{mnemonic} takes no p=/trip= options")));
+        }
+        let inst = build_inst(line, class, &opts)?;
+        let pending = match mnemonic {
+            "jcc" => {
+                if opts.p.is_some() && opts.trip.is_some() {
+                    return Err(err(line, "jcc takes p= or trip=, not both"));
+                }
+                PendingTerm::Cond {
+                    label: target_raw.to_owned(),
+                    p: opts.p,
+                    trip: opts.trip,
+                    line,
+                }
+            }
+            "jmp" => PendingTerm::Jump {
+                label: target_raw.to_owned(),
+                line,
+            },
+            "jmpi" => PendingTerm::IndirectJump {
+                labels: split_targets(line, target_raw)?,
+                line,
+            },
+            "call" => PendingTerm::Call {
+                func: target_raw.to_owned(),
+                line,
+            },
+            "calli" => PendingTerm::IndirectCall {
+                funcs: split_targets(line, target_raw)?,
+                line,
+            },
+            _ => PendingTerm::Ret,
+        };
+        let last = func.blocks.last_mut().expect("at least one block");
+        if last.term.is_some() {
+            func.blocks.push(PendingBlock::default());
+        }
+        let last = func.blocks.last_mut().expect("at least one block");
+        last.term = Some((inst, pending));
+    }
+
+    if let Some(func) = current {
+        return Err(err(
+            func.name_line,
+            format!("function {:?} missing .end", func.name),
+        ));
+    }
+    if funcs.is_empty() {
+        return Err(err(1, "program has no functions"));
+    }
+    resolve(funcs)
+}
+
+/// Resolves label/function references and enforces the structural rules.
+fn resolve(pending: Vec<PendingFunc>) -> Result<AsmProgram, AsmError> {
+    let func_index: HashMap<String, usize> = pending
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+
+    let mut funcs = Vec::with_capacity(pending.len());
+    let mut total_insts = 0usize;
+    for (fi, func) in pending.iter().enumerate() {
+        let lookup_label = |label: &str, line: usize| -> Result<usize, AsmError> {
+            func.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| err(line, format!("unknown label {label:?} in {:?}", func.name)))
+        };
+        let lookup_func = |name: &str, line: usize| -> Result<usize, AsmError> {
+            func_index
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(line, format!("unknown function {name:?}")))
+        };
+
+        let mut blocks = Vec::with_capacity(func.blocks.len());
+        for (bi, block) in func.blocks.iter().enumerate() {
+            total_insts += block.body.len() + usize::from(block.term.is_some());
+            let term = match &block.term {
+                None => None,
+                Some((inst, pending_term)) => {
+                    let kind = match pending_term {
+                        PendingTerm::Cond {
+                            label,
+                            p,
+                            trip,
+                            line,
+                        } => {
+                            let target = lookup_label(label, *line)?;
+                            if target <= bi {
+                                // Back-edge (or self-loop): a loop.
+                                if p.is_some() {
+                                    return Err(err(
+                                        *line,
+                                        format!(
+                                            "jcc {label} is a loop back-edge; \
+                                             use trip=<mean>, not p="
+                                        ),
+                                    ));
+                                }
+                                let trip_mean = trip.unwrap_or(4.0);
+                                if !trip_mean.is_finite() || trip_mean < 1.0 {
+                                    return Err(err(
+                                        *line,
+                                        format!("trip {trip_mean} must be >= 1"),
+                                    ));
+                                }
+                                AsmTermKind::CondLoop { target, trip_mean }
+                            } else {
+                                if trip.is_some() {
+                                    return Err(err(
+                                        *line,
+                                        format!(
+                                            "jcc {label} is a forward branch; \
+                                             use p=<prob>, not trip="
+                                        ),
+                                    ));
+                                }
+                                let p_taken = p.unwrap_or(0.5);
+                                if !(0.0..=1.0).contains(&p_taken) {
+                                    return Err(err(
+                                        *line,
+                                        format!("p {p_taken} out of range [0, 1]"),
+                                    ));
+                                }
+                                AsmTermKind::CondForward { target, p_taken }
+                            }
+                        }
+                        PendingTerm::Jump { label, line } => AsmTermKind::Jump {
+                            target: lookup_label(label, *line)?,
+                        },
+                        PendingTerm::IndirectJump { labels, line } => AsmTermKind::IndirectJump {
+                            targets: labels
+                                .iter()
+                                .map(|l| lookup_label(l, *line))
+                                .collect::<Result<_, _>>()?,
+                        },
+                        PendingTerm::Call { func: callee, line } => AsmTermKind::Call {
+                            callee: lookup_func(callee, *line)?,
+                        },
+                        PendingTerm::IndirectCall { funcs, line } => AsmTermKind::IndirectCall {
+                            callees: funcs
+                                .iter()
+                                .map(|f| lookup_func(f, *line))
+                                .collect::<Result<_, _>>()?,
+                        },
+                        PendingTerm::Ret => {
+                            if fi == 0 {
+                                return Err(err(
+                                    func.name_line,
+                                    format!(
+                                        "entry function {:?} must loop forever: \
+                                         'ret' would return past the top frame",
+                                        func.name
+                                    ),
+                                ));
+                            }
+                            AsmTermKind::Ret
+                        }
+                    };
+                    Some(AsmTerm { inst: *inst, kind })
+                }
+            };
+            blocks.push(AsmBlock {
+                body: block.body.clone(),
+                term,
+            });
+        }
+
+        // Control may not fall off the end of a function.
+        if blocks.last().is_none_or(|b| b.term.is_none()) {
+            return Err(err(
+                func.name_line,
+                format!("function {:?}: control falls off the end", func.name),
+            ));
+        }
+        funcs.push(AsmFunc {
+            name: func.name.clone(),
+            blocks,
+        });
+    }
+    if total_insts > MAX_ASM_INSTS {
+        return Err(err(
+            1,
+            format!("program exceeds {MAX_ASM_INSTS} static instructions"),
+        ));
+    }
+    Ok(AsmProgram { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISPATCH: &str = "\
+.func main
+top: alu 3
+     calli f1,f2
+     jmp top
+.end
+.func f1
+     load 4 imm=1
+     ret
+.end
+.func f2
+     store 7 imm=2 uops=2
+     ret 1
+.end
+";
+
+    #[test]
+    fn dispatcher_program_assembles() {
+        let p = assemble(DISPATCH).unwrap();
+        assert_eq!(p.funcs.len(), 3);
+        assert_eq!(p.funcs[0].name, "main");
+        // main: one block with body [alu] + calli term, then jmp block.
+        assert_eq!(p.funcs[0].blocks.len(), 2);
+        let calli = p.funcs[0].blocks[0].term.as_ref().unwrap();
+        assert_eq!(
+            calli.kind,
+            AsmTermKind::IndirectCall {
+                callees: vec![1, 2]
+            }
+        );
+        assert_eq!(calli.inst.class, InstClass::Call);
+        assert_eq!(p.static_insts(), 7);
+        assert!(p.static_uops() >= 8, "store has 2 uops");
+    }
+
+    #[test]
+    fn loops_and_forward_branches_classify_by_direction() {
+        let p = assemble(
+            ".func main\n\
+             head: alu 2\n\
+                   jcc skip p=0.25\n\
+                   mul 4\n\
+             skip: nop 1\n\
+                   jcc head trip=16\n\
+                   jmp head\n\
+             .end\n",
+        )
+        .unwrap();
+        let blocks = &p.funcs[0].blocks;
+        assert!(matches!(
+            blocks[0].term.as_ref().unwrap().kind,
+            AsmTermKind::CondForward { target: 2, p_taken } if (p_taken - 0.25).abs() < 1e-12
+        ));
+        assert!(matches!(
+            blocks[2].term.as_ref().unwrap().kind,
+            AsmTermKind::CondLoop { target: 0, trip_mean } if (trip_mean - 16.0).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn defaults_fill_len_and_uops() {
+        let p = assemble(".func m\nl: alu\n jmp l\n.end\n").unwrap();
+        let alu = p.funcs[0].blocks[0].body[0];
+        assert_eq!(alu.len, typical_len(InstClass::IntAlu));
+        assert_eq!(alu.uops, 1);
+        assert!(!alu.microcoded);
+    }
+
+    #[test]
+    fn ucode_and_option_forms_parse() {
+        let p = assemble(".func m\nl: div len=7 uops=8 imm=1 ucode\n jmp l\n.end\n").unwrap();
+        let div = p.funcs[0].blocks[0].body[0];
+        assert_eq!((div.len, div.uops, div.imm_disp), (7, 8, 1));
+        assert!(div.microcoded);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("alu 3\n", 1, "outside .func"),
+            (".func m\nl: alu 99\n jmp l\n.end\n", 2, "out of range"),
+            (".func m\nl: alu uops=9\n jmp l\n.end\n", 2, "uops 9"),
+            (".func m\nl: alu imm=3\n jmp l\n.end\n", 2, "imm 3"),
+            (".func m\nl: bogus 3\n jmp l\n.end\n", 2, "unknown mnemonic"),
+            (".func m\nl: jmp nowhere\n.end\n", 2, "unknown label"),
+            (".func m\nl: call nofunc\n.end\n", 2, "unknown function"),
+            (".func m\nl: alu 3\n.end\n", 1, "falls off the end"),
+            (".func m\nl: ret\n.end\n", 1, "must loop forever"),
+            (".func m\n.end\n", 2, "is empty"),
+            (".func m\nl: alu\n jmp l\n", 1, "missing .end"),
+            (".func m\nl: jcc l p=0.5\n jmp l\n.end\n", 2, "trip="),
+            (
+                ".func m\nl: alu\n jcc z p=2\nz: jmp l\n.end\n",
+                3,
+                "out of range",
+            ),
+        ];
+        for (src, line, needle) in cases {
+            let e = assemble(src).expect_err(src);
+            assert_eq!(e.line, *line, "{src:?} → {e}");
+            assert!(e.message.contains(needle), "{src:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn comments_blank_lines_and_shared_labels_are_fine() {
+        let p = assemble(
+            "; a comment\n\
+             .func main   ; entry\n\
+             a: b: alu 3  ; two labels, one block\n\
+             \n\
+             jmpi a,b\n\
+             .end\n",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].blocks.len(), 1);
+        assert_eq!(
+            p.funcs[0].blocks[0].term.as_ref().unwrap().kind,
+            AsmTermKind::IndirectJump {
+                targets: vec![0, 0]
+            }
+        );
+    }
+
+    #[test]
+    fn code_after_a_terminator_starts_a_new_fallthrough_block() {
+        let p = assemble(
+            ".func main\n\
+             top: alu 2\n\
+                  call f\n\
+                  alu 1\n\
+                  jmp top\n\
+             .end\n\
+             .func f\n\
+                  ret\n\
+             .end\n",
+        )
+        .unwrap();
+        // call ends block 0; the alu after it is the fall-through block.
+        assert_eq!(p.funcs[0].blocks.len(), 2);
+        assert_eq!(p.funcs[0].blocks[1].body.len(), 1);
+    }
+}

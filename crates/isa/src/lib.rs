@@ -32,12 +32,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asm;
+
 mod decode;
 mod lengths;
 mod mix;
 mod static_inst;
 mod synth;
 
+pub use asm::{assemble, AsmBlock, AsmError, AsmFunc, AsmProgram, AsmTerm, AsmTermKind};
 pub use decode::{
     expand_uops, uop_kinds_for, uop_kinds_into, UopKindTable, UopTemplate, MAX_UOPS_PER_INST,
 };

@@ -55,6 +55,7 @@ mod pw;
 mod rng;
 mod term;
 mod uop;
+mod workload;
 
 pub use addr::{Addr, LineAddr, ICACHE_LINE_BYTES, ICACHE_LINE_SHIFT};
 pub use cancel::CancelToken;
@@ -67,3 +68,4 @@ pub use rng::{mix64, SplitMix64};
 pub use term::EntryTermination;
 pub use ucsim_derive::{FromJson, ToJson};
 pub use uop::{Uop, UopKind, IMM_DISP_BYTES, UOP_BYTES};
+pub use workload::WorkloadRef;

@@ -8,7 +8,7 @@
 //! content address and are simulated at most once.
 
 use ucsim_model::json::{Json, JsonError};
-use ucsim_model::{FailureKind, FromJson, ToJson};
+use ucsim_model::{FailureKind, FromJson, ToJson, WorkloadRef};
 use ucsim_pipeline::{SimConfig, SimReport};
 use ucsim_trace::{TraceKey, WorkloadProfile};
 
@@ -20,7 +20,10 @@ use crate::http::Response;
 /// the paper's Table I configuration and the workload's default seed.
 #[derive(Debug, Clone, ToJson, FromJson)]
 pub struct SimRequest {
-    /// Table II workload name (e.g. `"redis"`, `"bm-lla"`).
+    /// Workload reference, normalized at parse: a Table II profile name
+    /// (e.g. `"redis"`), an uploaded-program ref (`program:<id>` /
+    /// `trace:<id>`), or — since v1.2 — the tagged-object form
+    /// `{"profile":…}` / `{"program":…}` / `{"trace":…}`.
     pub workload: String,
     /// Full simulator configuration; defaults to `SimConfig::table1()`.
     pub config: Option<SimConfig>,
@@ -55,14 +58,31 @@ pub struct JobSpec {
     pub config: SimConfig,
 }
 
+/// Normalizes one wire `workload` member — a ref string or the v1.2
+/// tagged object — into the canonical ref-string spelling, so both
+/// spellings produce the same [`JobSpec::canonical`] content address.
+fn normalize_workload_member(v: &Json) -> Result<Json, JsonError> {
+    let wref = WorkloadRef::from_json(v).map_err(JsonError::new)?;
+    Ok(Json::Str(wref.to_ref_string()))
+}
+
 impl SimRequest {
-    /// Parses a request body.
+    /// Parses a request body, normalizing the `workload` member (string
+    /// or tagged object) to its canonical ref-string form.
     ///
     /// # Errors
     ///
     /// Returns the JSON parse/decode error for malformed bodies.
     pub fn parse(body: &str) -> Result<Self, JsonError> {
-        SimRequest::from_json_str(body)
+        let mut doc = Json::parse(body)?;
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "workload" {
+                    *v = normalize_workload_member(v)?;
+                }
+            }
+        }
+        SimRequest::from_json(&doc)
     }
 
     /// Resolves defaults into the canonical [`JobSpec`].
@@ -109,7 +129,9 @@ impl JobSpec {
 /// capacity sweep and the baseline policy.
 #[derive(Debug, Clone, ToJson, FromJson)]
 pub struct MatrixRequest {
-    /// Table II workload names; each cell simulates one of these.
+    /// Workload refs (profile names, `program:<id>` / `trace:<id>`, or
+    /// v1.2 tagged objects — normalized at parse); each cell simulates
+    /// one of these.
     pub workloads: Vec<String>,
     /// Capacity axis in uops; defaults to Table I (2048 … 65536).
     pub capacities: Option<Vec<u64>>,
@@ -137,13 +159,27 @@ pub struct MatrixRequest {
 }
 
 impl MatrixRequest {
-    /// Parses a request body.
+    /// Parses a request body, normalizing each `workloads` entry (string
+    /// or tagged object) to its canonical ref-string form.
     ///
     /// # Errors
     ///
     /// Returns the JSON parse/decode error for malformed bodies.
     pub fn parse(body: &str) -> Result<Self, JsonError> {
-        MatrixRequest::from_json_str(body)
+        let mut doc = Json::parse(body)?;
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k != "workloads" {
+                    continue;
+                }
+                if let Json::Arr(items) = v {
+                    for item in items.iter_mut() {
+                        *item = normalize_workload_member(item)?;
+                    }
+                }
+            }
+        }
+        MatrixRequest::from_json(&doc)
     }
 }
 
@@ -234,9 +270,16 @@ pub fn workload_known(workload: &str, test_workloads: bool) -> bool {
 }
 
 /// The seed a request for `workload` defaults to: the profile's own seed
-/// (0 for test pseudo-workloads).
+/// (0 for test pseudo-workloads). Uploaded-program refs default to the
+/// program's content hash — every program gets its own layout without
+/// the client choosing anything — and trace refs to 0 (a recorded trace
+/// replays verbatim; the seed never reaches it).
 pub fn default_seed(workload: &str) -> u64 {
-    WorkloadProfile::by_name(workload).map_or(0, |p| p.seed)
+    match WorkloadRef::parse(workload) {
+        Ok(WorkloadRef::Program(h)) => h,
+        Ok(WorkloadRef::Trace(_)) => 0,
+        _ => WorkloadProfile::by_name(workload).map_or(0, |p| p.seed),
+    }
 }
 
 /// FNV-1a 64-bit hash over raw bytes (also the store's record checksum).
@@ -310,6 +353,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The job or sweep was cancelled by an explicit `DELETE` request.
     Cancelled,
+    /// An uploaded program failed validation (ucasm that does not
+    /// assemble, a trace that does not decode) — or a job referenced a
+    /// program id no cluster node has.
+    InvalidProgram,
     /// An unexpected server-side error.
     Internal,
 }
@@ -328,6 +375,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => FailureKind::DeadlineExceeded.as_str(),
             ErrorCode::ShuttingDown => FailureKind::ShuttingDown.as_str(),
             ErrorCode::Cancelled => FailureKind::Cancelled.as_str(),
+            ErrorCode::InvalidProgram => "invalid_program",
             ErrorCode::Internal => "internal",
         }
     }
@@ -341,6 +389,7 @@ impl ErrorCode {
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::Draining | ErrorCode::ShuttingDown => 503,
             ErrorCode::Cancelled => 409,
+            ErrorCode::InvalidProgram => 422,
             ErrorCode::DeadlineExceeded => 504,
             ErrorCode::SimulationFailed | ErrorCode::Internal => 500,
         }
@@ -517,6 +566,60 @@ mod tests {
         // Object spelling of full is accepted.
         let m = Json::parse(r#"{"full":{}}"#).unwrap();
         assert_eq!(SweepMode::parse(Some(&m)), Ok(SweepMode::Full));
+    }
+
+    #[test]
+    fn tagged_workload_objects_normalize_to_ref_strings() {
+        // v1.2 tagged object and the string alias hash identically.
+        let tagged =
+            SimRequest::parse(r#"{"workload":{"program":"00000000000000ab"},"seed":1}"#).unwrap();
+        assert_eq!(tagged.workload, "program:00000000000000ab");
+        let alias =
+            SimRequest::parse(r#"{"workload":"program:00000000000000ab","seed":1}"#).unwrap();
+        assert_eq!(
+            content_hash(&tagged.resolve(0).canonical()),
+            content_hash(&alias.resolve(0).canonical())
+        );
+        // Short hashes pad; profile tags collapse to the bare name.
+        let r = SimRequest::parse(r#"{"workload":{"trace":"ab"}}"#).unwrap();
+        assert_eq!(r.workload, "trace:00000000000000ab");
+        let r = SimRequest::parse(r#"{"workload":{"profile":"redis"}}"#).unwrap();
+        assert_eq!(r.workload, "redis");
+
+        let r = MatrixRequest::parse(
+            r#"{"workloads":["redis",{"program":"ab"},{"trace":"00000000000000cd"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.workloads,
+            [
+                "redis",
+                "program:00000000000000ab",
+                "trace:00000000000000cd"
+            ]
+        );
+
+        // Malformed refs are parse errors, not silent pass-through.
+        assert!(SimRequest::parse(r#"{"workload":{"program":"zz"}}"#).is_err());
+        assert!(SimRequest::parse(r#"{"workload":{"program":"ab","trace":"cd"}}"#).is_err());
+        assert!(MatrixRequest::parse(r#"{"workloads":[{"bogus":"x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn default_seed_is_ref_aware() {
+        // Profiles keep their calibrated seed.
+        let redis = WorkloadProfile::by_name("redis").unwrap().seed;
+        assert_eq!(default_seed("redis"), redis);
+        // Program refs default to their content hash; traces to 0.
+        assert_eq!(default_seed("program:00000000000000ab"), 0xab);
+        assert_eq!(default_seed("trace:00000000000000ab"), 0);
+        assert_eq!(default_seed("test-sleep:50"), 0);
+    }
+
+    #[test]
+    fn invalid_program_code_maps_to_422() {
+        assert_eq!(ErrorCode::InvalidProgram.as_str(), "invalid_program");
+        assert_eq!(ErrorCode::InvalidProgram.status(), 422);
     }
 
     #[test]

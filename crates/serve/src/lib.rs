@@ -86,6 +86,7 @@ mod http;
 mod jobs;
 mod metrics;
 mod peer;
+mod programs;
 mod prom;
 mod router;
 mod server;
@@ -93,13 +94,17 @@ mod signal;
 mod store;
 mod sweep;
 
-pub use api::{ErrorCode, JobSpec, MatrixRequest, SimRequest, SweepMode};
+pub use api::{fnv1a, format_key, ErrorCode, JobSpec, MatrixRequest, SimRequest, SweepMode};
 pub use cache::{CacheStats, ResultCache};
 pub use client::{request, Client, HttpResponse, RetryPolicy};
 pub use http::{HttpConn, ReadOutcome, Request, Response};
 pub use jobs::{JobCell, JobFailure, JobId, JobState, JobTable, Submit};
 pub use metrics::Metrics;
 pub use peer::{Peer, PeerSet, PeerState, DOWN_AFTER_FAILURES};
+pub use programs::{
+    decode_program_payload, validate_program_bytes, ProgramKind, ProgramRegistry, StoredProgram,
+    MAX_PROGRAM_BYTES,
+};
 pub use prom::render_prometheus;
 pub use router::{LabelId, Params, Route, Router};
 pub use server::{Server, ServerConfig};

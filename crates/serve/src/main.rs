@@ -49,7 +49,17 @@ OPTIONS:
 ENDPOINTS:
     POST /v1/sim        submit a job: {\"workload\", \"config\"?, \"seed\"?,
                         \"background\"?, \"tenant\"?, \"priority\"?}
-                        -> report envelope (or 202 + id)
+                        -> report envelope (or 202 + id). \"workload\" is a
+                        profile name, an uploaded-program ref
+                        (\"program:ID\" / \"trace:ID\"), or the v1.2 tagged
+                        object {\"profile\"|\"program\"|\"trace\": ...}
+    POST /v1/programs   upload a user program: ucasm text or a binary
+                        UCT1 trace (or {\"kind\",\"source\"|\"hex\"} JSON).
+                        Content-addressed: 201 created / 200 already
+                        known / 422 invalid_program
+    GET  /v1/programs   list uploaded programs (?kind=asm|trace)
+    GET  /v1/programs/ID       program metadata (ref, kind, insts, bytes)
+    GET  /v1/programs/ID/raw   the exact uploaded bytes
     POST /v1/matrix     submit a sweep plan: {\"workloads\", \"capacities\"?,
                         \"policies\"?, \"tenant\"?, \"priority\"?,
                         \"mode\"?: \"full\" | {\"adaptive\": {\"axis\",

@@ -14,10 +14,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ucsim_model::json::Json;
-use ucsim_model::{CancelToken, FailureKind, FromJson};
+use ucsim_model::{CancelToken, FailureKind, FromJson, WorkloadRef};
 use ucsim_pipeline::{Cancelled, KneeBisector, SimReport, Simulator};
 use ucsim_pool::{faults, PoolMonitor, PushError, Scheduler, SupervisedPool, Watchdog};
-use ucsim_trace::{Program, TraceStore, WorkloadProfile};
+use ucsim_trace::{load_asm, Program, TraceStore, WorkloadProfile};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest, SimRequest, SweepMode};
 use crate::cache::ResultCache;
@@ -25,6 +25,7 @@ use crate::http::{HttpConn, ReadOutcome, Request, Response};
 use crate::jobs::{JobFailure, JobState, JobTable, Submit};
 use crate::metrics::Metrics;
 use crate::peer::PeerSet;
+use crate::programs::{self, ProgramKind, ProgramRegistry, StoredProgram};
 use crate::router::{Params, Route, Router};
 use crate::store::{RecordKind, ResultStore};
 use crate::sweep::{self, Frontier, PlanAxes, PlanOptions, Sweep, SweepTable};
@@ -164,6 +165,9 @@ struct Inner {
     failed: Mutex<HashMap<u64, (String, JobFailure)>>,
     store: Option<ResultStore>,
     traces: TraceStore,
+    /// Uploaded user programs (`POST /v1/programs`), content-addressed;
+    /// replayed from the store on startup and replicated by anti-entropy.
+    programs: ProgramRegistry,
     metrics: Metrics,
     watchdog: Watchdog,
     /// Health view of the supervised pool (set once at startup).
@@ -249,6 +253,7 @@ impl Server {
             failed: Mutex::new(HashMap::new()),
             store,
             traces: TraceStore::new(cfg.trace_budget_insts),
+            programs: ProgramRegistry::new(),
             metrics,
             watchdog: Watchdog::new(),
             pool_monitor: OnceLock::new(),
@@ -284,6 +289,15 @@ impl Server {
                         }
                     }
                 }
+                RecordKind::Program => match programs::decode_program_payload(&rec.payload) {
+                    Ok(program) => {
+                        let _ = inner.programs.insert(program);
+                    }
+                    Err(e) => eprintln!(
+                        "ucsim-serve: dropping undecodable program record {}: {e}",
+                        api::format_key(rec.key_hash)
+                    ),
+                },
             }
         }
 
@@ -453,6 +467,30 @@ fn routes() -> Router<Arc<Inner>> {
             handler: handle_matrix_delete,
         },
         Route {
+            method: "POST",
+            pattern: "/v1/programs",
+            label: "POST /v1/programs",
+            handler: handle_program_post,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/programs",
+            label: "GET /v1/programs",
+            handler: handle_program_list,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/programs/:id",
+            label: "GET /v1/programs/:id",
+            handler: handle_program_get,
+        },
+        Route {
+            method: "GET",
+            pattern: "/v1/programs/:id/raw",
+            label: "GET /v1/programs/raw",
+            handler: handle_program_raw,
+        },
+        Route {
             method: "GET",
             pattern: "/v1/jobs",
             label: "GET /v1/jobs",
@@ -552,6 +590,7 @@ fn execute(inner: &Arc<Inner>, work: &Work) {
         &work.spec,
         inner.cfg.enable_test_workloads,
         &inner.traces,
+        &inner.programs,
         &work.cancel,
         inner.cfg.cell_threads,
     );
@@ -676,6 +715,12 @@ enum RunError {
 /// any sweep replays the same `Arc`'d trace (byte-identical reports —
 /// the walker is deterministic, so the recording *is* the stream).
 ///
+/// The spec's workload may be a Table II profile name or an
+/// uploaded-program ref: `program:<id>` lays the ucasm out per-seed with
+/// [`load_asm`] and walks it under the fixed user-program profile;
+/// `trace:<id>` replays the uploaded recording verbatim. Ref reports are
+/// named after the ref string itself, so responses stay self-describing.
+///
 /// With test workloads enabled, `test-sleep:<ms>` sleeps that long and
 /// then simulates the quick-test profile — a deterministic way for tests
 /// to keep workers busy.
@@ -683,40 +728,79 @@ fn run_spec(
     spec: &JobSpec,
     test_workloads: bool,
     traces: &TraceStore,
+    programs: &ProgramRegistry,
     cancel: &CancelToken,
     cell_threads: usize,
 ) -> Result<SimReport, RunError> {
-    let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
-        if !test_workloads {
-            return Err(RunError::Rejected(format!(
-                "unknown workload: {}",
-                spec.workload
-            )));
-        }
-        std::thread::sleep(Duration::from_millis(ms));
-        WorkloadProfile::quick_test()
-    } else if api::test_panic(&spec.workload) {
-        if !test_workloads {
-            return Err(RunError::Rejected(format!(
-                "unknown workload: {}",
-                spec.workload
-            )));
-        }
-        // Deterministic worker panic: integration tests exercise the
-        // panic → supervise → failure-envelope path with this.
-        panic!("test-panic workload requested a worker panic");
-    } else {
-        WorkloadProfile::by_name(&spec.workload)
-            .ok_or_else(|| RunError::Rejected(format!("unknown workload: {}", spec.workload)))?
-    };
-    profile.seed = spec.seed;
-    faults::check("worker.simulate");
     let total = spec.config.warmup_insts + spec.config.measure_insts;
-    let trace = traces.get_or_record(&spec.trace_key(), || {
-        let program = Program::generate(&profile);
-        let insts: Vec<_> = program.walk(&profile).take(total as usize).collect();
-        insts.into_iter()
-    });
+    let wref = WorkloadRef::parse(&spec.workload)
+        .map_err(|e| RunError::Rejected(format!("bad workload ref {:?}: {e}", spec.workload)))?;
+    let (name, trace) = match &wref {
+        WorkloadRef::Program(_) | WorkloadRef::Trace(_) => {
+            let Some(stored) = programs.resolve(&wref) else {
+                return Err(RunError::Rejected(format!(
+                    "unknown program: {}",
+                    spec.workload
+                )));
+            };
+            faults::check("worker.simulate");
+            let profile = WorkloadProfile::user_program(spec.seed);
+            let trace = traces.get_or_record(&spec.trace_key(), || {
+                let insts: Vec<_> = match stored.asm() {
+                    // ucasm: lay the arena out for this seed and walk it.
+                    Some(asm) => load_asm(asm, spec.seed)
+                        .walk(&profile)
+                        .take(total as usize)
+                        .collect(),
+                    // Recorded trace: the upload *is* the stream.
+                    None => stored
+                        .trace()
+                        .expect("resolve() kind-checks the ref")
+                        .insts()
+                        .iter()
+                        .copied()
+                        .take(total as usize)
+                        .collect(),
+                };
+                insts.into_iter()
+            });
+            (spec.workload.as_str(), trace)
+        }
+        WorkloadRef::Profile(_) => {
+            let mut profile = if let Some(ms) = api::test_sleep_ms(&spec.workload) {
+                if !test_workloads {
+                    return Err(RunError::Rejected(format!(
+                        "unknown workload: {}",
+                        spec.workload
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+                WorkloadProfile::quick_test()
+            } else if api::test_panic(&spec.workload) {
+                if !test_workloads {
+                    return Err(RunError::Rejected(format!(
+                        "unknown workload: {}",
+                        spec.workload
+                    )));
+                }
+                // Deterministic worker panic: integration tests exercise the
+                // panic → supervise → failure-envelope path with this.
+                panic!("test-panic workload requested a worker panic");
+            } else {
+                WorkloadProfile::by_name(&spec.workload).ok_or_else(|| {
+                    RunError::Rejected(format!("unknown workload: {}", spec.workload))
+                })?
+            };
+            profile.seed = spec.seed;
+            faults::check("worker.simulate");
+            let trace = traces.get_or_record(&spec.trace_key(), || {
+                let program = Program::generate(&profile);
+                let insts: Vec<_> = program.walk(&profile).take(total as usize).collect();
+                insts.into_iter()
+            });
+            (profile.name, trace)
+        }
+    };
     if cell_threads > 1 {
         // PW-parallel path: record the prediction-window stream, then
         // replay it with intra-cell hash-precompute workers. Reports are
@@ -726,10 +810,10 @@ fn run_spec(
         if cancel.is_cancelled() {
             return Err(RunError::Cancelled);
         }
-        return Ok(pwt.replay_parallel(profile.name, &spec.config, cell_threads));
+        return Ok(pwt.replay_parallel(name, &spec.config, cell_threads));
     }
     Simulator::new(spec.config.clone())
-        .run_trace_cancellable(profile.name, &trace, cancel)
+        .run_trace_cancellable(name, &trace, cancel)
         .map_err(|Cancelled| RunError::Cancelled)
 }
 
@@ -856,12 +940,8 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
             sim_req.priority,
         )
     };
-    if !api::workload_known(&spec.workload, inner.cfg.enable_test_workloads) {
-        return api::error_response(
-            ErrorCode::UnknownWorkload,
-            &format!("unknown workload: {}", spec.workload),
-            None,
-        );
+    if let Err(resp) = workload_available(inner, &spec.workload) {
+        return resp;
     }
     let canonical = spec.canonical();
     let hash = api::content_hash(&canonical);
@@ -962,6 +1042,111 @@ fn handle_sim(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
     }
 }
 
+/// Validates a job's workload ref against what this node can actually
+/// run: profile names must be Table II (or enabled test workloads);
+/// `program:`/`trace:` refs must resolve in the registry — falling back
+/// to an on-demand fetch from cluster peers when the upload landed on a
+/// different node than rendezvous routing sent the job to.
+fn workload_available(inner: &Arc<Inner>, workload: &str) -> Result<(), Response> {
+    match WorkloadRef::parse(workload) {
+        Ok(WorkloadRef::Profile(_)) => {
+            if api::workload_known(workload, inner.cfg.enable_test_workloads) {
+                Ok(())
+            } else {
+                Err(api::error_response(
+                    ErrorCode::UnknownWorkload,
+                    &format!("unknown workload: {workload}"),
+                    None,
+                ))
+            }
+        }
+        Ok(wref) => {
+            if inner.programs.resolve(&wref).is_some() || fetch_program_from_peers(inner, &wref) {
+                Ok(())
+            } else {
+                Err(api::error_response(
+                    ErrorCode::InvalidProgram,
+                    &format!(
+                        "no uploaded program matches {workload}; POST it to /v1/programs first"
+                    ),
+                    None,
+                ))
+            }
+        }
+        Err(e) => Err(api::error_response(
+            ErrorCode::BadRequest,
+            &format!("bad workload ref {workload:?}: {e}"),
+            None,
+        )),
+    }
+}
+
+/// Pulls a missing program from cluster peers (`GET /v1/programs/:id/raw`)
+/// and registers it locally. The fetched bytes are re-validated and
+/// re-hashed here, so a peer cannot plant a program whose content address
+/// lies — a mismatch is simply treated as not-found.
+fn fetch_program_from_peers(inner: &Arc<Inner>, wref: &WorkloadRef) -> bool {
+    let (Some(ps), Some(hash)) = (&inner.peers, wref.resource_hash()) else {
+        return false;
+    };
+    let path = format!("/v1/programs/{}/raw", api::format_key(hash));
+    for peer in ps.peers() {
+        if !peer.available() {
+            continue;
+        }
+        let Ok(resp) = ps.fetch(peer, &path) else {
+            continue;
+        };
+        if resp.status != 200 {
+            continue;
+        }
+        let Ok(program) = programs::validate_program_bytes(&resp.body) else {
+            continue;
+        };
+        if program.workload_ref() != *wref {
+            continue;
+        }
+        register_program(inner, program);
+        return true;
+    }
+    false
+}
+
+/// Registers a validated program: inserts it into the registry and — on
+/// first sight — persists it to the store so restarts replay it and
+/// anti-entropy replicates it. Mirrors the result-append bookkeeping
+/// (known-keys set, store-error metric).
+fn register_program(inner: &Inner, program: StoredProgram) -> (Arc<StoredProgram>, bool) {
+    let hash = program.hash();
+    let canonical = program.ref_string();
+    let payload = program.payload_json();
+    let (entry, created) = inner.programs.insert(program);
+    if created {
+        if let Some(store) = &inner.store {
+            let span = ucsim_obs::span(ucsim_obs::SpanKind::StoreIo);
+            let appended = store.append_program(hash, &canonical, &payload);
+            span.finish(u32::from(appended.is_err()));
+            match appended {
+                Ok(()) => {
+                    inner
+                        .known_keys
+                        .lock()
+                        .expect("known keys lock")
+                        .insert(hash);
+                }
+                Err(e) => {
+                    inner.metrics.store_write_error();
+                    eprintln!(
+                        "ucsim-serve: appending program to {} failed: {e}",
+                        store.path().display()
+                    );
+                }
+            }
+        }
+    }
+    (entry, created)
+}
+
 /// Walks the rendezvous owner chain for `hash` and forwards the job to
 /// the first reachable remote owner. Returns `None` when this node
 /// should execute locally: it is the primary owner, or every remote
@@ -1038,6 +1223,14 @@ fn handle_matrix_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Re
         Ok(a) => a,
         Err((code, msg)) => return api::error_response(code, &msg, None),
     };
+    // Every uploaded-program ref must resolve (locally, or fetched from
+    // its upload node) before the plan is accepted — a plan never
+    // enqueues cells it cannot run.
+    for w in &matrix_req.workloads {
+        if let Err(resp) = workload_available(inner, w) {
+            return resp;
+        }
+    }
     let opts = PlanOptions {
         tenant: matrix_req
             .tenant
@@ -1445,6 +1638,21 @@ fn apply_pull_record(inner: &Inner, store: &ResultStore, rec: &Json) {
                 .expect("failed cache lock")
                 .insert(key, (canonical.to_owned(), failure));
         }
+        "program" => {
+            // Re-validate the payload locally; the content address must
+            // agree or the record is dropped (a peer cannot plant a
+            // program under someone else's id).
+            let Ok(program) = programs::decode_program_payload(payload) else {
+                return;
+            };
+            if program.hash() != key || program.ref_string() != canonical {
+                return;
+            }
+            if store.append_program(key, canonical, payload).is_err() {
+                return;
+            }
+            let _ = inner.programs.insert(program);
+        }
         _ => return,
     }
     inner
@@ -1578,6 +1786,118 @@ fn handle_matrix_delete(inner: &Arc<Inner>, _req: &Request, params: &Params) -> 
         &format!("sweep {id} cancelled; {} cells preempted", flipped.len()),
         None,
     )
+}
+
+/// `POST /v1/programs` — upload a user program: ucasm text or a binary
+/// `UCT1` trace (sniffed by content), or the JSON envelope
+/// `{"kind":"asm","source":…}` / `{"kind":"trace","hex":…}` for clients
+/// that prefer a pure-JSON wire. The id is the FNV-1a hash of the
+/// program bytes, so uploads are idempotent and agree across nodes:
+/// 201 on first upload, 200 on re-upload, 422 `invalid_program` when
+/// validation fails.
+fn handle_program_post(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    if inner.stopping.load(Ordering::SeqCst) {
+        return api::error_response(ErrorCode::Draining, "server shutting down", None);
+    }
+    let first = req.body.iter().find(|b| !b.is_ascii_whitespace());
+    let validated = if first == Some(&b'{') {
+        // ucasm can't start with '{', so this is the JSON envelope form.
+        match req.body_utf8() {
+            Ok(text) => programs::decode_program_payload(text),
+            Err(msg) => Err(msg),
+        }
+    } else {
+        programs::validate_program_bytes(&req.body)
+    };
+    let program = match validated {
+        Ok(p) => p,
+        Err(msg) => return api::error_response(ErrorCode::InvalidProgram, &msg, None),
+    };
+    let (entry, created) = register_program(inner, program);
+    let Json::Obj(mut fields) = entry.meta_json() else {
+        unreachable!("meta_json is an object")
+    };
+    fields.push(("created".to_owned(), Json::Bool(created)));
+    Response::json(
+        if created { 201 } else { 200 },
+        Json::Obj(fields).to_string().into_bytes(),
+    )
+}
+
+/// Resolves the `:id` route param (the 16-hex content address) against
+/// the program registry.
+fn lookup_program(inner: &Inner, params: &Params) -> Result<Arc<StoredProgram>, Response> {
+    let Some(hash) = params
+        .get("id")
+        .filter(|s| !s.is_empty() && s.len() <= 16)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+    else {
+        return Err(api::error_response(
+            ErrorCode::BadRequest,
+            "bad program id",
+            None,
+        ));
+    };
+    inner
+        .programs
+        .get(hash)
+        .ok_or_else(|| api::error_response(ErrorCode::NotFound, "no such program", None))
+}
+
+fn handle_program_list(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
+    let mut kind = None;
+    if let Some(q) = &req.query {
+        for pair in q.split('&') {
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
+            if k == "kind" {
+                match ProgramKind::parse(v) {
+                    Some(pk) => kind = Some(pk),
+                    None => {
+                        return api::error_response(
+                            ErrorCode::BadRequest,
+                            &format!("unknown kind filter {v:?} (want asm or trace)"),
+                            None,
+                        )
+                    }
+                }
+            }
+        }
+    }
+    let listed: Vec<Json> = inner
+        .programs
+        .list(kind)
+        .iter()
+        .map(|p| p.meta_json())
+        .collect();
+    let body = Json::Obj(vec![("programs".to_owned(), Json::Arr(listed))]);
+    Response::json(200, body.to_string().into_bytes())
+}
+
+fn handle_program_get(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    match lookup_program(inner, params) {
+        Ok(p) => Response::json(200, p.meta_json().to_string().into_bytes()),
+        Err(resp) => resp,
+    }
+}
+
+/// `GET /v1/programs/:id/raw` — the exact uploaded bytes. Peers use this
+/// for on-demand fetch (re-uploading the body anywhere reproduces the
+/// id); humans use it to recover a source file.
+fn handle_program_raw(inner: &Arc<Inner>, _req: &Request, params: &Params) -> Response {
+    match lookup_program(inner, params) {
+        Ok(p) => Response {
+            status: 200,
+            headers: Vec::new(),
+            body: p.raw().to_vec(),
+            content_type: match p.kind() {
+                ProgramKind::Asm => "text/plain; charset=utf-8",
+                ProgramKind::Trace => "application/octet-stream",
+            },
+        },
+        Err(resp) => resp,
+    }
 }
 
 fn handle_jobs_list(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response {
@@ -1812,6 +2132,7 @@ fn handle_store(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response
                                 match r.kind {
                                     RecordKind::Result => "result",
                                     RecordKind::Failed => "failed",
+                                    RecordKind::Program => "program",
                                 }
                                 .to_owned(),
                             ),
@@ -1823,7 +2144,7 @@ fn handle_store(inner: &Arc<Inner>, req: &Request, _params: &Params) -> Response
                 })
                 .collect();
             let body = Json::Obj(vec![
-                ("format".to_owned(), Json::Str("UCSTOR02".to_owned())),
+                ("format".to_owned(), Json::Str("UCSTOR03".to_owned())),
                 ("since".to_owned(), Json::Uint(since)),
                 ("next".to_owned(), Json::Uint(next)),
                 ("eof".to_owned(), Json::Bool(eof)),
@@ -1893,11 +2214,12 @@ fn handle_version(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
             "version".to_owned(),
             Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
         ),
-        // Wire-contract version: v1.1 removed the v1.0 deprecated aliases
-        // (`status`, `response`, `sweep`, bare `/healthz`) and added
-        // plans, cancellation, and the listing endpoints.
-        ("api".to_owned(), Json::Str("v1.1".to_owned())),
-        ("store_format".to_owned(), Json::Str("UCSTOR02".to_owned())),
+        // Wire-contract version: v1.2 added user programs (`/v1/programs`,
+        // the tagged workload-ref object in sim/matrix requests — the
+        // plain ref string stays as a one-release alias) on top of the
+        // v1.1 plans/cancellation/listing surface.
+        ("api".to_owned(), Json::Str("v1.2".to_owned())),
+        ("store_format".to_owned(), Json::Str("UCSTOR03".to_owned())),
         (
             "features".to_owned(),
             Json::Obj(vec![
@@ -1915,6 +2237,7 @@ fn handle_version(inner: &Arc<Inner>, _req: &Request, _params: &Params) -> Respo
                     Json::Bool(inner.cfg.durable_store),
                 ),
                 ("cluster".to_owned(), Json::Bool(inner.peers.is_some())),
+                ("programs".to_owned(), Json::Bool(true)),
             ]),
         ),
     ]);

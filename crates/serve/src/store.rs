@@ -11,9 +11,16 @@
 //! including re-reporting failures without re-running doomed specs.
 //! Environment-dependent failures (deadlines, drain) are never persisted.
 //!
+//! Since v1.2 the log also persists *uploaded programs* (DESIGN.md §11):
+//! a `PROGRAM` record's canonical string is the workload ref
+//! (`program:<hash>` / `trace:<hash>`) and its payload the program
+//! resource JSON, so a restarted server still resolves every workload ref
+//! its results refer to — and anti-entropy replicates programs to peers
+//! through the same log.
+//!
 //! ## File format (`results.log`)
 //!
-//! An 8-byte magic (`UCSTOR02`) followed by records, all integers
+//! An 8-byte magic (`UCSTOR03`) followed by records, all integers
 //! big-endian:
 //!
 //! ```text
@@ -21,14 +28,15 @@
 //! [canonical bytes][payload bytes]
 //! ```
 //!
-//! `kind` is 1 (`RESULT`: payload is the report JSON) or 2 (`FAILED`:
-//! payload is `{"code":…,"message":…}`). `key_hash` is the FNV-1a content
-//! address of the canonical spec; `checksum` is FNV-1a over the
-//! concatenated canonical + payload bytes. Replay stops at the first
-//! short, unknown-kind, or checksum-failing record and truncates the file
-//! there, so a crash mid-append costs at most the last record — never the
-//! log. A v1 log (`UCSTOR01`, no kind byte, results only) is migrated to
-//! v2 in place on open.
+//! `kind` is 1 (`RESULT`: payload is the report JSON), 2 (`FAILED`:
+//! payload is `{"code":…,"message":…}`) or 3 (`PROGRAM`: payload is the
+//! program resource JSON). `key_hash` is the FNV-1a content address of
+//! the canonical spec (for programs: of the uploaded bytes); `checksum`
+//! is FNV-1a over the concatenated canonical + payload bytes. Replay
+//! stops at the first short, unknown-kind, or checksum-failing record and
+//! truncates the file there, so a crash mid-append costs at most the last
+//! record — never the log. Older logs (`UCSTOR01` — no kind byte, results
+//! only — and `UCSTOR02`) are migrated to v3 in place on open.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -43,7 +51,8 @@ use ucsim_pool::faults;
 use crate::api::fnv1a;
 use crate::jobs::JobFailure;
 
-const MAGIC: &[u8; 8] = b"UCSTOR02";
+const MAGIC: &[u8; 8] = b"UCSTOR03";
+const MAGIC_V2: &[u8; 8] = b"UCSTOR02";
 const MAGIC_V1: &[u8; 8] = b"UCSTOR01";
 /// Per-record fixed header: kind (1) + key (8) + lengths (4+4) +
 /// checksum (8).
@@ -56,6 +65,7 @@ const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
 
 const KIND_RESULT: u8 = 1;
 const KIND_FAILED: u8 = 2;
+const KIND_PROGRAM: u8 = 3;
 
 /// What a store record holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +74,9 @@ pub enum RecordKind {
     Result,
     /// A deterministic failure; the payload is `{"code":…,"message":…}`.
     Failed,
+    /// An uploaded user program; the canonical string is the workload ref
+    /// and the payload the program resource JSON (DESIGN.md §11).
+    Program,
 }
 
 /// One replayed record.
@@ -159,9 +172,15 @@ impl ResultStore {
             file.flush()?;
             (Vec::new(), MAGIC.len() as u64)
         } else if raw.len() >= MAGIC_V1.len() && &raw[..MAGIC_V1.len()] == MAGIC_V1 {
-            // v1 log: replay with the old layout, rewrite as v2.
+            // v1 log: replay with the old layout, rewrite as v3.
             let records = replay_v1(&raw[MAGIC_V1.len()..]);
-            file = migrate_to_v2(dir, &path, &records)?;
+            file = rewrite_as_current(dir, &path, &records)?;
+            let len = file.seek(SeekFrom::End(0))?;
+            (records, len)
+        } else if raw.len() >= MAGIC_V2.len() && &raw[..MAGIC_V2.len()] == MAGIC_V2 {
+            // v2 log: identical record framing, only the magic moves.
+            let (records, _) = replay(&raw[MAGIC_V2.len()..]);
+            file = rewrite_as_current(dir, &path, &records)?;
             let len = file.seek(SeekFrom::End(0))?;
             (records, len)
         } else {
@@ -210,6 +229,17 @@ impl ResultStore {
         failure: &JobFailure,
     ) -> io::Result<()> {
         self.append_record(KIND_FAILED, key_hash, canonical, &failure_payload(failure))
+    }
+
+    /// Appends one uploaded program: `canonical` is the workload ref
+    /// string, `payload` the program resource JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (the in-memory registry still holds the
+    /// program; only restart durability is lost).
+    pub fn append_program(&self, key_hash: u64, canonical: &str, payload: &str) -> io::Result<()> {
+        self.append_record(KIND_PROGRAM, key_hash, canonical, payload)
     }
 
     fn append_record(
@@ -316,8 +346,9 @@ impl ResultStore {
     }
 }
 
-/// Rewrites `records` as a fresh v2 log, atomically replacing `path`.
-fn migrate_to_v2(dir: &Path, path: &Path, records: &[StoreRecord]) -> io::Result<File> {
+/// Rewrites `records` as a fresh current-format log, atomically
+/// replacing `path`.
+fn rewrite_as_current(dir: &Path, path: &Path, records: &[StoreRecord]) -> io::Result<File> {
     let tmp = dir.join("results.log.migrate");
     let mut out = Vec::with_capacity(MAGIC.len() + records.len() * 128);
     out.extend_from_slice(MAGIC);
@@ -325,6 +356,7 @@ fn migrate_to_v2(dir: &Path, path: &Path, records: &[StoreRecord]) -> io::Result
         let kind = match r.kind {
             RecordKind::Result => KIND_RESULT,
             RecordKind::Failed => KIND_FAILED,
+            RecordKind::Program => KIND_PROGRAM,
         };
         out.extend_from_slice(&encode_record(kind, r.key_hash, &r.canonical, &r.payload));
     }
@@ -365,6 +397,7 @@ fn replay(mut body: &[u8]) -> (Vec<StoreRecord>, u64) {
         let kind = match body[0] {
             KIND_RESULT => RecordKind::Result,
             KIND_FAILED => RecordKind::Failed,
+            KIND_PROGRAM => RecordKind::Program,
             _ => break, // unknown kind — truncate here
         };
         let key_hash = u64::from_be_bytes(body[1..9].try_into().expect("8 bytes"));
@@ -575,6 +608,51 @@ mod tests {
         let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 3);
         assert_eq!(replayed[2].kind, RecordKind::Failed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_log_migrates_to_v3_preserving_records() {
+        let dir = temp_dir("migrate-v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.log");
+        // Hand-build a v2 log: old magic, same record framing.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC_V2);
+        raw.extend_from_slice(&encode_record(KIND_RESULT, 1, "spec-a", "{\"upc\":1.0}"));
+        raw.extend_from_slice(&encode_record(KIND_FAILED, 2, "spec-b", "{\"code\":\"x\"}"));
+        std::fs::write(&path, &raw).unwrap();
+
+        let (store, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].canonical, "spec-a");
+        assert_eq!(replayed[1].kind, RecordKind::Failed);
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..8], MAGIC);
+        store.append(3, "spec-c", "{}").unwrap();
+        drop(store);
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn program_records_round_trip() {
+        let dir = temp_dir("program");
+        {
+            let (store, _) = ResultStore::open(&dir, false).unwrap();
+            store
+                .append_program(0xabcd, "program:000000000000abcd", "{\"kind\":\"asm\"}")
+                .unwrap();
+            store.append(1, "spec", "{\"upc\":1.0}").unwrap();
+        }
+        let (_s, replayed) = ResultStore::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].kind, RecordKind::Program);
+        assert_eq!(replayed[0].key_hash, 0xabcd);
+        assert_eq!(replayed[0].canonical, "program:000000000000abcd");
+        assert_eq!(replayed[0].payload, "{\"kind\":\"asm\"}");
+        assert_eq!(replayed[0].failure(), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 
 use ucsim_bench::{MatrixCross, SweepPolicy};
 use ucsim_model::json::Json;
-use ucsim_model::{FromJson, ToJson};
+use ucsim_model::{FromJson, ToJson, WorkloadRef};
 use ucsim_pipeline::{LabeledConfig, SimReport, SweepCellReport, SweepReport};
 
 use crate::api::{self, ErrorCode, JobSpec, MatrixRequest};
@@ -645,8 +645,15 @@ impl PlanAxes {
             ));
         }
         for w in &req.workloads {
-            if !api::workload_known(w, test_workloads) {
-                return Err((ErrorCode::UnknownWorkload, format!("unknown workload: {w}")));
+            match WorkloadRef::parse(w) {
+                // Profile names must be in Table II here; uploaded-program
+                // refs pass through — the server resolves them against its
+                // registry (with a peer fetch) before accepting the plan.
+                Ok(WorkloadRef::Profile(_)) if !api::workload_known(w, test_workloads) => {
+                    return Err((ErrorCode::UnknownWorkload, format!("unknown workload: {w}")));
+                }
+                Ok(_) => {}
+                Err(e) => return Err((ErrorCode::BadRequest, format!("workload {w:?}: {e}"))),
             }
         }
         let capacities: Vec<usize> = match &req.capacities {
@@ -722,9 +729,19 @@ impl PlanAxes {
         };
         let canonical = spec.canonical();
         let key_hash = api::content_hash(&canonical);
+        // Uploaded-program cells carry the ref's short hash in the label
+        // (`prog-1a2b3c4d:OC_2K:CLASP`), so two programs swept in one plan
+        // stay distinguishable in `GET /v1/matrix/:id` and in Prometheus
+        // label values. Profile cells keep the bare cross label.
+        let label = match WorkloadRef::parse(workload) {
+            Ok(r @ (WorkloadRef::Program(_) | WorkloadRef::Trace(_))) => {
+                format!("{}:{}", r.short_label(), lc.label)
+            }
+            _ => lc.label.clone(),
+        };
         CellMeta {
             workload: workload.to_owned(),
-            label: lc.label.clone(),
+            label,
             seed,
             spec,
             canonical,
@@ -810,6 +827,31 @@ mod tests {
         assert_eq!(keys.len(), 8);
         assert_eq!(metas[0].spec.config.warmup_insts, 100);
         assert_eq!(metas[0].spec.config.measure_insts, 2000);
+    }
+
+    #[test]
+    fn program_ref_cells_expand_with_hash_prefixed_labels() {
+        // Refs pass axis validation without being Table II names, default
+        // their seed to the content hash, and prefix the cell label with
+        // the ref's short hash so two programs in one plan stay distinct.
+        let req = parse(
+            r#"{"workloads":[{"program":"1a2b3c4d000000ab"},"redis"],"capacities":[2048],"policies":["baseline","clasp"]}"#,
+        );
+        let metas = expand_request(&req, false).unwrap();
+        assert_eq!(metas.len(), 4);
+        assert_eq!(metas[0].workload, "program:1a2b3c4d000000ab");
+        assert_eq!(metas[0].label, "prog-1a2b3c4d:baseline");
+        assert_eq!(metas[1].label, "prog-1a2b3c4d:CLASP");
+        assert_eq!(metas[0].seed, 0x1a2b_3c4d_0000_00ab);
+        // Profile cells keep the bare cross label — pinned elsewhere.
+        assert_eq!(metas[2].label, "baseline");
+
+        // Trace refs too; malformed refs are bad requests at parse time.
+        let req = parse(r#"{"workloads":["trace:5e6f7089000000cd"],"capacities":[2048,4096]}"#);
+        let metas = expand_request(&req, false).unwrap();
+        assert_eq!(metas[0].label, "trace-5e6f7089:OC_2K");
+        assert_eq!(metas[0].seed, 0);
+        assert!(MatrixRequest::parse(r#"{"workloads":["program:zz"]}"#).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+mod loader;
 mod profile;
 mod program;
 mod share;
@@ -43,6 +44,7 @@ mod stats;
 mod tracefile;
 mod walker;
 
+pub use loader::load_asm;
 pub use profile::WorkloadProfile;
 pub use program::{BasicBlock, Function, Program, TermInst, TermKind};
 pub use share::{record_workload, ReplayIter, SharedTrace, TraceHandle, TraceKey, TraceStore};

@@ -124,6 +124,26 @@ impl WorkloadProfile {
         }
     }
 
+    /// The walker-side profile for user-assembled (ucasm) programs.
+    ///
+    /// A hand-written program carries its own control-flow structure and
+    /// branch annotations, so most profile knobs are irrelevant — this
+    /// profile only supplies what the dynamic walker still samples:
+    /// `seed` (branch outcome streams and the data-address base), the
+    /// data-footprint knobs, and `p_smc_store = 0` (user programs never
+    /// self-modify). `func_zipf_s = 0` selects indirect-call callees
+    /// uniformly: the calibrated Zipf skew never picks rank 0, which
+    /// would make small hand-written `calli` lists unreachable.
+    pub fn user_program(seed: u64) -> Self {
+        WorkloadProfile {
+            name: "user-asm",
+            suite: "user",
+            seed,
+            func_zipf_s: 0.0,
+            ..Self::quick_test()
+        }
+    }
+
     /// The thirteen Table II workloads, in the paper's order.
     pub fn table2() -> Vec<WorkloadProfile> {
         let base = WorkloadProfile {

@@ -218,7 +218,14 @@ impl TraceWalker<'_> {
                         }
                         TermKind::IndirectCall { callees, seed } => {
                             let mut r = SplitMix64::new(mix64(seed ^ count.rotate_left(17)));
-                            let raw = r.zipf(callees.len(), self.func_zipf_s);
+                            // Zipf's inverse-power transform never yields
+                            // rank 0, so a skew of 0 (user programs) means
+                            // "uniform over the listed callees" instead.
+                            let raw = if self.func_zipf_s <= 0.0 {
+                                r.below(callees.len() as u64) as usize
+                            } else {
+                                r.zipf(callees.len(), self.func_zipf_s)
+                            };
                             let stride = callees.len() / 7 + 1;
                             let idx =
                                 (raw + (self.current_phase() as usize * stride)) % callees.len();

@@ -1,0 +1,17 @@
+; dense_loop.asm — the uop cache's best case.
+;
+; One short, hot loop body of compact (3-4 byte) instructions: the whole
+; loop fits in a single I-cache-line region, so even the baseline uop
+; cache holds it in one entry and the OC fetch ratio saturates. Use this
+; as the control against fragmenter.asm.
+;
+;   ucsim --asm examples/asm/dense_loop.asm --insts 200000
+.func main
+top: alu 3
+     alu 3
+     load 4 imm=1
+     alu 3
+     store 4 imm=1
+     jcc top trip=64
+     jmp top
+.end

@@ -1,0 +1,38 @@
+; dispatcher.asm — an interpreter-style dispatch loop.
+;
+; The fetch loop indirect-calls one of four opcode handlers per
+; iteration (uniform dispatch: user programs walk calli tables with no
+; Zipf skew). The working set is many small, scattered functions — the
+; uop cache sees short entries with poor line utilization, the shape
+; compaction (RAC/PWAC/F-PWAC) is built for:
+;
+;   ucsim --asm examples/asm/dispatcher.asm --insts 200000
+;   ucsim --asm examples/asm/dispatcher.asm --insts 200000 --compaction fpwac
+.func main
+fetch: load 4 imm=1
+       alu 3
+       calli op_add,op_load,op_store,op_branch
+       alu 2
+       jcc fetch trip=256
+       jmp fetch
+.end
+.func op_add
+       alu 3
+       alu 3
+       ret
+.end
+.func op_load
+       load 4 imm=1
+       load 4 imm=1
+       ret
+.end
+.func op_store
+       store 7 imm=2 uops=2
+       ret
+.end
+.func op_branch
+       mul 4
+       jcc done p=0.5
+       alu 2
+done:  ret
+.end

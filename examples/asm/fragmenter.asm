@@ -1,0 +1,24 @@
+; fragmenter.asm — a hand-built fragmentation pathology (paper §3).
+;
+; Every hot block is ~60 bytes of maximum-length instructions, so block
+; after block straddles a 64-byte I-cache-line boundary. The baseline
+; uop cache must terminate an entry at every line boundary, splitting
+; each block into two half-empty entries; CLASP lets the entry span the
+; boundary and roughly halves the entry count. Compare:
+;
+;   ucsim --asm examples/asm/fragmenter.asm --insts 200000
+;   ucsim --asm examples/asm/fragmenter.asm --insts 200000 --clasp
+.func main
+top: alu 15 imm=2
+     alu 15 imm=2
+     alu 15 imm=2
+     alu 14 imm=2
+     jcc mid p=0.8
+     nop 1
+mid: fp 15 imm=2
+     fp 15 imm=2
+     fp 15 imm=2
+     fp 14 imm=2
+     jcc top trip=32
+     jmp top
+.end

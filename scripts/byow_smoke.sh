@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Bring-your-own-workload smoke test: start a live ucsim-serve, upload a
+# ucasm example through the client, run it by content ref, and check the
+# served report's counters match a direct offline run of the same file.
+#
+# Usage: scripts/byow_smoke.sh   (binaries default to target/release;
+# override with BIN=target/debug)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release}
+ASM=${ASM:-examples/asm/dense_loop.asm}
+ADDR=${ADDR:-127.0.0.1:7391}
+INSTS=50000
+WARMUP=5000
+
+"$BIN/ucsim-serve" --addr "$ADDR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 50); do
+  if "$BIN/ucsim" client program list --addr "$ADDR" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+
+UPLOAD=$("$BIN/ucsim" client program upload "$ASM" --addr "$ADDR")
+REF=$(printf '%s' "$UPLOAD" | sed -n 's/.*"ref": *"\([^"]*\)".*/\1/p' | head -1)
+if [ -z "$REF" ]; then
+  echo "no ref in upload response: $UPLOAD" >&2
+  exit 1
+fi
+echo "uploaded $ASM as $REF"
+
+SERVED=$("$BIN/ucsim" client --addr "$ADDR" --workload "$REF" \
+  --insts "$INSTS" --warmup "$WARMUP")
+DIRECT=$("$BIN/ucsim" --asm "$ASM" --insts "$INSTS" --warmup "$WARMUP" 2>/dev/null)
+
+# The offline CLI prints `insts <n>` rows; the served report is JSON.
+# Equal insts/uops/cycles pins the replay (UPC is derived from them).
+for key in insts uops cycles; do
+  s=$(printf '%s' "$SERVED" | sed -n "s/.*\"$key\": *\([0-9]*\).*/\1/p" | head -1)
+  d=$(printf '%s' "$DIRECT" | awk -v k="$key" '$1 == k { print $2 }')
+  if [ -z "$s" ] || [ "$s" != "$d" ]; then
+    echo "$key mismatch: served=${s:-?} direct=${d:-?}" >&2
+    echo "--- served ---"; echo "$SERVED"
+    echo "--- direct ---"; echo "$DIRECT"
+    exit 1
+  fi
+  echo "$key: served=$s direct=$d"
+done
+echo "byow smoke ok: served == direct"

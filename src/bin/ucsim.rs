@@ -24,9 +24,18 @@ USAGE:
                                       fetch one job's state/result, its
                                       execution profile with --profile, or
                                       cancel it with --cancel
+    ucsim client program upload <file> [--addr A]
+                                      upload a .asm (ucasm) or .uct trace;
+                                      prints the content-addressed ref
+    ucsim client program list [--kind asm|trace] [--addr A]
+    ucsim client program show <id> [--raw] [--addr A]
 
 OPTIONS:
     --workload <name>      Table II workload (default bm-cc); use --list to see all
+    --asm <file>           assemble a ucasm program and simulate it instead
+                           of a synthetic Table II workload
+    --seed <n>             walk seed for --asm (default: FNV-1a of the
+                           file bytes — the program's content address)
     --capacity <uops>      uop cache capacity: 2048/4096/.../65536 (default 2048)
     --clasp                enable CLASP
     --compaction <p>       rac | pwac | fpwac (implies --clasp)
@@ -44,7 +53,9 @@ CLIENT OPTIONS:
     --peer <host:port>     failover address (repeatable): a connect error
                            or 5xx rotates to the next peer instead of
                            retrying the same node
-    --workload <name>      workload to submit (default bm-cc)
+    --workload <name>      workload to submit (default bm-cc): a profile
+                           name or an uploaded-program ref
+                           (program:<id> / trace:<id>)
     --seed <n>             generation seed (default: the workload's own)
     --insts <n>            measured instructions
     --warmup <n>           warmup instructions
@@ -79,6 +90,8 @@ MATRIX OPTIONS:
 struct Args {
     workload: String,
     trace: Option<String>,
+    asm: Option<String>,
+    seed: Option<u64>,
     capacity: usize,
     clasp: bool,
     compaction: Option<CompactionPolicy>,
@@ -93,6 +106,8 @@ fn parse() -> Args {
     let mut a = Args {
         workload: "bm-cc".to_owned(),
         trace: None,
+        asm: None,
+        seed: None,
         capacity: 2048,
         clasp: false,
         compaction: None,
@@ -127,6 +142,22 @@ fn parse() -> Args {
                     argv.get(i)
                         .unwrap_or_else(|| bail("--trace needs a path"))
                         .clone(),
+                );
+            }
+            "--asm" => {
+                i += 1;
+                a.asm = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| bail("--asm needs a path"))
+                        .clone(),
+                );
+            }
+            "--seed" => {
+                i += 1;
+                a.seed = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--seed needs a number")),
                 );
             }
             "--workload" => {
@@ -602,11 +633,130 @@ fn client_job(argv: &[String]) {
     );
 }
 
+/// The `ucsim client program` subcommand: upload, list, or inspect
+/// content-addressed user programs on a running server.
+fn client_program(argv: &[String]) {
+    let bail = |m: &str| -> ! {
+        eprintln!("error: {m}\n\n{USAGE}");
+        std::process::exit(2)
+    };
+    let Some(verb) = argv.first().map(String::as_str) else {
+        bail("program needs upload|list|show");
+    };
+    let mut addr = "127.0.0.1:7199".to_owned();
+    let mut kind: Option<String> = None;
+    let mut raw = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => {
+                i += 1;
+                addr = argv
+                    .get(i)
+                    .unwrap_or_else(|| bail("--addr needs host:port"))
+                    .clone();
+            }
+            "--kind" => {
+                i += 1;
+                kind = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| bail("--kind takes asm|trace"))
+                        .clone(),
+                );
+            }
+            "--raw" => raw = true,
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => bail(&format!("unknown program option {other}")),
+        }
+        i += 1;
+    }
+    let send = |method: &str, path: &str, body: &[u8]| -> ucsim::serve::HttpResponse {
+        ucsim::serve::request(&addr, method, path, body).unwrap_or_else(|e| {
+            eprintln!("cannot reach {addr}: {e}");
+            std::process::exit(1);
+        })
+    };
+    match verb {
+        "upload" => {
+            let Some(path) = positional.first() else {
+                bail("program upload needs a file");
+            };
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+            let resp = send("POST", "/v1/programs", &bytes);
+            if resp.status != 200 && resp.status != 201 {
+                print_error_and_exit(&resp);
+            }
+            let text = resp.body_str();
+            let v = Json::parse(&text).unwrap_or(Json::Null);
+            if let Some(r) = v.get("ref").and_then(Json::as_str) {
+                let created = v.get("created").and_then(Json::as_bool).unwrap_or(false);
+                let note = if created { "uploaded" } else { "already known" };
+                eprintln!("{note}: {r}");
+            }
+            println!("{}", v.to_pretty());
+        }
+        "list" => {
+            let path = match &kind {
+                Some(k) => format!("/v1/programs?kind={k}"),
+                None => "/v1/programs".to_owned(),
+            };
+            let resp = send("GET", &path, b"");
+            if resp.status != 200 {
+                print_error_and_exit(&resp);
+            }
+            let text = resp.body_str();
+            println!(
+                "{}",
+                Json::parse(&text).map_or(text.clone(), |j| j.to_pretty())
+            );
+        }
+        "show" => {
+            let Some(id) = positional.first() else {
+                bail("program show needs an id");
+            };
+            // Accept the bare 16-hex id or a full program:/trace: ref.
+            let id = id.rsplit(':').next().unwrap_or(id);
+            let path = if raw {
+                format!("/v1/programs/{id}/raw")
+            } else {
+                format!("/v1/programs/{id}")
+            };
+            let resp = send("GET", &path, b"");
+            if resp.status != 200 {
+                print_error_and_exit(&resp);
+            }
+            if raw {
+                use std::io::Write;
+                std::io::stdout().write_all(&resp.body).unwrap_or_else(|e| {
+                    eprintln!("cannot write raw program: {e}");
+                    std::process::exit(1);
+                });
+            } else {
+                let text = resp.body_str();
+                println!(
+                    "{}",
+                    Json::parse(&text).map_or(text.clone(), |j| j.to_pretty())
+                );
+            }
+        }
+        other => bail(&format!("unknown program verb {other} (upload|list|show)")),
+    }
+}
+
 /// The `ucsim client` subcommand: talk to a running `ucsim-serve`.
 fn client_main(argv: &[String]) {
     match argv.first().map(String::as_str) {
         Some("matrix") => return client_matrix(&argv[1..]),
         Some("job") => return client_job(&argv[1..]),
+        Some("program") => return client_program(&argv[1..]),
         _ => {}
     }
     let mut addr = "127.0.0.1:7199".to_owned();
@@ -764,7 +914,32 @@ fn main() {
     cfg.core.loop_cache_uops = args.loop_cache;
 
     let t0 = std::time::Instant::now();
-    let r = if let Some(path) = &args.trace {
+    let r = if let Some(path) = &args.asm {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+        // The content address is what the server would mint for the same
+        // upload; the walk seed defaults to it so `ucsim --asm f.asm` and a
+        // served `program:<id>` job replay the exact same stream.
+        let hash = ucsim::serve::fnv1a(&bytes);
+        let seed = args.seed.unwrap_or(hash);
+        let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+            eprintln!("cannot parse {path}: not UTF-8 ucasm text");
+            std::process::exit(2);
+        });
+        let asm = ucsim::isa::assemble(&text).unwrap_or_else(|e| {
+            eprintln!("cannot assemble {path}: {e}");
+            std::process::exit(2);
+        });
+        let program = ucsim::trace::load_asm(&asm, seed);
+        let profile = WorkloadProfile::user_program(seed);
+        eprintln!(
+            "simulating program:{hash:016x} ({path}) | capacity {} uops | clasp={} compaction={:?} | seed {seed} | {} insts",
+            args.capacity, cfg.uop_cache.clasp, cfg.uop_cache.compaction, args.insts
+        );
+        Simulator::new(cfg).run(&profile, &program)
+    } else if let Some(path) = &args.trace {
         let file = std::fs::File::open(path).unwrap_or_else(|e| {
             eprintln!("cannot open {path}: {e}");
             std::process::exit(2);

@@ -390,8 +390,8 @@ fn healthz_and_version_describe_the_server() {
         v.get("version").unwrap().as_str(),
         Some(env!("CARGO_PKG_VERSION"))
     );
-    assert_eq!(v.get("api").unwrap().as_str(), Some("v1.1"));
-    assert_eq!(v.get("store_format").unwrap().as_str(), Some("UCSTOR02"));
+    assert_eq!(v.get("api").unwrap().as_str(), Some("v1.2"));
+    assert_eq!(v.get("store_format").unwrap().as_str(), Some("UCSTOR03"));
     let features = v.get("features").unwrap();
     assert_eq!(features.get("observability").unwrap().as_bool(), Some(true));
     assert_eq!(
@@ -399,6 +399,7 @@ fn healthz_and_version_describe_the_server() {
         Some(true)
     );
     assert!(features.get("fault_injection").unwrap().as_bool().is_some());
+    assert_eq!(features.get("programs").unwrap().as_bool(), Some(true));
 
     server.shutdown();
 }

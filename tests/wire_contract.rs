@@ -71,6 +71,36 @@ fn sim_report_f64_fields_survive_exactly() {
 }
 
 #[test]
+fn workload_ref_spellings_share_one_content_address() {
+    // API v1.2 pin: the tagged workload object and its deprecated string
+    // alias must resolve to byte-identical canonical job specs — and a
+    // plain profile name must canonicalize exactly as it did pre-v1.2,
+    // so no existing store record or cache key is orphaned.
+    use ucsim::serve::SimRequest;
+
+    let tagged =
+        SimRequest::parse(r#"{"workload":{"program":"00000000deadbeef"},"seed":7,"insts":1000}"#)
+            .unwrap();
+    let alias =
+        SimRequest::parse(r#"{"workload":"program:00000000deadbeef","seed":7,"insts":1000}"#)
+            .unwrap();
+    assert_eq!(
+        tagged.resolve(0).canonical(),
+        alias.resolve(0).canonical(),
+        "tagged object and string alias must hash identically"
+    );
+
+    let profile = SimRequest::parse(r#"{"workload":{"profile":"bm-cc"},"seed":7,"insts":1000}"#)
+        .unwrap()
+        .resolve(0);
+    let bare = SimRequest::parse(r#"{"workload":"bm-cc","seed":7,"insts":1000}"#)
+        .unwrap()
+        .resolve(0);
+    assert_eq!(profile.canonical(), bare.canonical());
+    assert_eq!(profile.workload, "bm-cc", "profile names stay unprefixed");
+}
+
+#[test]
 fn config_survives_json_value_detour() {
     // Encode → parse to a Json tree → re-encode → decode: the detour a
     // request body takes through the server.
